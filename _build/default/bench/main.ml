@@ -1,0 +1,183 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's experimental section (quick-sized; pass --full for sizes close
+   to the paper's) and then times the computational kernels behind each of
+   them with Bechamel — the running-time study of §7.7.
+
+   Usage: dune exec bench/main.exe [-- --full | -- table1 fig13 ...] *)
+
+open Bechamel
+open Toolkit
+open Streaming
+
+(* ---- one Bechamel test per table/figure: the kernel that regenerates
+   its central quantity, at a size that keeps one run under ~100ms ---- *)
+
+let table1_kernel =
+  (* deterministic critical-cycle analysis of a random (10,20) instance *)
+  let g = Prng.create ~seed:1 in
+  let mapping =
+    Workload.Gen.random_mapping g
+      {
+        Workload.Gen.n_stages = 10;
+        n_procs = 20;
+        comp_range = (5., 15.);
+        comm_range = (5., 15.);
+        max_rows = 60;
+      }
+  in
+  Test.make ~name:"table1: critical cycle (10,20)"
+    (Staged.stage (fun () -> ignore (Deterministic.analyse mapping Model.Strict)))
+
+let fig10_kernel =
+  let mapping = Workload.Scenarios.fig10_system in
+  let laws = Laws.exponential mapping in
+  Test.make ~name:"fig10: eg_sim 1000 data sets"
+    (Staged.stage (fun () ->
+         ignore (Teg_sim.throughput mapping Model.Overlap ~laws ~seed:1 ~data_sets:1000)))
+
+let fig11_kernel =
+  let mapping = Workload.Scenarios.fig10_system in
+  let timing = Des.Pipeline_sim.Independent (Laws.exponential mapping) in
+  Test.make ~name:"fig11: DES 1000 data sets"
+    (Staged.stage (fun () ->
+         ignore (Des.Pipeline_sim.throughput mapping Model.Overlap ~timing ~seed:1 ~data_sets:1000)))
+
+let fig12_kernel =
+  let mapping = Workload.Scenarios.pattern_chain ~stages:8 () in
+  Test.make ~name:"fig12: 8-stage chain theory"
+    (Staged.stage (fun () -> ignore (Expo.overlap_throughput mapping)))
+
+let fig13_kernel =
+  Test.make ~name:"fig13: pattern CTMC 3x4"
+    (Staged.stage (fun () ->
+         ignore
+           (Young.Pattern.exponential_inner_throughput ~u:3 ~v:4
+              ~rate:(fun ~sender:_ ~receiver:_ -> 1.0)
+              ())))
+
+let fig14_kernel =
+  Test.make ~name:"fig14: heterogeneous pattern CTMC 3x4"
+    (Staged.stage (fun () ->
+         ignore
+           (Young.Pattern.exponential_inner_throughput ~u:3 ~v:4
+              ~rate:(fun ~sender ~receiver -> 0.5 +. (0.1 *. float_of_int ((3 * sender) + receiver)))
+              ())))
+
+let fig15_kernel =
+  let mapping = Workload.Scenarios.single_communication ~u:7 ~v:5 () in
+  Test.make ~name:"fig15: closed form + decomposition"
+    (Staged.stage (fun () ->
+         ignore (Expo.overlap_throughput mapping);
+         ignore (Deterministic.overlap_throughput_decomposed mapping)))
+
+let fig16_kernel =
+  let mapping = Workload.Scenarios.single_communication ~u:3 ~v:5 () in
+  let timing =
+    Des.Pipeline_sim.Independent
+      (Laws.of_family mapping ~family:(fun mu -> Dist.Normal_trunc (mu, 0.2 *. mu)))
+  in
+  Test.make ~name:"fig16: DES gauss law 2000 data sets"
+    (Staged.stage (fun () ->
+         ignore (Des.Pipeline_sim.throughput mapping Model.Overlap ~timing ~seed:1 ~data_sets:2000)))
+
+let fig17_kernel =
+  let mapping = Workload.Scenarios.single_communication ~u:3 ~v:5 () in
+  let timing =
+    Des.Pipeline_sim.Independent
+      (Laws.of_family mapping ~family:(fun mu -> Dist.with_mean (Dist.Gamma (0.5, 1.0)) mu))
+  in
+  Test.make ~name:"fig17: DES gamma law 2000 data sets"
+    (Staged.stage (fun () ->
+         ignore (Des.Pipeline_sim.throughput mapping Model.Overlap ~timing ~seed:1 ~data_sets:2000)))
+
+let thm8_kernel =
+  let mapping = Workload.Scenarios.single_communication ~u:3 ~v:4 () in
+  Test.make ~name:"thm8: DES with a common data-set factor"
+    (Staged.stage (fun () ->
+         ignore
+           (Des.Pipeline_sim.throughput mapping Model.Overlap
+              ~timing:(Des.Pipeline_sim.Scaled (Dist.Uniform (0.5, 1.5)))
+              ~seed:1 ~data_sets:2000)))
+
+let ablation_kernel =
+  let app = Application.create ~work:[| 1.0; 1.2; 0.9 |] ~files:[| 0.05; 0.05 |] in
+  let platform = Platform.fully_connected ~speeds:[| 1.0; 1.0; 1.0 |] ~bw:1.0 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1 |]; [| 2 |] |] in
+  Test.make ~name:"ablation: buffer-bounded marking CTMC"
+    (Staged.stage (fun () ->
+         ignore (Expo.general_throughput ~cap:500_000 ~buffer:3 mapping Model.Overlap)))
+
+(* ---- substrate kernels (running time study, §7.7) ---- *)
+
+let substrate_kernels =
+  let mapping = Workload.Scenarios.example_a in
+  [
+    Test.make ~name:"substrate: TPN build (example A)"
+      (Staged.stage (fun () -> ignore (Tpn.build mapping Model.Overlap)));
+    Test.make ~name:"substrate: strict TPN -> CTMC (example A)"
+      (Staged.stage (fun () -> ignore (Expo.strict_throughput ~cap:500_000 mapping)));
+    Test.make ~name:"substrate: GTH stationary (200 states)"
+      (let g = Prng.create ~seed:3 in
+       let n = 200 in
+       let rates =
+         Array.init n (fun i ->
+             Array.init n (fun j ->
+                 if i = j then 0.0
+                 else if (i + 1) mod n = j then 1.0 +. Prng.float g
+                 else if Prng.float g < 0.05 then Prng.float g
+                 else 0.0))
+       in
+       Staged.stage (fun () -> ignore (Linalg.Gth.stationary rates)));
+    Test.make ~name:"substrate: state count S(9,7)"
+      (Staged.stage (fun () -> ignore (Young.Combin.state_count ~u:9 ~v:7)));
+  ]
+
+let all_tests =
+  [
+    table1_kernel; fig10_kernel; fig11_kernel; fig12_kernel; fig13_kernel; fig14_kernel;
+    fig15_kernel; fig16_kernel; fig17_kernel; thm8_kernel; ablation_kernel;
+  ]
+  @ substrate_kernels
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ~kde:(Some 10) () in
+  Format.printf "@.== Running-time study (cf. paper section 7.7) ==@.";
+  Format.printf "%-45s %15s@." "kernel" "time per run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              let pretty =
+                if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+                else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+                else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+                else Printf.sprintf "%.0f ns" est
+              in
+              Format.printf "%-45s %15s@." name pretty
+          | _ -> Format.printf "%-45s %15s@." name "n/a")
+        analysis)
+    all_tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let ids = List.filter (fun a -> a <> "--full" && a <> "--no-bench") args in
+  let quick = not full in
+  (match ids with
+  | [] -> Experiments.Registry.run_all ~quick Format.std_formatter
+  | ids ->
+      List.iter
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some e -> e.Experiments.Registry.run ~quick Format.std_formatter
+          | None -> Format.eprintf "unknown experiment %S@." id)
+        ids);
+  if not (List.mem "--no-bench" args) then run_benchmarks ()

@@ -1,0 +1,1 @@
+examples/auto_mapping.ml: Application Array Des Deterministic Dist Expo Format Laws List Mapper Mapping Model Platform Streaming String

@@ -1,0 +1,1 @@
+examples/bounds_demo.ml: Bounds Des Dist Format Laws List Model Streaming Workload

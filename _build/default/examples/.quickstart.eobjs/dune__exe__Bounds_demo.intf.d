@@ -1,0 +1,1 @@
+examples/bounds_demo.mli:

@@ -1,0 +1,1 @@
+examples/design_space.ml: Application Array Deterministic Expo Format List Mapping Platform Streaming String

@@ -1,0 +1,1 @@
+examples/latency_study.ml: Application Array Des Expo Format Fun Laws List Mapping Model Stats Streaming Workload

@@ -1,0 +1,1 @@
+examples/latency_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Application Bounds Des Deterministic Dist Format Laws List Mapping Model Platform Streaming

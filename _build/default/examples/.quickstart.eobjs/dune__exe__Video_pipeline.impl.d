@@ -1,0 +1,1 @@
+examples/video_pipeline.ml: Application Array Des Deterministic Expo Format Laws List Mapping Model Platform Streaming

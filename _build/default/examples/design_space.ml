@@ -1,0 +1,76 @@
+(* Design-space exploration: how should a fixed pool of processors be
+   split into teams?
+
+   The paper's throughput evaluation is the building block such a search
+   needs: for every composition of the processor pool into one team per
+   stage, we evaluate the deterministic and exponential throughput with
+   the polynomial Overlap machinery and rank the allocations.  This is the
+   "compare heuristics" use case the paper's conclusion announces.
+
+   Run with: dune exec examples/design_space.exe *)
+
+open Streaming
+
+let n_stages = 3
+let pool = 9 (* identical processors to distribute *)
+let works = [| 2.0; 6.0; 3.0 |]
+let file_size = 1.0
+let link_time = 4.0
+
+let mapping_of sizes =
+  let app = Application.create ~work:works ~files:(Array.make (n_stages - 1) file_size) in
+  let platform = Platform.fully_connected ~speeds:(Array.make pool 1.0) ~bw:(1.0 /. link_time) in
+  let teams =
+    let next = ref 0 in
+    Array.map
+      (fun size ->
+        let t = Array.init size (fun k -> !next + k) in
+        next := !next + size;
+        t)
+      sizes
+  in
+  Mapping.create ~app ~platform ~teams
+
+(* all compositions of [pool] into [n_stages] positive parts *)
+let compositions =
+  let rec go remaining parts k =
+    if k = 1 then [ [ remaining ] ]
+    else
+      List.concat_map
+        (fun first -> List.map (fun rest -> first :: rest) (go (remaining - first) parts (k - 1)))
+        (List.init (remaining - k + 1) (fun i -> i + 1))
+  in
+  go pool n_stages n_stages
+
+let () =
+  Format.printf "distributing %d processors over %d stages (work %.0f/%.0f/%.0f, links %.0f)@.@."
+    pool n_stages works.(0) works.(1) works.(2) link_time;
+  let scored =
+    List.map
+      (fun sizes ->
+        let mapping = mapping_of (Array.of_list sizes) in
+        let det = Deterministic.overlap_throughput_decomposed mapping in
+        let expo = Expo.overlap_throughput mapping in
+        (sizes, det, expo))
+      compositions
+  in
+  let ranked = List.sort (fun (_, _, a) (_, _, b) -> compare b a) scored in
+  Format.printf "%12s %14s %14s %14s@." "teams" "deterministic" "exponential" "exp/det";
+  List.iteri
+    (fun rank (sizes, det, expo) ->
+      if rank < 8 then
+        Format.printf "%12s %14.4f %14.4f %14.3f@."
+          (String.concat "-" (List.map string_of_int sizes))
+          det expo (expo /. det))
+    ranked;
+  let best_sizes, _, best_expo = List.hd ranked in
+  Format.printf "@.best allocation under random (exponential) times: %s at %.4f data sets/s@."
+    (String.concat "-" (List.map string_of_int best_sizes))
+    best_expo;
+  (* ranking by the deterministic value alone can be misleading: show the
+     allocation that maximises det and where it lands on the exp ranking *)
+  let by_det = List.sort (fun (_, a, _) (_, b, _) -> compare b a) scored in
+  let det_sizes, det_best, det_expo = List.hd by_det in
+  Format.printf "best by the deterministic metric: %s (det %.4f, exp %.4f)@."
+    (String.concat "-" (List.map string_of_int det_sizes))
+    det_best det_expo

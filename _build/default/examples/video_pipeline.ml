@@ -1,0 +1,74 @@
+(* A video-encoding workflow — the kind of streaming application the paper's
+   introduction motivates (video/audio encoding, DSP).
+
+   Pipeline: decode -> denoise -> encode -> mux.  The encode stage is by
+   far the heaviest, and frames are independent, so it is *dealable*: we
+   replicate it over several worker nodes and ask how the frame rate
+   (throughput) grows, under both execution models, and how much of the
+   nominal rate survives when computation times are random (exponential
+   lower bound of Theorem 7).
+
+   Run with: dune exec examples/video_pipeline.exe *)
+
+open Streaming
+
+(* stage costs in Mflop per frame, file sizes in MB per frame *)
+let decode_cost = 40.0
+let denoise_cost = 120.0
+let encode_cost = 600.0
+let mux_cost = 20.0
+let raw_frame = 8.0 (* decoded frame shipped to denoise *)
+let clean_frame = 8.0
+let coded_frame = 0.4
+
+(* node speeds in Mflop/s: one ingest node, one filter node, a rack of
+   encode workers of mixed generations, one mux node *)
+let worker_speeds = [| 900.; 1100.; 900.; 1000.; 800.; 1200.; 900.; 1000. |]
+
+let platform_for workers =
+  let speeds = Array.concat [ [| 500.0; 800.0 |]; Array.sub worker_speeds 0 workers; [| 600.0 |] ] in
+  (* 1 Gb/s switch: 125 MB/s on every (logical) link *)
+  Platform.fully_connected ~speeds ~bw:125.0
+
+let mapping_for workers =
+  let app =
+    Application.create
+      ~work:[| decode_cost; denoise_cost; encode_cost; mux_cost |]
+      ~files:[| raw_frame; clean_frame; coded_frame |]
+  in
+  let encode_team = Array.init workers (fun k -> 2 + k) in
+  let mux = 2 + workers in
+  Mapping.create ~app ~platform:(platform_for workers)
+    ~teams:[| [| 0 |]; [| 1 |]; encode_team; [| mux |] |]
+
+let () =
+  Format.printf "Video pipeline: decode(%.0f) -> denoise(%.0f) -> encode(%.0f) -> mux(%.0f) Mflop@."
+    decode_cost denoise_cost encode_cost mux_cost;
+  Format.printf "%6s | %10s %10s | %10s %10s | %9s@." "encode" "overlap" "overlap" "strict"
+    "strict" "measured";
+  Format.printf "%6s | %10s %10s | %10s %10s | %9s@." "nodes" "det fps" "exp fps" "det fps"
+    "exp fps" "exp fps";
+  List.iter
+    (fun workers ->
+      let mapping = mapping_for workers in
+      let det_o = Deterministic.throughput mapping Model.Overlap in
+      let exp_o = Expo.overlap_throughput mapping in
+      let det_s = Deterministic.throughput mapping Model.Strict in
+      (* the strict exponential value through the general method would be
+         exponential in the replication factor; estimate it by simulation *)
+      let exp_s =
+        Des.Pipeline_sim.throughput mapping Model.Strict
+          ~timing:(Des.Pipeline_sim.Independent (Laws.exponential mapping))
+          ~seed:7 ~data_sets:20_000
+      in
+      let measured =
+        Des.Pipeline_sim.throughput mapping Model.Overlap
+          ~timing:(Des.Pipeline_sim.Independent (Laws.exponential mapping))
+          ~seed:8 ~data_sets:20_000
+      in
+      Format.printf "%6d | %10.2f %10.2f | %10.2f %10.2f | %9.2f@." workers det_o exp_o det_s
+        exp_s measured)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Format.printf
+    "@.The encode stage stops being the bottleneck once its team outruns the@.\
+     slowest remaining resource; past that point extra workers buy nothing.@."

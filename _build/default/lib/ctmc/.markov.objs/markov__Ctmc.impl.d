@@ -1,0 +1,1 @@
+lib/ctmc/ctmc.ml: Array Hashtbl Linalg Option

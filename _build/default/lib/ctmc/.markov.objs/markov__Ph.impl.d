@@ -1,0 +1,1 @@
+lib/ctmc/ph.ml: Array Linalg List

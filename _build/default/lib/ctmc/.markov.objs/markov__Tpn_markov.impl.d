@@ -1,0 +1,1 @@
+lib/ctmc/tpn_markov.ml: Array Ctmc Graphs Hashtbl List Marking Petrinet Printf Teg Transient

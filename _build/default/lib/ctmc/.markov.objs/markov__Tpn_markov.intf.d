@@ -1,0 +1,1 @@
+lib/ctmc/tpn_markov.mli: Petrinet

@@ -1,0 +1,1 @@
+lib/ctmc/tpn_markov_ph.ml: Array Ctmc Graphs Hashtbl List Marking Petrinet Ph Printf Queue Teg

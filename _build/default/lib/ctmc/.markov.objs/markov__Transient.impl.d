@@ -1,0 +1,1 @@
+lib/ctmc/transient.ml: Array Ctmc List

@@ -1,0 +1,28 @@
+(** Continuous-time Markov chains with a pluggable stationary solver. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty chain over states [0..n-1]. *)
+
+val add_rate : t -> int -> int -> float -> unit
+(** Accumulates rate onto the i → j transition. *)
+
+val n_states : t -> int
+
+type method_ = Auto | Gth | Gauss_seidel | Power
+
+val stationary : ?solver:method_ -> t -> float array
+(** Stationary distribution of an irreducible chain.  [Auto] (default)
+    uses the numerically exact GTH elimination up to 1200 states and
+    sparse Gauss–Seidel beyond. *)
+
+val flow : t -> pi:float array -> src:int -> dst:int -> float
+(** Stationary probability flow π(src)·q(src,dst). *)
+
+val outgoing : t -> int -> (int * float) list
+(** Outgoing transitions of a state (target, rate); rates to the same
+    target may appear split across several entries. *)
+
+val exit_rate : t -> int -> float
+val max_exit_rate : t -> float

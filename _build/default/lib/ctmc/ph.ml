@@ -1,0 +1,93 @@
+type t = { initial : float array; jump : float array array; exit : float array }
+
+let n_phases t = Array.length t.initial
+
+let validate t =
+  let n = n_phases t in
+  if Array.length t.exit <> n || Array.length t.jump <> n then Error "dimension mismatch"
+  else if Array.exists (fun row -> Array.length row <> n) t.jump then Error "jump not square"
+  else if abs_float (Array.fold_left ( +. ) 0.0 t.initial -. 1.0) > 1e-9 then
+    Error "initial distribution must sum to 1"
+  else if Array.exists (fun p -> p < 0.0) t.initial then Error "negative initial probability"
+  else if Array.exists (fun r -> r < 0.0) t.exit then Error "negative exit rate"
+  else if Array.exists (Array.exists (fun r -> r < 0.0)) t.jump then Error "negative jump rate"
+  else begin
+    let dead = ref false in
+    for i = 0 to n - 1 do
+      let total = t.exit.(i) +. Array.fold_left ( +. ) 0.0 t.jump.(i) -. t.jump.(i).(i) in
+      if total <= 0.0 then dead := true
+    done;
+    if !dead then Error "a phase has no outgoing rate" else Ok ()
+  end
+
+let check t = match validate t with Ok () -> t | Error msg -> invalid_arg ("Ph: " ^ msg)
+
+let exponential ~rate =
+  if rate <= 0.0 then invalid_arg "Ph.exponential: rate must be positive";
+  check { initial = [| 1.0 |]; jump = [| [| 0.0 |] |]; exit = [| rate |] }
+
+let erlang ~phases ~rate =
+  if phases < 1 then invalid_arg "Ph.erlang: need at least one phase";
+  if rate <= 0.0 then invalid_arg "Ph.erlang: rate must be positive";
+  let jump =
+    Array.init phases (fun i ->
+        Array.init phases (fun j -> if j = i + 1 then rate else 0.0))
+  in
+  let exit = Array.init phases (fun i -> if i = phases - 1 then rate else 0.0) in
+  let initial = Array.init phases (fun i -> if i = 0 then 1.0 else 0.0) in
+  check { initial; jump; exit }
+
+let hyperexponential branches =
+  let n = List.length branches in
+  if n = 0 then invalid_arg "Ph.hyperexponential: no branches";
+  let initial = Array.of_list (List.map fst branches) in
+  let exit = Array.of_list (List.map snd branches) in
+  check { initial; jump = Array.make_matrix n n 0.0; exit }
+
+let coxian stages =
+  let n = List.length stages in
+  if n = 0 then invalid_arg "Ph.coxian: no stages";
+  let rates = Array.of_list (List.map fst stages) in
+  let continue = Array.of_list (List.map snd stages) in
+  if continue.(n - 1) <> 0.0 then invalid_arg "Ph.coxian: last stage must absorb";
+  Array.iter
+    (fun p -> if p < 0.0 || p > 1.0 then invalid_arg "Ph.coxian: bad continue probability")
+    continue;
+  let jump =
+    Array.init n (fun i ->
+        Array.init n (fun j -> if j = i + 1 then rates.(i) *. continue.(i) else 0.0))
+  in
+  let exit = Array.init n (fun i -> rates.(i) *. (1.0 -. continue.(i))) in
+  let initial = Array.init n (fun i -> if i = 0 then 1.0 else 0.0) in
+  check { initial; jump; exit }
+
+(* first and second moments of the absorption time: m1 = (-T)^-1 1 and
+   m2 = 2 (-T)^-2 1, with T the transient generator *)
+let moments t =
+  let n = n_phases t in
+  let neg_t =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then t.exit.(i) +. Array.fold_left ( +. ) 0.0 t.jump.(i) -. t.jump.(i).(i)
+            else -.t.jump.(i).(j)))
+  in
+  let ones = Array.make n 1.0 in
+  let m1 = Linalg.Matrix.solve neg_t ones in
+  let m2_half = Linalg.Matrix.solve neg_t m1 in
+  let dot v = Array.fold_left ( +. ) 0.0 (Array.mapi (fun i a -> a *. v.(i)) t.initial) in
+  (dot m1, 2.0 *. dot m2_half)
+
+let mean t = fst (moments t)
+
+let scv t =
+  let m1, m2 = moments t in
+  (m2 -. (m1 *. m1)) /. (m1 *. m1)
+
+let with_mean t target =
+  if target <= 0.0 then invalid_arg "Ph.with_mean: mean must be positive";
+  let factor = mean t /. target in
+  {
+    initial = Array.copy t.initial;
+    jump = Array.map (Array.map (fun r -> r *. factor)) t.jump;
+    exit = Array.map (fun r -> r *. factor) t.exit;
+  }

@@ -1,0 +1,40 @@
+(** Continuous phase-type (PH) distributions.
+
+    A PH law is the absorption time of a small CTMC: initial distribution
+    [initial] over transient phases, inter-phase rates [jump], absorption
+    rate [exit] from each phase.  PH laws are dense in the distributions
+    on [0,∞) and close the gap between the exact exponential analysis and
+    arbitrary laws: Erlang (low variance, N.B.U.E.) and hyperexponential
+    (high variance, D.F.R.) are the two canonical families. *)
+
+type t = {
+  initial : float array;  (** sums to 1 *)
+  jump : float array array;  (** jump.(i).(j), i ≠ j, ≥ 0 *)
+  exit : float array;  (** absorption rate from each phase, ≥ 0 *)
+}
+
+val validate : t -> (unit, string) result
+val n_phases : t -> int
+
+val exponential : rate:float -> t
+val erlang : phases:int -> rate:float -> t
+(** [phases] stages of rate [rate] each: mean phases/rate. *)
+
+val hyperexponential : (float * float) list -> t
+(** [(probability, rate)] branches; probabilities must sum to 1.  A
+    mixture of exponentials is D.F.R., hence *not* N.B.U.E.: its exact
+    throughput can fall below the exponential bound of Theorem 7. *)
+
+val coxian : (float * float) list -> t
+(** Stages [(rate, continue probability)]: after stage i, continue to
+    stage i+1 with the given probability, absorb otherwise (the last
+    stage's continuation must be 0). *)
+
+val mean : t -> float
+(** Expected absorption time (solves the linear system (−T)·m = 1). *)
+
+val scv : t -> float
+(** Squared coefficient of variation Var/mean². *)
+
+val with_mean : t -> float -> t
+(** Rescale all rates so that the mean becomes the given value. *)

@@ -1,0 +1,111 @@
+open Petrinet
+
+type t = {
+  teg : Teg.t;
+  rates : float array;
+  recurrent : Marking.t array;  (** markings of the recurrent class *)
+  pi : float array;  (** stationary distribution over [recurrent] *)
+  total_markings : int;
+  chain : Ctmc.t;  (** generator restricted to the recurrent class *)
+  initial_state : int option;  (** local index of the initial marking *)
+}
+
+module Table = Hashtbl.Make (struct
+  type t = Marking.t
+
+  let equal = Marking.equal
+  let hash = Marking.hash
+end)
+
+let analyse ?cap ~rates teg =
+  let n_trans = Teg.n_transitions teg in
+  let rate_array = Array.init n_trans rates in
+  Array.iteri
+    (fun v r -> if r <= 0.0 then invalid_arg (Printf.sprintf "Tpn_markov: rate of t%d not positive" v))
+    rate_array;
+  let markings = Marking.explore ?cap teg in
+  let n = Array.length markings in
+  let index = Table.create (2 * n) in
+  Array.iteri (fun i m -> Table.add index m i) markings;
+  (* Build the marking graph once; reuse it for the recurrent-class
+     restriction and the generator. *)
+  let jumps = Array.make n [] in
+  let graph = Graphs.Digraph.create n in
+  Array.iteri
+    (fun i m ->
+      List.iter
+        (fun v ->
+          let j = Table.find index (Marking.fire teg m v) in
+          jumps.(i) <- (v, j) :: jumps.(i);
+          Graphs.Digraph.add_edge graph ~src:i ~dst:j ~weight:0.0 ~tokens:0 ())
+        (Marking.enabled teg m))
+    markings;
+  (* Bottom SCCs = recurrent classes. *)
+  let components = Graphs.Digraph.sccs graph in
+  let component_of = Array.make n (-1) in
+  List.iteri (fun c states -> List.iter (fun s -> component_of.(s) <- c) states) components;
+  let is_bottom = Array.make (List.length components) true in
+  Array.iteri
+    (fun i succs ->
+      List.iter (fun (_, j) -> if component_of.(j) <> component_of.(i) then is_bottom.(component_of.(i)) <- false) succs)
+    jumps;
+  let bottoms = List.filteri (fun c _ -> is_bottom.(c)) components in
+  let recurrent_states =
+    match bottoms with
+    | [ states ] -> List.sort compare states
+    | [] -> failwith "Tpn_markov: no recurrent class (empty chain?)"
+    | _ -> failwith "Tpn_markov: several recurrent classes"
+  in
+  let recurrent = Array.of_list recurrent_states in
+  let local = Array.make n (-1) in
+  Array.iteri (fun k s -> local.(s) <- k) recurrent;
+  let chain = Ctmc.create (Array.length recurrent) in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun (v, j) ->
+          (* A marking-preserving firing (e.g. a transition whose only place
+             is a token self-loop) is a CTMC self-loop: it does not affect
+             the stationary distribution and is skipped. *)
+          if local.(j) >= 0 && local.(j) <> local.(s) then
+            Ctmc.add_rate chain local.(s) local.(j) rate_array.(v))
+        jumps.(s))
+    recurrent;
+  let pi = Ctmc.stationary chain in
+  {
+    teg;
+    rates = rate_array;
+    recurrent = Array.map (fun s -> markings.(s)) recurrent;
+    pi;
+    total_markings = n;
+    chain;
+    initial_state = (if local.(0) >= 0 then Some local.(0) else None);
+  }
+
+let n_markings t = t.total_markings
+let n_recurrent t = Array.length t.recurrent
+
+let enabled_probability t v =
+  let acc = ref 0.0 in
+  Array.iteri (fun k m -> if Marking.is_enabled t.teg m v then acc := !acc +. t.pi.(k)) t.recurrent;
+  !acc
+
+let firing_rate t v = t.rates.(v) *. enabled_probability t v
+let throughput_of t vs = List.fold_left (fun acc v -> acc +. firing_rate t v) 0.0 vs
+
+let stationary_throughput = throughput_of
+
+let expected_firings ?tol t ~horizon transitions =
+  match t.initial_state with
+  | None ->
+      invalid_arg "Tpn_markov.expected_firings: the initial marking is transient"
+  | Some initial ->
+      let occupancy = Transient.occupancy ?tol t.chain ~initial ~horizon in
+      List.fold_left
+        (fun acc v ->
+          let time_enabled = ref 0.0 in
+          Array.iteri
+            (fun k m -> if Marking.is_enabled t.teg m v then time_enabled := !time_enabled +. occupancy.(k))
+            t.recurrent;
+          acc +. (t.rates.(v) *. !time_enabled))
+        0.0 transitions

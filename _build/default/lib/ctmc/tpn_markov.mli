@@ -1,0 +1,44 @@
+(** The "general method" of §5.1: the marking process of a timed event
+    graph with exponential firing times is a CTMC.
+
+    States are the reachable markings; from a marking, every enabled
+    transition [v] fires at its rate [rates v] (race semantics — valid
+    because exponential laws are memoryless) leading to the marking after
+    firing.  The stationary firing rate of a transition [v] is
+    [rates v] times the stationary probability that v is enabled, and the throughput of the system is the sum
+    of the stationary firing rates of its output transitions. *)
+
+type t
+
+val analyse : ?cap:int -> rates:(int -> float) -> Petrinet.Teg.t -> t
+(** Explores the reachable markings (raising
+    [Petrinet.Marking.Capacity_exceeded] on a token-unbounded net),
+    restricts the chain to its unique recurrent class, and solves for the
+    stationary distribution.  [rates v] must be positive for every
+    transition.  Raises [Failure] if the marking chain has several
+    recurrent classes (which cannot happen for the nets built from
+    mappings, and signals a modelling error). *)
+
+val n_markings : t -> int
+(** Number of reachable markings (including transient ones). *)
+
+val n_recurrent : t -> int
+
+val firing_rate : t -> int -> float
+(** Stationary firing rate of one transition. *)
+
+val throughput_of : t -> int list -> float
+(** Sum of the firing rates of the listed transitions. *)
+
+val enabled_probability : t -> int -> float
+(** Stationary probability that the transition is enabled. *)
+
+val stationary_throughput : t -> int list -> float
+(** Alias of {!throughput_of}. *)
+
+val expected_firings : ?tol:float -> t -> horizon:float -> int list -> float
+(** Expected number of firings of the listed transitions during
+    [0, horizon], starting from the initial marking, by uniformisation
+    (exact transient counterpart of {!throughput_of}: their ratio tends to
+    the stationary throughput as the horizon grows).  Raises
+    [Invalid_argument] if the initial marking is not recurrent. *)

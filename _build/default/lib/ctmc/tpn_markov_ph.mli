@@ -1,0 +1,31 @@
+(** The general method of §5.1 extended to phase-type firing times.
+
+    The marking process alone is not Markov once firing times are not
+    exponential; augmenting the state with the current phase of every
+    enabled transition restores the Markov property exactly (phase-type
+    laws are absorption times of small CTMCs, and the event-graph
+    property guarantees firings never disable other enabled transitions,
+    so phases are never discarded).  A transition completes when its PH
+    law absorbs; transitions becoming enabled draw their starting phase
+    from the law's initial distribution.
+
+    This computes the *exact* throughput for Erlang, hyperexponential,
+    Coxian, … operation times — in particular exact values *below* the
+    exponential bound of Theorem 7 for D.F.R. laws.  The state space is
+    the marking space times the product of the enabled phases; keep the
+    laws small. *)
+
+type t
+
+val analyse : ?cap:int -> ph_of:(int -> Ph.t) -> Petrinet.Teg.t -> t
+(** [cap] (default 500_000) bounds the number of (marking, phases)
+    states.  Raises [Petrinet.Marking.Capacity_exceeded] beyond it and
+    [Failure] if the chain has several recurrent classes. *)
+
+val n_states : t -> int
+
+val completion_rate : t -> int -> float
+(** Stationary rate of completions (absorptions) of one transition. *)
+
+val throughput_of : t -> int list -> float
+(** Sum of the completion rates of the listed transitions. *)

@@ -1,0 +1,70 @@
+(* Uniformisation: with Lambda >= max exit rate, the CTMC at time t equals
+   the uniformised DTMC observed after Poisson(Lambda.t) jumps.  Poisson
+   weights are accumulated in log space to survive large Lambda.t. *)
+
+let dtmc_step chain lambda pi =
+  let n = Ctmc.n_states chain in
+  let next = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    if pi.(i) > 0.0 then begin
+      next.(i) <- next.(i) +. (pi.(i) *. (1.0 -. (Ctmc.exit_rate chain i /. lambda)));
+      List.iter (fun (j, r) -> next.(j) <- next.(j) +. (pi.(i) *. r /. lambda)) (Ctmc.outgoing chain i)
+    end
+  done;
+  next
+
+(* fold over k = 0, 1, ...: [f acc k p_k pi_k] with p_k the Poisson weight
+   and pi_k the DTMC distribution after k jumps; stops once the cumulated
+   weight exceeds 1 - tol *)
+let poisson_fold ?(tol = 1e-12) chain ~initial ~horizon ~f ~init =
+  if initial < 0 || initial >= Ctmc.n_states chain then
+    invalid_arg "Transient: initial state out of range";
+  if horizon < 0.0 then invalid_arg "Transient: negative horizon";
+  (* flooring lambda at 1/horizon keeps a = lambda*horizon >= 1, which
+     avoids catastrophic cancellation in the 1 - cumulated tails when the
+     chain has (almost) no transitions *)
+  let lambda = 1.000001 *. max (1.0 /. horizon) (Ctmc.max_exit_rate chain) in
+  let a = lambda *. horizon in
+  let pi = ref (Array.init (Ctmc.n_states chain) (fun i -> if i = initial then 1.0 else 0.0)) in
+  let acc = ref init in
+  let log_weight = ref (-.a) in
+  let cumulated = ref 0.0 in
+  let k = ref 0 in
+  while !cumulated < 1.0 -. tol do
+    let p = exp !log_weight in
+    acc := f !acc !k p !pi;
+    cumulated := !cumulated +. p;
+    incr k;
+    log_weight := !log_weight +. log (a /. float_of_int !k);
+    if !cumulated < 1.0 -. tol then pi := dtmc_step chain lambda !pi
+  done;
+  (!acc, lambda)
+
+let distribution ?tol chain ~initial ~horizon =
+  let n = Ctmc.n_states chain in
+  if horizon = 0.0 then Array.init n (fun i -> if i = initial then 1.0 else 0.0)
+  else begin
+    let result, _ =
+      poisson_fold ?tol chain ~initial ~horizon ~init:(Array.make n 0.0) ~f:(fun acc _ p pi ->
+          Array.iteri (fun j v -> acc.(j) <- acc.(j) +. (p *. v)) pi;
+          acc)
+    in
+    result
+  end
+
+let occupancy ?tol chain ~initial ~horizon =
+  let n = Ctmc.n_states chain in
+  if horizon = 0.0 then Array.make n 0.0
+  else begin
+    (* E[time in j over [0,t]] = (1/Lambda) sum_k P(Pois(a) > k) pi_k(j);
+       track the tail as 1 - cumulative weight *)
+    let cumulated = ref 0.0 in
+    let result, lambda =
+      poisson_fold ?tol chain ~initial ~horizon ~init:(Array.make n 0.0) ~f:(fun acc _ p pi ->
+          cumulated := !cumulated +. p;
+          let tail = 1.0 -. !cumulated in
+          if tail > 0.0 then Array.iteri (fun j v -> acc.(j) <- acc.(j) +. (tail *. v)) pi;
+          acc)
+    in
+    Array.map (fun v -> v /. lambda) result
+  end

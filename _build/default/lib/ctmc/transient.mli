@@ -1,0 +1,16 @@
+(** Transient analysis of a CTMC by uniformisation.
+
+    Complements the stationary analysis of §5: the paper's §7.2/§7.3 study
+    how many data sets a *simulation* must process before the throughput
+    estimate converges; uniformisation answers the same question exactly
+    for chains small enough to build — the expected number of completions
+    in a finite horizon, not just the stationary rate. *)
+
+val distribution : ?tol:float -> Ctmc.t -> initial:int -> horizon:float -> float array
+(** State distribution at time [horizon], starting from [initial].
+    [tol] (default 1e-12) bounds the truncation error of the Poisson
+    series. *)
+
+val occupancy : ?tol:float -> Ctmc.t -> initial:int -> horizon:float -> float array
+(** Expected time spent in each state during [0, horizon]; entries sum to
+    [horizon] (up to [tol]). *)

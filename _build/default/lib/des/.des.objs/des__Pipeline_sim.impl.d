@@ -1,0 +1,1 @@
+lib/des/pipeline_sim.ml: Array Dist Engine Laws List Mapping Model Platform Prng Resource Stats Streaming

@@ -1,0 +1,1 @@
+lib/des/pipeline_sim.mli: Dist Streaming

@@ -1,0 +1,98 @@
+module Heap = struct
+  (* binary min-heap on (time, task id) *)
+  type t = { mutable data : (float * int) array; mutable size : int }
+
+  let create () = { data = Array.make 64 (0.0, 0); size = 0 }
+  let is_empty h = h.size = 0
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0.0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+type t = {
+  n : int;
+  dependents : int list array;  (** tasks waiting on this one *)
+  pending : int array;  (** outstanding dependency count *)
+  earliest : float array;  (** release dates *)
+}
+
+let create ~n_tasks =
+  {
+    n = n_tasks;
+    dependents = Array.make n_tasks [];
+    pending = Array.make n_tasks 0;
+    earliest = Array.make n_tasks 0.0;
+  }
+
+let add_dep t ~task ~after =
+  if task < 0 || task >= t.n || after < 0 || after >= t.n then
+    invalid_arg "Engine.add_dep: task out of range";
+  t.dependents.(after) <- task :: t.dependents.(after);
+  t.pending.(task) <- t.pending.(task) + 1
+
+let set_earliest t ~task time =
+  if task < 0 || task >= t.n then invalid_arg "Engine.set_earliest: task out of range";
+  if time < 0.0 then invalid_arg "Engine.set_earliest: negative time";
+  t.earliest.(task) <- time
+
+let run t ~duration =
+  let pending = Array.copy t.pending in
+  let ready_at = Array.copy t.earliest in
+  let completion = Array.make t.n nan in
+  let heap = Heap.create () in
+  let started = ref 0 in
+  let start task time =
+    incr started;
+    Heap.push heap (time +. duration task, task)
+  in
+  for task = 0 to t.n - 1 do
+    if pending.(task) = 0 then start task ready_at.(task)
+  done;
+  while not (Heap.is_empty heap) do
+    let time, task = Heap.pop heap in
+    completion.(task) <- time;
+    List.iter
+      (fun next ->
+        if time > ready_at.(next) then ready_at.(next) <- time;
+        pending.(next) <- pending.(next) - 1;
+        if pending.(next) = 0 then start next ready_at.(next))
+      t.dependents.(task)
+  done;
+  if !started <> t.n then failwith "Engine.run: dependency cycle, some tasks never became ready";
+  completion

@@ -1,0 +1,23 @@
+(** A small discrete-event simulation engine.
+
+    Work is a fixed set of tasks with precedence constraints; a task starts
+    as soon as all its predecessors have completed (greedy schedule) and
+    runs for a duration drawn when it starts.  Events (task completions)
+    are processed in simulated-time order through a binary heap, so the
+    execution trace is a genuine discrete-event simulation — used as an
+    implementation of the pipeline semantics independent from the Petri
+    net code path. *)
+
+type t
+
+val create : n_tasks:int -> t
+val add_dep : t -> task:int -> after:int -> unit
+(** [add_dep t ~task ~after] makes [task] wait for [after]'s completion. *)
+
+val set_earliest : t -> task:int -> float -> unit
+(** Lower bound on the task's start time (a release date); default 0. *)
+
+val run : t -> duration:(int -> float) -> float array
+(** Completion time of every task.  [duration] is called exactly once per
+    task, in simulated start order.  Raises [Failure] if the dependency
+    graph has a cycle (some task never becomes ready). *)

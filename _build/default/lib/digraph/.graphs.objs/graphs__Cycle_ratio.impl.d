@@ -1,0 +1,1 @@
+lib/digraph/cycle_ratio.ml: Array Digraph List

@@ -1,0 +1,1 @@
+lib/digraph/howard.ml: Array Cycle_ratio Digraph Hashtbl List

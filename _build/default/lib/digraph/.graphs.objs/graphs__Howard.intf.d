@@ -1,0 +1,1 @@
+lib/digraph/howard.mli: Digraph

@@ -1,0 +1,27 @@
+(** Maximum cycle ratio of a weighted, token-carrying digraph.
+
+    For a timed event graph, the steady-state period is
+    max over cycles C of (sum of firing times on C) / (sum of tokens on C)
+    (Baccelli et al., "Synchronization and Linearity").  This module solves
+    that maximisation with Lawler's parametric search — λ is feasible iff
+    the reweighted graph (weight − λ·tokens) has no positive cycle — and
+    snaps the binary-search answer to the exact rational ratio of a witness
+    cycle. *)
+
+exception Unbounded
+(** Raised when a cycle carries positive weight but no token: the event
+    graph is not live and the ratio is +∞. *)
+
+type result = {
+  ratio : float;  (** the maximum cycle ratio *)
+  cycle : Digraph.edge list;  (** a critical cycle achieving it *)
+}
+
+val max_cycle_ratio : Digraph.t -> result option
+(** [None] when the graph has no cycle at all.  Raises {!Unbounded} if a
+    zero-token cycle with positive weight exists. *)
+
+val karp_max_cycle_mean : Digraph.t -> float option
+(** Karp's algorithm for the maximum cycle *mean* (every edge counted as
+    one token); used as an independent cross-check when all edges carry
+    exactly one token. [None] when acyclic. *)

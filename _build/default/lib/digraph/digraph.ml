@@ -1,0 +1,98 @@
+type edge = { src : int; dst : int; weight : float; tokens : int; tag : int }
+
+type t = { n : int; mutable edge_list : edge list; mutable count : int; out_adj : edge list array }
+
+let create n = { n; edge_list = []; count = 0; out_adj = Array.make n [] }
+
+let add_edge g ?(tag = -1) ~src ~dst ~weight ~tokens () =
+  if src < 0 || src >= g.n || dst < 0 || dst >= g.n then
+    invalid_arg "Digraph.add_edge: node out of range";
+  if tokens < 0 then invalid_arg "Digraph.add_edge: negative tokens";
+  let e = { src; dst; weight; tokens; tag } in
+  g.edge_list <- e :: g.edge_list;
+  g.count <- g.count + 1;
+  g.out_adj.(src) <- e :: g.out_adj.(src)
+
+let n_nodes g = g.n
+let n_edges g = g.count
+let edges g = List.rev g.edge_list
+let out_edges g v = g.out_adj.(v)
+let succ g v = List.map (fun e -> e.dst) g.out_adj.(v)
+
+let topological_order_filtered g keep =
+  let indeg = Array.make g.n 0 in
+  List.iter (fun e -> if keep e then indeg.(e.dst) <- indeg.(e.dst) + 1) g.edge_list;
+  let queue = Queue.create () in
+  for v = 0 to g.n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    order := v :: !order;
+    List.iter
+      (fun e ->
+        if keep e then begin
+          indeg.(e.dst) <- indeg.(e.dst) - 1;
+          if indeg.(e.dst) = 0 then Queue.add e.dst queue
+        end)
+      g.out_adj.(v)
+  done;
+  if !seen = g.n then Some (List.rev !order) else None
+
+let topological_order g = topological_order_filtered g (fun _ -> true)
+let zero_token_acyclic g = topological_order_filtered g (fun e -> e.tokens = 0) <> None
+
+let sccs g =
+  (* Tarjan; recursion depth is bounded by the number of transitions, which
+     stays in the thousands for the TPNs built here. *)
+  let index = Array.make g.n (-1) in
+  let lowlink = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let rec strong_connect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun e ->
+        let w = e.dst in
+        if index.(w) = -1 then begin
+          strong_connect w;
+          if lowlink.(w) < lowlink.(v) then lowlink.(v) <- lowlink.(w)
+        end
+        else if on_stack.(w) && index.(w) < lowlink.(v) then lowlink.(v) <- index.(w))
+      g.out_adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to g.n - 1 do
+    if index.(v) = -1 then strong_connect v
+  done;
+  !components
+
+let reachable g v =
+  let seen = Array.make g.n false in
+  let rec visit u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter (fun e -> visit e.dst) g.out_adj.(u)
+    end
+  in
+  visit v;
+  seen

@@ -1,0 +1,37 @@
+(** Directed graphs with weighted, token-carrying edges.
+
+    This is the graph view of a timed event graph: nodes are transitions,
+    edges are places; an edge carries the firing duration accounted to the
+    cycle ([weight]) and the number of initial tokens of the place. *)
+
+type edge = { src : int; dst : int; weight : float; tokens : int; tag : int }
+(** [tag] is an opaque client label (e.g. the place index in a Petri net). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty graph over nodes [0..n-1]. *)
+
+val add_edge : t -> ?tag:int -> src:int -> dst:int -> weight:float -> tokens:int -> unit -> unit
+val n_nodes : t -> int
+val n_edges : t -> int
+val edges : t -> edge list
+(** All edges, in insertion order. *)
+
+val out_edges : t -> int -> edge list
+val succ : t -> int -> int list
+
+val topological_order : t -> int list option
+(** Kahn's algorithm; [None] if the graph has a cycle.  Token counts are
+    ignored (every edge is a constraint). *)
+
+val zero_token_acyclic : t -> bool
+(** Whether the subgraph of edges with zero tokens is acyclic — the
+    liveness precondition for a timed event graph to execute at all. *)
+
+val sccs : t -> int list list
+(** Strongly connected components (Tarjan), in reverse topological order.
+    Singleton components without a self-loop are included. *)
+
+val reachable : t -> int -> bool array
+(** [reachable g v] marks every node reachable from [v] (including [v]). *)

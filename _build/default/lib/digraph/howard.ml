@@ -1,0 +1,130 @@
+(* Policy iteration (Howard) for the maximum cycle ratio, run per strongly
+   connected component.  After the zero-token-acyclicity pre-check, every
+   cycle carries at least one token, so all ratios are finite. *)
+
+let max_cycle_ratio graph =
+  if not (Digraph.zero_token_acyclic graph) then raise Cycle_ratio.Unbounded;
+  let n = Digraph.n_nodes graph in
+  let scale =
+    List.fold_left (fun acc e -> max acc (abs_float e.Digraph.weight)) 1.0 (Digraph.edges graph)
+  in
+  let tol = 1e-10 *. scale in
+  let component_of = Array.make n (-1) in
+  List.iteri (fun c nodes -> List.iter (fun u -> component_of.(u) <- c) nodes)
+    (Digraph.sccs graph);
+  let best = ref None in
+  let record lambda = match !best with Some b when b >= lambda -> () | _ -> best := Some lambda in
+  let solve_component nodes =
+    match nodes with
+    | [] -> ()
+    | [ u ] when not (List.exists (fun e -> e.Digraph.dst = u) (Digraph.out_edges graph u)) ->
+        () (* trivial SCC without self loop: no cycle *)
+    | _ ->
+        let members = Array.of_list nodes in
+        let local = Hashtbl.create (Array.length members) in
+        Array.iteri (fun i u -> Hashtbl.add local u i) members;
+        let k = Array.length members in
+        let out_edges =
+          Array.map
+            (fun u ->
+              List.filter
+                (fun e -> component_of.(e.Digraph.dst) = component_of.(u))
+                (Digraph.out_edges graph u)
+              |> Array.of_list)
+            members
+        in
+        (* policy: index of the chosen edge in out_edges.(i) *)
+        let policy = Array.make k 0 in
+        let lambda = Array.make k neg_infinity in
+        let value = Array.make k 0.0 in
+        let succ i =
+          let e = out_edges.(i).(policy.(i)) in
+          Hashtbl.find local e.Digraph.dst
+        in
+        let edge_cost lam e =
+          e.Digraph.weight -. (lam *. float_of_int e.Digraph.tokens)
+        in
+        let evaluate () =
+          (* find the cycles of the functional policy graph, set lambda and
+             propagate values backward *)
+          let state = Array.make k 0 in
+          (* 0 unseen, 1 on path, 2 done *)
+          let settled = Array.make k false in
+          let rec walk path i =
+            if state.(i) = 1 then begin
+              (* found a new cycle: unwind [path] back to i *)
+              let rec cycle acc = function
+                | [] -> acc
+                | j :: rest -> if j = i then i :: acc else cycle (j :: acc) rest
+              in
+              let cycle_nodes = cycle [] path in
+              let weight = ref 0.0 and tokens = ref 0 in
+              List.iter
+                (fun j ->
+                  let e = out_edges.(j).(policy.(j)) in
+                  weight := !weight +. e.Digraph.weight;
+                  tokens := !tokens + e.Digraph.tokens)
+                cycle_nodes;
+              let lam = !weight /. float_of_int !tokens in
+              (* values around the cycle: root gets 0, then propagate
+                 backward along the cycle order *)
+              let arr = Array.of_list cycle_nodes in
+              let len = Array.length arr in
+              value.(arr.(0)) <- 0.0;
+              lambda.(arr.(0)) <- lam;
+              settled.(arr.(0)) <- true;
+              for idx = len - 1 downto 1 do
+                let j = arr.(idx) in
+                let e = out_edges.(j).(policy.(j)) in
+                value.(j) <- edge_cost lam e +. value.(arr.((idx + 1) mod len));
+                lambda.(j) <- lam;
+                settled.(j) <- true
+              done
+            end
+            else if state.(i) = 0 then begin
+              state.(i) <- 1;
+              walk (i :: path) (succ i);
+              state.(i) <- 2;
+              if not settled.(i) then begin
+                let j = succ i in
+                let e = out_edges.(i).(policy.(i)) in
+                lambda.(i) <- lambda.(j);
+                value.(i) <- edge_cost lambda.(j) e +. value.(j);
+                settled.(i) <- true
+              end
+            end
+          in
+          for i = 0 to k - 1 do
+            if state.(i) = 0 then walk [] i
+          done
+        in
+        let improve () =
+          let changed = ref false in
+          for i = 0 to k - 1 do
+            Array.iteri
+              (fun ei e ->
+                if ei <> policy.(i) then begin
+                  let j = Hashtbl.find local e.Digraph.dst in
+                  let better_ratio = lambda.(j) > lambda.(i) +. tol in
+                  let equal_ratio = abs_float (lambda.(j) -. lambda.(i)) <= tol in
+                  let better_value =
+                    equal_ratio && edge_cost lambda.(i) e +. value.(j) > value.(i) +. tol
+                  in
+                  if better_ratio || better_value then begin
+                    policy.(i) <- ei;
+                    changed := true
+                  end
+                end)
+              out_edges.(i)
+          done;
+          !changed
+        in
+        let rec iterate budget =
+          evaluate ();
+          if budget > 0 && improve () then iterate (budget - 1)
+        in
+        iterate (4 * k * k);
+        Array.iter (fun lam -> if lam > neg_infinity then record lam) lambda
+  in
+  List.iter solve_component (Digraph.sccs graph);
+  !best

@@ -1,0 +1,15 @@
+(** Howard's policy iteration for the maximum cycle ratio.
+
+    An independent (and typically faster) alternative to the parametric
+    search of {!Cycle_ratio}: maintain one outgoing edge per node (a
+    "policy"), evaluate the cycles of the policy graph, and switch a
+    node's edge whenever a neighbour offers a better ratio — or an equal
+    ratio with a better potential.  Used both as a production solver and
+    as a cross-check of {!Cycle_ratio.max_cycle_ratio} in the test suite.
+
+    Restrictions: as in {!Cycle_ratio}, a cycle with positive weight and
+    no token makes the ratio infinite ({!Cycle_ratio.Unbounded}). *)
+
+val max_cycle_ratio : Digraph.t -> float option
+(** [None] when the graph is acyclic.  Raises {!Cycle_ratio.Unbounded} on
+    a zero-token positive-weight cycle. *)

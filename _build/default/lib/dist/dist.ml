@@ -1,0 +1,180 @@
+type t =
+  | Deterministic of float
+  | Exponential of float
+  | Uniform of float * float
+  | Normal_trunc of float * float
+  | Gamma of float * float
+  | Beta of float * float * float
+  | Erlang of int * float
+  | Weibull of float * float
+  | Hyperexp of (float * float) list
+
+let gamma_fn =
+  (* Lanczos approximation, g = 7; accurate to ~15 digits for x > 0. *)
+  let coefficients =
+    [|
+      0.99999999999980993; 676.5203681218851; -1259.1392167224028; 771.32342877765313;
+      -176.61502916214059; 12.507343278686905; -0.13857109526572012; 9.9843695780195716e-6;
+      1.5056327351493116e-7;
+    |]
+  in
+  let rec gamma x =
+    if x < 0.5 then Float.pi /. (sin (Float.pi *. x) *. gamma (1.0 -. x))
+    else
+      let x = x -. 1.0 in
+      let a = ref coefficients.(0) in
+      let t = x +. 7.5 in
+      for i = 1 to 8 do
+        a := !a +. (coefficients.(i) /. (x +. float_of_int i))
+      done;
+      sqrt (2.0 *. Float.pi) *. (t ** (x +. 0.5)) *. exp (-.t) *. !a
+  in
+  gamma
+
+let mean = function
+  | Deterministic v -> v
+  | Exponential rate -> 1.0 /. rate
+  | Uniform (a, b) -> (a +. b) /. 2.0
+  | Normal_trunc (mu, _) -> mu
+  | Gamma (shape, scale) -> shape *. scale
+  | Beta (alpha, beta, c) -> c *. alpha /. (alpha +. beta)
+  | Erlang (k, rate) -> float_of_int k /. rate
+  | Weibull (shape, scale) -> scale *. gamma_fn (1.0 +. (1.0 /. shape))
+  | Hyperexp branches -> List.fold_left (fun acc (p, r) -> acc +. (p /. r)) 0.0 branches
+
+let variance = function
+  | Deterministic _ -> 0.0
+  | Exponential rate -> 1.0 /. (rate *. rate)
+  | Uniform (a, b) -> (b -. a) ** 2.0 /. 12.0
+  | Normal_trunc (_, sigma) -> sigma *. sigma
+  | Gamma (shape, scale) -> shape *. scale *. scale
+  | Beta (alpha, beta, c) ->
+      let s = alpha +. beta in
+      c *. c *. alpha *. beta /. (s *. s *. (s +. 1.0))
+  | Erlang (k, rate) -> float_of_int k /. (rate *. rate)
+  | Weibull (shape, scale) ->
+      let g1 = gamma_fn (1.0 +. (1.0 /. shape)) in
+      let g2 = gamma_fn (1.0 +. (2.0 /. shape)) in
+      scale *. scale *. (g2 -. (g1 *. g1))
+  | Hyperexp branches ->
+      let m1 = List.fold_left (fun acc (p, r) -> acc +. (p /. r)) 0.0 branches in
+      let m2 = List.fold_left (fun acc (p, r) -> acc +. (2.0 *. p /. (r *. r))) 0.0 branches in
+      m2 -. (m1 *. m1)
+
+let is_nbue = function
+  | Deterministic _ -> true
+  | Exponential _ -> true
+  | Uniform (a, _) -> a >= 0.0
+  | Normal_trunc _ -> true
+  | Gamma (shape, _) -> shape >= 1.0
+  | Beta (alpha, _, _) -> alpha >= 1.0
+  | Erlang _ -> true
+  | Weibull (shape, _) -> shape >= 1.0
+  | Hyperexp branches ->
+      (* a nondegenerate mixture of exponentials is strictly D.F.R. *)
+      List.length (List.sort_uniq compare (List.map snd branches)) <= 1
+
+let sample_exponential rate g = -.log (Prng.float_pos g) /. rate
+
+let sample_normal mu sigma g =
+  (* Box-Muller; one value per call keeps the stream reproducible. *)
+  let u1 = Prng.float_pos g and u2 = Prng.float g in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+(* Marsaglia-Tsang squeeze for shape >= 1; the shape < 1 case uses the
+   standard boost Gamma(k) = Gamma(k+1) * U^(1/k). *)
+let rec sample_gamma shape scale g =
+  if shape < 1.0 then
+    let boost = Prng.float_pos g ** (1.0 /. shape) in
+    boost *. sample_gamma (shape +. 1.0) scale g
+  else
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec draw () =
+      let x = sample_normal 0.0 1.0 g in
+      let v = (1.0 +. (c *. x)) ** 3.0 in
+      if v <= 0.0 then draw ()
+      else
+        let u = Prng.float_pos g in
+        let x2 = x *. x in
+        if u < 1.0 -. (0.0331 *. x2 *. x2) then d *. v
+        else if log u < (0.5 *. x2) +. (d *. (1.0 -. v +. log v)) then d *. v
+        else draw ()
+    in
+    scale *. draw ()
+
+let sample law g =
+  match law with
+  | Deterministic v -> v
+  | Exponential rate -> sample_exponential rate g
+  | Uniform (a, b) -> Prng.uniform g a b
+  | Normal_trunc (mu, sigma) ->
+      let rec positive () =
+        let x = sample_normal mu sigma g in
+        if x > 0.0 then x else positive ()
+      in
+      positive ()
+  | Gamma (shape, scale) -> sample_gamma shape scale g
+  | Beta (alpha, beta, c) ->
+      let x = sample_gamma alpha 1.0 g in
+      let y = sample_gamma beta 1.0 g in
+      c *. x /. (x +. y)
+  | Erlang (k, rate) ->
+      let acc = ref 0.0 in
+      for _ = 1 to k do
+        acc := !acc +. sample_exponential rate g
+      done;
+      !acc
+  | Weibull (shape, scale) -> scale *. ((-.log (Prng.float_pos g)) ** (1.0 /. shape))
+  | Hyperexp branches ->
+      let u = Prng.float g in
+      let rec pick acc = function
+        | [] -> invalid_arg "Dist.sample: hyperexponential probabilities do not sum to 1"
+        | [ (_, rate) ] -> sample_exponential rate g
+        | (p, rate) :: rest -> if u < acc +. p then sample_exponential rate g else pick (acc +. p) rest
+      in
+      pick 0.0 branches
+
+let exponential_of_mean m =
+  if m <= 0.0 then invalid_arg "Dist.exponential_of_mean: mean must be positive";
+  Exponential (1.0 /. m)
+
+let scale law c =
+  if c <= 0.0 then invalid_arg "Dist.scale: factor must be positive";
+  match law with
+  | Deterministic v -> Deterministic (v *. c)
+  | Exponential rate -> Exponential (rate /. c)
+  | Uniform (a, b) -> Uniform (a *. c, b *. c)
+  | Normal_trunc (mu, sigma) -> Normal_trunc (mu *. c, sigma *. c)
+  | Gamma (shape, s) -> Gamma (shape, s *. c)
+  | Beta (alpha, beta, s) -> Beta (alpha, beta, s *. c)
+  | Erlang (k, rate) -> Erlang (k, rate /. c)
+  | Weibull (shape, s) -> Weibull (shape, s *. c)
+  | Hyperexp branches -> Hyperexp (List.map (fun (p, r) -> (p, r /. c)) branches)
+
+let with_mean law m =
+  if m <= 0.0 then invalid_arg "Dist.with_mean: mean must be positive";
+  match law with
+  | Normal_trunc (_, sigma) -> Normal_trunc (m, sigma)
+  | _ ->
+      let current = mean law in
+      if current <= 0.0 then invalid_arg "Dist.with_mean: law has non-positive mean";
+      scale law (m /. current)
+
+let pp ppf = function
+  | Deterministic v -> Format.fprintf ppf "Cst(%g)" v
+  | Exponential rate -> Format.fprintf ppf "Exp(rate=%g)" rate
+  | Uniform (a, b) -> Format.fprintf ppf "Unif[%g,%g]" a b
+  | Normal_trunc (mu, sigma) -> Format.fprintf ppf "Gauss(mu=%g,sigma=%g)" mu sigma
+  | Gamma (shape, s) -> Format.fprintf ppf "Gamma(k=%g,theta=%g)" shape s
+  | Beta (alpha, beta, c) -> Format.fprintf ppf "Beta(%g,%g)x%g" alpha beta c
+  | Erlang (k, rate) -> Format.fprintf ppf "Erlang(k=%d,rate=%g)" k rate
+  | Weibull (shape, s) -> Format.fprintf ppf "Weibull(k=%g,lambda=%g)" shape s
+  | Hyperexp branches ->
+      Format.fprintf ppf "Hyperexp(";
+      List.iteri
+        (fun i (p, r) -> Format.fprintf ppf "%s%g@@%g" (if i > 0 then "," else "") p r)
+        branches;
+      Format.fprintf ppf ")"
+
+let to_string law = Format.asprintf "%a" pp law

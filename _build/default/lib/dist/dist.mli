@@ -1,0 +1,51 @@
+(** Random laws for computation and communication times.
+
+    These are the laws exercised by the paper's experimental section (§7):
+    constant, exponential, uniform, (truncated) normal — "Gauss X" —, beta,
+    gamma, plus Erlang and Weibull for wider N.B.U.E. coverage.  Every law
+    knows its mean, its variance and whether it is N.B.U.E. (New Better than
+    Used in Expectation), the hypothesis under which Theorem 7 sandwiches the
+    throughput between the exponential and the deterministic cases. *)
+
+type t =
+  | Deterministic of float  (** constant time *)
+  | Exponential of float  (** rate λ; mean 1/λ *)
+  | Uniform of float * float  (** uniform on [a, b], 0 ≤ a ≤ b *)
+  | Normal_trunc of float * float
+      (** normal(μ, σ) resampled until positive; for μ ≫ σ the truncation
+          bias is negligible, matching the paper's "Gauss X" laws *)
+  | Gamma of float * float  (** shape k > 0, scale θ > 0; mean kθ *)
+  | Beta of float * float * float  (** α, β, scale c: the law of c·Beta(α,β) *)
+  | Erlang of int * float  (** k ≥ 1 exponential phases of rate λ; mean k/λ *)
+  | Weibull of float * float  (** shape k > 0, scale λ > 0 *)
+  | Hyperexp of (float * float) list
+      (** mixture of exponentials, [(probability, rate)] branches summing
+          to probability 1; D.F.R. (hence not N.B.U.E.) whenever two
+          branches have distinct rates *)
+
+val mean : t -> float
+val variance : t -> float
+
+val is_nbue : t -> bool
+(** Whether the law has the N.B.U.E. property.  Constant, exponential,
+    uniform (on a non-negative support), truncated normal, Erlang,
+    Gamma/Weibull with shape ≥ 1 and Beta with α ≥ 1 are N.B.U.E.;
+    Gamma/Weibull with shape < 1 are D.F.R. hence not N.B.U.E. (strict). *)
+
+val sample : t -> Prng.t -> float
+(** Draw one value; always ≥ 0 (and > 0 for continuous laws). *)
+
+val exponential_of_mean : float -> t
+(** Exponential law with the given mean. *)
+
+val with_mean : t -> float -> t
+(** [with_mean d m] rescales [d] so that its mean becomes [m] (shape
+    parameters are preserved; for [Normal_trunc] only μ moves).  Raises
+    [Invalid_argument] if [m <= 0]. *)
+
+val scale : t -> float -> t
+(** [scale d c] is the law of c*X for X ~ d ([Normal_trunc] scales both μ
+    and σ). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

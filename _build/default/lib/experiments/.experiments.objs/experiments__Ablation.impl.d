@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Application Deterministic Exp_common Expo List Mapping Model Platform Streaming Workload

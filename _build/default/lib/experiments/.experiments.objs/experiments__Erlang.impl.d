@@ -1,0 +1,1 @@
+lib/experiments/erlang.ml: Bounds Des Dist Exp_common Expo Laws List Mapping Markov Model Streaming Workload

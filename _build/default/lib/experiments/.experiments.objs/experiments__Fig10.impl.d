@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Deterministic Exp_common Expo Laws List Model Streaming Teg_sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Deterministic Exp_common Laws List Model Stats Streaming Teg_sim Workload

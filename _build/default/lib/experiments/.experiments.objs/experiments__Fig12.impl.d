@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Exp_common Expo Laws List Model Streaming Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Deterministic Exp_common Expo Laws List Model Streaming Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Array Deterministic Exp_common Expo Laws List Model Prng Streaming Teg_sim Workload Young

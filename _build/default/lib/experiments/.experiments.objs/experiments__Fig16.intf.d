@@ -1,0 +1,1 @@
+lib/experiments/fig16.mli: Dist Format

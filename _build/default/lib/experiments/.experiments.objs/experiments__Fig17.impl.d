@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Bounds Dist Exp_common Laws List Model Streaming Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig17.mli: Dist Format

@@ -1,0 +1,1 @@
+lib/experiments/heuristics.ml: Application Array Des Dist Exp_common Laws List Mapper Model Platform Prng Streaming

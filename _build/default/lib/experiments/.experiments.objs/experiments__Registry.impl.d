@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Erlang Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig17 Format Heuristics List Table1 Thm8

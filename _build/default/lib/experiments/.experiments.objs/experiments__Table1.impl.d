@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Deterministic Exp_common List Model Prng Streaming Workload

@@ -1,0 +1,1 @@
+lib/experiments/thm8.ml: Des Dist Exp_common Laws List Model Streaming Workload

@@ -1,0 +1,1 @@
+lib/experiments/thm8.mli: Format

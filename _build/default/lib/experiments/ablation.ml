@@ -1,0 +1,43 @@
+open Streaming
+
+let buffer_instance () =
+  (* a 3-stage chain of comparable exponential servers with fast links:
+     blocking between stages is what limits the bounded-buffer variants *)
+  let app = Application.create ~work:[| 1.0; 1.2; 0.9 |] ~files:[| 0.05; 0.05 |] in
+  let platform = Platform.fully_connected ~speeds:[| 1.0; 1.0; 1.0 |] ~bw:1.0 in
+  Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1 |]; [| 2 |] |]
+
+let buffer_sweep ?(quick = false) () =
+  let mapping = buffer_instance () in
+  let buffers = if quick then [ 1; 2; 4 ] else [ 1; 2; 3; 4; 6; 8; 12 ] in
+  let reference = Expo.overlap_throughput mapping in
+  ( List.map
+      (fun b -> (b, Expo.general_throughput ~cap:2_000_000 ~buffer:b mapping Model.Overlap))
+      buffers,
+    reference )
+
+let dominance_sweep ?(quick = false) () =
+  let factors = if quick then [ 1.0; 4.0; 16.0 ] else [ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 100.0 ] in
+  List.map
+    (fun factor ->
+      let time s r = if s = 0 && r = 0 then 100.0 *. factor else 100.0 in
+      let mapping =
+        Workload.Scenarios.single_communication ~comp_time:0.1 ~comm_time:time ~u:2 ~v:3 ()
+      in
+      let det = Deterministic.overlap_throughput_decomposed mapping in
+      let expo = Expo.overlap_throughput mapping in
+      (factor, expo /. det))
+    factors
+
+let run ?quick ppf =
+  Exp_common.header ppf "Ablation: buffer capacity (blocking vs unbounded Overlap)";
+  let points, reference = buffer_sweep ?quick () in
+  Exp_common.row ppf "unbounded (per-column decomposition): %.6f" reference;
+  Exp_common.row ppf "%8s %12s %12s" "buffer" "throughput" "fraction";
+  List.iter
+    (fun (b, rho) -> Exp_common.row ppf "%8d %12.6f %12.4f" b rho (rho /. reference))
+    points;
+  Exp_common.row ppf "";
+  Exp_common.header ppf "Ablation: slow-link dominance (exp/det ratio, 2x3 pattern)";
+  Exp_common.row ppf "%8s %12s" "factor" "exp/det";
+  List.iter (fun (f, r) -> Exp_common.row ppf "%8.0f %12.4f" f r) (dominance_sweep ?quick ())

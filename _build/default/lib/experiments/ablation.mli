@@ -1,0 +1,24 @@
+(** Design-choice ablations (not figures of the paper).
+
+    {b Buffers}: the Overlap model implicitly assumes unbounded buffers
+    between consecutive operations of a row (the forward places of the
+    TPN are unbounded).  Bounding them with back-places turns the model
+    into a blocking pipeline; the sweep quantifies how much buffer is
+    needed before the unbounded-model throughput is recovered — and
+    validates the general Markov method against the per-column
+    decomposition in the limit.
+
+    {b Dominance}: §7.4's claim that a heterogeneous network behaves like
+    its slowest link (exp ≈ cst) holds in proportion to how dominant that
+    link is; the sweep makes the transition quantitative (see the Fig. 14
+    discussion in EXPERIMENTS.md). *)
+
+val buffer_sweep : ?quick:bool -> unit -> (int * float) list * float
+(** [(buffer, exponential throughput) list, unbounded reference]. *)
+
+val dominance_sweep : ?quick:bool -> unit -> (float * float) list
+(** [(slow-link factor, exponential/deterministic ratio)] for a 2×3
+    communication where one link is [factor] times slower than the
+    others. *)
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,25 @@
+(** Extension experiment — exact Erlang (phase-type) throughput.
+
+    The bounds of Theorem 7 bracket every N.B.U.E. law between the
+    exponential and deterministic cases; for Erlang laws the library
+    computes the *exact* value by phase expansion of the marking chain.
+    The sweep shows the interpolation as the number of phases grows
+    (Erlang-k has squared coefficient of variation 1/k), audited by DES. *)
+
+type point = {
+  phases : int;
+  exact : float;  (** phase-expanded CTMC value *)
+  des : float;  (** DES measurement with Erlang laws *)
+}
+
+val compute : ?quick:bool -> unit -> float * float * point list
+(** (exponential lower bound, deterministic upper bound, sweep). *)
+
+type hyper_point = { scv : float; ph_exact : float; ph_des : float }
+
+val compute_hyper : ?quick:bool -> unit -> hyper_point list
+(** Hyperexponential (D.F.R.) links of growing squared coefficient of
+    variation: exact phase-type values below the exponential bound,
+    audited by DES. *)
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,13 @@
+let header ppf title =
+  let line = String.make (String.length title + 4) '=' in
+  Format.fprintf ppf "%s@\n= %s =@\n%s@\n" line title line
+
+let row ppf fmt = Format.fprintf ppf (fmt ^^ "@\n")
+let base_seed = 20260706
+
+let des_throughput ?(data_sets = 20_000) mapping model ~laws ~seed =
+  Des.Pipeline_sim.throughput mapping model ~timing:(Des.Pipeline_sim.Independent laws) ~seed
+    ~data_sets
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let coprime a b = gcd a b = 1

@@ -1,0 +1,22 @@
+(** Shared helpers for the experiment reproductions of §7. *)
+
+val header : Format.formatter -> string -> unit
+(** Print a boxed experiment title. *)
+
+val row : Format.formatter -> ('a, Format.formatter, unit) format -> 'a
+(** Print one table row, newline-terminated. *)
+
+val base_seed : int
+(** Seed from which every experiment derives its generators, so the whole
+    harness is reproducible run to run. *)
+
+val des_throughput :
+  ?data_sets:int ->
+  Streaming.Mapping.t ->
+  Streaming.Model.t ->
+  laws:Streaming.Laws.t ->
+  seed:int ->
+  float
+(** DES throughput with sensible experiment defaults (20_000 data sets). *)
+
+val coprime : int -> int -> bool

@@ -1,0 +1,18 @@
+(** Figure 10 (§7.2): throughput estimate as a function of the number of
+    processed data sets, for the 7-stage system replicated
+    (1,3,4,5,6,7,1), in the constant and exponential cases, for both the
+    DES (SimGrid role) and the event-graph simulator (eg_sim role),
+    against the theoretical values. *)
+
+type point = {
+  data_sets : int;
+  cst_des : float;
+  cst_eg : float;
+  exp_des : float;
+  exp_eg : float;
+}
+
+type series = { cst_theory : float; exp_theory : float; points : point list }
+
+val compute : ?quick:bool -> unit -> series
+val run : ?quick:bool -> Format.formatter -> unit

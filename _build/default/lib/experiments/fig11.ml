@@ -1,0 +1,38 @@
+open Streaming
+
+type point = { data_sets : int; des : Stats.Summary.report; eg : Stats.Summary.report }
+
+let compute ?(quick = false) () =
+  let mapping = Workload.Scenarios.fig10_system in
+  let replicas = if quick then 20 else 120 in
+  let counts = if quick then [ 500; 2_000 ] else [ 500; 1_000; 5_000; 10_000 ] in
+  let expo = Laws.exponential mapping in
+  let reference = Deterministic.overlap_throughput_decomposed mapping in
+  let points =
+    List.map
+      (fun data_sets ->
+        let des = Stats.Summary.create () and eg = Stats.Summary.create () in
+        for r = 1 to replicas do
+          Stats.Summary.add des
+            (Exp_common.des_throughput ~data_sets mapping Model.Overlap ~laws:expo ~seed:(100 + r));
+          Stats.Summary.add eg
+            (Teg_sim.throughput mapping Model.Overlap ~laws:expo ~seed:(4_000 + r) ~data_sets)
+        done;
+        { data_sets; des = Stats.Summary.report des; eg = Stats.Summary.report eg })
+      counts
+  in
+  (reference, points)
+
+let run ?quick ppf =
+  Exp_common.header ppf "Figure 11: dispersion of the throughput across simulation runs";
+  let reference, points = compute ?quick () in
+  Exp_common.row ppf "constant-case reference: %.6f" reference;
+  Exp_common.row ppf "%10s %6s | %10s %10s %10s %10s | %10s %10s" "data sets" "runs" "DES avg"
+    "DES min" "DES max" "DES sd" "eg avg" "eg sd";
+  List.iter
+    (fun p ->
+      Exp_common.row ppf "%10d %6d | %10.5f %10.5f %10.5f %10.5f | %10.5f %10.5f" p.data_sets
+        p.des.Stats.Summary.n p.des.Stats.Summary.mean p.des.Stats.Summary.min
+        p.des.Stats.Summary.max p.des.Stats.Summary.std_dev p.eg.Stats.Summary.mean
+        p.eg.Stats.Summary.std_dev)
+    points

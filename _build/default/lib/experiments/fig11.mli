@@ -1,0 +1,15 @@
+(** Figure 11 (§7.3): dispersion of the exponential-case throughput
+    estimate across many independent simulation runs, as a function of the
+    number of processed data sets — min, max, average and standard
+    deviation over the replicas, for both simulators. *)
+
+type point = {
+  data_sets : int;
+  des : Stats.Summary.report;
+  eg : Stats.Summary.report;
+}
+
+val compute : ?quick:bool -> unit -> float * point list
+(** (deterministic reference, dispersion per data-set count). *)
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,28 @@
+open Streaming
+
+type point = { stages : int; cst_des : float; exp_des : float; exp_theory : float }
+
+let compute ?(quick = false) () =
+  let stage_counts = if quick then [ 2; 4; 8 ] else [ 2; 4; 6; 8; 12; 16; 20; 24 ] in
+  let data_sets = if quick then 6_000 else 20_000 in
+  List.map
+    (fun stages ->
+      let mapping = Workload.Scenarios.pattern_chain ~stages () in
+      {
+        stages;
+        cst_des =
+          Exp_common.des_throughput ~data_sets mapping Model.Overlap
+            ~laws:(Laws.deterministic mapping) ~seed:1;
+        exp_des =
+          Exp_common.des_throughput ~data_sets mapping Model.Overlap
+            ~laws:(Laws.exponential mapping) ~seed:2;
+        exp_theory = Expo.overlap_throughput mapping;
+      })
+    stage_counts
+
+let run ?quick ppf =
+  Exp_common.header ppf "Figure 12: throughput vs number of stages (5x7 patterns)";
+  Exp_common.row ppf "%8s %12s %12s %14s" "stages" "Cst(DES)" "Exp(DES)" "Exp(theorem)";
+  List.iter
+    (fun p -> Exp_common.row ppf "%8d %12.6f %12.6f %14.6f" p.stages p.cst_des p.exp_des p.exp_theory)
+    (compute ?quick ())

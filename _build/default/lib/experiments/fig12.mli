@@ -1,0 +1,9 @@
+(** Figure 12 (§7.4): the throughput does not depend on the number of
+    stages — chains of k stages alternating 5 and 7 replicas with a costly
+    communication between each pair behave like a single 5×7 pattern,
+    because the Overlap TPN has no backward dependence between columns. *)
+
+type point = { stages : int; cst_des : float; exp_des : float; exp_theory : float }
+
+val compute : ?quick:bool -> unit -> point list
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,44 @@
+open Streaming
+
+type point = {
+  u : int;
+  v : int;
+  cst_des : float;
+  exp_des : float;
+  exp_theorem : float;
+  cst_theory : float;
+}
+
+let pairs quick =
+  if quick then [ (2, 2); (2, 3); (3, 4); (5, 7) ]
+  else [ (2, 2); (2, 3); (3, 3); (3, 4); (4, 5); (5, 5); (5, 6); (6, 7); (7, 8); (8, 9); (9, 9) ]
+
+let compute ?(quick = false) () =
+  let data_sets = if quick then 10_000 else 40_000 in
+  List.map
+    (fun (u, v) ->
+      let mapping = Workload.Scenarios.single_communication ~u ~v () in
+      {
+        u;
+        v;
+        cst_des =
+          Exp_common.des_throughput ~data_sets mapping Model.Overlap
+            ~laws:(Laws.deterministic mapping) ~seed:5;
+        exp_des =
+          Exp_common.des_throughput ~data_sets mapping Model.Overlap
+            ~laws:(Laws.exponential mapping) ~seed:6;
+        exp_theorem = Expo.overlap_throughput mapping;
+        cst_theory = Deterministic.overlap_throughput_decomposed mapping;
+      })
+    (pairs quick)
+
+let run ?quick ppf =
+  Exp_common.header ppf "Figure 13: homogeneous network, Theorem 4 vs simulation (normalised)";
+  Exp_common.row ppf "%7s %12s %12s %14s %14s" "u.v" "Cst(DES)" "Exp(DES)" "Exp(theorem)"
+    "Exp/Cst";
+  List.iter
+    (fun p ->
+      Exp_common.row ppf "%3d.%-3d %12.6f %12.6f %14.6f %14.6f" p.u p.v
+        (p.cst_des /. p.cst_theory) (p.exp_des /. p.cst_theory) (p.exp_theorem /. p.cst_theory)
+        (p.exp_theorem /. p.cst_theory))
+    (compute ?quick ())

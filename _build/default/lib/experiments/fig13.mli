@@ -1,0 +1,15 @@
+(** Figure 13 (§7.4): single replicated communication on a homogeneous
+    network — Theorem 4's predicted exponential throughput against DES
+    measurements, normalised to the constant-case throughput. *)
+
+type point = {
+  u : int;
+  v : int;
+  cst_des : float;
+  exp_des : float;
+  exp_theorem : float;  (** Theorem 4 *)
+  cst_theory : float;
+}
+
+val compute : ?quick:bool -> unit -> point list
+val run : ?quick:bool -> Format.formatter -> unit

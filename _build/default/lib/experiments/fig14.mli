@@ -1,0 +1,27 @@
+(** Figure 14 (§7.4): single replicated communication on a *heterogeneous*
+    network (mean link times drawn in [100,1000]) — the exponential case
+    is nearly indistinguishable from the constant case because the
+    round-robin is gated by the slowest link.  All values are normalised
+    to the constant-case DES throughput. *)
+
+type point = {
+  u : int;
+  v : int;
+  cst_theory : float;  (** critical-cycle value, the scscyc role *)
+  cst_des : float;
+  cst_eg : float;
+  exp_des : float;
+  exp_eg : float;
+  exp_theory : float;  (** pattern-CTMC value *)
+}
+
+val compute : ?quick:bool -> unit -> point list
+(** Link times drawn uniformly in [100,1000], the paper's protocol. *)
+
+val compute_dominated : ?quick:bool -> unit -> point list
+(** One link an order of magnitude slower than the others — the regime in
+    which the paper's "<2% difference" observation holds exactly (a single
+    serial resource gates the round-robin, and a serial resource's rate is
+    1/mean regardless of the law). *)
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,41 @@
+open Streaming
+
+type point = {
+  senders : int;
+  receivers : int;
+  exp_theorem : float;
+  exp_des : float;
+  ratio_formula : float;
+}
+
+let compute ?(quick = false) () =
+  let receivers = 5 in
+  let sender_counts = if quick then [ 2; 4; 7 ] else [ 2; 3; 4; 6; 7; 8; 9; 11; 12; 13; 14 ] in
+  let data_sets = if quick then 10_000 else 40_000 in
+  List.map
+    (fun senders ->
+      let mapping = Workload.Scenarios.single_communication ~u:senders ~v:receivers () in
+      let cst = Deterministic.overlap_throughput_decomposed mapping in
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      let g = gcd senders receivers in
+      let u = senders / g and v = receivers / g in
+      {
+        senders;
+        receivers;
+        exp_theorem = Expo.overlap_throughput mapping /. cst;
+        exp_des =
+          Exp_common.des_throughput ~data_sets mapping Model.Overlap
+            ~laws:(Laws.exponential mapping) ~seed:15
+          /. cst;
+        ratio_formula = float_of_int (max u v) /. float_of_int (u + v - 1);
+      })
+    sender_counts
+
+let run ?quick ppf =
+  Exp_common.header ppf "Figure 15: exponential vs constant ratio = max(u,v)/(u+v-1)";
+  Exp_common.row ppf "%8s %14s %12s %16s" "senders" "Exp(theorem)" "Exp(DES)" "max(u,v)/(u+v-1)";
+  List.iter
+    (fun p ->
+      Exp_common.row ppf "%8d %14.6f %12.6f %16.6f" p.senders p.exp_theorem p.exp_des
+        p.ratio_formula)
+    (compute ?quick ())

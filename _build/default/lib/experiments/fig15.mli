@@ -1,0 +1,14 @@
+(** Figure 15 (§7.5): exponential vs deterministic case for a single
+    homogeneous communication as the number of senders grows — the ratio
+    is max(u,v)/(u+v-1). *)
+
+type point = {
+  senders : int;
+  receivers : int;
+  exp_theorem : float;  (** normalised to the constant throughput *)
+  exp_des : float;
+  ratio_formula : float;  (** max(u,v)/(u+v-1) *)
+}
+
+val compute : ?quick:bool -> unit -> point list
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,57 @@
+open Streaming
+
+type point = { senders : int; law : string; normalised : float; lower : float; upper : float }
+
+(* "Gauss X" = normal with variance sqrt X (paper notation); "Beta X" =
+   Beta(X, X) rescaled to the link mean. *)
+let laws =
+  [
+    ("Gauss 5", fun mu -> Dist.Normal_trunc (mu, sqrt (sqrt 5.0)));
+    ("Gauss 10", fun mu -> Dist.Normal_trunc (mu, sqrt (sqrt 10.0)));
+    ("Beta 1", fun mu -> Dist.with_mean (Dist.Beta (1.0, 1.0, 1.0)) mu);
+    ("Beta 2", fun mu -> Dist.with_mean (Dist.Beta (2.0, 2.0, 1.0)) mu);
+    ("Erlang 4", fun mu -> Dist.with_mean (Dist.Erlang (4, 1.0)) mu);
+  ]
+
+let compute ?(quick = false) () =
+  let receivers = 5 in
+  let sender_counts = if quick then [ 2; 7 ] else [ 2; 3; 4; 6; 7; 9; 11; 13 ] in
+  let data_sets = if quick then 10_000 else 30_000 in
+  List.concat_map
+    (fun senders ->
+      (* mean link time 10 so that the Gauss laws (sigma ~ 1.5..1.8) are
+         essentially untruncated, as in the paper *)
+      let mapping =
+        Workload.Scenarios.single_communication ~comm_time:(fun _ _ -> 10.0) ~u:senders
+          ~v:receivers ()
+      in
+      let bounds = Bounds.compute mapping Model.Overlap in
+      let cst = bounds.Bounds.upper in
+      List.mapi
+        (fun k (name, family) ->
+          let rho =
+            Exp_common.des_throughput ~data_sets mapping Model.Overlap
+              ~laws:(Laws.of_family mapping ~family)
+              ~seed:(160 + k)
+          in
+          {
+            senders;
+            law = name;
+            normalised = rho /. cst;
+            lower = bounds.Bounds.lower /. cst;
+            upper = 1.0;
+          })
+        laws)
+    sender_counts
+
+let run ?quick ppf =
+  Exp_common.header ppf "Figure 16: N.B.U.E. laws stay between the exponential and constant cases";
+  Exp_common.row ppf "%8s %-10s %12s %12s %12s %8s" "senders" "law" "normalised" "exp bound"
+    "cst bound" "inside";
+  List.iter
+    (fun p ->
+      let inside = p.normalised >= p.lower -. 0.02 && p.normalised <= p.upper +. 0.02 in
+      Exp_common.row ppf "%8d %-10s %12.6f %12.6f %12.6f %8s" p.senders p.law p.normalised p.lower
+        p.upper
+        (if inside then "yes" else "NO"))
+    (compute ?quick ())

@@ -1,0 +1,10 @@
+(** Figure 16 (§7.6): several N.B.U.E. laws on a single homogeneous
+    communication — their throughput falls between the exponential lower
+    bound and the deterministic upper bound (Theorem 7).  All values are
+    normalised to the constant-case throughput. *)
+
+type point = { senders : int; law : string; normalised : float; lower : float; upper : float }
+
+val laws : (string * (float -> Dist.t)) list
+val compute : ?quick:bool -> unit -> point list
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,47 @@
+open Streaming
+
+type point = { senders : int; law : string; nbue : bool; normalised : float; lower : float }
+
+let laws =
+  [
+    ("Gamma 0.2", false, fun mu -> Dist.with_mean (Dist.Gamma (0.2, 1.0)) mu);
+    ("Gamma 0.5", false, fun mu -> Dist.with_mean (Dist.Gamma (0.5, 1.0)) mu);
+    ("Gamma 2", true, fun mu -> Dist.with_mean (Dist.Gamma (2.0, 1.0)) mu);
+    ("Gamma 5", true, fun mu -> Dist.with_mean (Dist.Gamma (5.0, 1.0)) mu);
+    ("Gamma 8", true, fun mu -> Dist.with_mean (Dist.Gamma (8.0, 1.0)) mu);
+    ("Weibull 0.5", false, fun mu -> Dist.with_mean (Dist.Weibull (0.5, 1.0)) mu);
+    ("Uniform 1", true, fun mu -> Dist.Uniform (0.5 *. mu, 1.5 *. mu));
+    ("Uniform 2", true, fun mu -> Dist.Uniform (0.0, 2.0 *. mu));
+  ]
+
+let compute ?(quick = false) () =
+  let receivers = 5 in
+  let sender_counts = if quick then [ 3; 7 ] else [ 2; 3; 4; 6; 7; 9; 11; 13 ] in
+  let data_sets = if quick then 10_000 else 30_000 in
+  List.concat_map
+    (fun senders ->
+      let mapping = Workload.Scenarios.single_communication ~u:senders ~v:receivers () in
+      let bounds = Bounds.compute mapping Model.Overlap in
+      let cst = bounds.Bounds.upper in
+      List.mapi
+        (fun k (name, nbue, family) ->
+          let rho =
+            Exp_common.des_throughput ~data_sets mapping Model.Overlap
+              ~laws:(Laws.of_family mapping ~family)
+              ~seed:(170 + k)
+          in
+          { senders; law = name; nbue; normalised = rho /. cst; lower = bounds.Bounds.lower /. cst })
+        laws)
+    sender_counts
+
+let run ?quick ppf =
+  Exp_common.header ppf "Figure 17: non-N.B.U.E. laws can fall below the exponential bound";
+  Exp_common.row ppf "%8s %-12s %6s %12s %12s %14s" "senders" "law" "NBUE" "normalised"
+    "exp bound" "below bound?";
+  List.iter
+    (fun p ->
+      Exp_common.row ppf "%8d %-12s %6s %12.6f %12.6f %14s" p.senders p.law
+        (if p.nbue then "yes" else "no")
+        p.normalised p.lower
+        (if p.normalised < p.lower -. 0.02 then "below" else "within"))
+    (compute ?quick ())

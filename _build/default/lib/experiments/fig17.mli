@@ -1,0 +1,17 @@
+(** Figure 17 (§7.6): laws *without* the N.B.U.E. property can escape the
+    [exponential, deterministic] throughput sandwich.  D.F.R. laws (gamma
+    and Weibull with shape < 1) fall below the exponential bound, while
+    N.B.U.E. members of the same families (shape >= 1, and uniform laws)
+    stay inside.  Normalised to the constant-case throughput. *)
+
+type point = {
+  senders : int;
+  law : string;
+  nbue : bool;
+  normalised : float;
+  lower : float;  (** exponential bound, normalised *)
+}
+
+val laws : (string * bool * (float -> Dist.t)) list
+val compute : ?quick:bool -> unit -> point list
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,60 @@
+open Streaming
+
+type row = {
+  instance : int;
+  baseline : float;
+  greedy : float;
+  exhaustive : float;
+  greedy_audit : float;
+}
+
+let random_instance g =
+  let n_stages = 3 + Prng.int g 2 in
+  let n_procs = n_stages + 5 + Prng.int g 3 in
+  let app =
+    Application.create
+      ~work:(Array.init n_stages (fun _ -> Prng.uniform g 1.0 20.0))
+      ~files:(Array.init (n_stages - 1) (fun _ -> Prng.uniform g 0.1 2.0))
+  in
+  let speeds = Array.init n_procs (fun _ -> Prng.uniform g 0.5 2.0) in
+  (app, Platform.fully_connected ~speeds ~bw:2.0)
+
+let compute ?(quick = false) () =
+  let instances = if quick then 4 else 12 in
+  let data_sets = if quick then 10_000 else 30_000 in
+  let g = Prng.create ~seed:(Exp_common.base_seed + 99) in
+  List.init instances (fun instance ->
+      let app, platform = random_instance g in
+      let score m = Mapper.evaluate Mapper.Exponential m in
+      let baseline = Mapper.baseline_fastest ~app ~platform () in
+      let greedy = Mapper.greedy ~app ~platform () in
+      let exhaustive = Mapper.exhaustive ~app ~platform () in
+      let audit =
+        Des.Pipeline_sim.throughput greedy Model.Overlap
+          ~timing:
+            (Des.Pipeline_sim.Independent
+               (Laws.of_family greedy ~family:(fun mu -> Dist.Uniform (0.5 *. mu, 1.5 *. mu))))
+          ~seed:(instance + 1) ~data_sets
+      in
+      {
+        instance;
+        baseline = score baseline;
+        greedy = score greedy;
+        exhaustive = score exhaustive;
+        greedy_audit = audit;
+      })
+
+let run ?quick ppf =
+  Exp_common.header ppf "Heuristics (extension): replication chosen by the throughput evaluator";
+  Exp_common.row ppf "%8s %12s %12s %12s %14s %12s" "instance" "baseline" "greedy" "exhaustive"
+    "greedy/base" "DES audit";
+  let rows = compute ?quick () in
+  List.iter
+    (fun r ->
+      Exp_common.row ppf "%8d %12.4f %12.4f %12.4f %14.2f %12.4f" r.instance r.baseline r.greedy
+        r.exhaustive (r.greedy /. r.baseline) r.greedy_audit)
+    rows;
+  let mean f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. float_of_int (List.length rows) in
+  Exp_common.row ppf "mean speedup: greedy %.2fx, exhaustive %.2fx over the no-replication baseline"
+    (mean (fun r -> r.greedy /. r.baseline))
+    (mean (fun r -> r.exhaustive /. r.baseline))

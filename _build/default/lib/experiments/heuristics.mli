@@ -1,0 +1,18 @@
+(** Extension experiment — the research agenda of the paper's conclusion:
+    use the throughput evaluators to compare mapping heuristics.
+
+    Random applications on random heterogeneous platforms; three mapping
+    strategies (no-replication baseline, greedy hill-climbing, exhaustive
+    composition search) scored by the exponential-case throughput and
+    audited by DES under a uniform law. *)
+
+type row = {
+  instance : int;
+  baseline : float;
+  greedy : float;
+  exhaustive : float;
+  greedy_audit : float;  (** DES measurement of the greedy mapping *)
+}
+
+val compute : ?quick:bool -> unit -> row list
+val run : ?quick:bool -> Format.formatter -> unit

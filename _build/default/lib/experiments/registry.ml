@@ -1,0 +1,27 @@
+type entry = { id : string; title : string; run : ?quick:bool -> Format.formatter -> unit }
+
+let all =
+  [
+    { id = "table1"; title = "Experiments without critical resource"; run = Table1.run };
+    { id = "fig10"; title = "Throughput vs number of processed data sets"; run = Fig10.run };
+    { id = "fig11"; title = "Dispersion of the throughput estimate"; run = Fig11.run };
+    { id = "fig12"; title = "Throughput vs number of stages"; run = Fig12.run };
+    { id = "fig13"; title = "Homogeneous network: Theorem 4 vs simulation"; run = Fig13.run };
+    { id = "fig14"; title = "Heterogeneous network"; run = Fig14.run };
+    { id = "fig15"; title = "Exponential vs constant ratio"; run = Fig15.run };
+    { id = "fig16"; title = "N.B.U.E. laws within the bounds"; run = Fig16.run };
+    { id = "fig17"; title = "non-N.B.U.E. laws outside the bounds"; run = Fig17.run };
+    { id = "thm8"; title = "associated case ordering (extension)"; run = Thm8.run };
+    { id = "ablation"; title = "buffer capacity & slow-link dominance (extension)"; run = Ablation.run };
+    { id = "heuristics"; title = "mapping heuristics comparison (extension)"; run = Heuristics.run };
+    { id = "erlang"; title = "exact phase-type analysis (extension)"; run = Erlang.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all ?quick ppf =
+  List.iter
+    (fun e ->
+      e.run ?quick ppf;
+      Format.fprintf ppf "@\n")
+    all

@@ -1,0 +1,12 @@
+(** Registry of the paper's tables and figures, each reproduced by one
+    module of this library. *)
+
+type entry = {
+  id : string;  (** e.g. "table1", "fig13" *)
+  title : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+val run_all : ?quick:bool -> Format.formatter -> unit

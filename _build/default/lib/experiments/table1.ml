@@ -1,0 +1,42 @@
+open Streaming
+
+type row = {
+  label : string;
+  model : Model.t;
+  total : int;
+  without_critical : int;
+  max_gap : float;
+}
+
+let compute ?(quick = false) () =
+  let instances = if quick then 8 else 60 in
+  let g = Prng.create ~seed:Exp_common.base_seed in
+  List.concat_map
+    (fun (label, params) ->
+      (* cap the row count so the critical-cycle analysis stays fast *)
+      let params = { params with Workload.Gen.max_rows = 60 } in
+      let mappings = List.init instances (fun _ -> Workload.Gen.random_mapping g params) in
+      List.map
+        (fun model ->
+          let without, gap =
+            List.fold_left
+              (fun (without, gap) mapping ->
+                let a = Deterministic.analyse mapping model in
+                let this_gap = Deterministic.critical_resource_gap a in
+                if Deterministic.has_critical_resource ~tolerance:1e-6 a then (without, gap)
+                else (without + 1, max gap this_gap))
+              (0, 0.0) mappings
+          in
+          { label; model; total = instances; without_critical = without; max_gap = gap })
+        Model.all)
+    Workload.Gen.table1_sets
+
+let run ?quick ppf =
+  Exp_common.header ppf "Table 1: experiments without critical resource";
+  Exp_common.row ppf "%-18s %-8s %21s %10s" "configuration" "model" "#without-critical/total"
+    "max gap";
+  List.iter
+    (fun r ->
+      Exp_common.row ppf "%-18s %-8s %12d / %-8d %9.2f%%" r.label (Model.to_string r.model)
+        r.without_critical r.total (100.0 *. r.max_gap))
+    (compute ?quick ())

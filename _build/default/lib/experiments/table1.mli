@@ -1,0 +1,15 @@
+(** Table 1 (§7.1): how often do random mappings have *no* critical
+    resource, i.e. a period strictly larger than every resource cycle
+    time?  One row per (configuration, model): instances without critical
+    resource / total, plus the largest relative gap observed. *)
+
+type row = {
+  label : string;
+  model : Streaming.Model.t;
+  total : int;
+  without_critical : int;
+  max_gap : float;  (** largest (period - Mct)/Mct over the instances *)
+}
+
+val compute : ?quick:bool -> unit -> row list
+val run : ?quick:bool -> Format.formatter -> unit

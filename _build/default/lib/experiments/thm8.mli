@@ -1,0 +1,20 @@
+(** Extension experiment — the associated case of §6.2 (Theorem 8).
+
+    With a common per-data-set scale factor on every operation (the
+    strongest positive association) and the same marginal laws, the
+    throughput should satisfy
+
+    deterministic >= associated >= independent.
+
+    The experiment measures the three regimes by DES on a replicated
+    communication, for several marginal laws of mean 1. *)
+
+type point = {
+  law : string;
+  deterministic : float;  (** DES with constant times *)
+  associated : float;  (** one factor per data set *)
+  independent : float;  (** one factor per operation *)
+}
+
+val compute : ?quick:bool -> unit -> point list
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/linalg/matrix.mli: Format

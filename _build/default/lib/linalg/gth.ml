@@ -1,0 +1,43 @@
+let stationary rates =
+  let n = Array.length rates in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Gth.stationary: non-square matrix")
+    rates;
+  if n = 0 then [||]
+  else if n = 1 then [| 1.0 |]
+  else begin
+    let m = Array.map Array.copy rates in
+    for i = 0 to n - 1 do
+      m.(i).(i) <- 0.0
+    done;
+    (* Eliminate states n-1 .. 1.  After step k, state k is expressed as a
+       linear combination of states < k via the (folded) column m.(i).(k). *)
+    for k = n - 1 downto 1 do
+      let s = ref 0.0 in
+      for j = 0 to k - 1 do
+        s := !s +. m.(k).(j)
+      done;
+      if !s <= 0.0 then failwith "Gth.stationary: reducible chain";
+      for i = 0 to k - 1 do
+        m.(i).(k) <- m.(i).(k) /. !s
+      done;
+      for i = 0 to k - 1 do
+        let w = m.(i).(k) in
+        if w > 0.0 then
+          for j = 0 to k - 1 do
+            if j <> i then m.(i).(j) <- m.(i).(j) +. (w *. m.(k).(j))
+          done
+      done
+    done;
+    let pi = Array.make n 0.0 in
+    pi.(0) <- 1.0;
+    for j = 1 to n - 1 do
+      let acc = ref 0.0 in
+      for i = 0 to j - 1 do
+        acc := !acc +. (pi.(i) *. m.(i).(j))
+      done;
+      pi.(j) <- !acc
+    done;
+    let total = Array.fold_left ( +. ) 0.0 pi in
+    Array.map (fun v -> v /. total) pi
+  end

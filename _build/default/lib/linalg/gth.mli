@@ -1,0 +1,16 @@
+(** Grassmann–Taksar–Heyman (GTH) stationary-distribution solver.
+
+    GTH is a pivoting-free Gaussian elimination specialised to Markov
+    chains: it uses only additions of non-negative quantities, which makes
+    it numerically stable even for badly conditioned generators — exactly
+    what the nearly-decoupled chains arising from heterogeneous mappings
+    produce.  It applies verbatim to a CTMC rate matrix (the diagonal is
+    ignored) and to a DTMC transition matrix. *)
+
+val stationary : float array array -> float array
+(** [stationary rates] returns the stationary distribution π (πQ = 0,
+    Σπ = 1) of the irreducible chain whose off-diagonal transition rates
+    (or probabilities) are [rates].  The diagonal entries are ignored.
+    Raises [Invalid_argument] on a non-square input and [Failure] if the
+    chain is reducible (a state with no outgoing rate is reached during
+    elimination). *)

@@ -1,0 +1,90 @@
+type t = float array array
+
+let make rows cols v = Array.init rows (fun _ -> Array.make cols v)
+
+let identity n =
+  let m = make n n 0.0 in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 1.0
+  done;
+  m
+
+let dims m = (Array.length m, if Array.length m = 0 then 0 else Array.length m.(0))
+let copy m = Array.map Array.copy m
+
+let transpose m =
+  let rows, cols = dims m in
+  Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))
+
+let mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then invalid_arg "Matrix.mul: dimension mismatch";
+  let c = make ra cb 0.0 in
+  for i = 0 to ra - 1 do
+    for k = 0 to ca - 1 do
+      let aik = a.(i).(k) in
+      if aik <> 0.0 then
+        for j = 0 to cb - 1 do
+          c.(i).(j) <- c.(i).(j) +. (aik *. b.(k).(j))
+        done
+    done
+  done;
+  c
+
+let mul_vec a x =
+  let ra, ca = dims a in
+  if ca <> Array.length x then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init ra (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to ca - 1 do
+        acc := !acc +. (a.(i).(j) *. x.(j))
+      done;
+      !acc)
+
+let solve a b =
+  let n, cols = dims a in
+  if n <> cols then invalid_arg "Matrix.solve: matrix must be square";
+  if n <> Array.length b then invalid_arg "Matrix.solve: vector size mismatch";
+  let m = copy a in
+  let x = Array.copy b in
+  (* Forward elimination with partial pivoting. *)
+  for k = 0 to n - 1 do
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float m.(i).(k) > abs_float m.(!pivot).(k) then pivot := i
+    done;
+    if abs_float m.(!pivot).(k) < 1e-300 then failwith "Matrix.solve: singular matrix";
+    if !pivot <> k then begin
+      let tmp = m.(k) in
+      m.(k) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = x.(k) in
+      x.(k) <- x.(!pivot);
+      x.(!pivot) <- tb
+    end;
+    for i = k + 1 to n - 1 do
+      let factor = m.(i).(k) /. m.(k).(k) in
+      if factor <> 0.0 then begin
+        for j = k to n - 1 do
+          m.(i).(j) <- m.(i).(j) -. (factor *. m.(k).(j))
+        done;
+        x.(i) <- x.(i) -. (factor *. x.(k))
+      end
+    done
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (m.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc /. m.(i).(i)
+  done;
+  x
+
+let pp ppf m =
+  Array.iter
+    (fun row ->
+      Array.iter (fun v -> Format.fprintf ppf "%10.4g " v) row;
+      Format.fprintf ppf "@\n")
+    m

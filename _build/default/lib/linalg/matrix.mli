@@ -1,0 +1,19 @@
+(** Minimal dense float matrices: just what the Markov machinery needs.
+
+    Matrices are [float array array] in row-major order, always rectangular. *)
+
+type t = float array array
+
+val make : int -> int -> float -> t
+val identity : int -> t
+val dims : t -> int * int
+val copy : t -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> float array -> float array
+
+val solve : t -> float array -> float array
+(** [solve a b] solves [a x = b] by LU decomposition with partial pivoting.
+    Raises [Failure] if the matrix is (numerically) singular. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type t = {
+  n : int;
+  out_rates : (int * float) list array;  (** outgoing, per source state *)
+  in_rates : (int * float) list array;  (** incoming, per target state *)
+  exit : float array;
+}
+
+let create n =
+  { n; out_rates = Array.make n []; in_rates = Array.make n []; exit = Array.make n 0.0 }
+
+let add_rate t i j r =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then invalid_arg "Sparse.add_rate: state out of range";
+  if i = j then invalid_arg "Sparse.add_rate: no self loops in a generator";
+  if r <= 0.0 then invalid_arg "Sparse.add_rate: rate must be positive";
+  t.out_rates.(i) <- (j, r) :: t.out_rates.(i);
+  t.in_rates.(j) <- (i, r) :: t.in_rates.(j);
+  t.exit.(i) <- t.exit.(i) +. r
+
+let size t = t.n
+let exit_rate t i = t.exit.(i)
+let outgoing t i = t.out_rates.(i)
+
+let normalize pi =
+  let total = Array.fold_left ( +. ) 0.0 pi in
+  if total <= 0.0 then failwith "Sparse: zero distribution";
+  Array.iteri (fun i v -> pi.(i) <- v /. total) pi
+
+let residual t pi =
+  (* L1 norm of pi.Q *)
+  let acc = ref 0.0 in
+  for j = 0 to t.n - 1 do
+    let inflow = List.fold_left (fun s (i, r) -> s +. (pi.(i) *. r)) 0.0 t.in_rates.(j) in
+    acc := !acc +. abs_float (inflow -. (pi.(j) *. t.exit.(j)))
+  done;
+  !acc
+
+let stationary_gauss_seidel ?(tol = 1e-12) ?(max_sweeps = 100_000) t =
+  let pi = Array.make t.n (1.0 /. float_of_int t.n) in
+  let rec sweep k =
+    if k > max_sweeps then failwith "Sparse.stationary_gauss_seidel: no convergence";
+    for j = 0 to t.n - 1 do
+      if t.exit.(j) > 0.0 then begin
+        let inflow = List.fold_left (fun s (i, r) -> s +. (pi.(i) *. r)) 0.0 t.in_rates.(j) in
+        pi.(j) <- inflow /. t.exit.(j)
+      end
+    done;
+    normalize pi;
+    if residual t pi > tol then sweep (k + 1)
+  in
+  sweep 1;
+  pi
+
+let stationary_power ?(tol = 1e-12) ?(max_iters = 1_000_000) t =
+  let lambda = 1.01 *. Array.fold_left max 1e-12 t.exit in
+  let pi = Array.make t.n (1.0 /. float_of_int t.n) in
+  let next = Array.make t.n 0.0 in
+  let rec iterate k =
+    if k > max_iters then failwith "Sparse.stationary_power: no convergence";
+    for j = 0 to t.n - 1 do
+      next.(j) <- pi.(j) *. (1.0 -. (t.exit.(j) /. lambda))
+    done;
+    for i = 0 to t.n - 1 do
+      List.iter (fun (j, r) -> next.(j) <- next.(j) +. (pi.(i) *. r /. lambda)) t.out_rates.(i)
+    done;
+    let diff = ref 0.0 in
+    for j = 0 to t.n - 1 do
+      diff := !diff +. abs_float (next.(j) -. pi.(j));
+      pi.(j) <- next.(j)
+    done;
+    normalize pi;
+    if !diff > tol then iterate (k + 1)
+  in
+  iterate 1;
+  pi

@@ -1,0 +1,28 @@
+(** Sparse stationary-distribution solvers for large Markov chains.
+
+    The GTH solver is O(n³); the Young-diagram pattern chains of Theorem 3
+    grow combinatorially with the replication factors, so beyond ~1500
+    states we switch to iterative solvers on a sparse representation. *)
+
+type t
+(** A CTMC generator in sparse form: [n] states, outgoing transition lists. *)
+
+val create : int -> t
+(** [create n] is an empty generator over states [0..n-1]. *)
+
+val add_rate : t -> int -> int -> float -> unit
+(** [add_rate t i j r] adds rate [r] to the transition i → j (i ≠ j, r > 0). *)
+
+val size : t -> int
+val exit_rate : t -> int -> float
+val outgoing : t -> int -> (int * float) list
+
+val stationary_gauss_seidel : ?tol:float -> ?max_sweeps:int -> t -> float array
+(** Gauss–Seidel iteration on the balance equations
+    π_j · exit_j = Σ_i π_i q_{ij}, renormalised each sweep.  Converges for
+    irreducible chains; raises [Failure] if the tolerance (default 1e-12 on
+    the L1 residual) is not met within [max_sweeps] (default 100_000). *)
+
+val stationary_power : ?tol:float -> ?max_iters:int -> t -> float array
+(** Power iteration on the uniformised chain; slower but useful as an
+    independent cross-check of the Gauss–Seidel result. *)

@@ -1,0 +1,48 @@
+(** Mapping heuristics — the future work announced in the paper's
+    conclusion: now that the throughput of a given one-to-many mapping can
+    be evaluated (deterministically via critical cycles, probabilistically
+    via Theorems 3/4), use it to *choose* a mapping.
+
+    Finding the optimal mapping is NP-complete even deterministically and
+    without communications, so these are heuristics over the Overlap
+    model:
+
+    - {!baseline_fastest} maps each stage to one processor (fastest
+      processors to heaviest stages) — the no-replication reference;
+    - {!greedy} starts from that baseline and repeatedly gives one more
+      processor to whichever stage improves the objective most;
+    - {!exhaustive} scores every composition of the pool into team sizes
+      (processors assigned to stages in a fixed speed-vs-work order) —
+      exponential in the number of stages, for small instances and for
+      calibrating the greedy heuristic. *)
+
+open Streaming
+
+type metric =
+  | Deterministic  (** constant times: polynomial, cheap *)
+  | Exponential
+      (** exponential times (Theorem 3/4 machinery): the robust choice
+          when operation times fluctuate; costlier on heterogeneous
+          networks (pattern CTMCs) *)
+
+val evaluate : metric -> Mapping.t -> float
+(** Throughput of a mapping under the metric (Overlap model).  Returns 0
+    if the probabilistic evaluation is intractable for this mapping. *)
+
+val baseline_fastest : app:Application.t -> platform:Platform.t -> ?pool:int list -> unit -> Mapping.t
+(** One processor per stage: sort the stages by work and the pool by
+    speed, pair them up.  Raises [Invalid_argument] if the pool is smaller
+    than the number of stages. *)
+
+val greedy : ?metric:metric -> app:Application.t -> platform:Platform.t -> ?pool:int list -> unit -> Mapping.t
+(** Hill climbing from {!baseline_fastest}: unused processors are placed
+    one at a time (fastest first) on the team that maximises the
+    objective, accepting neutral moves so that plateaus are crossed; the
+    best mapping encountered is returned, so the result's throughput is
+    never below the baseline's.  Default metric: {!Exponential}. *)
+
+val exhaustive : ?metric:metric -> app:Application.t -> platform:Platform.t -> ?pool:int list -> unit -> Mapping.t
+(** Best composition of the pool into positive team sizes under a fixed
+    processor-assignment rule (heaviest per-processor stage load gets the
+    fastest processors).  Cost grows as C(pool-1, stages-1); use on small
+    instances. *)

@@ -1,0 +1,116 @@
+type scalar = float
+
+let epsilon = neg_infinity
+let zero = 0.0
+let oplus a b = if a >= b then a else b
+let otimes a b = if a = neg_infinity || b = neg_infinity then neg_infinity else a +. b
+
+type matrix = scalar array array
+
+let const rows cols v = Array.init rows (fun _ -> Array.make cols v)
+
+let eye n =
+  let m = const n n epsilon in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- zero
+  done;
+  m
+
+let dims m = (Array.length m, if Array.length m = 0 then 0 else Array.length m.(0))
+
+let add a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ra <> rb || ca <> cb then invalid_arg "Maxplus.add: dimension mismatch";
+  Array.init ra (fun i -> Array.init ca (fun j -> oplus a.(i).(j) b.(i).(j)))
+
+let mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then invalid_arg "Maxplus.mul: dimension mismatch";
+  Array.init ra (fun i ->
+      Array.init cb (fun j ->
+          let acc = ref epsilon in
+          for k = 0 to ca - 1 do
+            acc := oplus !acc (otimes a.(i).(k) b.(k).(j))
+          done;
+          !acc))
+
+let mul_vec a x =
+  let ra, ca = dims a in
+  if ca <> Array.length x then invalid_arg "Maxplus.mul_vec: dimension mismatch";
+  Array.init ra (fun i ->
+      let acc = ref epsilon in
+      for k = 0 to ca - 1 do
+        acc := oplus !acc (otimes a.(i).(k) x.(k))
+      done;
+      !acc)
+
+let equal a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  ra = rb && ca = cb
+  &&
+  let same = ref true in
+  for i = 0 to ra - 1 do
+    for j = 0 to ca - 1 do
+      if a.(i).(j) <> b.(i).(j) then same := false
+    done
+  done;
+  !same
+
+let star a =
+  let n, c = dims a in
+  if n <> c then invalid_arg "Maxplus.star: matrix must be square";
+  let rec fixpoint acc power k =
+    if k > n then failwith "Maxplus.star: diverges (positive-weight cycle)"
+    else
+      let power' = mul power a in
+      let acc' = add acc power' in
+      if equal acc acc' then acc else fixpoint acc' power' (k + 1)
+  in
+  fixpoint (eye n) (eye n) 0
+
+let max_coord x = Array.fold_left oplus epsilon x
+
+let eigenvalue ?(max_iterations = 2000) a =
+  let n = Array.length a in
+  if n = 0 then None
+  else begin
+    let normalise x =
+      let m = max_coord x in
+      if m = epsilon then None else Some (Array.map (fun v -> v -. m) x, m)
+    in
+    (* keep every normalised iterate; the state space of normalised
+       vectors visited is finite once the periodic regime is reached *)
+    let seen = Hashtbl.create 64 in
+    (* quantised key so that harmless last-bit float noise does not hide a
+       repetition *)
+    let key shape =
+      Array.to_list
+        (Array.map
+           (fun v -> if v = epsilon then Int64.min_int else Int64.of_float (Float.round (v *. 1e9)))
+           shape)
+    in
+    let rec iterate x max_so_far k =
+      if k > max_iterations then None
+      else
+        match normalise x with
+        | None -> None (* the orbit died: no recycling, reducible *)
+        | Some (shape, m) -> (
+            let total = max_so_far +. m in
+            match Hashtbl.find_opt seen (key shape) with
+            | Some (k0, total0) -> Some ((total -. total0) /. float_of_int (k - k0))
+            | None ->
+                Hashtbl.add seen (key shape) (k, total);
+                iterate (mul_vec a shape) total (k + 1))
+    in
+    iterate (Array.make n zero) 0.0 0
+  end
+
+let cycle_time ?(iterations = 400) a x0 =
+  let x = ref (Array.copy x0) in
+  let half = iterations / 2 in
+  let at_half = ref neg_infinity in
+  for k = 1 to iterations do
+    x := mul_vec a !x;
+    if k = half then at_half := max_coord !x
+  done;
+  (max_coord !x -. !at_half) /. float_of_int (iterations - half)

@@ -1,0 +1,47 @@
+(** (max,+) algebra.
+
+    The daters of a timed event graph satisfy the linear recurrence
+    x(n) = A0 (x) x(n) (+) A1 (x) x(n-1), where (+) is max and (x) is +
+    (Baccelli, Cohen, Olsder, Quadrat, "Synchronization and Linearity").
+    Solving the implicit part gives x(n) = star(A0) (x) A1 (x) x(n-1), and the
+    asymptotic growth rate of the iteration is the cycle time of the graph.
+    This module provides the algebra and that growth-rate estimator; it is
+    used as an independent cross-check of the critical-cycle computation. *)
+
+type scalar = float
+(** ε (the ⊕-neutral) is [neg_infinity]; e (the ⊗-neutral) is [0.]. *)
+
+val epsilon : scalar
+val zero : scalar
+(** ⊗-neutral, i.e. [0.]. *)
+
+val oplus : scalar -> scalar -> scalar
+val otimes : scalar -> scalar -> scalar
+
+type matrix = scalar array array
+
+val eye : int -> matrix
+val const : int -> int -> scalar -> matrix
+val add : matrix -> matrix -> matrix
+val mul : matrix -> matrix -> matrix
+val mul_vec : matrix -> scalar array -> scalar array
+
+val star : matrix -> matrix
+(** Kleene star I (+) A (+) A^2 (+) ...; raises [Failure] if the iteration does
+    not stabilise after n steps (which happens iff A has a cycle of
+    positive weight, i.e. the implicit system has no solution). *)
+
+val cycle_time : ?iterations:int -> matrix -> scalar array -> float
+(** [cycle_time a x0] iterates x <- a (x) x and returns the average growth
+    per iteration of the largest coordinate over the second half of the
+    run — the (max,+) eigenvalue when [a] is irreducible, and the largest
+    component growth rate otherwise. *)
+
+val eigenvalue : ?max_iterations:int -> matrix -> float option
+(** Exact (max,+) eigenvalue by the power algorithm: by the cyclicity
+    theorem, for an irreducible matrix the normalised iterates
+    x(k) - max(x(k)) become periodic with some period c after a finite
+    transient, and then the eigenvalue is (max x(k+c) - max x(k)) / c
+    exactly.  Returns [None] if no repetition is found within
+    [max_iterations] (reducible matrix or pathological transient), in
+    which case fall back to {!cycle_time}. *)

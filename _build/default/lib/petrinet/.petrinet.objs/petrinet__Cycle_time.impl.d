@@ -1,0 +1,1 @@
+lib/petrinet/cycle_time.ml: Array Graphs Maxplus Teg

@@ -1,0 +1,1 @@
+lib/petrinet/dot.ml: Format List String Teg

@@ -1,0 +1,1 @@
+lib/petrinet/dot.mli: Format Teg

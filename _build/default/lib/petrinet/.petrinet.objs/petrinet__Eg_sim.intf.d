@@ -1,0 +1,1 @@
+lib/petrinet/eg_sim.mli: Teg

@@ -1,0 +1,1 @@
+lib/petrinet/expand.ml: Array List Printf Teg

@@ -1,0 +1,1 @@
+lib/petrinet/expand.mli: Teg

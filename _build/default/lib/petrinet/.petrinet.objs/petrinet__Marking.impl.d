@@ -1,0 +1,1 @@
+lib/petrinet/marking.ml: Array Hashtbl List Queue Teg

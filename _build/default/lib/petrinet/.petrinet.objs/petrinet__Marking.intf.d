@@ -1,0 +1,1 @@
+lib/petrinet/marking.mli: Teg

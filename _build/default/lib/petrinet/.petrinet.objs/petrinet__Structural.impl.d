@@ -1,0 +1,1 @@
+lib/petrinet/structural.ml: Array Graphs List Teg

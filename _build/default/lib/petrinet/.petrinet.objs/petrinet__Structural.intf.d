@@ -1,0 +1,1 @@
+lib/petrinet/structural.mli: Marking Teg

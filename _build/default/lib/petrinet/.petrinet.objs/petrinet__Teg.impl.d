@@ -1,0 +1,1 @@
+lib/petrinet/teg.ml: Array Format Graphs List Maxplus Printf

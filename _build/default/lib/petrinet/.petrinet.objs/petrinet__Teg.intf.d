@@ -1,0 +1,1 @@
+lib/petrinet/teg.mli: Format Graphs Maxplus

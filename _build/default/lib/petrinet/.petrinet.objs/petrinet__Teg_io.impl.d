@@ -1,0 +1,1 @@
+lib/petrinet/teg_io.ml: Array Format In_channel List Printf String Teg

@@ -1,0 +1,1 @@
+lib/petrinet/teg_io.mli: Format Teg

@@ -1,0 +1,14 @@
+type analysis = { period : float; critical : Graphs.Digraph.edge list }
+
+let analyse teg =
+  match Graphs.Cycle_ratio.max_cycle_ratio (Teg.to_digraph teg) with
+  | None -> None
+  | Some { Graphs.Cycle_ratio.ratio; cycle } -> Some { period = ratio; critical = cycle }
+
+let period teg = match analyse teg with None -> 0.0 | Some a -> a.period
+
+let maxplus_period_estimate ?(iterations = 600) teg =
+  let a0, a1 = Teg.to_maxplus teg in
+  let a = Maxplus.mul (Maxplus.star a0) a1 in
+  let x0 = Array.make (Teg.n_transitions teg) Maxplus.zero in
+  Maxplus.cycle_time ~iterations a x0

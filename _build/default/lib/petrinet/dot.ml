@@ -1,0 +1,17 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let pp ?(rankdir = "LR") ppf teg =
+  Format.fprintf ppf "digraph teg {@\n  rankdir=%s;@\n  node [shape=box, fontsize=10];@\n" rankdir;
+  for v = 0 to Teg.n_transitions teg - 1 do
+    Format.fprintf ppf "  t%d [label=\"%s\\n%g\"];@\n" v (escape (Teg.label teg v)) (Teg.time teg v)
+  done;
+  List.iter
+    (fun p ->
+      let tokens = if p.Teg.tokens = 0 then "" else String.concat "" (List.init p.Teg.tokens (fun _ -> "&bull;")) in
+      if p.Teg.tokens = 0 then Format.fprintf ppf "  t%d -> t%d;@\n" p.Teg.src p.Teg.dst
+      else
+        Format.fprintf ppf "  t%d -> t%d [label=<%s>, style=bold];@\n" p.Teg.src p.Teg.dst tokens)
+    (Teg.places teg);
+  Format.fprintf ppf "}@\n"
+
+let to_string ?rankdir teg = Format.asprintf "%a" (pp ?rankdir) teg

@@ -1,0 +1,9 @@
+(** Graphviz (DOT) rendering of timed event graphs, to inspect the nets
+    the library builds (compare with Figures 2–4 of the paper). *)
+
+val pp : ?rankdir:string -> Format.formatter -> Teg.t -> unit
+(** Transitions are boxes labelled "name / duration"; each place is an
+    edge, annotated with a bullet per initial token.  [rankdir] defaults
+    to ["LR"]. *)
+
+val to_string : ?rankdir:string -> Teg.t -> string

@@ -1,0 +1,62 @@
+type sampler = transition:int -> firing:int -> float
+
+let deterministic teg ~transition ~firing:_ = Teg.time teg transition
+
+let zero_token_topo teg =
+  let n = Teg.n_transitions teg in
+  let g = Graphs.Digraph.create n in
+  List.iter
+    (fun p -> if p.Teg.tokens = 0 then Graphs.Digraph.add_edge g ~src:p.Teg.src ~dst:p.Teg.dst ~weight:0.0 ~tokens:0 ())
+    (Teg.places teg);
+  match Graphs.Digraph.topological_order g with
+  | Some order -> order
+  | None -> invalid_arg "Eg_sim: zero-token cycle, the net deadlocks"
+
+let simulate ?sample teg ~iterations ~watch =
+  let sample = match sample with Some s -> s | None -> deterministic teg in
+  let n = Teg.n_transitions teg in
+  let order = zero_token_topo teg in
+  let max_tokens =
+    List.fold_left (fun acc p -> max acc p.Teg.tokens) 1 (Teg.places teg)
+  in
+  (* history.(k-1).(s) = completion of firing (current - k) of s *)
+  let history = Array.init max_tokens (fun _ -> Array.make n 0.0) in
+  let current = Array.make n 0.0 in
+  let in_places = Array.init n (fun v -> List.map (Teg.place teg) (Teg.in_places teg v)) in
+  let watched = Array.of_list watch in
+  let result = Array.map (fun _ -> Array.make iterations 0.0) watched in
+  for round = 1 to iterations do
+    List.iter
+      (fun v ->
+        let start = ref 0.0 in
+        List.iter
+          (fun p ->
+            let constr =
+              if p.Teg.tokens = 0 then current.(p.Teg.src)
+              else if round - p.Teg.tokens >= 1 then history.(p.Teg.tokens - 1).(p.Teg.src)
+              else 0.0
+            in
+            if constr > !start then start := constr)
+          in_places.(v);
+        current.(v) <- !start +. sample ~transition:v ~firing:round)
+      order;
+    Array.iteri (fun i v -> result.(i).(round - 1) <- current.(v)) watched;
+    (* rotate the history window *)
+    for k = max_tokens - 1 downto 1 do
+      Array.blit history.(k - 1) 0 history.(k) 0 n
+    done;
+    Array.blit current 0 history.(0) 0 n
+  done;
+  result
+
+let merged_completions series =
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 series in
+  let merged = Array.make total 0.0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun a ->
+      Array.blit a 0 merged !pos (Array.length a);
+      pos := !pos + Array.length a)
+    series;
+  Array.sort compare merged;
+  merged

@@ -1,0 +1,25 @@
+(** Event-graph simulator (the `eg_sim` role of the ERS toolbox).
+
+    Iterates the dater recurrence of the net: the n-th firing of transition
+    t starts at max over input places (s -(k tokens)-> t) of D(s, n-k)
+    (a missing round, n-k <= 0, contributes time 0: initial tokens are
+    available immediately) and completes after the — possibly random —
+    firing duration.  With deterministic durations this computes the exact
+    earliest schedule; with random durations it is the stochastic
+    simulation used throughout §7. *)
+
+type sampler = transition:int -> firing:int -> float
+(** Duration of the [firing]-th firing (1-based) of [transition]. *)
+
+val deterministic : Teg.t -> sampler
+(** Always the net's nominal duration. *)
+
+val simulate : ?sample:sampler -> Teg.t -> iterations:int -> watch:int list -> float array array
+(** [simulate teg ~iterations ~watch] runs [iterations] firings of every
+    transition and returns, for each watched transition (in the order of
+    [watch]), its completion times.  Raises [Invalid_argument] if the
+    zero-token subgraph is cyclic. *)
+
+val merged_completions : float array array -> float array
+(** Sorted merge of the watched series — e.g. the completion instants of
+    the last pipeline stage across all rows, one per processed data set. *)

@@ -1,0 +1,61 @@
+type t = {
+  expanded : Teg.t;
+  first_phase : int array;
+  last_phase : int array;
+  phase_count : int array;
+  origin : int array;  (** original transition per expanded id *)
+}
+
+let erlang ~phases teg =
+  let n = Teg.n_transitions teg in
+  let counts =
+    Array.init n (fun v ->
+        let k = phases v in
+        if k < 1 then invalid_arg "Expand.erlang: phase count must be at least 1";
+        k)
+  in
+  let first_phase = Array.make n 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun v k ->
+      first_phase.(v) <- !total;
+      total := !total + k)
+    counts;
+  let last_phase = Array.init n (fun v -> first_phase.(v) + counts.(v) - 1) in
+  let labels = Array.make !total "" in
+  let times = Array.make !total 0.0 in
+  let origin = Array.make !total 0 in
+  for v = 0 to n - 1 do
+    for ph = 0 to counts.(v) - 1 do
+      let id = first_phase.(v) + ph in
+      labels.(id) <-
+        (if counts.(v) = 1 then Teg.label teg v
+         else Printf.sprintf "%s#%d/%d" (Teg.label teg v) (ph + 1) counts.(v));
+      times.(id) <- Teg.time teg v /. float_of_int counts.(v);
+      origin.(id) <- v
+    done
+  done;
+  let expanded = Teg.create ~labels ~times in
+  (* intra-transition phase chain *)
+  for v = 0 to n - 1 do
+    for ph = 0 to counts.(v) - 2 do
+      Teg.add_place expanded ~src:(first_phase.(v) + ph) ~dst:(first_phase.(v) + ph + 1) ~tokens:0
+    done
+  done;
+  (* original places: from the last phase of the source to the first phase
+     of the target *)
+  List.iter
+    (fun p ->
+      Teg.add_place expanded ~src:last_phase.(p.Teg.src) ~dst:first_phase.(p.Teg.dst)
+        ~tokens:p.Teg.tokens)
+    (Teg.places teg);
+  { expanded; first_phase; last_phase; phase_count = counts; origin }
+
+let teg t = t.expanded
+let first t v = t.first_phase.(v)
+let last t v = t.last_phase.(v)
+let original t id = t.origin.(id)
+
+let phase_rates t ~original_rate id =
+  let v = t.origin.(id) in
+  float_of_int t.phase_count.(v) *. original_rate v

@@ -1,0 +1,36 @@
+(** Phase-type expansion of a timed event graph.
+
+    An Erlang-k firing time is a chain of k exponential phases; replacing
+    a transition by k serial transitions (with 0-token places between the
+    phases) preserves the event-graph property, so the exponential
+    machinery — marking CTMC, stationary analysis — applies *exactly* to
+    Erlang-distributed operation times.  As k grows the law concentrates
+    on its mean: the expanded analysis interpolates between the
+    exponential (k = 1) and deterministic (k → ∞) bounds of Theorem 7. *)
+
+type t
+
+val erlang : phases:(int -> int) -> Teg.t -> t
+(** [erlang ~phases teg] expands transition [v] into [phases v >= 1]
+    serial phases.  The nominal duration of each phase is
+    [Teg.time teg v / phases v], so the expanded net preserves both the
+    deterministic schedule and, when phases fire at exponential rate
+    [phases v / time v], the mean of every original firing time. *)
+
+val teg : t -> Teg.t
+(** The expanded net. *)
+
+val first : t -> int -> int
+(** Expanded id of the first phase of an original transition. *)
+
+val last : t -> int -> int
+(** Expanded id of the last phase — its firings are the completions of
+    the original transition. *)
+
+val phase_rates : t -> original_rate:(int -> float) -> int -> float
+(** Rate of an expanded transition so that the original transition's
+    total firing time is Erlang([phases], [phases] x original rate) with
+    the original mean: phase rate = phases(v) * original_rate(v). *)
+
+val original : t -> int -> int
+(** The original transition an expanded phase belongs to. *)

@@ -1,0 +1,49 @@
+type t = int array
+
+let initial teg = Array.of_list (List.map (fun p -> p.Teg.tokens) (Teg.places teg))
+let equal = ( = )
+let hash (m : t) = Hashtbl.hash (Array.to_list m)
+
+let is_enabled teg m v = List.for_all (fun p -> m.(p) > 0) (Teg.in_places teg v)
+
+let enabled teg m =
+  let n = Teg.n_transitions teg in
+  let rec collect v acc = if v < 0 then acc else collect (v - 1) (if is_enabled teg m v then v :: acc else acc) in
+  collect (n - 1) []
+
+let fire teg m v =
+  if not (is_enabled teg m v) then invalid_arg "Marking.fire: transition not enabled";
+  let m' = Array.copy m in
+  List.iter (fun p -> m'.(p) <- m'.(p) - 1) (Teg.in_places teg v);
+  List.iter (fun p -> m'.(p) <- m'.(p) + 1) (Teg.out_places teg v);
+  m'
+
+exception Capacity_exceeded of int
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+let explore ?(cap = 200_000) teg =
+  let seen = Table.create 1024 in
+  let order = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let register m =
+    if not (Table.mem seen m) then begin
+      if !count >= cap then raise (Capacity_exceeded cap);
+      Table.add seen m !count;
+      incr count;
+      order := m :: !order;
+      Queue.add m queue
+    end
+  in
+  register (initial teg);
+  while not (Queue.is_empty queue) do
+    let m = Queue.pop queue in
+    List.iter (fun v -> register (fire teg m v)) (enabled teg m)
+  done;
+  Array.of_list (List.rev !order)

@@ -1,0 +1,32 @@
+(** Markings of a timed event graph and reachability exploration.
+
+    A marking assigns a token count to every place.  This is the state
+    space on which §5.1's general method builds its Markov chain: under
+    exponential firing times the marking process is a CTMC. *)
+
+type t = int array
+(** Token count per place, indexed like [Teg.place]. *)
+
+val initial : Teg.t -> t
+val equal : t -> t -> bool
+val hash : t -> int
+
+val enabled : Teg.t -> t -> int list
+(** Transitions whose every input place holds at least one token, in
+    increasing index order. *)
+
+val is_enabled : Teg.t -> t -> int -> bool
+
+val fire : Teg.t -> t -> int -> t
+(** [fire teg m v] consumes one token from each input place of [v] and
+    produces one in each output place.  Raises [Invalid_argument] if [v] is
+    not enabled. *)
+
+exception Capacity_exceeded of int
+(** Raised by {!explore} when more markings than the cap are reachable. *)
+
+val explore : ?cap:int -> Teg.t -> t array
+(** Breadth-first enumeration of the reachable markings, starting from the
+    initial one (index 0 of the result).  [cap] (default 200_000) bounds
+    the exploration; exceeding it raises {!Capacity_exceeded} — which is
+    the signature of a token-unbounded net such as the full Overlap TPN. *)

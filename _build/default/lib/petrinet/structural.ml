@@ -1,0 +1,34 @@
+type verdict = Bounded | Possibly_unbounded of int list
+
+let scc_ids teg =
+  let graph = Teg.to_digraph teg in
+  let ids = Array.make (Teg.n_transitions teg) (-1) in
+  List.iteri (fun c nodes -> List.iter (fun v -> ids.(v) <- c) nodes) (Graphs.Digraph.sccs graph);
+  ids
+
+(* a place lies on a cycle iff its two endpoint transitions belong to the
+   same strongly connected component *)
+let boundedness teg =
+  let ids = scc_ids teg in
+  let uncovered = ref [] in
+  List.iteri
+    (fun index p -> if ids.(p.Teg.src) <> ids.(p.Teg.dst) then uncovered := index :: !uncovered)
+    (Teg.places teg);
+  match !uncovered with [] -> Bounded | l -> Possibly_unbounded (List.rev l)
+
+let is_cycle teg = function
+  | [] -> false
+  | first :: _ as indices ->
+      let rec chained = function
+        | [] -> true
+        | [ last ] -> (Teg.place teg last).Teg.dst = (Teg.place teg first).Teg.src
+        | p :: (q :: _ as rest) -> (Teg.place teg p).Teg.dst = (Teg.place teg q).Teg.src && chained rest
+      in
+      chained indices
+
+let tokens_on teg indices marking =
+  List.fold_left
+    (fun acc index ->
+      if index < 0 || index >= Teg.n_places teg then invalid_arg "Structural.tokens_on: bad place"
+      else acc + marking.(index))
+    0 indices

@@ -1,0 +1,27 @@
+(** Structural analysis of timed event graphs.
+
+    In an event graph the token count of every cycle is invariant under
+    firing, so a sufficient condition for the reachable marking set to be
+    finite is that every place lies on a cycle (its token count is then
+    bounded by the total tokens of that cycle).  This is exactly why the
+    general Markov method of §5.1 terminates on the Strict TPN — all its
+    places are covered by resource cycles — while the Overlap TPN has
+    unbounded forward places (its exact analysis goes through the
+    per-column decomposition instead). *)
+
+type verdict =
+  | Bounded  (** every place lies on a cycle: finite marking space *)
+  | Possibly_unbounded of int list
+      (** indices of the places not covered by any cycle; the net may
+          accumulate tokens there *)
+
+val boundedness : Teg.t -> verdict
+
+val is_cycle : Teg.t -> int list -> bool
+(** Whether the places (by index) chain into a directed cycle, each
+    place's target transition being the next place's source. *)
+
+val tokens_on : Teg.t -> int list -> Marking.t -> int
+(** Total tokens held by the listed places under a marking.  For a cycle
+    (see {!is_cycle}) this quantity is invariant under any firing — the
+    P-invariant used by the test suite as a reachability oracle. *)

@@ -1,0 +1,111 @@
+type place = { src : int; dst : int; tokens : int }
+
+type t = {
+  labels : string array;
+  times : float array;
+  mutable place_list : place list;  (** reverse insertion order *)
+  mutable count : int;
+  incoming : int list array;  (** place indices, per transition *)
+  outgoing : int list array;
+  mutable frozen : place array option;  (** cache of [places] in order *)
+}
+
+let create ~labels ~times =
+  let n = Array.length labels in
+  if Array.length times <> n then invalid_arg "Teg.create: labels/times length mismatch";
+  Array.iter (fun d -> if d < 0.0 then invalid_arg "Teg.create: negative duration") times;
+  {
+    labels = Array.copy labels;
+    times = Array.copy times;
+    place_list = [];
+    count = 0;
+    incoming = Array.make n [];
+    outgoing = Array.make n [];
+    frozen = None;
+  }
+
+let n_transitions t = Array.length t.labels
+
+let add_place t ~src ~dst ~tokens =
+  let n = n_transitions t in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Teg.add_place: transition out of range";
+  if tokens < 0 then invalid_arg "Teg.add_place: negative tokens";
+  let index = t.count in
+  t.place_list <- { src; dst; tokens } :: t.place_list;
+  t.count <- t.count + 1;
+  t.incoming.(dst) <- index :: t.incoming.(dst);
+  t.outgoing.(src) <- index :: t.outgoing.(src);
+  t.frozen <- None
+
+let n_places t = t.count
+let label t i = t.labels.(i)
+let time t i = t.times.(i)
+
+let set_time t i d =
+  if d < 0.0 then invalid_arg "Teg.set_time: negative duration";
+  t.times.(i) <- d
+
+let place_array t =
+  match t.frozen with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (List.rev t.place_list) in
+      t.frozen <- Some a;
+      a
+
+let places t = Array.to_list (place_array t)
+let place t i = (place_array t).(i)
+let in_places t v = t.incoming.(v)
+let out_places t v = t.outgoing.(v)
+
+let to_digraph t =
+  let g = Graphs.Digraph.create (n_transitions t) in
+  Array.iteri
+    (fun i p ->
+      Graphs.Digraph.add_edge g ~tag:i ~src:p.src ~dst:p.dst ~weight:t.times.(p.dst) ~tokens:p.tokens ())
+    (place_array t);
+  g
+
+let validate t =
+  let n = n_transitions t in
+  let missing kind select =
+    let bad = ref [] in
+    for v = n - 1 downto 0 do
+      if select v = [] then bad := v :: !bad
+    done;
+    match !bad with
+    | [] -> Ok ()
+    | v :: _ -> Error (Printf.sprintf "transition %d (%s) has no %s place" v t.labels.(v) kind)
+  in
+  match missing "input" (in_places t) with
+  | Error _ as e -> e
+  | Ok () -> (
+      match missing "output" (out_places t) with
+      | Error _ as e -> e
+      | Ok () ->
+          if Graphs.Digraph.zero_token_acyclic (to_digraph t) then Ok ()
+          else Error "zero-token cycle: the net deadlocks")
+
+let to_maxplus t =
+  let n = n_transitions t in
+  let a0 = Maxplus.const n n Maxplus.epsilon in
+  let a1 = Maxplus.const n n Maxplus.epsilon in
+  Array.iter
+    (fun p ->
+      let entry =
+        match p.tokens with
+        | 0 -> a0
+        | 1 -> a1
+        | _ -> invalid_arg "Teg.to_maxplus: only 0/1 token places supported"
+      in
+      entry.(p.dst).(p.src) <- Maxplus.oplus entry.(p.dst).(p.src) t.times.(p.dst))
+    (place_array t);
+  (a0, a1)
+
+let pp ppf t =
+  Format.fprintf ppf "TEG with %d transitions, %d places@\n" (n_transitions t) (n_places t);
+  Array.iteri (fun i l -> Format.fprintf ppf "  t%d %-24s time=%g@\n" i l t.times.(i)) t.labels;
+  Array.iter
+    (fun p -> Format.fprintf ppf "  place t%d -> t%d tokens=%d@\n" p.src p.dst p.tokens)
+    (place_array t)

@@ -1,0 +1,56 @@
+(** Timed event graphs (timed Petri nets in which every place has exactly
+    one input and one output transition).
+
+    This is the model of §3 of the paper: transitions represent the use of
+    a physical resource (a computation or a communication) and places
+    represent dependences; a place holds an initial number of tokens.  By
+    construction the event-graph property always holds here: places are
+    created as (source transition, target transition) pairs. *)
+
+type place = { src : int; dst : int; tokens : int }
+
+type t
+
+val create : labels:string array -> times:float array -> t
+(** [create ~labels ~times] builds a TEG whose transition [i] is named
+    [labels.(i)] and has (deterministic, or mean in the stochastic reading)
+    firing duration [times.(i) >= 0].  Raises [Invalid_argument] on length
+    mismatch or negative duration. *)
+
+val add_place : t -> src:int -> dst:int -> tokens:int -> unit
+
+val n_transitions : t -> int
+val n_places : t -> int
+val label : t -> int -> string
+val time : t -> int -> float
+val set_time : t -> int -> float -> unit
+val places : t -> place list
+(** In insertion order. *)
+
+val place : t -> int -> place
+(** Place by index (insertion order). *)
+
+val in_places : t -> int -> int list
+(** Indices of places feeding a transition. *)
+
+val out_places : t -> int -> int list
+
+val validate : t -> (unit, string) result
+(** Structural liveness checks: every transition has at least one input and
+    one output place, and the zero-token subgraph is acyclic (otherwise the
+    net deadlocks immediately). *)
+
+val to_digraph : t -> Graphs.Digraph.t
+(** Graph view for critical-cycle analysis: nodes = transitions, one edge
+    per place carrying the firing time of its *target* transition (so that
+    the edges of a cycle sum the firing times of its transitions exactly
+    once) and the place's tokens.  The edge [tag] is the place index. *)
+
+val to_maxplus : t -> Maxplus.matrix * Maxplus.matrix
+(** [(a0, a1)] with [a0.(i).(j)] = duration(i) if a 0-token place links j→i
+    and [a1.(i).(j)] likewise for 1-token places; places with ≥ 2 tokens are
+    rejected ([Invalid_argument]) — the standard-form recurrence used for
+    cross-checks only supports 0/1 markings, which all nets built by this
+    repository satisfy. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+let strip_comment line =
+  match String.index_opt line '#' with None -> line | Some i -> String.sub line 0 i
+
+let tokens_of_line line =
+  strip_comment line |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref None in
+  let transitions = ref [] in
+  (* (id, label, duration) *)
+  let places = ref [] in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  List.iteri
+    (fun lineno raw ->
+      let lineno = lineno + 1 in
+      match tokens_of_line raw with
+      | [] -> ()
+      | [ "transitions"; count ] -> (
+          match int_of_string_opt count with
+          | Some c when c > 0 -> n := Some c
+          | _ -> fail (Printf.sprintf "line %d: bad transition count" lineno))
+      | [ "t"; id; label; duration ] -> (
+          match (int_of_string_opt id, float_of_string_opt duration) with
+          | Some id, Some d when d >= 0.0 -> transitions := (id, label, d) :: !transitions
+          | _ -> fail (Printf.sprintf "line %d: bad transition" lineno))
+      | [ "place"; src; dst; tokens ] -> (
+          match (int_of_string_opt src, int_of_string_opt dst, int_of_string_opt tokens) with
+          | Some s, Some d, Some k when k >= 0 -> places := (s, d, k) :: !places
+          | _ -> fail (Printf.sprintf "line %d: bad place" lineno))
+      | keyword :: _ -> fail (Printf.sprintf "line %d: unknown keyword %s" lineno keyword))
+    lines;
+  match (!error, !n) with
+  | Some msg, _ -> Error msg
+  | None, None -> Error "missing 'transitions'"
+  | None, Some n ->
+      let labels = Array.make n "" in
+      let times = Array.make n (-1.0) in
+      let bad = ref None in
+      List.iter
+        (fun (id, label, d) ->
+          if id < 0 || id >= n then bad := Some (Printf.sprintf "transition id %d out of range" id)
+          else begin
+            labels.(id) <- label;
+            times.(id) <- d
+          end)
+        !transitions;
+      (match !bad with
+      | Some _ -> ()
+      | None ->
+          Array.iteri
+            (fun id d -> if d < 0.0 then bad := Some (Printf.sprintf "transition %d not declared" id))
+            times);
+      (match !bad with
+      | Some msg -> Error msg
+      | None -> (
+          try
+            let teg = Teg.create ~labels ~times in
+            List.iter
+              (fun (src, dst, tokens) -> Teg.add_place teg ~src ~dst ~tokens)
+              (List.rev !places);
+            Ok teg
+          with Invalid_argument msg -> Error msg))
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let print ppf teg =
+  Format.fprintf ppf "transitions %d@\n" (Teg.n_transitions teg);
+  for v = 0 to Teg.n_transitions teg - 1 do
+    Format.fprintf ppf "t %d %s %g@\n" v (Teg.label teg v) (Teg.time teg v)
+  done;
+  List.iter
+    (fun p -> Format.fprintf ppf "place %d %d %d@\n" p.Teg.src p.Teg.dst p.Teg.tokens)
+    (Teg.places teg)

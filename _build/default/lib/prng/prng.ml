@@ -1,0 +1,65 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the user seed into the 256-bit state. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let state = ref (bits64 g) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+(* Top 53 bits scaled to [0,1). *)
+let float g =
+  let x = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float x *. 0x1p-53
+
+let float_pos g =
+  let x = Int64.shift_right_logical (bits64 g) 11 in
+  (Int64.to_float x +. 1.0) *. 0x1p-53
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec draw () =
+    let x = Int64.shift_right_logical (bits64 g) 1 in
+    let r = Int64.rem x n64 in
+    if Int64.sub x r > Int64.sub (Int64.sub Int64.max_int n64) 1L then draw ()
+    else Int64.to_int r
+  in
+  draw ()
+
+let uniform g a b = a +. ((b -. a) *. float g)

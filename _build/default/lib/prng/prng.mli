@@ -1,0 +1,36 @@
+(** Deterministic, seedable pseudo-random number generator.
+
+    The generator is xoshiro256** (Blackman & Vigna) seeded through
+    splitmix64, which is the recommended seeding procedure.  All simulation
+    code in this repository draws randomness through this module only, so
+    every experiment is reproducible from its seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed.  Distinct seeds
+    yield independent-looking streams. *)
+
+val copy : t -> t
+(** Duplicate the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a fresh generator whose stream is
+    independent of the subsequent output of [g].  Used to hand disjoint
+    streams to parallel experiment replicas. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0,1) with 53-bit resolution. *)
+
+val float_pos : t -> float
+(** Uniform float in (0,1]; never returns 0, safe for [log]. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [0, n-1]; [n] must be positive. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform g a b] is uniform in [a, b). *)

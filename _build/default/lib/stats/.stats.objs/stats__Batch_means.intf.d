@@ -1,0 +1,1 @@
+lib/stats/batch_means.mli:

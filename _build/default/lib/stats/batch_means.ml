@@ -1,0 +1,71 @@
+type t = { mean : float; half_width : float; batches : int }
+
+(* two-sided 97.5% Student quantiles for small degrees of freedom, then
+   the normal approximation *)
+let student975 = function
+  | 1 -> 12.706
+  | 2 -> 4.303
+  | 3 -> 3.182
+  | 4 -> 2.776
+  | 5 -> 2.571
+  | 6 -> 2.447
+  | 7 -> 2.365
+  | 8 -> 2.306
+  | 9 -> 2.262
+  | 10 -> 2.228
+  | 11 -> 2.201
+  | 12 -> 2.179
+  | 13 -> 2.160
+  | 14 -> 2.145
+  | 15 -> 2.131
+  | 19 -> 2.093
+  | 29 -> 2.045
+  | df -> if df >= 30 then 1.96 else 2.1 (* between 15 and 29 *)
+
+let of_batch_means means =
+  let k = Array.length means in
+  let s = Summary.of_list (Array.to_list means) in
+  {
+    mean = Summary.mean s;
+    half_width = student975 (k - 1) *. Summary.std_dev s /. sqrt (float_of_int k);
+    batches = k;
+  }
+
+let post_warmup warmup_fraction xs =
+  let n = Array.length xs in
+  let start = int_of_float (warmup_fraction *. float_of_int n) in
+  Array.sub xs start (n - start)
+
+let estimate ?(batches = 20) ?(warmup_fraction = 0.2) observations =
+  let xs = post_warmup warmup_fraction observations in
+  let n = Array.length xs in
+  if batches < 2 then invalid_arg "Batch_means.estimate: need at least two batches";
+  if n < 2 * batches then invalid_arg "Batch_means.estimate: too few observations";
+  let size = n / batches in
+  let means =
+    Array.init batches (fun b ->
+        let acc = ref 0.0 in
+        for i = b * size to ((b + 1) * size) - 1 do
+          acc := !acc +. xs.(i)
+        done;
+        !acc /. float_of_int size)
+  in
+  of_batch_means means
+
+let throughput_of_completions ?(batches = 20) ?(warmup_fraction = 0.2) completions =
+  let n = Array.length completions in
+  let start = int_of_float (warmup_fraction *. float_of_int n) in
+  if batches < 2 then invalid_arg "Batch_means.throughput_of_completions: need at least two batches";
+  if n - start < 2 * batches then
+    invalid_arg "Batch_means.throughput_of_completions: too few completions";
+  let size = (n - start) / batches in
+  let means =
+    Array.init batches (fun b ->
+        let first = start + (b * size) and last = start + (((b + 1) * size) - 1) in
+        (* the batch's time span starts at the previous completion, so the
+           warmup interval is never counted *)
+        let span = completions.(last) -. (if first = 0 then 0.0 else completions.(first - 1)) in
+        if span <= 0.0 then invalid_arg "Batch_means: degenerate completion batch"
+        else float_of_int (last - first + 1) /. span)
+  in
+  of_batch_means means

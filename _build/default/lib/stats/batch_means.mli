@@ -1,0 +1,24 @@
+(** Batch-means confidence intervals for steady-state simulation output.
+
+    Throughput estimates from a single simulation run are autocorrelated,
+    so the naive i.i.d. confidence interval is too narrow.  The
+    batch-means method splits the (post-warmup) observations into [k]
+    contiguous batches; the batch means are approximately independent, so
+    their sample variance yields an honest interval for the steady-state
+    mean.  Used by the experiment harness to report simulation error. *)
+
+type t = {
+  mean : float;
+  half_width : float;  (** 95% confidence half width *)
+  batches : int;
+}
+
+val estimate : ?batches:int -> ?warmup_fraction:float -> float array -> t
+(** [estimate observations] drops the first [warmup_fraction] (default
+    0.2) of the samples, splits the rest into [batches] (default 20)
+    contiguous batches and returns the batch-means interval.  Raises
+    [Invalid_argument] with fewer than 2 observations per batch. *)
+
+val throughput_of_completions : ?batches:int -> ?warmup_fraction:float -> float array -> t
+(** Batch-means interval for the throughput given sorted completion
+    times: each batch's throughput is (its count) / (its time span). *)

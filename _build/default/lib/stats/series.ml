@@ -1,0 +1,35 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let linspace a b n =
+  if n < 2 then invalid_arg "Series.linspace: need at least two points";
+  let step = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (float_of_int i *. step))
+
+let least_squares_slope xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Series.least_squares_slope: length mismatch";
+  if n < 2 then invalid_arg "Series.least_squares_slope: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    num := !num +. (dx *. (ys.(i) -. my));
+    den := !den +. (dx *. dx)
+  done;
+  if !den = 0.0 then invalid_arg "Series.least_squares_slope: degenerate abscissa";
+  !num /. !den
+
+let throughput_of_completions ?(warmup_fraction = 0.2) completions =
+  let n = Array.length completions in
+  if n < 4 then invalid_arg "Series.throughput_of_completions: too few completions";
+  let start = int_of_float (warmup_fraction *. float_of_int n) in
+  let start = if start > n - 2 then n - 2 else start in
+  let m = n - start in
+  let xs = Array.init m (fun i -> float_of_int (start + i)) in
+  let ys = Array.init m (fun i -> completions.(start + i)) in
+  let slope = least_squares_slope xs ys in
+  1.0 /. slope
+
+let relative_error measured reference = abs_float (measured -. reference) /. abs_float reference

@@ -1,0 +1,19 @@
+(** Small utilities over float arrays used by the throughput estimators. *)
+
+val mean : float array -> float
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] is [n] evenly spaced points from [a] to [b] inclusive. *)
+
+val least_squares_slope : float array -> float array -> float
+(** Slope of the least-squares line through [(x_i, y_i)]; raises
+    [Invalid_argument] on length mismatch or fewer than two points. *)
+
+val throughput_of_completions : ?warmup_fraction:float -> float array -> float
+(** Steady-state throughput estimate from sorted completion times of
+    consecutive data sets: the inverse of the least-squares slope of
+    completion time against data-set index, ignoring the first
+    [warmup_fraction] (default 0.2) of the samples so that the transient
+    regime does not bias the estimate. *)
+
+val relative_error : float -> float -> float
+(** [relative_error measured reference] = |measured - reference| / |reference|. *)

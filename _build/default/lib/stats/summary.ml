@@ -1,0 +1,56 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let add_all t xs = List.iter (add t) xs
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let std_dev t = sqrt (variance t)
+let min_value t = t.min
+let max_value t = t.max
+
+let std_error t = if t.n = 0 then 0.0 else std_dev t /. sqrt (float_of_int t.n)
+let ci95_half_width t = 1.959964 *. std_error t
+
+let of_list xs =
+  let t = create () in
+  add_all t xs;
+  t
+
+type report = {
+  n : int;
+  mean : float;
+  std_dev : float;
+  min : float;
+  max : float;
+  ci95 : float;
+}
+
+let report (t : t) =
+  {
+    n = t.n;
+    mean = mean t;
+    std_dev = std_dev t;
+    min = min_value t;
+    max = max_value t;
+    ci95 = ci95_half_width t;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "n=%d mean=%.6g sd=%.3g min=%.6g max=%.6g ci95=%.3g" r.n r.mean r.std_dev
+    r.min r.max r.ci95

@@ -1,0 +1,49 @@
+(** Streaming descriptive statistics (Welford's online algorithm).
+
+    Used by every experiment to aggregate throughput estimates across
+    replicated simulation runs without storing the samples. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Feed one observation. *)
+
+val add_all : t -> float list -> unit
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two observations. *)
+
+val std_dev : t -> float
+val min_value : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val std_error : t -> float
+(** Standard error of the mean. *)
+
+val ci95_half_width : t -> float
+(** Half width of the normal-approximation 95% confidence interval. *)
+
+val of_list : float list -> t
+
+type report = {
+  n : int;
+  mean : float;
+  std_dev : float;
+  min : float;
+  max : float;
+  ci95 : float;
+}
+
+val report : t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/streaming/application.ml: Array Format

@@ -1,0 +1,1 @@
+lib/streaming/bounds.ml: Deterministic Expo Model

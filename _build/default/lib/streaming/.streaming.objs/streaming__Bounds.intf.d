@@ -1,0 +1,1 @@
+lib/streaming/bounds.mli: Mapping Model

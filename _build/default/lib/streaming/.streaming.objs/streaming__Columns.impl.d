@@ -1,0 +1,1 @@
+lib/streaming/columns.ml: Array Fun Int List Mapping

@@ -1,0 +1,1 @@
+lib/streaming/columns.mli: Mapping

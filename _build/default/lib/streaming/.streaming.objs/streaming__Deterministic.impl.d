@@ -1,0 +1,1 @@
+lib/streaming/deterministic.ml: Array Columns Fun Graphs Hashtbl List Mapping Model Option Petrinet Tpn Young

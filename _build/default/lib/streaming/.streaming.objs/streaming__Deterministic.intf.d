@@ -1,0 +1,1 @@
+lib/streaming/deterministic.mli: Mapping Model Tpn

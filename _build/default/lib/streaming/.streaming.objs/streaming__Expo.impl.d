@@ -1,0 +1,1 @@
+lib/streaming/expo.ml: Array Columns List Mapping Markov Model Petrinet Resource Tpn Young

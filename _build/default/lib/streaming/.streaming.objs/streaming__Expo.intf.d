@@ -1,0 +1,1 @@
+lib/streaming/expo.mli: Mapping Markov Model Resource

@@ -1,0 +1,1 @@
+lib/streaming/instance_io.ml: Application Array Format In_channel List Mapping Option Platform Printf String

@@ -1,0 +1,1 @@
+lib/streaming/instance_io.mli: Format Mapping

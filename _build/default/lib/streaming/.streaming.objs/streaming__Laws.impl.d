@@ -1,0 +1,1 @@
+lib/streaming/laws.ml: Dist List Mapping Resource

@@ -1,0 +1,1 @@
+lib/streaming/laws.mli: Dist Mapping Resource

@@ -1,0 +1,1 @@
+lib/streaming/mapping.ml: Application Array Format List Platform Resource

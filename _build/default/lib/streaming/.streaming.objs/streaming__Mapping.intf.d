@@ -1,0 +1,1 @@
+lib/streaming/mapping.mli: Application Format Platform Resource

@@ -1,0 +1,1 @@
+lib/streaming/model.mli: Format

@@ -1,0 +1,1 @@
+lib/streaming/platform.ml: Array Format

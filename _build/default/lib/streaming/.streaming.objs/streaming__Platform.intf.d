@@ -1,0 +1,1 @@
+lib/streaming/platform.mli: Format

@@ -1,0 +1,1 @@
+lib/streaming/resource.mli: Format

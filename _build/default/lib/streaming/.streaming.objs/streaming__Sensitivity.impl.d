@@ -1,0 +1,1 @@
+lib/streaming/sensitivity.ml: Array Deterministic Format List Mapping Platform Resource

@@ -1,0 +1,1 @@
+lib/streaming/sensitivity.mli: Format Mapping Model Resource

@@ -1,0 +1,1 @@
+lib/streaming/teg_sim.ml: Array Dist Petrinet Prng Stats Tpn

@@ -1,0 +1,1 @@
+lib/streaming/teg_sim.mli: Laws Mapping Model

@@ -1,0 +1,1 @@
+lib/streaming/throughput.ml: Deterministic Dist Expo Format Laws Mapping Markov Model Teg_sim

@@ -1,0 +1,1 @@
+lib/streaming/throughput.mli: Dist Format Mapping Markov Model

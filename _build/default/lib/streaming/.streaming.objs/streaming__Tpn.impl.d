@@ -1,0 +1,1 @@
+lib/streaming/tpn.ml: Array List Mapping Model Petrinet Printf Resource

@@ -1,0 +1,1 @@
+lib/streaming/tpn.mli: Mapping Model Petrinet Resource

@@ -1,0 +1,1 @@
+lib/streaming/utilization.ml: Deterministic Format List Tpn

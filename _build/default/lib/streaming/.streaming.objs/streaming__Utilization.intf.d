@@ -1,0 +1,1 @@
+lib/streaming/utilization.mli: Format Mapping Model

@@ -1,0 +1,27 @@
+type t = { work : float array; files : float array }
+
+let create ~work ~files =
+  let n = Array.length work in
+  if n = 0 then invalid_arg "Application.create: no stages";
+  if Array.length files <> n - 1 then
+    invalid_arg "Application.create: need exactly n_stages - 1 file sizes";
+  Array.iter (fun w -> if w <= 0.0 then invalid_arg "Application.create: work must be positive") work;
+  Array.iter
+    (fun d -> if d < 0.0 then invalid_arg "Application.create: negative file size")
+    files;
+  { work = Array.copy work; files = Array.copy files }
+
+let n_stages t = Array.length t.work
+let work t i = t.work.(i)
+let file_size t i = t.files.(i)
+
+let uniform ~n ~work ~file =
+  create ~work:(Array.make n work) ~files:(Array.make (max 0 (n - 1)) file)
+
+let pp ppf t =
+  Format.fprintf ppf "application with %d stages@\n" (n_stages t);
+  Array.iteri
+    (fun i w ->
+      if i < Array.length t.files then Format.fprintf ppf "  T%d w=%g -> F%d delta=%g@\n" (i + 1) w (i + 1) t.files.(i)
+      else Format.fprintf ppf "  T%d w=%g@\n" (i + 1) w)
+    t.work

@@ -1,0 +1,22 @@
+(** A streaming application: a linear chain of [N] stages (§2.1).
+
+    Stage [i] (0-based here, [T_{i+1}] in the paper) has computational size
+    [work i] flop and sends a file of [file_size i] bytes to stage [i+1].
+    There are [N-1] files for [N] stages. *)
+
+type t
+
+val create : work:float array -> files:float array -> t
+(** Raises [Invalid_argument] unless [length files = length work - 1],
+    every work is positive and every file size is non-negative. *)
+
+val n_stages : t -> int
+val work : t -> int -> float
+val file_size : t -> int -> float
+(** [file_size app i] is the size of the file produced by stage [i],
+    for [0 <= i < n_stages - 1]. *)
+
+val uniform : n:int -> work:float -> file:float -> t
+(** [n] identical stages with identical file sizes. *)
+
+val pp : Format.formatter -> t -> unit

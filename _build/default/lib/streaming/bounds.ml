@@ -1,0 +1,15 @@
+type t = { lower : float; upper : float }
+
+let compute ?pattern_cap ?strict_cap mapping model =
+  let upper = Deterministic.throughput mapping model in
+  let lower =
+    match model with
+    | Model.Overlap -> Expo.overlap_throughput ?pattern_cap mapping
+    | Model.Strict -> Expo.strict_throughput ?cap:strict_cap mapping
+  in
+  { lower; upper }
+
+let contains ?(slack = 0.02) t rho =
+  rho >= t.lower *. (1.0 -. slack) && rho <= t.upper *. (1.0 +. slack)
+
+let width t = (t.upper -. t.lower) /. t.upper

@@ -1,0 +1,22 @@
+(** Theorem 7: for arbitrary I.I.D. N.B.U.E. computation and communication
+    times, the throughput is sandwiched between the exponential case
+    (lower bound) and the deterministic case (upper bound), both taken
+    with the same means. *)
+
+type t = {
+  lower : float;  (** throughput with exponential times of the same means *)
+  upper : float;  (** throughput with constant times equal to the means *)
+}
+
+val compute : ?pattern_cap:int -> ?strict_cap:int -> Mapping.t -> Model.t -> t
+(** Exact bounds: {!Deterministic.throughput} above,
+    {!Expo.throughput} below.  For the Strict model the exponential value
+    goes through the general Markov method, whose marking space is capped
+    by [strict_cap]. *)
+
+val contains : ?slack:float -> t -> float -> bool
+(** [contains b rho] with a multiplicative [slack] (default 2%) to absorb
+    simulation noise. *)
+
+val width : t -> float
+(** Relative width [(upper - lower) / upper]. *)

@@ -1,0 +1,87 @@
+type communication = {
+  file : int;
+  residue : int;
+  u : int;
+  v : int;
+  senders : int array;
+  receivers : int array;
+}
+
+type component = Compute of { stage : int; proc : int } | Communication of communication
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let pattern_time mapping comm ~sender ~receiver =
+  Mapping.comm_time mapping ~file:comm.file ~src:comm.senders.(sender)
+    ~dst:comm.receivers.(receiver)
+
+let is_homogeneous mapping comm =
+  let reference = pattern_time mapping comm ~sender:0 ~receiver:0 in
+  let same = ref true in
+  for s = 0 to comm.u - 1 do
+    for r = 0 to comm.v - 1 do
+      let t = pattern_time mapping comm ~sender:s ~receiver:r in
+      if abs_float (t -. reference) > 1e-12 *. reference then same := false
+    done
+  done;
+  !same
+
+let communication_components mapping file =
+  let senders_team = Mapping.team mapping file in
+  let receivers_team = Mapping.team mapping (file + 1) in
+  let r_in = Array.length senders_team and r_out = Array.length receivers_team in
+  let g = gcd r_in r_out in
+  let u = r_in / g and v = r_out / g in
+  List.init g (fun residue ->
+      Communication
+        {
+          file;
+          residue;
+          u;
+          v;
+          senders = Array.init u (fun a -> senders_team.((residue + (a * g)) mod r_in));
+          receivers = Array.init v (fun b -> receivers_team.((residue + (b * g)) mod r_out));
+        })
+
+let components mapping =
+  let n = Mapping.n_stages mapping in
+  let per_stage stage =
+    let computes =
+      Array.to_list (Mapping.team mapping stage) |> List.map (fun p -> Compute { stage; proc = p })
+    in
+    if stage < n - 1 then computes @ communication_components mapping stage else computes
+  in
+  List.concat_map per_stage (List.init n Fun.id)
+
+let rows_of mapping = function
+  | Compute { stage; proc } ->
+      let team = Mapping.team mapping stage in
+      let r_i = Array.length team in
+      let idx =
+        match Array.find_index (Int.equal proc) team with
+        | Some idx -> idx
+        | None -> invalid_arg "Columns: processor not in team"
+      in
+      let m = Mapping.rows mapping in
+      List.init (m / r_i) (fun k -> idx + (k * r_i))
+  | Communication { file; residue; u; v; _ } ->
+      let g =
+        gcd (Array.length (Mapping.team mapping file)) (Array.length (Mapping.team mapping (file + 1)))
+      in
+      ignore (u, v);
+      let m = Mapping.rows mapping in
+      List.init (m / g) (fun k -> residue + (k * g))
+
+let fold_throughput mapping ~inner =
+  let m = Mapping.rows mapping in
+  let row_rate = Array.make m infinity in
+  List.iter
+    (fun component ->
+      let rows = rows_of mapping component in
+      let count = float_of_int (List.length rows) in
+      let inner_per_row = inner component /. count in
+      let input_rate = List.fold_left (fun acc j -> min acc row_rate.(j)) infinity rows in
+      let rate = min inner_per_row input_rate in
+      List.iter (fun j -> row_rate.(j) <- rate) rows)
+    (components mapping);
+  Array.fold_left ( +. ) 0.0 row_rate

@@ -1,0 +1,41 @@
+(** Per-column decomposition of the Overlap TPN (Theorems 1, 3, 4).
+
+    Under the Overlap model, every cycle of the TPN stays within a single
+    column, and the columns form a feed-forward DAG of strongly connected
+    components: one component per processor in a computation column, and
+    [g = gcd(R_i, R_{i+1})] pattern components in a communication column.
+
+    The steady-state throughput follows by saturation: a component's
+    per-row rate is the minimum of its own inner per-row rate and the
+    per-row rates of the components feeding its rows; the global
+    throughput is the sum over the rows of their final rates.  (The
+    paper's Theorem 4 states the same min-composition per component; the
+    per-row normalisation makes it exact when components span different
+    row subsets.) *)
+
+type communication = {
+  file : int;  (** file index [0 .. N-2] *)
+  residue : int;  (** component id within the column: rows ≡ residue (mod g) *)
+  u : int;  (** senders in the pattern, [R_i / g] *)
+  v : int;  (** receivers in the pattern, [R_{i+1} / g] *)
+  senders : int array;  (** processor id per sender slot *)
+  receivers : int array;  (** processor id per receiver slot *)
+}
+
+type component =
+  | Compute of { stage : int; proc : int }
+  | Communication of communication
+
+val pattern_time : Mapping.t -> communication -> sender:int -> receiver:int -> float
+(** Nominal transfer time between the processors of two pattern slots. *)
+
+val is_homogeneous : Mapping.t -> communication -> bool
+(** Whether all links of the component share the same nominal time. *)
+
+val components : Mapping.t -> component list
+(** All components, column by column from the first stage to the last. *)
+
+val fold_throughput : Mapping.t -> inner:(component -> float) -> float
+(** Propagates per-row rates down the columns.  [inner c] must return the
+    inner throughput of the component (data sets per time unit for the
+    whole component, in isolation). *)

@@ -1,0 +1,49 @@
+(** Throughput with constant computation and communication times (§4).
+
+    The period of the TPN is the maximum cycle ratio of its event graph;
+    during one period every transition of a (coupled) net fires exactly
+    once, so its [m] last-column transitions complete [m] data sets and
+    the throughput is [m / period] — the paper's formula.  When the
+    replication factors share a common divisor the TPN splits into
+    independent sub-pipelines; {!analyse} then sums the per-component
+    rates (the paper's global formula would report every component at the
+    slowest one's pace).  The analysis also reports the critical-resource
+    lower bound Mct of §2.3, allowing the detection of mappings *without*
+    critical resource — where replication makes the achievable period
+    strictly larger than every resource cycle time. *)
+
+type analysis = {
+  model : Model.t;
+  tpn_period : float;  (** global maximum cycle ratio of the TPN *)
+  paper_period : float;
+      (** the paper's per-data-set period [tpn_period / m]; equals
+          [period] on coupled nets, exceeds it when the TPN splits into
+          components of different speeds *)
+  period : float;  (** time between consecutive completions: 1/throughput *)
+  throughput : float;  (** sum over weak components of m_c / P_c *)
+  mct : float;  (** largest resource cycle time per data set (§2.3) *)
+  bottleneck : string;  (** resource achieving Mct *)
+  critical_transitions : string list;  (** labels along a critical cycle *)
+}
+
+val critical_resource_gap : analysis -> float
+(** Relative gap [(paper_period - mct) / mct], the §7.1 comparison; a gap
+    above numerical noise means the mapping has no critical resource. *)
+
+val has_critical_resource : ?tolerance:float -> analysis -> bool
+
+val analyse_tpn : Tpn.t -> analysis
+val analyse : Mapping.t -> Model.t -> analysis
+
+val throughput : Mapping.t -> Model.t -> float
+(** The exact deterministic throughput: the per-column decomposition for
+    Overlap (rows of a connected component can still drift apart there),
+    the per-component critical cycles of {!analyse} for Strict (blocking
+    sends couple every row of a component). *)
+
+val overlap_throughput_decomposed : Mapping.t -> float
+(** Theorem 1's polynomial route for the Overlap model: per-column pattern
+    components analysed independently, composed by per-row saturation.
+    Agrees with [analyse m Overlap] whenever a single resource ring spans
+    all rows downstream (e.g. an unreplicated last stage), and is the
+    exact throughput in general. *)

@@ -1,0 +1,101 @@
+let overlap_throughput ?pattern_cap ?(closed_form_only = false) mapping =
+  let inner = function
+    | Columns.Compute { stage; proc } -> 1.0 /. Mapping.comp_time mapping ~stage ~proc
+    | Columns.Communication comm ->
+        let u = comm.Columns.u and v = comm.Columns.v in
+        if Columns.is_homogeneous mapping comm then
+          let lambda = 1.0 /. Columns.pattern_time mapping comm ~sender:0 ~receiver:0 in
+          Young.Pattern.homogeneous_inner_throughput ~u ~v ~lambda
+        else if closed_form_only then
+          invalid_arg "Expo.overlap_throughput: heterogeneous component under closed_form_only"
+        else
+          Young.Pattern.exponential_inner_throughput ?cap:pattern_cap ~u ~v
+            ~rate:(fun ~sender ~receiver ->
+              1.0 /. Columns.pattern_time mapping comm ~sender ~receiver)
+            ()
+  in
+  Columns.fold_throughput mapping ~inner
+
+let markov_throughput ?cap tpn =
+  let teg = Tpn.teg tpn in
+  let rates v = 1.0 /. Petrinet.Teg.time teg v in
+  let chain = Markov.Tpn_markov.analyse ?cap ~rates teg in
+  Markov.Tpn_markov.throughput_of chain (Tpn.last_column tpn)
+
+let strict_throughput ?cap mapping = markov_throughput ?cap (Tpn.build mapping Model.Strict)
+
+(* Bound every row-forward place of the Overlap TPN by a back-place with
+   [buffer] tokens: the marking space becomes finite, at the price of a
+   blocking semantics that underestimates the true throughput (the gap
+   vanishes as the buffer grows). *)
+let bound_row_places tpn ~buffer =
+  let teg = Tpn.teg tpn in
+  let forward =
+    List.filter
+      (fun p ->
+        (* row-forward places: same row, next column (ring places stay in
+           one column, self-loops are excluded by the column test) *)
+        Tpn.row_of tpn p.Petrinet.Teg.src = Tpn.row_of tpn p.Petrinet.Teg.dst
+        && Tpn.col_of tpn p.Petrinet.Teg.dst = Tpn.col_of tpn p.Petrinet.Teg.src + 1)
+      (Petrinet.Teg.places teg)
+  in
+  List.iter
+    (fun p -> Petrinet.Teg.add_place teg ~src:p.Petrinet.Teg.dst ~dst:p.Petrinet.Teg.src ~tokens:buffer)
+    forward
+
+let general_throughput ?cap ?(buffer = 4) mapping model =
+  let tpn = Tpn.build mapping model in
+  (match model with
+  | Model.Overlap -> bound_row_places tpn ~buffer
+  | Model.Strict -> ());
+  markov_throughput ?cap tpn
+
+let throughput mapping = function
+  | Model.Overlap -> overlap_throughput mapping
+  | Model.Strict -> strict_throughput mapping
+
+let overlap_throughput_erlang ?pattern_cap ~phases mapping =
+  if phases < 1 then invalid_arg "Expo.overlap_throughput_erlang: phases must be at least 1";
+  let inner = function
+    | Columns.Compute { stage; proc } ->
+        (* a saturated single server completes at 1/mean for any law *)
+        1.0 /. Mapping.comp_time mapping ~stage ~proc
+    | Columns.Communication comm ->
+        Young.Pattern.erlang_inner_throughput ?cap:pattern_cap ~phases ~u:comm.Columns.u
+          ~v:comm.Columns.v
+          ~rate:(fun ~sender ~receiver ->
+            1.0 /. Columns.pattern_time mapping comm ~sender ~receiver)
+          ()
+  in
+  Columns.fold_throughput mapping ~inner
+
+let strict_throughput_erlang ?cap ~phases mapping =
+  if phases < 1 then invalid_arg "Expo.strict_throughput_erlang: phases must be at least 1";
+  let tpn = Tpn.build mapping Model.Strict in
+  let teg = Tpn.teg tpn in
+  let expansion = Petrinet.Expand.erlang ~phases:(fun _ -> phases) teg in
+  let original_rate v = 1.0 /. Petrinet.Teg.time teg v in
+  let rates id = Petrinet.Expand.phase_rates expansion ~original_rate id in
+  let chain = Markov.Tpn_markov.analyse ?cap ~rates (Petrinet.Expand.teg expansion) in
+  Markov.Tpn_markov.throughput_of chain
+    (List.map (fun v -> Petrinet.Expand.last expansion v) (Tpn.last_column tpn))
+
+let overlap_throughput_ph ?pattern_cap ~ph mapping =
+  let inner = function
+    | Columns.Compute { stage; proc } ->
+        (* a saturated single server completes at 1/mean for any law *)
+        1.0 /. Mapping.comp_time mapping ~stage ~proc
+    | Columns.Communication comm ->
+        Young.Pattern.ph_inner_throughput ?cap:pattern_cap ~u:comm.Columns.u ~v:comm.Columns.v
+          ~ph:(fun ~sender ~receiver ->
+            ph (Resource.Transfer (comm.Columns.senders.(sender), comm.Columns.receivers.(receiver))))
+          ()
+  in
+  Columns.fold_throughput mapping ~inner
+
+let strict_throughput_ph ?cap ~ph mapping =
+  let tpn = Tpn.build mapping Model.Strict in
+  let teg = Tpn.teg tpn in
+  let ph_of v = ph (Tpn.resource_of tpn v) in
+  let chain = Markov.Tpn_markov_ph.analyse ?cap ~ph_of teg in
+  Markov.Tpn_markov_ph.throughput_of chain (Tpn.last_column tpn)

@@ -1,0 +1,59 @@
+(** Throughput with I.I.D. exponential computation and communication times
+    (§5).  Rates are the inverses of the nominal (mean) durations of the
+    mapping. *)
+
+val overlap_throughput : ?pattern_cap:int -> ?closed_form_only:bool -> Mapping.t -> float
+(** Theorem 3's per-column decomposition for the Overlap model.
+    Each communication component is analysed through its pattern CTMC
+    (S(u,v) states), except that components with homogeneous link times use
+    Theorem 4's closed form u*v*lambda/(u+v-1) directly.  With
+    [closed_form_only] (default false), a heterogeneous component raises
+    [Invalid_argument] instead of building the CTMC — this is the
+    polynomial-time algorithm of Theorem 4. *)
+
+val strict_throughput : ?cap:int -> Mapping.t -> float
+(** Theorem 2's general method on the Strict TPN: reachable markings →
+    CTMC → stationary firing rate of the last column.  The Strict TPN is
+    covered by token-invariant cycles, so its marking space is finite; the
+    cost is exponential in the replication factors. *)
+
+val general_throughput : ?cap:int -> ?buffer:int -> Mapping.t -> Model.t -> float
+(** The general method on the full TPN of either model.  The Overlap TPN
+    has unbounded forward places, so for [Model.Overlap] the row places
+    are bounded by back-places holding [buffer] tokens (default 4) —
+    a finite blocking approximation that converges to the true throughput
+    from below as [buffer] grows.  For [Model.Strict] this is exact and
+    [buffer] is ignored. *)
+
+val throughput : Mapping.t -> Model.t -> float
+(** Dispatch: {!overlap_throughput} for Overlap, {!strict_throughput} for
+    Strict. *)
+
+val overlap_throughput_erlang : ?pattern_cap:int -> phases:int -> Mapping.t -> float
+(** Exact throughput when every operation time is Erlang([phases]) with
+    the nominal means (Overlap model): same per-column decomposition as
+    {!overlap_throughput}, with each communication pattern analysed
+    through its phase-expanded marking CTMC.  [phases = 1] is the
+    exponential case; increasing [phases] interpolates monotonically
+    towards the deterministic case — an exact refinement of the Theorem 7
+    sandwich for Erlang laws (which are N.B.U.E.).  Computation
+    components are insensitive (a saturated serial server produces at
+    rate 1/mean under any law). *)
+
+val strict_throughput_erlang : ?cap:int -> phases:int -> Mapping.t -> float
+(** The general method on the phase-expanded Strict TPN: exact Erlang
+    throughput, at a marking-space cost growing quickly with [phases]. *)
+
+val overlap_throughput_ph : ?pattern_cap:int -> ph:(Resource.t -> Markov.Ph.t) -> Mapping.t -> float
+(** Exact throughput for arbitrary phase-type operation times (Overlap
+    model), through the phase-augmented marking chains of
+    {!Markov.Tpn_markov_ph}.  The law of each resource must have the
+    resource's nominal mean (use {!Markov.Ph.with_mean}); computation
+    components are rate-insensitive, communication patterns are solved
+    exactly.  Hyperexponential (D.F.R.) laws give exact values *below*
+    the exponential bound of Theorem 7. *)
+
+val strict_throughput_ph : ?cap:int -> ph:(Resource.t -> Markov.Ph.t) -> Mapping.t -> float
+(** The phase-augmented general method on the Strict TPN: exact throughput
+    for arbitrary phase-type operation times.  State space = markings ×
+    enabled phases; keep laws and replication small. *)

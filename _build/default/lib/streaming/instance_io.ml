@@ -1,0 +1,138 @@
+let strip_comment line = match String.index_opt line '#' with None -> line | Some i -> String.sub line 0 i
+
+let tokens_of_line line =
+  strip_comment line |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let n_stages = ref None in
+  let work = ref None in
+  let files = ref None in
+  let n_procs = ref None in
+  let speeds = ref None in
+  let bw_default = ref None in
+  let bw_overrides = ref [] in
+  let teams = ref [] in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let float_of s = match float_of_string_opt s with Some f -> Some f | None -> None in
+  let floats rest =
+    let parsed = List.map float_of rest in
+    if List.exists (( = ) None) parsed then None
+    else Some (Array.of_list (List.map Option.get parsed))
+  in
+  let ints rest =
+    let parsed = List.map int_of_string_opt rest in
+    if List.exists (( = ) None) parsed then None
+    else Some (Array.of_list (List.map Option.get parsed))
+  in
+  List.iteri
+    (fun lineno raw ->
+      let lineno = lineno + 1 in
+      match tokens_of_line raw with
+      | [] -> ()
+      | "stages" :: [ n ] -> (
+          match int_of_string_opt n with
+          | Some n -> n_stages := Some n
+          | None -> fail (Printf.sprintf "line %d: bad stage count" lineno))
+      | "processors" :: [ n ] -> (
+          match int_of_string_opt n with
+          | Some n -> n_procs := Some n
+          | None -> fail (Printf.sprintf "line %d: bad processor count" lineno))
+      | "work" :: rest -> (
+          match floats rest with
+          | Some a -> work := Some a
+          | None -> fail (Printf.sprintf "line %d: bad work sizes" lineno))
+      | "files" :: rest -> (
+          match floats rest with
+          | Some a -> files := Some a
+          | None -> fail (Printf.sprintf "line %d: bad file sizes" lineno))
+      | "speeds" :: rest -> (
+          match floats rest with
+          | Some a -> speeds := Some a
+          | None -> fail (Printf.sprintf "line %d: bad speeds" lineno))
+      | [ "bandwidth"; "default"; v ] -> (
+          match float_of v with
+          | Some b -> bw_default := Some b
+          | None -> fail (Printf.sprintf "line %d: bad default bandwidth" lineno))
+      | [ "bandwidth"; p; q; v ] -> (
+          match (int_of_string_opt p, int_of_string_opt q, float_of v) with
+          | Some p, Some q, Some b -> bw_overrides := (p, q, b) :: !bw_overrides
+          | _ -> fail (Printf.sprintf "line %d: bad bandwidth override" lineno))
+      | "team" :: rest -> (
+          match ints rest with
+          | Some a when Array.length a > 0 -> teams := a :: !teams
+          | _ -> fail (Printf.sprintf "line %d: bad team" lineno))
+      | keyword :: _ -> fail (Printf.sprintf "line %d: unknown keyword %s" lineno keyword))
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None -> (
+      match (!n_stages, !work, !n_procs, !speeds, !bw_default) with
+      | None, _, _, _, _ -> Error "missing 'stages'"
+      | _, None, _, _, _ -> Error "missing 'work'"
+      | _, _, None, _, _ -> Error "missing 'processors'"
+      | _, _, _, None, _ -> Error "missing 'speeds'"
+      | _, _, _, _, None -> Error "missing 'bandwidth default'"
+      | Some n, Some work, Some m, Some speeds, Some bw ->
+          let files = match !files with Some f -> f | None -> [||] in
+          let teams = Array.of_list (List.rev !teams) in
+          if Array.length teams <> n then Error "need exactly one 'team' line per stage"
+          else begin
+            let bandwidth = Array.init m (fun _ -> Array.make m bw) in
+            List.iter
+              (fun (p, q, b) ->
+                if p >= 0 && p < m && q >= 0 && q < m then bandwidth.(p).(q) <- b)
+              !bw_overrides;
+            try
+              let app = Application.create ~work ~files in
+              let platform = Platform.create ~speeds ~bandwidth in
+              Ok (Mapping.create ~app ~platform ~teams)
+            with Invalid_argument msg -> Error msg
+          end)
+
+(* shortest decimal representation that parses back to the same float,
+   so that printed instances round-trip exactly *)
+let exact_float v =
+  let short = Printf.sprintf "%.12g" v in
+  if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let print ppf mapping =
+  let app = Mapping.app mapping in
+  let platform = Mapping.platform mapping in
+  let n = Application.n_stages app in
+  let m = Platform.n_processors platform in
+  Format.fprintf ppf "stages %d@\n" n;
+  Format.fprintf ppf "work";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf " %s" (exact_float (Application.work app i))
+  done;
+  Format.fprintf ppf "@\nfiles";
+  for i = 0 to n - 2 do
+    Format.fprintf ppf " %s" (exact_float (Application.file_size app i))
+  done;
+  Format.fprintf ppf "@\nprocessors %d@\nspeeds" m;
+  for p = 0 to m - 1 do
+    Format.fprintf ppf " %s" (exact_float (Platform.speed platform p))
+  done;
+  Format.fprintf ppf "@\nbandwidth default %s@\n"
+    (exact_float (Platform.bandwidth platform ~src:0 ~dst:(min 1 (m - 1))));
+  let default = Platform.bandwidth platform ~src:0 ~dst:(min 1 (m - 1)) in
+  for p = 0 to m - 1 do
+    for q = 0 to m - 1 do
+      if p <> q && Platform.bandwidth platform ~src:p ~dst:q <> default then
+        Format.fprintf ppf "bandwidth %d %d %s@\n" p q (exact_float (Platform.bandwidth platform ~src:p ~dst:q))
+    done
+  done;
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "team";
+    Array.iter (fun p -> Format.fprintf ppf " %d" p) (Mapping.team mapping i);
+    Format.fprintf ppf "@\n"
+  done

@@ -1,0 +1,28 @@
+(** A small textual format for problem instances, so that the command-line
+    tool can analyse user-provided mappings.
+
+    Example:
+    {v
+    # four stages on seven processors
+    stages    4
+    work      52 48 72 32
+    files     24 36 28
+    processors 7
+    speeds    2 0.8 1.1 0.9 1.3 0.7 1.6
+    bandwidth default 0.5
+    bandwidth 0 1 0.35        # src dst value, overrides the default
+    team 0                    # one line per stage, processor ids
+    team 1 2
+    team 3 4 5
+    team 6
+    v}
+
+    Lines starting with [#] (or trailing [#] comments) are ignored. *)
+
+val parse : string -> (Mapping.t, string) result
+(** Parse the contents of an instance description. *)
+
+val parse_file : string -> (Mapping.t, string) result
+
+val print : Format.formatter -> Mapping.t -> unit
+(** Write a mapping back in the same format. *)

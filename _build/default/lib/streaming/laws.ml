@@ -1,0 +1,6 @@
+type t = Resource.t -> Dist.t
+
+let deterministic mapping r = Dist.Deterministic (Mapping.mean_time mapping r)
+let exponential mapping r = Dist.exponential_of_mean (Mapping.mean_time mapping r)
+let of_family mapping ~family r = family (Mapping.mean_time mapping r)
+let all_nbue mapping laws = List.for_all (fun r -> Dist.is_nbue (laws r)) (Mapping.resources mapping)

@@ -1,0 +1,17 @@
+(** Assignment of a random law to every resource of a mapping (§2.4, the
+    "independent case": one I.I.D. sequence per processor and per link). *)
+
+type t = Resource.t -> Dist.t
+
+val deterministic : Mapping.t -> t
+(** Every operation takes exactly its nominal duration. *)
+
+val exponential : Mapping.t -> t
+(** Exponential laws with the nominal durations as means. *)
+
+val of_family : Mapping.t -> family:(float -> Dist.t) -> t
+(** [of_family m ~family] applies [family] to each resource's nominal mean
+    duration — e.g. [fun mu -> Dist.Uniform (0.5 *. mu, 1.5 *. mu)]. *)
+
+val all_nbue : Mapping.t -> t -> bool
+(** Whether every resource's law is N.B.U.E. (hypothesis of Theorem 7). *)

@@ -1,0 +1,92 @@
+type t = {
+  app : Application.t;
+  platform : Platform.t;
+  teams : int array array;
+  stage_of_proc : int option array;
+  m : int;  (** lcm of the replication factors *)
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let lcm a b =
+  let g = gcd a b in
+  let r = a / g * b in
+  if r <= 0 || r / b <> a / g then invalid_arg "Mapping: lcm of replication factors overflows";
+  r
+
+let create ~app ~platform ~teams =
+  let n = Application.n_stages app in
+  let m_procs = Platform.n_processors platform in
+  if Array.length teams <> n then invalid_arg "Mapping.create: one team per stage required";
+  let stage_of_proc = Array.make m_procs None in
+  Array.iteri
+    (fun i team ->
+      if Array.length team = 0 then invalid_arg "Mapping.create: empty team";
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= m_procs then invalid_arg "Mapping.create: processor id out of range";
+          match stage_of_proc.(p) with
+          | Some _ -> invalid_arg "Mapping.create: a processor may execute at most one stage"
+          | None -> stage_of_proc.(p) <- Some i)
+        team)
+    teams;
+  let m = Array.fold_left (fun acc team -> lcm acc (Array.length team)) 1 teams in
+  { app; platform; teams = Array.map Array.copy teams; stage_of_proc; m }
+
+let app t = t.app
+let platform t = t.platform
+let n_stages t = Application.n_stages t.app
+let n_processors t = Platform.n_processors t.platform
+let team t i = Array.copy t.teams.(i)
+let replication t = Array.map Array.length t.teams
+let rows t = t.m
+let proc_at t ~stage ~row = t.teams.(stage).(row mod Array.length t.teams.(stage))
+let stage_of t p = t.stage_of_proc.(p)
+
+let comp_time t ~stage ~proc = Application.work t.app stage /. Platform.speed t.platform proc
+
+let comm_time t ~file ~src ~dst =
+  Application.file_size t.app file /. Platform.bandwidth t.platform ~src ~dst
+
+let mean_time t resource =
+  match resource with
+  | Resource.Compute p -> (
+      match t.stage_of_proc.(p) with
+      | Some stage -> comp_time t ~stage ~proc:p
+      | None -> invalid_arg "Mapping.mean_time: processor not mapped")
+  | Resource.Transfer (src, dst) -> (
+      match (t.stage_of_proc.(src), t.stage_of_proc.(dst)) with
+      | Some i, Some j when j = i + 1 -> comm_time t ~file:i ~src ~dst
+      | _ -> invalid_arg "Mapping.mean_time: link not used by the mapping")
+
+let resources t =
+  let computes =
+    Array.to_list t.teams |> List.concat_map Array.to_list
+    |> List.sort compare
+    |> List.map (fun p -> Resource.Compute p)
+  in
+  let transfers = ref [] in
+  for i = n_stages t - 2 downto 0 do
+    let senders = t.teams.(i) and receivers = t.teams.(i + 1) in
+    (* The round-robin pairs sender index a with receiver index b on rows
+       j ≡ a (mod R_i), j ≡ b (mod R_{i+1}): the link exists iff a ≡ b
+       modulo gcd(R_i, R_{i+1}). *)
+    let g = gcd (Array.length senders) (Array.length receivers) in
+    Array.iteri
+      (fun b q ->
+        Array.iteri
+          (fun a p -> if a mod g = b mod g then transfers := Resource.Transfer (p, q) :: !transfers)
+          senders)
+      receivers
+  done;
+  computes @ !transfers
+
+let pp ppf t =
+  Format.fprintf ppf "mapping (%d stages on %d processors, %d paths)@\n" (n_stages t)
+    (n_processors t) t.m;
+  Array.iteri
+    (fun i team ->
+      Format.fprintf ppf "  T%d -> {" (i + 1);
+      Array.iteri (fun k p -> Format.fprintf ppf "%sP%d" (if k > 0 then ", " else "") p) team;
+      Format.fprintf ppf "}@\n")
+    t.teams

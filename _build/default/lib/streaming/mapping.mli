@@ -1,0 +1,53 @@
+(** A one-to-many mapping of an application onto a platform (§2.2).
+
+    Each stage is assigned a non-empty *team* of processors; a processor
+    belongs to at most one team.  The processors of a team serve successive
+    data sets in round-robin order: data set [n] is handled, at stage [i],
+    by [team.(i).(n mod R_i)].  By Proposition 1 the data sets follow
+    [m = lcm(R_1, ..., R_N)] distinct paths, and data set [n] follows path
+    [n mod m]. *)
+
+type t
+
+val create : app:Application.t -> platform:Platform.t -> teams:int array array -> t
+(** Raises [Invalid_argument] if a team is empty, a processor id is out of
+    range or a processor appears in two teams (or twice in one). *)
+
+val app : t -> Application.t
+val platform : t -> Platform.t
+val n_stages : t -> int
+val n_processors : t -> int
+
+val team : t -> int -> int array
+(** Processor ids of the team of a stage (copy). *)
+
+val replication : t -> int array
+(** [R_i] for every stage. *)
+
+val rows : t -> int
+(** [m = lcm(R_1, ..., R_N)] — the number of distinct data paths. *)
+
+val proc_at : t -> stage:int -> row:int -> int
+(** The processor handling the given stage on the given path. *)
+
+val stage_of : t -> int -> int option
+(** The stage a processor is assigned to, if any. *)
+
+val comp_time : t -> stage:int -> proc:int -> float
+(** [w_i / s_p]. *)
+
+val comm_time : t -> file:int -> src:int -> dst:int -> float
+(** delta_i / b_(src,dst). *)
+
+val mean_time : t -> Resource.t -> float
+(** Nominal (deterministic / mean) duration of one operation on the
+    resource.  Well defined because a processor computes a single stage,
+    hence a link between two mapped processors carries a single file type.
+    Raises [Invalid_argument] for a resource not used by the mapping. *)
+
+val resources : t -> Resource.t list
+(** Every resource the mapping uses: one [Compute] per mapped processor and
+    one [Transfer] per (sender, receiver) pair of consecutive teams, in a
+    deterministic order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+type t = Overlap | Strict
+
+let pp ppf = function
+  | Overlap -> Format.pp_print_string ppf "overlap"
+  | Strict -> Format.pp_print_string ppf "strict"
+
+let to_string m = Format.asprintf "%a" pp m
+let all = [ Overlap; Strict ]

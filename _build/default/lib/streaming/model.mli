@@ -1,0 +1,12 @@
+(** The two execution models of the paper (§2.1).
+
+    Under {!Overlap} a processor can simultaneously receive the next data
+    set, compute the current one and send the previous one (multi-threaded
+    program, full-duplex one-port network interfaces).  Under {!Strict} the
+    three operations of a data set are serialized on the processor. *)
+
+type t = Overlap | Strict
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val all : t list

@@ -1,0 +1,31 @@
+type t = { speeds : float array; bandwidth : float array array }
+
+let create ~speeds ~bandwidth =
+  let m = Array.length speeds in
+  if m = 0 then invalid_arg "Platform.create: no processors";
+  Array.iter (fun s -> if s <= 0.0 then invalid_arg "Platform.create: speed must be positive") speeds;
+  if Array.length bandwidth <> m then invalid_arg "Platform.create: bandwidth matrix size mismatch";
+  Array.iteri
+    (fun p row ->
+      if Array.length row <> m then invalid_arg "Platform.create: bandwidth matrix not square";
+      Array.iteri
+        (fun q b -> if p <> q && b <= 0.0 then invalid_arg "Platform.create: bandwidth must be positive")
+        row)
+    bandwidth;
+  { speeds = Array.copy speeds; bandwidth = Array.map Array.copy bandwidth }
+
+let of_link_function ~n ~speeds ~bw =
+  if Array.length speeds <> n then invalid_arg "Platform.of_link_function: speeds size mismatch";
+  let bandwidth = Array.init n (fun p -> Array.init n (fun q -> if p = q then 1.0 else bw p q)) in
+  create ~speeds ~bandwidth
+
+let fully_connected ~speeds ~bw =
+  of_link_function ~n:(Array.length speeds) ~speeds ~bw:(fun _ _ -> bw)
+
+let n_processors t = Array.length t.speeds
+let speed t p = t.speeds.(p)
+let bandwidth t ~src ~dst = t.bandwidth.(src).(dst)
+
+let pp ppf t =
+  Format.fprintf ppf "platform with %d processors@\n" (n_processors t);
+  Array.iteri (fun p s -> Format.fprintf ppf "  P%d speed=%g@\n" p s) t.speeds

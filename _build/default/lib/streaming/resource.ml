@@ -1,0 +1,10 @@
+type t = Compute of int | Transfer of int * int
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Compute p -> Format.fprintf ppf "P%d" p
+  | Transfer (p, q) -> Format.fprintf ppf "P%d->P%d" p q
+
+let to_string r = Format.asprintf "%a" pp r

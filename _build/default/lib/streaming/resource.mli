@@ -1,0 +1,14 @@
+(** Hardware resources of a mapping.
+
+    The paper's I.I.D. hypothesis attaches one random law per resource: all
+    computations on a processor draw from the processor's law, all
+    transfers on a link from the link's law (§2.4). *)
+
+type t =
+  | Compute of int  (** processor id *)
+  | Transfer of int * int  (** link src → dst *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,45 @@
+type gain = { resource : Resource.t; baseline : float; upgraded : float; relative_gain : float }
+
+(* rebuild the mapping with one resource accelerated *)
+let accelerate mapping resource factor =
+  let platform = Mapping.platform mapping in
+  let m = Platform.n_processors platform in
+  let speeds =
+    Array.init m (fun p ->
+        let s = Platform.speed platform p in
+        match resource with Resource.Compute q when q = p -> s *. factor | _ -> s)
+  in
+  let bandwidth =
+    Array.init m (fun p ->
+        Array.init m (fun q ->
+            let b = if p = q then 1.0 else Platform.bandwidth platform ~src:p ~dst:q in
+            match resource with
+            | Resource.Transfer (p', q') when p' = p && q' = q -> b *. factor
+            | _ -> b))
+  in
+  let app = Mapping.app mapping in
+  let teams =
+    Array.init (Mapping.n_stages mapping) (fun i -> Mapping.team mapping i)
+  in
+  Mapping.create ~app ~platform:(Platform.create ~speeds ~bandwidth) ~teams
+
+let upgrade_gains ?(factor = 1.25) mapping model =
+  if factor <= 1.0 then invalid_arg "Sensitivity.upgrade_gains: factor must exceed 1";
+  let baseline = Deterministic.throughput mapping model in
+  Mapping.resources mapping
+  |> List.map (fun resource ->
+         let upgraded = Deterministic.throughput (accelerate mapping resource factor) model in
+         { resource; baseline; upgraded; relative_gain = (upgraded /. baseline) -. 1.0 })
+  |> List.sort (fun a b -> compare b.relative_gain a.relative_gain)
+
+let best_upgrade ?factor mapping model =
+  match upgrade_gains ?factor mapping model with
+  | best :: _ -> best
+  | [] -> invalid_arg "Sensitivity.best_upgrade: no resources"
+
+let pp ppf gains =
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "  %-12s %8.4f -> %8.4f  (%+.1f%%)@\n"
+        (Resource.to_string g.resource) g.baseline g.upgraded (100.0 *. g.relative_gain))
+    gains

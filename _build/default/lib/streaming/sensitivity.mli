@@ -1,0 +1,26 @@
+(** What-if analysis: which resource is worth upgrading?
+
+    For each resource of the mapping, re-evaluate the throughput with that
+    resource sped up by a given factor and report the gain.  Because
+    replication decouples the period from any single resource cycle time
+    (§4), the answer is not always the resource with the highest
+    utilization — upgrading a fully-busy processor inside a balanced
+    pattern may yield nothing, while a seemingly idle one gates a whole
+    round-robin.  Built on the deterministic evaluator (polynomial). *)
+
+type gain = {
+  resource : Resource.t;
+  baseline : float;  (** throughput before the upgrade *)
+  upgraded : float;  (** throughput with this resource sped up *)
+  relative_gain : float;  (** upgraded/baseline - 1 *)
+}
+
+val upgrade_gains : ?factor:float -> Mapping.t -> Model.t -> gain list
+(** [factor] (default 1.25) multiplies the resource's speed (processor) or
+    bandwidth (link).  Gains are sorted in decreasing order. *)
+
+val best_upgrade : ?factor:float -> Mapping.t -> Model.t -> gain
+(** Head of {!upgrade_gains}; raises [Invalid_argument] on an empty
+    mapping (cannot happen for valid mappings). *)
+
+val pp : Format.formatter -> gain list -> unit

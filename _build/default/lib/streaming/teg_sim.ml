@@ -1,0 +1,33 @@
+let completions mapping model ~laws ~seed ~data_sets =
+  if data_sets < 1 then invalid_arg "Teg_sim.completions: need at least one data set";
+  let tpn = Tpn.build mapping model in
+  let teg = Tpn.teg tpn in
+  let m = Tpn.n_rows tpn in
+  let iterations = (data_sets + m - 1) / m in
+  let g = Prng.create ~seed in
+  let dist_of = Array.init (Petrinet.Teg.n_transitions teg) (fun v -> laws (Tpn.resource_of tpn v)) in
+  let sample ~transition ~firing:_ = Dist.sample dist_of.(transition) g in
+  let series = Petrinet.Eg_sim.simulate ~sample teg ~iterations ~watch:(Tpn.last_column tpn) in
+  let merged = Petrinet.Eg_sim.merged_completions series in
+  (* every row simulates the same number of firings, so when decoupled
+     rows run at different speeds the fastest row stops producing first;
+     only the window where every row is still active reflects the system
+     rate — truncate at the earliest per-row final completion *)
+  let horizon =
+    Array.fold_left (fun acc row -> min acc row.(iterations - 1)) infinity series
+  in
+  let cut = ref (Array.length merged) in
+  (try
+     Array.iteri
+       (fun i c ->
+         if c > horizon then begin
+           cut := i;
+           raise Exit
+         end)
+       merged
+   with Exit -> ());
+  Array.sub merged 0 !cut
+
+let throughput ?warmup_fraction mapping model ~laws ~seed ~data_sets =
+  let series = completions mapping model ~laws ~seed ~data_sets in
+  Stats.Series.throughput_of_completions ?warmup_fraction series

@@ -1,0 +1,23 @@
+(** Stochastic simulation of a mapping through its timed event graph — the
+    role played by the ERS tool `eg_sim` in §7.
+
+    The TPN of the mapping is simulated by iterating its dater recurrence
+    with operation durations drawn independently from each resource's law;
+    the throughput is estimated from the completion instants of the last
+    column (one per processed data set). *)
+
+val completions :
+  Mapping.t -> Model.t -> laws:Laws.t -> seed:int -> data_sets:int -> float array
+(** Completion times of (at least) [data_sets] consecutive data sets,
+    sorted. *)
+
+val throughput :
+  ?warmup_fraction:float ->
+  Mapping.t ->
+  Model.t ->
+  laws:Laws.t ->
+  seed:int ->
+  data_sets:int ->
+  float
+(** Steady-state throughput estimate (least-squares slope of the completion
+    sequence, skipping the transient prefix). *)

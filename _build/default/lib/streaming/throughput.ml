@@ -1,0 +1,33 @@
+type spec =
+  | Constant
+  | Exponential_times
+  | Erlang_times of int
+  | Ph_times of Markov.Ph.t
+  | Simulated of { family : float -> Dist.t; seed : int; data_sets : int }
+
+let evaluate ?(cap = 500_000) spec mapping model =
+  match (spec, model) with
+  | Constant, _ -> Deterministic.throughput mapping model
+  | Exponential_times, Model.Overlap -> Expo.overlap_throughput ~pattern_cap:cap mapping
+  | Exponential_times, Model.Strict -> Expo.strict_throughput ~cap mapping
+  | Erlang_times phases, Model.Overlap ->
+      Expo.overlap_throughput_erlang ~pattern_cap:cap ~phases mapping
+  | Erlang_times phases, Model.Strict -> Expo.strict_throughput_erlang ~cap ~phases mapping
+  | Ph_times law, Model.Overlap ->
+      Expo.overlap_throughput_ph ~pattern_cap:cap
+        ~ph:(fun r -> Markov.Ph.with_mean law (Mapping.mean_time mapping r))
+        mapping
+  | Ph_times law, Model.Strict ->
+      Expo.strict_throughput_ph ~cap
+        ~ph:(fun r -> Markov.Ph.with_mean law (Mapping.mean_time mapping r))
+        mapping
+  | Simulated { family; seed; data_sets }, _ ->
+      Teg_sim.throughput mapping model ~laws:(Laws.of_family mapping ~family) ~seed ~data_sets
+
+let pp_spec ppf = function
+  | Constant -> Format.pp_print_string ppf "constant"
+  | Exponential_times -> Format.pp_print_string ppf "exponential"
+  | Erlang_times k -> Format.fprintf ppf "erlang-%d" k
+  | Ph_times _ -> Format.pp_print_string ppf "phase-type"
+  | Simulated { seed; data_sets; _ } ->
+      Format.fprintf ppf "simulated(seed=%d,n=%d)" seed data_sets

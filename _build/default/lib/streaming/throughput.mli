@@ -1,0 +1,27 @@
+(** One entry point for every throughput question the library answers.
+
+    [evaluate spec mapping model] dispatches to the right machinery:
+
+    - [Constant]: critical cycles (§4) — exact for Strict; per-column
+      decomposition for Overlap;
+    - [Exponential_times]: Theorem 3/4 decomposition for Overlap, the
+      general marking chain (Theorem 2) for Strict;
+    - [Erlang_times k]: phase expansion — exact for both models;
+    - [Ph_times law]: arbitrary phase-type law (rescaled to each
+      resource's nominal mean) through the phase-augmented chain;
+    - [Simulated (law, seed, n)]: DES estimate for any {!Dist.t} family.
+
+    Exact methods for the Strict model build state spaces that are
+    exponential in the replication factors; [cap] bounds them. *)
+
+type spec =
+  | Constant
+  | Exponential_times
+  | Erlang_times of int
+  | Ph_times of Markov.Ph.t  (** rescaled per resource via [Ph.with_mean] *)
+  | Simulated of { family : float -> Dist.t; seed : int; data_sets : int }
+
+val evaluate : ?cap:int -> spec -> Mapping.t -> Model.t -> float
+(** [cap] (default 500_000) bounds the exact Strict-model state spaces. *)
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -1,0 +1,123 @@
+type ring = { ring_name : string; ring_members : int list; ring_weight : float }
+
+type t = {
+  teg : Petrinet.Teg.t;
+  mapping : Mapping.t;
+  model : Model.t;
+  rows : int;
+  cols : int;
+  resource_array : Resource.t array;
+  ring_list : ring list;
+}
+
+let transition_index ~cols ~row ~col = (row * cols) + col
+
+let build mapping model =
+  let n = Mapping.n_stages mapping in
+  let m = Mapping.rows mapping in
+  let cols = (2 * n) - 1 in
+  let total = m * cols in
+  let labels = Array.make total "" in
+  let times = Array.make total 0.0 in
+  let resource_array = Array.make total (Resource.Compute 0) in
+  for row = 0 to m - 1 do
+    for stage = 0 to n - 1 do
+      let p = Mapping.proc_at mapping ~stage ~row in
+      let id = transition_index ~cols ~row ~col:(2 * stage) in
+      labels.(id) <- Printf.sprintf "comp(T%d,P%d,r%d)" (stage + 1) p row;
+      times.(id) <- Mapping.comp_time mapping ~stage ~proc:p;
+      resource_array.(id) <- Resource.Compute p;
+      if stage < n - 1 then begin
+        let q = Mapping.proc_at mapping ~stage:(stage + 1) ~row in
+        let id = transition_index ~cols ~row ~col:((2 * stage) + 1) in
+        labels.(id) <- Printf.sprintf "comm(F%d,P%d->P%d,r%d)" (stage + 1) p q row;
+        times.(id) <- Mapping.comm_time mapping ~file:stage ~src:p ~dst:q;
+        resource_array.(id) <- Resource.Transfer (p, q)
+      end
+    done
+  done;
+  let teg = Petrinet.Teg.create ~labels ~times in
+  (* Row-forward data dependences. *)
+  for row = 0 to m - 1 do
+    for col = 0 to cols - 2 do
+      Petrinet.Teg.add_place teg
+        ~src:(transition_index ~cols ~row ~col)
+        ~dst:(transition_index ~cols ~row ~col:(col + 1))
+        ~tokens:0
+    done
+  done;
+  (* Rings.  [add_ring] serialises (src_col of row l) → (dst_col of row
+     l+1) over the given rows, the wrap-around place carrying the token. *)
+  let rings = ref [] in
+  let add_ring ~name ~src_col ~dst_col ~member_cols rows_of_ring =
+    let k = Array.length rows_of_ring in
+    for l = 0 to k - 1 do
+      Petrinet.Teg.add_place teg
+        ~src:(transition_index ~cols ~row:rows_of_ring.(l) ~col:src_col)
+        ~dst:(transition_index ~cols ~row:rows_of_ring.((l + 1) mod k) ~col:dst_col)
+        ~tokens:(if l = k - 1 then 1 else 0)
+    done;
+    let members =
+      Array.to_list rows_of_ring
+      |> List.concat_map (fun row ->
+             List.map (fun col -> transition_index ~cols ~row ~col) member_cols)
+    in
+    let weight = List.fold_left (fun acc id -> acc +. times.(id)) 0.0 members in
+    rings := { ring_name = name; ring_members = members; ring_weight = weight } :: !rings
+  in
+  for stage = 0 to n - 1 do
+    let team = Mapping.team mapping stage in
+    let r_i = Array.length team in
+    Array.iteri
+      (fun idx p ->
+        let proc_rows =
+          Array.init (m / r_i) (fun k -> idx + (k * r_i))
+        in
+        let comp_col = 2 * stage in
+        match model with
+        | Model.Overlap ->
+            add_ring
+              ~name:(Printf.sprintf "P%d(compute)" p)
+              ~src_col:comp_col ~dst_col:comp_col ~member_cols:[ comp_col ] proc_rows;
+            if stage < n - 1 then
+              add_ring
+                ~name:(Printf.sprintf "P%d(out-port)" p)
+                ~src_col:(comp_col + 1) ~dst_col:(comp_col + 1) ~member_cols:[ comp_col + 1 ]
+                proc_rows;
+            if stage > 0 then
+              add_ring
+                ~name:(Printf.sprintf "P%d(in-port)" p)
+                ~src_col:(comp_col - 1) ~dst_col:(comp_col - 1) ~member_cols:[ comp_col - 1 ]
+                proc_rows
+        | Model.Strict ->
+            let first_col = if stage > 0 then comp_col - 1 else comp_col in
+            let last_col = if stage < n - 1 then comp_col + 1 else comp_col in
+            let member_cols =
+              List.init (last_col - first_col + 1) (fun d -> first_col + d)
+            in
+            add_ring
+              ~name:(Printf.sprintf "P%d(serial)" p)
+              ~src_col:last_col ~dst_col:first_col ~member_cols proc_rows)
+      team
+  done;
+  { teg; mapping; model; rows = m; cols; resource_array; ring_list = List.rev !rings }
+
+let teg t = t.teg
+let mapping t = t.mapping
+let model t = t.model
+let n_rows t = t.rows
+let n_columns t = t.cols
+let transition t ~row ~col = transition_index ~cols:t.cols ~row ~col
+let row_of t id = id / t.cols
+let col_of t id = id mod t.cols
+let resource_of t id = t.resource_array.(id)
+let last_column t = List.init t.rows (fun row -> transition t ~row ~col:(t.cols - 1))
+let rings t = t.ring_list
+
+let max_cycle_time t =
+  let m = float_of_int t.rows in
+  List.fold_left
+    (fun ((best, _) as acc) r ->
+      let per_data_set = r.ring_weight /. m in
+      if per_data_set > best then (per_data_set, r.ring_name) else acc)
+    (0.0, "none") t.ring_list

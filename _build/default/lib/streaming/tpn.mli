@@ -1,0 +1,51 @@
+(** Construction of the timed Petri net of a replicated mapping (§3).
+
+    The net is a grid of [m = lcm(R_i)] rows (one per data path, see
+    Proposition 1) and [2 * n - 1] columns: column [2i] holds the computation of
+    stage [i] and column [2i+1] the transfer of file [i], both on the
+    processors of the corresponding row's path.
+
+    Dependences (places):
+    - within a row, each operation feeds the next (compute → send →
+      next compute …), with no initial token;
+    - one *ring* per resource usage serialises its transitions across the
+      rows where the resource appears, in increasing row order, with a
+      single initial token on the wrap-around place (the resource is ready
+      before its first use).  Under {!Model.Overlap} each processor
+      contributes up to three rings (compute, input port, output port);
+      under {!Model.Strict} a single ring chains the *send* of one row to
+      the *receive* of the next, serialising receive–compute–send. *)
+
+type ring = {
+  ring_name : string;
+  ring_members : int list;  (** transition ids fired once per token cycle *)
+  ring_weight : float;  (** sum of nominal durations of the members *)
+}
+
+type t
+
+val build : Mapping.t -> Model.t -> t
+
+val teg : t -> Petrinet.Teg.t
+val mapping : t -> Mapping.t
+val model : t -> Model.t
+val n_rows : t -> int
+val n_columns : t -> int
+
+val transition : t -> row:int -> col:int -> int
+val row_of : t -> int -> int
+val col_of : t -> int -> int
+
+val resource_of : t -> int -> Resource.t
+(** The resource whose law times a transition: the processor for a
+    computation, the link for a transfer. *)
+
+val last_column : t -> int list
+(** Transitions of the last column; one firing = one completed data set. *)
+
+val rings : t -> ring list
+
+val max_cycle_time : t -> float * string
+(** [Mct] of §2.3 and the name of the resource achieving it: the largest
+    per-data-set resource cycle time, [max over rings of weight/m].  A
+    lower bound on the period per data set. *)

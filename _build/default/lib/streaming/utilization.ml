@@ -1,0 +1,27 @@
+type entry = { name : string; busy_per_data_set : float; utilization : float }
+type report = { period : float; entries : entry list }
+
+let analyse mapping model =
+  let tpn = Tpn.build mapping model in
+  let a = Deterministic.analyse_tpn tpn in
+  let period = a.Deterministic.period in
+  let m = float_of_int (Tpn.n_rows tpn) in
+  let entries =
+    Tpn.rings tpn
+    |> List.map (fun r ->
+           let busy = r.Tpn.ring_weight /. m in
+           { name = r.Tpn.ring_name; busy_per_data_set = busy; utilization = busy /. period })
+    |> List.sort (fun a b -> compare b.utilization a.utilization)
+  in
+  { period; entries }
+
+let bottlenecks ?(threshold = 0.999) report =
+  List.filter (fun e -> e.utilization >= threshold) report.entries
+
+let pp ppf report =
+  Format.fprintf ppf "period per data set: %g@\n" report.period;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-18s busy %8.3f  utilization %5.1f%%@\n" e.name e.busy_per_data_set
+        (100.0 *. e.utilization))
+    report.entries

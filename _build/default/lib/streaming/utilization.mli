@@ -1,0 +1,27 @@
+(** Per-resource utilization of a mapping in steady state.
+
+    §2.2 notes that when processors of different speeds share a stage,
+    "some of them will remain partly idle during the execution"; this
+    module quantifies that.  Deterministically, a resource ring of total
+    busy time [w] per TPN period [P] is busy a fraction [w/P] of the
+    time; the report lists every ring (compute units and ports under
+    Overlap, whole processors under Strict) with its utilization, and
+    the throughput lost to idleness is visible at a glance. *)
+
+type entry = {
+  name : string;  (** ring name, e.g. "P3(compute)" or "P1(serial)" *)
+  busy_per_data_set : float;  (** ring weight / m *)
+  utilization : float;  (** busy time / period, in [0,1] *)
+}
+
+type report = {
+  period : float;  (** per data set *)
+  entries : entry list;  (** sorted by decreasing utilization *)
+}
+
+val analyse : Mapping.t -> Model.t -> report
+
+val bottlenecks : ?threshold:float -> report -> entry list
+(** Entries with utilization above [threshold] (default 0.999). *)
+
+val pp : Format.formatter -> report -> unit

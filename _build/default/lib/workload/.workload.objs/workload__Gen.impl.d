@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Application Array Hashtbl Mapping Platform Prng Streaming

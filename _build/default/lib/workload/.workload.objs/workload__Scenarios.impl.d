@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Application Array Fun Mapping Platform Streaming

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Mapping Streaming

@@ -1,0 +1,79 @@
+open Streaming
+
+type params = {
+  n_stages : int;
+  n_procs : int;
+  comp_range : float * float;
+  comm_range : float * float;
+  max_rows : int;
+}
+
+let table1_sets =
+  [
+    ("(10,20) short", { n_stages = 10; n_procs = 20; comp_range = (5., 15.); comm_range = (5., 15.); max_rows = 720 });
+    ("(10,20) long", { n_stages = 10; n_procs = 20; comp_range = (10., 1000.); comm_range = (10., 1000.); max_rows = 720 });
+    ("(20,30) short", { n_stages = 20; n_procs = 30; comp_range = (5., 15.); comm_range = (5., 15.); max_rows = 720 });
+    ("(20,30) long", { n_stages = 20; n_procs = 30; comp_range = (10., 1000.); comm_range = (10., 1000.); max_rows = 720 });
+    ("(3,7) cheap comp", { n_stages = 3; n_procs = 7; comp_range = (1., 1.); comm_range = (5., 10.); max_rows = 720 });
+    ("(3,7) costly comm", { n_stages = 3; n_procs = 7; comp_range = (1., 1.); comm_range = (10., 50.); max_rows = 720 });
+  ]
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let rec random_team_sizes g ~n_stages ~n_procs ~max_rows =
+  if n_procs < n_stages then invalid_arg "Gen.random_team_sizes: not enough processors";
+  (* uniform composition of n_procs into n_stages positive parts via a
+     random subset of cut points *)
+  let cuts = Array.make (n_stages - 1) 0 in
+  let chosen = Hashtbl.create 16 in
+  let rec draw_cut i =
+    if i < n_stages - 1 then begin
+      let c = 1 + Prng.int g (n_procs - 1) in
+      if Hashtbl.mem chosen c then draw_cut i
+      else begin
+        Hashtbl.add chosen c ();
+        cuts.(i) <- c;
+        draw_cut (i + 1)
+      end
+    end
+  in
+  draw_cut 0;
+  Array.sort compare cuts;
+  let sizes =
+    Array.init n_stages (fun i ->
+        let lo = if i = 0 then 0 else cuts.(i - 1) in
+        let hi = if i = n_stages - 1 then n_procs else cuts.(i) in
+        hi - lo)
+  in
+  let rows = Array.fold_left lcm 1 sizes in
+  if rows > max_rows then random_team_sizes g ~n_stages ~n_procs ~max_rows else sizes
+
+let random_mapping g params =
+  let sizes =
+    random_team_sizes g ~n_stages:params.n_stages ~n_procs:params.n_procs
+      ~max_rows:params.max_rows
+  in
+  let teams =
+    let next = ref 0 in
+    Array.map
+      (fun size ->
+        let team = Array.init size (fun k -> !next + k) in
+        next := !next + size;
+        team)
+      sizes
+  in
+  let clo, chi = params.comp_range in
+  let speeds = Array.init params.n_procs (fun _ -> 1.0 /. Prng.uniform g clo chi) in
+  let dlo, dhi = params.comm_range in
+  let bandwidth =
+    Array.init params.n_procs (fun _ ->
+        Array.init params.n_procs (fun _ -> 1.0 /. Prng.uniform g dlo dhi))
+  in
+  let app =
+    Application.create
+      ~work:(Array.make params.n_stages 1.0)
+      ~files:(Array.make (params.n_stages - 1) 1.0)
+  in
+  let platform = Platform.create ~speeds ~bandwidth in
+  Mapping.create ~app ~platform ~teams

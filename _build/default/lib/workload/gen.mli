@@ -1,0 +1,25 @@
+(** Random instance generation, following the experimental protocol of §7.1
+    (Table 1): team sizes, per-processor computation times and per-link
+    communication times drawn uniformly in given ranges.
+
+    Times are controlled directly: each stage has unit work and unit file
+    size, processor speeds are the inverses of the drawn computation times
+    and bandwidths the inverses of the drawn communication times. *)
+
+type params = {
+  n_stages : int;
+  n_procs : int;  (** all processors are used; must be >= n_stages *)
+  comp_range : float * float;  (** computation time per data set, seconds *)
+  comm_range : float * float;  (** communication time per file, seconds *)
+  max_rows : int;  (** reject mappings whose lcm of team sizes exceeds this *)
+}
+
+val table1_sets : (string * params) list
+(** The six configurations of Table 1 (sizes and ranges). *)
+
+val random_mapping : Prng.t -> params -> Streaming.Mapping.t
+(** Draw team sizes as a uniform random composition of [n_procs] into
+    [n_stages] positive parts, then processor and link times; rejects and
+    redraws while [lcm] of the team sizes exceeds [max_rows]. *)
+
+val random_team_sizes : Prng.t -> n_stages:int -> n_procs:int -> max_rows:int -> int array

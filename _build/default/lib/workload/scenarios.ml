@@ -1,0 +1,66 @@
+open Streaming
+
+let example_a =
+  (* Shapes Figure 1: T1 on P0; T2 on {P1,P2}; T3 on {P3,P4,P5}; T4 on P6. *)
+  let app = Application.create ~work:[| 52.; 48.; 72.; 32. |] ~files:[| 24.; 36.; 28. |] in
+  let speeds = [| 2.0; 0.8; 1.1; 0.9; 1.3; 0.7; 1.6 |] in
+  let platform =
+    Platform.of_link_function ~n:7 ~speeds ~bw:(fun p q ->
+        0.35 +. (0.05 *. float_of_int (((p * 3) + (2 * q)) mod 7)))
+  in
+  Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1; 2 |]; [| 3; 4; 5 |]; [| 6 |] |]
+
+let example_c_teams = [| 5; 21; 27; 11 |]
+
+let fig10_system =
+  let replication = [| 1; 3; 4; 5; 6; 7; 1 |] in
+  let n = Array.length replication in
+  let n_procs = Array.fold_left ( + ) 0 replication in
+  let app =
+    Application.create ~work:(Array.make n 10.0) ~files:(Array.make (n - 1) 10.0)
+  in
+  (* heterogeneous speeds, homogeneous network: the exponential theory for
+     every communication component is Theorem 4's closed form, which keeps
+     the reference value cheap for the convergence experiments *)
+  let speeds = Array.init n_procs (fun p -> 0.8 +. (0.05 *. float_of_int (p mod 9))) in
+  let platform = Platform.fully_connected ~speeds ~bw:1.0 in
+  let teams =
+    let next = ref 0 in
+    Array.map
+      (fun size ->
+        let team = Array.init size (fun k -> !next + k) in
+        next := !next + size;
+        team)
+      replication
+  in
+  Mapping.create ~app ~platform ~teams
+
+let single_communication ?(comp_time = 1e-4) ?(comm_time = fun _ _ -> 1.0) ~u ~v () =
+  let app = Application.create ~work:[| comp_time; comp_time |] ~files:[| 1.0 |] in
+  let n_procs = u + v in
+  let speeds = Array.make n_procs 1.0 in
+  let platform =
+    Platform.of_link_function ~n:n_procs ~speeds ~bw:(fun p q ->
+        if p < u && q >= u then 1.0 /. comm_time p (q - u) else 1.0)
+  in
+  Mapping.create ~app ~platform
+    ~teams:[| Array.init u Fun.id; Array.init v (fun k -> u + k) |]
+
+let pattern_chain ?(comm_time = 1.0) ?(senders = 5) ?(receivers = 7) ~stages () =
+  if stages < 2 then invalid_arg "Scenarios.pattern_chain: need at least two stages";
+  let sizes = Array.init stages (fun i -> if i mod 2 = 0 then senders else receivers) in
+  let n_procs = Array.fold_left ( + ) 0 sizes in
+  let app =
+    Application.create ~work:(Array.make stages 1e-4) ~files:(Array.make (stages - 1) comm_time)
+  in
+  let platform = Platform.fully_connected ~speeds:(Array.make n_procs 1.0) ~bw:1.0 in
+  let teams =
+    let next = ref 0 in
+    Array.map
+      (fun size ->
+        let team = Array.init size (fun k -> !next + k) in
+        next := !next + size;
+        team)
+      sizes
+  in
+  Mapping.create ~app ~platform ~teams

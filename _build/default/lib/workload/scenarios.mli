@@ -1,0 +1,29 @@
+(** Named instances used by the paper's examples and experiments. *)
+
+open Streaming
+
+val example_a : Mapping.t
+(** A four-stage pipeline on seven processors with teams of sizes
+    1, 2, 3, 1 — the shape of the paper's Example A (Figure 1): the TPN has
+    lcm(1,2,3,1) = 6 rows. *)
+
+val example_c_teams : int array
+(** The replication vector (5, 21, 27, 11) of Example C; the corresponding
+    second communication decomposes into 3 components of 55 copies of a
+    9×7 pattern. *)
+
+val fig10_system : Mapping.t
+(** The 7-stage system of §7.2, stages replicated 1, 3, 4, 5, 6, 7 and 1
+    times (48 processors, 420 rows). *)
+
+val single_communication :
+  ?comp_time:float -> ?comm_time:(int -> int -> float) -> u:int -> v:int -> unit -> Mapping.t
+(** Two stages with negligible computations ([comp_time], default 1e-4)
+    replicated [u] and [v] times, a single communication of nominal time
+    [comm_time sender receiver] (default: constant 1) — the workload of
+    Figures 13–17. *)
+
+val pattern_chain : ?comm_time:float -> ?senders:int -> ?receivers:int -> stages:int -> unit -> Mapping.t
+(** [stages] stages alternately replicated [senders] (default 5) and
+    [receivers] (default 7) times, negligible computations, identical
+    costly communications — the workload of Figure 12. *)

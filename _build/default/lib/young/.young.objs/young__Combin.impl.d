@@ -1,0 +1,1 @@
+lib/young/combin.ml:

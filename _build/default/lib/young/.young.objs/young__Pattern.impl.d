@@ -1,0 +1,1 @@
+lib/young/pattern.ml: Array Fun List Markov Petrinet Printf

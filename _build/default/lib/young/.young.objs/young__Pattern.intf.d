@@ -1,0 +1,1 @@
+lib/young/pattern.mli: Markov Petrinet

@@ -1,0 +1,13 @@
+let binomial n k =
+  if n < 0 || k < 0 || k > n then invalid_arg "Combin.binomial: invalid arguments";
+  let k = min k (n - k) in
+  let acc = ref 1 in
+  for i = 1 to k do
+    let next = !acc * (n - k + i) in
+    if next < 0 || next / (n - k + i) <> !acc then invalid_arg "Combin.binomial: overflow";
+    acc := next / i
+  done;
+  !acc
+
+let state_count ~u ~v = binomial (u + v - 1) (u - 1) * v
+let enabled_state_count ~u ~v = binomial (u + v - 2) (u - 1)

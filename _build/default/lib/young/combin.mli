@@ -1,0 +1,16 @@
+(** Counting reachable markings of a u×v communication pattern (§5.2).
+
+    A valid marking of the pattern is the union of two Young diagrams
+    delimiting the transitions fired k+1, k and k−1 times; the paper
+    counts them as S(u,v) = C(u+v−1, u−1)·v, of which
+    S'(u,v) = C(u+v−2, u−1) enable any fixed transition. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = n!/(k!(n−k)!); raises [Invalid_argument] on overflow
+    or negative input. *)
+
+val state_count : u:int -> v:int -> int
+(** S(u,v): number of reachable markings of the pattern. *)
+
+val enabled_state_count : u:int -> v:int -> int
+(** S'(u,v): number of markings in which a given transition is enabled. *)

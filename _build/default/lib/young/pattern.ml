@@ -1,0 +1,80 @@
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let check u v =
+  if u < 1 || v < 1 then invalid_arg "Pattern: u and v must be at least 1";
+  if gcd u v <> 1 then invalid_arg "Pattern: u and v must be coprime"
+
+let transition_of ~u ~v k = (k mod u, k mod v)
+
+let build ~u ~v ~time =
+  check u v;
+  let n = u * v in
+  let labels =
+    Array.init n (fun k ->
+        let s, r = transition_of ~u ~v k in
+        Printf.sprintf "xfer(s%d->r%d,k%d)" s r k)
+  in
+  let times =
+    Array.init n (fun k ->
+        let s, r = transition_of ~u ~v k in
+        time ~sender:s ~receiver:r)
+  in
+  let teg = Petrinet.Teg.create ~labels ~times in
+  let add_ring members =
+    let k = Array.length members in
+    for l = 0 to k - 1 do
+      Petrinet.Teg.add_place teg ~src:members.(l) ~dst:members.((l + 1) mod k)
+        ~tokens:(if l = k - 1 then 1 else 0)
+    done
+  in
+  (* one-port rings: each sender's v transfers, each receiver's u ones *)
+  for s = 0 to u - 1 do
+    add_ring (Array.init v (fun i -> s + (i * u)))
+  done;
+  for r = 0 to v - 1 do
+    add_ring (Array.init u (fun i -> r + (i * v)))
+  done;
+  teg
+
+let deterministic_inner_throughput ~u ~v ~time =
+  let teg = build ~u ~v ~time in
+  match Petrinet.Cycle_time.analyse teg with
+  | None -> invalid_arg "Pattern.deterministic_inner_throughput: acyclic pattern"
+  | Some { Petrinet.Cycle_time.period; _ } -> float_of_int (u * v) /. period
+
+let exponential_inner_throughput ?cap ~u ~v ~rate () =
+  let teg = build ~u ~v ~time:(fun ~sender ~receiver -> 1.0 /. rate ~sender ~receiver) in
+  let rates id =
+    let s, r = transition_of ~u ~v id in
+    rate ~sender:s ~receiver:r
+  in
+  let chain = Markov.Tpn_markov.analyse ?cap ~rates teg in
+  Markov.Tpn_markov.throughput_of chain (List.init (u * v) Fun.id)
+
+let homogeneous_inner_throughput ~u ~v ~lambda =
+  check u v;
+  float_of_int (u * v) *. lambda /. float_of_int (u + v - 1)
+
+let erlang_inner_throughput ?cap ~phases ~u ~v ~rate () =
+  if phases < 1 then invalid_arg "Pattern.erlang_inner_throughput: phases must be at least 1";
+  let base = build ~u ~v ~time:(fun ~sender ~receiver -> 1.0 /. rate ~sender ~receiver) in
+  let expansion = Petrinet.Expand.erlang ~phases:(fun _ -> phases) base in
+  let original_rate k =
+    let s, r = transition_of ~u ~v k in
+    rate ~sender:s ~receiver:r
+  in
+  let rates id = Petrinet.Expand.phase_rates expansion ~original_rate id in
+  let chain = Markov.Tpn_markov.analyse ?cap ~rates (Petrinet.Expand.teg expansion) in
+  (* one data set completes per firing of a transfer's LAST phase *)
+  Markov.Tpn_markov.throughput_of chain
+    (List.init (u * v) (fun k -> Petrinet.Expand.last expansion k))
+
+let ph_inner_throughput ?cap ~u ~v ~ph () =
+  let laws =
+    Array.init (u * v) (fun k ->
+        let s, r = transition_of ~u ~v k in
+        ph ~sender:s ~receiver:r)
+  in
+  let teg = build ~u ~v ~time:(fun ~sender ~receiver -> Markov.Ph.mean (ph ~sender ~receiver)) in
+  let chain = Markov.Tpn_markov_ph.analyse ?cap ~ph_of:(fun k -> laws.(k)) teg in
+  Markov.Tpn_markov_ph.throughput_of chain (List.init (u * v) Fun.id)

@@ -1,0 +1,52 @@
+(** The u×v communication pattern of §5.2.
+
+    A replicated communication between a team of [R_i] senders and a team
+    of [R_{i+1}] receivers splits into [g = gcd(R_i, R_{i+1})] connected
+    components; each component is a chain of copies of a pattern with
+    [u = R_i/g] senders and [v = R_{i+1}/g] receivers (so gcd(u,v) = 1).
+    The pattern has u*v transitions — transition [k] is the transfer on
+    the component's k-th row, performed by sender [k mod u] towards
+    receiver [k mod v] — plus one serialisation ring per sender (one-port
+    out) and per receiver (one-port in), each with a single token on its
+    wrap-around place.
+
+    The *inner throughput* of the component is its stationary number of
+    transfers per time unit in isolation (inputs always available). *)
+
+val build : u:int -> v:int -> time:(sender:int -> receiver:int -> float) -> Petrinet.Teg.t
+(** Raises [Invalid_argument] unless u,v ≥ 1 and gcd(u,v) = 1. *)
+
+val transition_of : u:int -> v:int -> int -> int * int
+(** [transition_of ~u ~v k] = (sender slot, receiver slot) of transition k. *)
+
+val deterministic_inner_throughput : u:int -> v:int -> time:(sender:int -> receiver:int -> float) -> float
+(** [u * v / period] where the period is the critical cycle of the pattern:
+    data sets per time unit with constant transfer times.  For homogeneous
+    time d this equals [min(u,v)/d]. *)
+
+val exponential_inner_throughput :
+  ?cap:int -> u:int -> v:int -> rate:(sender:int -> receiver:int -> float) -> unit -> float
+(** Exact stationary transfer rate with exponential times (sum of the
+    stationary firing rates of the u·v transitions), through the marking
+    CTMC of Theorem 3.  The chain has S(u,v) states. *)
+
+val homogeneous_inner_throughput : u:int -> v:int -> lambda:float -> float
+(** Theorem 4's closed form u*v*lambda / (u+v-1). *)
+
+val erlang_inner_throughput :
+  ?cap:int -> phases:int -> u:int -> v:int -> rate:(sender:int -> receiver:int -> float) -> unit -> float
+(** Exact stationary transfer rate when every link time is
+    Erlang([phases]) with mean 1/rate: the pattern is expanded into
+    exponential phases (which preserves the event-graph property) and the
+    marking CTMC is solved.  [phases = 1] coincides with
+    {!exponential_inner_throughput}; as [phases] grows the value increases
+    towards {!deterministic_inner_throughput} — an exact interpolation of
+    the Theorem 7 sandwich. *)
+
+val ph_inner_throughput :
+  ?cap:int -> u:int -> v:int -> ph:(sender:int -> receiver:int -> Markov.Ph.t) -> unit -> float
+(** Exact stationary transfer rate for arbitrary phase-type link times,
+    through the phase-augmented marking chain
+    ({!Markov.Tpn_markov_ph}).  Hyperexponential laws (D.F.R.) yield
+    exact values *below* the exponential bound; Erlang laws match
+    {!erlang_inner_throughput}. *)

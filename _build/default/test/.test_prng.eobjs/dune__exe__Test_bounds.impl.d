@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Application Bounds Des Dist Laws List Mapping Model Platform Printf Streaming Workload

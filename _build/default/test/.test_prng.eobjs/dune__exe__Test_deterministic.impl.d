@@ -1,0 +1,1 @@
+test/test_deterministic.ml: Alcotest Application Array Deterministic Laws List Mapping Model Platform Printf Prng QCheck QCheck_alcotest Streaming Teg_sim Workload

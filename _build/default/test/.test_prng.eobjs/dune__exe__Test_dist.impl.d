@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Dist List Printf Prng QCheck QCheck_alcotest Stats

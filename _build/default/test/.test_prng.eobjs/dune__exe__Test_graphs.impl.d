@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Cycle_ratio Digraph Fun Graphs Howard List Petrinet Prng QCheck QCheck_alcotest Streaming Workload

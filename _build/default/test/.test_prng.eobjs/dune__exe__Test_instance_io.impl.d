@@ -1,0 +1,1 @@
+test/test_instance_io.ml: Alcotest Application Array Columns Deterministic Expo Format Instance_io List Mapping Model Platform Printf Streaming String Workload Young

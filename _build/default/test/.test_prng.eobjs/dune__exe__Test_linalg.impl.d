@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Gth Linalg List Matrix Printf Prng QCheck QCheck_alcotest Sparse

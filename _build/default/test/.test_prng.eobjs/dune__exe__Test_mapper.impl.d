@@ -1,0 +1,1 @@
+test/test_mapper.ml: Alcotest Application Array Deterministic Expo Fun List Mapper Mapping Platform Printf Prng QCheck QCheck_alcotest Streaming

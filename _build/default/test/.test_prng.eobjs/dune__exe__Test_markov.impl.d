@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Dist Eg_sim Fun List Markov Petrinet Printf Prng Teg Young

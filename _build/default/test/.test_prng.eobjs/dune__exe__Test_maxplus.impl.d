@@ -1,0 +1,1 @@
+test/test_maxplus.ml: Alcotest Array Graphs Maxplus Option Prng QCheck QCheck_alcotest

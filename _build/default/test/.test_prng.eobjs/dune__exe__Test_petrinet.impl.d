@@ -1,0 +1,1 @@
+test/test_petrinet.ml: Alcotest Array Cycle_time Dist Dot Eg_sim Expand Format Fun List Marking Petrinet Printf Prng QCheck QCheck_alcotest String Structural Teg Teg_io

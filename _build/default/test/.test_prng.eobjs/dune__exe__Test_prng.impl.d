@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Prng QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Application Array Des Deterministic Dist Expo Laws List Mapping Model Platform Printf Prng QCheck QCheck_alcotest Stats Streaming Teg_sim Workload

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Batch_means Gen List Printf Prng QCheck QCheck_alcotest Series Stats Summary

@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Application Array Fun Gen List Mapping Model Petrinet Platform QCheck QCheck_alcotest Resource Sensitivity Streaming Tpn Utilization

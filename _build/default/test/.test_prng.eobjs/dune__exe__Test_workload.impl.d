@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Deterministic Format Fun Instance_io List Mapping Model Option Prng QCheck QCheck_alcotest Resource Streaming Workload

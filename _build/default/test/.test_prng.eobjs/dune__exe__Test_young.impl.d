@@ -1,0 +1,1 @@
+test/test_young.ml: Alcotest Array Combin List Markov Pattern Petrinet Printf Prng QCheck QCheck_alcotest Young

@@ -1,0 +1,117 @@
+open Streaming
+
+let test_bounds_ordering () =
+  List.iter
+    (fun (u, v) ->
+      let mapping = Workload.Scenarios.single_communication ~u ~v () in
+      let b = Bounds.compute mapping Model.Overlap in
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%d: lower <= upper" u v)
+        true
+        (b.Bounds.lower <= b.Bounds.upper +. 1e-9))
+    [ (1, 1); (2, 3); (3, 4); (5, 4) ]
+
+let test_bounds_values () =
+  let mapping = Workload.Scenarios.single_communication ~u:3 ~v:4 () in
+  let b = Bounds.compute mapping Model.Overlap in
+  Alcotest.(check (float 1e-6)) "upper = det = 3" 3.0 b.Bounds.upper;
+  Alcotest.(check (float 1e-6)) "lower = exp = 2" 2.0 b.Bounds.lower;
+  Alcotest.(check (float 1e-9)) "width" (1.0 /. 3.0) (Bounds.width b)
+
+let test_contains () =
+  let b = { Bounds.lower = 2.0; upper = 3.0 } in
+  Alcotest.(check bool) "inside" true (Bounds.contains b 2.5);
+  Alcotest.(check bool) "slack below" true (Bounds.contains b 1.97);
+  Alcotest.(check bool) "far below" false (Bounds.contains b 1.5);
+  Alcotest.(check bool) "far above" false (Bounds.contains b 3.5)
+
+let test_strict_bounds () =
+  let app = Application.create ~work:[| 4.0; 6.0 |] ~files:[| 2.0 |] in
+  let platform = Platform.fully_connected ~speeds:[| 1.0; 1.0; 1.0 |] ~bw:1.0 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1; 2 |] |] in
+  let b = Bounds.compute mapping Model.Strict in
+  Alcotest.(check bool) "strict lower <= upper" true (b.Bounds.lower <= b.Bounds.upper)
+
+let nbue_families =
+  [
+    ("uniform", fun mu -> Dist.with_mean (Dist.Uniform (0.5, 1.5)) mu);
+    ("gauss", fun mu -> Dist.Normal_trunc (mu, 0.25 *. mu));
+    ("beta(2,2)", fun mu -> Dist.with_mean (Dist.Beta (2.0, 2.0, 1.0)) mu);
+    ("erlang-3", fun mu -> Dist.with_mean (Dist.Erlang (3, 1.0)) mu);
+    ("weibull-2", fun mu -> Dist.with_mean (Dist.Weibull (2.0, 1.0)) mu);
+  ]
+
+(* Figure 16: N.B.U.E. laws fall between the exponential and deterministic
+   cases. *)
+let test_nbue_laws_within_bounds () =
+  let mapping = Workload.Scenarios.single_communication ~u:3 ~v:4 () in
+  let b = Bounds.compute mapping Model.Overlap in
+  List.iter
+    (fun (name, family) ->
+      let laws = Laws.of_family mapping ~family in
+      Alcotest.(check bool) (name ^ " is NBUE") true (Laws.all_nbue mapping laws);
+      let rho =
+        Des.Pipeline_sim.throughput mapping Model.Overlap
+          ~timing:(Des.Pipeline_sim.Independent laws) ~seed:31 ~data_sets:60_000
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.4f within [%.4f, %.4f]" name rho b.Bounds.lower b.Bounds.upper)
+        true
+        (Bounds.contains ~slack:0.02 b rho))
+    nbue_families
+
+(* Figure 17: a D.F.R. (non-N.B.U.E.) law can fall below the exponential
+   lower bound. *)
+let test_gamma_dfr_below_lower_bound () =
+  let mapping = Workload.Scenarios.single_communication ~u:3 ~v:4 () in
+  let b = Bounds.compute mapping Model.Overlap in
+  let family mu = Dist.with_mean (Dist.Gamma (0.2, 1.0)) mu in
+  let laws = Laws.of_family mapping ~family in
+  Alcotest.(check bool) "gamma(0.2) is not NBUE" false (Laws.all_nbue mapping laws);
+  let rho =
+    Des.Pipeline_sim.throughput mapping Model.Overlap
+      ~timing:(Des.Pipeline_sim.Independent laws) ~seed:37 ~data_sets:60_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gamma(0.2): %.4f below exponential bound %.4f" rho b.Bounds.lower)
+    true
+    (rho < b.Bounds.lower)
+
+let test_single_server_insensitive () =
+  (* on an unreplicated chain the bottleneck is a single serial resource:
+     the throughput is 1/mean for any law, so bounds coincide and any law
+     achieves them *)
+  let app = Application.create ~work:[| 1.0; 5.0 |] ~files:[| 0.01 |] in
+  let platform = Platform.fully_connected ~speeds:[| 1.0; 1.0 |] ~bw:1.0 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1 |] |] in
+  let b = Bounds.compute mapping Model.Overlap in
+  Alcotest.(check (float 1e-6)) "bounds coincide" b.Bounds.upper b.Bounds.lower;
+  let rho =
+    Des.Pipeline_sim.throughput mapping Model.Overlap
+      ~timing:
+        (Des.Pipeline_sim.Independent
+           (Laws.of_family mapping ~family:(fun mu -> Dist.with_mean (Dist.Gamma (0.5, 1.0)) mu)))
+      ~seed:5 ~data_sets:60_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gamma matches %.4f vs %.4f" rho b.Bounds.upper)
+    true
+    (abs_float (rho -. b.Bounds.upper) /. b.Bounds.upper < 0.03)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "ordering" `Quick test_bounds_ordering;
+          Alcotest.test_case "values" `Quick test_bounds_values;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "strict" `Quick test_strict_bounds;
+        ] );
+      ( "laws",
+        [
+          Alcotest.test_case "NBUE within bounds (fig 16)" `Slow test_nbue_laws_within_bounds;
+          Alcotest.test_case "DFR below lower bound (fig 17)" `Slow test_gamma_dfr_below_lower_bound;
+          Alcotest.test_case "single server insensitivity" `Slow test_single_server_insensitive;
+        ] );
+    ]

@@ -1,0 +1,176 @@
+open Streaming
+
+let check_float tol = Alcotest.(check (float tol))
+
+let linear_chain works files speeds bw =
+  let app = Application.create ~work:works ~files in
+  let platform = Platform.fully_connected ~speeds ~bw in
+  let teams = Array.init (Array.length works) (fun i -> [| i |]) in
+  Mapping.create ~app ~platform ~teams
+
+let test_single_stage () =
+  let app = Application.create ~work:[| 6.0 |] ~files:[||] in
+  let platform = Platform.fully_connected ~speeds:[| 2.0 |] ~bw:1.0 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0 |] |] in
+  List.iter
+    (fun model ->
+      let a = Deterministic.analyse mapping model in
+      check_float 1e-9 "throughput = s/w" (1.0 /. 3.0) a.Deterministic.throughput;
+      check_float 1e-9 "period" 3.0 a.Deterministic.period;
+      check_float 1e-9 "mct = period" a.Deterministic.period a.Deterministic.mct;
+      Alcotest.(check bool) "critical" true (Deterministic.has_critical_resource a))
+    Model.all
+
+let test_two_stage_chain_overlap () =
+  (* comp0 = 3, comm = 8, comp1 = 8: overlap period = max = 8 *)
+  let mapping = linear_chain [| 6.0; 8.0 |] [| 4.0 |] [| 2.0; 1.0 |] 0.5 in
+  let a = Deterministic.analyse mapping Model.Overlap in
+  check_float 1e-9 "overlap period" 8.0 a.Deterministic.period;
+  check_float 1e-9 "throughput" 0.125 a.Deterministic.throughput
+
+let test_two_stage_chain_strict () =
+  (* strict: P0 does 3+8, P1 does 8+8 -> period 16 *)
+  let mapping = linear_chain [| 6.0; 8.0 |] [| 4.0 |] [| 2.0; 1.0 |] 0.5 in
+  let a = Deterministic.analyse mapping Model.Strict in
+  check_float 1e-9 "strict period" 16.0 a.Deterministic.period;
+  Alcotest.(check bool) "strict critical" true (Deterministic.has_critical_resource a)
+
+let test_three_stage_chain () =
+  let mapping = linear_chain [| 2.0; 5.0; 3.0 |] [| 1.0; 1.0 |] [| 1.0; 1.0; 1.0 |] 1.0 in
+  let a = Deterministic.analyse mapping Model.Overlap in
+  check_float 1e-9 "bottleneck stage" 5.0 a.Deterministic.period;
+  let s = Deterministic.analyse mapping Model.Strict in
+  (* middle processor: 1 + 5 + 1 = 7 *)
+  check_float 1e-9 "strict period" 7.0 s.Deterministic.period
+
+let test_replicated_homogeneous_pattern () =
+  (* u=3 senders, v=4 receivers, unit comm time, negligible computation:
+     deterministic throughput = min(u,v) *)
+  let mapping = Workload.Scenarios.single_communication ~u:3 ~v:4 () in
+  check_float 1e-6 "det = min(u,v)" 3.0 (Deterministic.throughput mapping Model.Overlap)
+
+let test_replication_beats_single () =
+  (* replicating the slow stage 3x triples the throughput *)
+  let app = Application.create ~work:[| 0.1; 9.0 |] ~files:[| 0.01 |] in
+  let platform = Platform.fully_connected ~speeds:(Array.make 4 1.0) ~bw:1.0 in
+  let single = Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1 |] |] in
+  let triple = Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1; 2; 3 |] |] in
+  let rho1 = Deterministic.throughput single Model.Overlap in
+  let rho3 = Deterministic.throughput triple Model.Overlap in
+  check_float 1e-6 "single" (1.0 /. 9.0) rho1;
+  check_float 1e-6 "triple" (3.0 /. 9.0) rho3
+
+let test_example_a_models () =
+  let mapping = Workload.Scenarios.example_a in
+  let o = Deterministic.analyse mapping Model.Overlap in
+  let s = Deterministic.analyse mapping Model.Strict in
+  Alcotest.(check bool) "strict period >= overlap period" true
+    (s.Deterministic.period >= o.Deterministic.period -. 1e-9);
+  Alcotest.(check bool) "mct <= period (overlap)" true
+    (o.Deterministic.mct <= o.Deterministic.period +. 1e-9);
+  Alcotest.(check bool) "mct <= period (strict)" true
+    (s.Deterministic.mct <= s.Deterministic.period +. 1e-9)
+
+let random_mapping seed =
+  let g = Prng.create ~seed in
+  Workload.Gen.random_mapping g
+    {
+      Workload.Gen.n_stages = 2 + Prng.int g 4;
+      n_procs = 8 + Prng.int g 6;
+      comp_range = (5.0, 15.0);
+      comm_range = (5.0, 15.0);
+      max_rows = 60;
+    }
+
+let qcheck_mct_lower_bound =
+  QCheck.Test.make ~name:"Mct is a lower bound on the period (both models)" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let mapping = random_mapping (seed + 1) in
+      List.for_all
+        (fun model ->
+          let a = Deterministic.analyse mapping model in
+          a.Deterministic.mct <= a.Deterministic.paper_period +. (1e-9 *. a.Deterministic.paper_period))
+        Model.all)
+
+let qcheck_strict_slower_than_overlap =
+  QCheck.Test.make ~name:"strict period >= overlap period" ~count:40 QCheck.small_int
+    (fun seed ->
+      let mapping = random_mapping (seed + 101) in
+      let o = Deterministic.analyse mapping Model.Overlap in
+      let s = Deterministic.analyse mapping Model.Strict in
+      s.Deterministic.period >= o.Deterministic.period -. (1e-9 *. o.Deterministic.period))
+
+let qcheck_decomposition_matches_full_tpn =
+  QCheck.Test.make ~name:"overlap: column decomposition = full critical cycle" ~count:30
+    QCheck.small_int
+    (fun seed ->
+      (* the generated mappings have an unreplicated... not necessarily;
+         compare against m/P only when the decomposed row rates are all
+         equal (single bottleneck visible to every row), which the full-TPN
+         formula assumes; otherwise check the decomposition dominates. *)
+      let mapping = random_mapping (seed + 202) in
+      let full = Deterministic.throughput mapping Model.Overlap in
+      let dec = Deterministic.overlap_throughput_decomposed mapping in
+      dec >= full -. (1e-6 *. full))
+
+let test_decomposition_exact_on_single_ended () =
+  (* first and last stages unreplicated: the two formulas agree *)
+  List.iter
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let app = Application.create ~work:[| 1.0; 1.0; 1.0 |] ~files:[| 1.0; 1.0 |] in
+      let n_procs = 7 in
+      let speeds = Array.init n_procs (fun _ -> Prng.uniform g 0.5 2.0) in
+      let bw_matrix =
+        Array.init n_procs (fun _ -> Array.init n_procs (fun _ -> Prng.uniform g 0.5 2.0))
+      in
+      let platform = Platform.create ~speeds ~bandwidth:bw_matrix in
+      let mapping =
+        Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1; 2; 3 |]; [| 4 |] |]
+      in
+      let full = Deterministic.throughput mapping Model.Overlap in
+      let dec = Deterministic.overlap_throughput_decomposed mapping in
+      check_float (1e-6 *. full) (Printf.sprintf "seed %d" seed) full dec)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_eg_sim_matches_theory () =
+  List.iter
+    (fun model ->
+      let mapping = Workload.Scenarios.example_a in
+      let theory = Deterministic.throughput mapping model in
+      let sim =
+        Teg_sim.throughput mapping model ~laws:(Laws.deterministic mapping) ~seed:1
+          ~data_sets:5000
+      in
+      check_float (1e-6 *. theory) (Model.to_string model) theory sim)
+    Model.all
+
+let test_critical_transitions_nonempty () =
+  let a = Deterministic.analyse Workload.Scenarios.example_a Model.Overlap in
+  Alcotest.(check bool) "has critical cycle" true (List.length a.Deterministic.critical_transitions > 0)
+
+let () =
+  Alcotest.run "deterministic"
+    [
+      ( "chains",
+        [
+          Alcotest.test_case "single stage" `Quick test_single_stage;
+          Alcotest.test_case "two stages overlap" `Quick test_two_stage_chain_overlap;
+          Alcotest.test_case "two stages strict" `Quick test_two_stage_chain_strict;
+          Alcotest.test_case "three stages" `Quick test_three_stage_chain;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "homogeneous pattern" `Quick test_replicated_homogeneous_pattern;
+          Alcotest.test_case "replication speedup" `Quick test_replication_beats_single;
+          Alcotest.test_case "example A" `Quick test_example_a_models;
+          Alcotest.test_case "decomposition exact" `Quick test_decomposition_exact_on_single_ended;
+          Alcotest.test_case "critical cycle labels" `Quick test_critical_transitions_nonempty;
+          QCheck_alcotest.to_alcotest qcheck_mct_lower_bound;
+          QCheck_alcotest.to_alcotest qcheck_strict_slower_than_overlap;
+          QCheck_alcotest.to_alcotest qcheck_decomposition_matches_full_tpn;
+        ] );
+      ( "simulation agreement",
+        [ Alcotest.test_case "eg_sim matches theory" `Slow test_eg_sim_matches_theory ] );
+    ]

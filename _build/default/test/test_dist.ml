@@ -1,0 +1,180 @@
+let check_float tol = Alcotest.(check (float tol))
+
+let all_laws =
+  [
+    Dist.Deterministic 3.0;
+    Dist.Exponential 0.5;
+    Dist.Uniform (2.0, 6.0);
+    Dist.Normal_trunc (10.0, 2.0);
+    Dist.Gamma (2.0, 1.5);
+    Dist.Gamma (0.4, 5.0);
+    Dist.Beta (2.0, 3.0, 10.0);
+    Dist.Beta (0.5, 0.5, 4.0);
+    Dist.Erlang (3, 0.75);
+    Dist.Weibull (1.5, 2.0);
+    Dist.Weibull (0.7, 2.0);
+    Dist.Hyperexp [ (0.5, 0.4); (0.5, 4.0) ];
+  ]
+
+let monte_carlo_mean law n =
+  let g = Prng.create ~seed:1234 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to n do
+    Stats.Summary.add s (Dist.sample law g)
+  done;
+  s
+
+let test_analytic_means () =
+  check_float 1e-12 "deterministic" 3.0 (Dist.mean (Dist.Deterministic 3.0));
+  check_float 1e-12 "exponential" 2.0 (Dist.mean (Dist.Exponential 0.5));
+  check_float 1e-12 "uniform" 4.0 (Dist.mean (Dist.Uniform (2.0, 6.0)));
+  check_float 1e-12 "gamma" 3.0 (Dist.mean (Dist.Gamma (2.0, 1.5)));
+  check_float 1e-12 "beta" 4.0 (Dist.mean (Dist.Beta (2.0, 3.0, 10.0)));
+  check_float 1e-12 "erlang" 4.0 (Dist.mean (Dist.Erlang (3, 0.75)));
+  check_float 1e-12 "hyperexp" 1.375 (Dist.mean (Dist.Hyperexp [ (0.5, 0.4); (0.5, 4.0) ]));
+  (* Weibull(1, s) is exponential of mean s *)
+  check_float 1e-9 "weibull shape 1" 2.0 (Dist.mean (Dist.Weibull (1.0, 2.0)))
+
+let test_analytic_variances () =
+  check_float 1e-12 "deterministic" 0.0 (Dist.variance (Dist.Deterministic 3.0));
+  check_float 1e-12 "exponential" 4.0 (Dist.variance (Dist.Exponential 0.5));
+  check_float 1e-12 "uniform" (16.0 /. 12.0) (Dist.variance (Dist.Uniform (2.0, 6.0)));
+  check_float 1e-12 "gamma" 4.5 (Dist.variance (Dist.Gamma (2.0, 1.5)));
+  check_float 1e-9 "weibull shape 1" 4.0 (Dist.variance (Dist.Weibull (1.0, 2.0)))
+
+let test_sample_means_match () =
+  List.iter
+    (fun law ->
+      let s = monte_carlo_mean law 300_000 in
+      let expected = Dist.mean law in
+      let rel = abs_float (Stats.Summary.mean s -. expected) /. expected in
+      Alcotest.(check bool)
+        (Printf.sprintf "MC mean of %s within 2%%" (Dist.to_string law))
+        true (rel < 0.02))
+    all_laws
+
+let test_sample_variances_match () =
+  List.iter
+    (fun law ->
+      let s = monte_carlo_mean law 300_000 in
+      let expected = Dist.variance law in
+      let got = Stats.Summary.variance s in
+      let ok =
+        if expected = 0.0 then got = 0.0
+        else abs_float (got -. expected) /. expected < 0.06
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "MC variance of %s within 6%%" (Dist.to_string law))
+        true ok)
+    [ Dist.Exponential 0.5; Dist.Uniform (2.0, 6.0); Dist.Gamma (2.0, 1.5); Dist.Erlang (3, 0.75) ]
+
+let test_samples_positive () =
+  let g = Prng.create ~seed:99 in
+  List.iter
+    (fun law ->
+      for _ = 1 to 5_000 do
+        let x = Dist.sample law g in
+        Alcotest.(check bool) (Dist.to_string law ^ " sample positive") true (x > 0.0)
+      done)
+    all_laws
+
+let test_uniform_support () =
+  let g = Prng.create ~seed:17 in
+  for _ = 1 to 10_000 do
+    let x = Dist.sample (Dist.Uniform (2.0, 6.0)) g in
+    Alcotest.(check bool) "uniform support" true (x >= 2.0 && x < 6.0)
+  done
+
+let test_beta_support () =
+  let g = Prng.create ~seed:18 in
+  for _ = 1 to 10_000 do
+    let x = Dist.sample (Dist.Beta (2.0, 3.0, 10.0)) g in
+    Alcotest.(check bool) "beta support [0,10]" true (x >= 0.0 && x <= 10.0)
+  done
+
+let test_exponential_tail () =
+  let g = Prng.create ~seed:23 in
+  let n = 200_000 in
+  let above = ref 0 in
+  for _ = 1 to n do
+    if Dist.sample (Dist.Exponential 0.5) g > 2.0 then incr above
+  done;
+  let freq = float_of_int !above /. float_of_int n in
+  check_float 0.01 "P(X>2) = e^-1" (exp (-1.0)) freq
+
+let test_nbue_classification () =
+  Alcotest.(check bool) "deterministic" true (Dist.is_nbue (Dist.Deterministic 1.0));
+  Alcotest.(check bool) "exponential" true (Dist.is_nbue (Dist.Exponential 1.0));
+  Alcotest.(check bool) "uniform" true (Dist.is_nbue (Dist.Uniform (0.0, 2.0)));
+  Alcotest.(check bool) "normal" true (Dist.is_nbue (Dist.Normal_trunc (5.0, 1.0)));
+  Alcotest.(check bool) "gamma k>=1" true (Dist.is_nbue (Dist.Gamma (2.0, 1.0)));
+  Alcotest.(check bool) "gamma k<1" false (Dist.is_nbue (Dist.Gamma (0.5, 1.0)));
+  Alcotest.(check bool) "beta a>=1" true (Dist.is_nbue (Dist.Beta (2.0, 2.0, 1.0)));
+  Alcotest.(check bool) "beta a<1" false (Dist.is_nbue (Dist.Beta (0.5, 0.5, 1.0)));
+  Alcotest.(check bool) "erlang" true (Dist.is_nbue (Dist.Erlang (4, 1.0)));
+  Alcotest.(check bool) "weibull k>=1" true (Dist.is_nbue (Dist.Weibull (2.0, 1.0)));
+  Alcotest.(check bool) "weibull k<1" false (Dist.is_nbue (Dist.Weibull (0.5, 1.0)));
+  Alcotest.(check bool) "hyperexp mixture" false (Dist.is_nbue (Dist.Hyperexp [ (0.5, 1.0); (0.5, 2.0) ]));
+  Alcotest.(check bool) "degenerate hyperexp" true (Dist.is_nbue (Dist.Hyperexp [ (1.0, 2.0) ]))
+
+let test_with_mean () =
+  List.iter
+    (fun law ->
+      let rescaled = Dist.with_mean law 7.5 in
+      check_float 1e-9 (Dist.to_string law ^ " with_mean") 7.5 (Dist.mean rescaled))
+    all_laws
+
+let test_with_mean_invalid () =
+  Alcotest.check_raises "non-positive mean"
+    (Invalid_argument "Dist.with_mean: mean must be positive") (fun () ->
+      ignore (Dist.with_mean (Dist.Exponential 1.0) 0.0))
+
+let test_scale () =
+  List.iter
+    (fun law ->
+      let scaled = Dist.scale law 3.0 in
+      check_float 1e-9 (Dist.to_string law ^ " scale mean") (3.0 *. Dist.mean law)
+        (Dist.mean scaled);
+      check_float 1e-9
+        (Dist.to_string law ^ " scale variance")
+        (9.0 *. Dist.variance law)
+        (Dist.variance scaled))
+    all_laws
+
+let test_exponential_of_mean () =
+  match Dist.exponential_of_mean 4.0 with
+  | Dist.Exponential rate -> check_float 1e-12 "rate" 0.25 rate
+  | _ -> Alcotest.fail "expected exponential"
+
+let qcheck_with_mean =
+  QCheck.Test.make ~name:"with_mean hits any positive target" ~count:200
+    QCheck.(float_range 0.01 1000.)
+    (fun target ->
+      List.for_all
+        (fun law -> abs_float (Dist.mean (Dist.with_mean law target) -. target) < 1e-6 *. target)
+        all_laws)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "analytic",
+        [
+          Alcotest.test_case "means" `Quick test_analytic_means;
+          Alcotest.test_case "variances" `Quick test_analytic_variances;
+          Alcotest.test_case "nbue" `Quick test_nbue_classification;
+          Alcotest.test_case "with_mean" `Quick test_with_mean;
+          Alcotest.test_case "with_mean invalid" `Quick test_with_mean_invalid;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "exponential_of_mean" `Quick test_exponential_of_mean;
+          QCheck_alcotest.to_alcotest qcheck_with_mean;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "MC means" `Slow test_sample_means_match;
+          Alcotest.test_case "MC variances" `Slow test_sample_variances_match;
+          Alcotest.test_case "positivity" `Quick test_samples_positive;
+          Alcotest.test_case "uniform support" `Quick test_uniform_support;
+          Alcotest.test_case "beta support" `Quick test_beta_support;
+          Alcotest.test_case "exponential tail" `Slow test_exponential_tail;
+        ] );
+    ]

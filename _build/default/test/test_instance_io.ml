@@ -1,0 +1,123 @@
+open Streaming
+
+let sample =
+  {|# four stages on seven processors
+stages    4
+work      52 48 72 32
+files     24 36 28
+processors 7
+speeds    2 0.8 1.1 0.9 1.3 0.7 1.6
+bandwidth default 0.5
+bandwidth 0 1 0.35        # src dst value
+team 0
+team 1 2
+team 3 4 5
+team 6
+|}
+
+let test_parse_ok () =
+  match Instance_io.parse sample with
+  | Error msg -> Alcotest.fail msg
+  | Ok mapping ->
+      Alcotest.(check int) "stages" 4 (Mapping.n_stages mapping);
+      Alcotest.(check int) "processors" 7 (Mapping.n_processors mapping);
+      Alcotest.(check int) "rows" 6 (Mapping.rows mapping);
+      Alcotest.(check (float 1e-12)) "override bandwidth" 0.35
+        (Platform.bandwidth (Mapping.platform mapping) ~src:0 ~dst:1);
+      Alcotest.(check (float 1e-12)) "default bandwidth" 0.5
+        (Platform.bandwidth (Mapping.platform mapping) ~src:0 ~dst:2);
+      Alcotest.(check (float 1e-12)) "work" 48.0 (Application.work (Mapping.app mapping) 1)
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let expect_error fragment text =
+  match Instance_io.parse text with
+  | Ok _ -> Alcotest.fail ("expected parse error mentioning " ^ fragment)
+  | Error msg ->
+      Alcotest.(check bool) (Printf.sprintf "%S mentions %S" msg fragment) true
+        (contains fragment msg)
+
+let test_parse_errors () =
+  expect_error "stages" "work 1\nprocessors 1\nspeeds 1\nbandwidth default 1\nteam 0\n";
+  expect_error "unknown keyword" (sample ^ "frobnicate 3\n");
+  expect_error "team" "stages 2\nwork 1 1\nfiles 1\nprocessors 2\nspeeds 1 1\nbandwidth default 1\nteam 0\n";
+  expect_error "bad speeds" "stages 1\nwork 1\nprocessors 1\nspeeds abc\nbandwidth default 1\nteam 0\n"
+
+let test_roundtrip () =
+  let mapping = Workload.Scenarios.example_a in
+  let text = Format.asprintf "%a" Instance_io.print mapping in
+  match Instance_io.parse text with
+  | Error msg -> Alcotest.fail msg
+  | Ok mapping' ->
+      Alcotest.(check int) "stages" (Mapping.n_stages mapping) (Mapping.n_stages mapping');
+      Alcotest.(check int) "rows" (Mapping.rows mapping) (Mapping.rows mapping');
+      (* the analysis of the reparsed instance is identical *)
+      List.iter
+        (fun model ->
+          Alcotest.(check (float 1e-9))
+            (Model.to_string model)
+            (Deterministic.throughput mapping model)
+            (Deterministic.throughput mapping' model))
+        Model.all
+
+let test_parse_file_missing () =
+  match Instance_io.parse_file "/nonexistent/instance.txt" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error _ -> ()
+
+(* Example C (§5.2): stages replicated (5,21,27,11).  The second
+   communication (21 senders, 27 receivers) must decompose into g=3
+   components, each made of 55 copies of a 7x9 pattern whose marking chain
+   has S(7,9) states. *)
+let test_example_c_structure () =
+  let sizes = Workload.Scenarios.example_c_teams in
+  let n_procs = Array.fold_left ( + ) 0 sizes in
+  let app = Application.uniform ~n:4 ~work:1.0 ~file:1.0 in
+  let platform = Platform.fully_connected ~speeds:(Array.make n_procs 1.0) ~bw:1.0 in
+  let teams =
+    let next = ref 0 in
+    Array.map
+      (fun size ->
+        let t = Array.init size (fun k -> !next + k) in
+        next := !next + size;
+        t)
+      sizes
+  in
+  let mapping = Mapping.create ~app ~platform ~teams in
+  Alcotest.(check int) "m = lcm(5,21,27,11)" 10395 (Mapping.rows mapping);
+  let comms =
+    List.filter_map
+      (function Columns.Communication c when c.Columns.file = 1 -> Some c | _ -> None)
+      (Columns.components mapping)
+  in
+  Alcotest.(check int) "g = 3 components" 3 (List.length comms);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "u = 7" 7 c.Columns.u;
+      Alcotest.(check int) "v = 9" 9 c.Columns.v;
+      (* rows per component = copies * u * v with 55 copies *)
+      Alcotest.(check int) "55 copies of the 7x9 pattern" (55 * 7 * 9) (10395 / 3))
+    comms;
+  Alcotest.(check int) "S(7,9) = C(15,6) * 9" (5005 * 9) (Young.Combin.state_count ~u:7 ~v:9);
+  (* homogeneous network: Theorem 4 end to end on example C *)
+  let rho = Expo.overlap_throughput mapping in
+  (* with unit times everywhere the bottleneck is the (5,21) communication:
+     a single component with inner throughput 5*21/(5+21-1) = 4.2, below
+     stage 1's aggregate rate 5 and every other column *)
+  Alcotest.(check (float 1e-9)) "rho = 4.2 (Theorem 4 on example C)" 4.2 rho
+
+let () =
+  Alcotest.run "instance_io"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "ok" `Quick test_parse_ok;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_parse_file_missing;
+        ] );
+      ("example C", [ Alcotest.test_case "structure" `Quick test_example_c_structure ]);
+    ]

@@ -1,0 +1,190 @@
+open Linalg
+
+let check_float tol = Alcotest.(check (float tol))
+
+let test_solve_known () =
+  let a = [| [| 2.0; 1.0; -1.0 |]; [| -3.0; -1.0; 2.0 |]; [| -2.0; 1.0; 2.0 |] |] in
+  let b = [| 8.0; -11.0; -3.0 |] in
+  let x = Matrix.solve a b in
+  check_float 1e-9 "x0" 2.0 x.(0);
+  check_float 1e-9 "x1" 3.0 x.(1);
+  check_float 1e-9 "x2" (-1.0) x.(2)
+
+let test_solve_identity () =
+  let x = Matrix.solve (Matrix.identity 4) [| 1.0; 2.0; 3.0; 4.0 |] in
+  Array.iteri (fun i v -> check_float 1e-12 "identity solve" (float_of_int (i + 1)) v) x
+
+let test_singular () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" (Failure "Matrix.solve: singular matrix") (fun () ->
+      ignore (Matrix.solve a [| 1.0; 1.0 |]))
+
+let test_mul () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Matrix.mul a b in
+  check_float 1e-12 "c00" 19.0 c.(0).(0);
+  check_float 1e-12 "c01" 22.0 c.(0).(1);
+  check_float 1e-12 "c10" 43.0 c.(1).(0);
+  check_float 1e-12 "c11" 50.0 c.(1).(1)
+
+let test_transpose () =
+  let a = [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let t = Matrix.transpose a in
+  Alcotest.(check (pair int int)) "dims" (3, 2) (Matrix.dims t);
+  check_float 1e-12 "t(2,1)" 6.0 t.(2).(1)
+
+let qcheck_solve_roundtrip =
+  QCheck.Test.make ~name:"LU solve recovers x on diagonally dominant systems" ~count:200
+    QCheck.(pair (int_range 1 8) small_int)
+    (fun (n, seed) ->
+      let g = Prng.create ~seed:(seed + 1) in
+      let a =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                if i = j then 10.0 +. Prng.float g else Prng.uniform g (-1.0) 1.0))
+      in
+      let x = Array.init n (fun _ -> Prng.uniform g (-5.0) 5.0) in
+      let b = Matrix.mul_vec a x in
+      let x' = Matrix.solve a b in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-8) x x')
+
+(* -- GTH -- *)
+
+let test_gth_two_state () =
+  let pi = Gth.stationary [| [| 0.0; 3.0 |]; [| 1.0; 0.0 |] |] in
+  check_float 1e-12 "pi0" 0.25 pi.(0);
+  check_float 1e-12 "pi1" 0.75 pi.(1)
+
+let test_gth_single_state () =
+  let pi = Gth.stationary [| [| 0.0 |] |] in
+  check_float 1e-12 "pi" 1.0 pi.(0)
+
+let test_gth_birth_death () =
+  (* M/M/1/4: pi_i proportional to (lambda/mu)^i *)
+  let lambda = 2.0 and mu = 3.0 in
+  let n = 5 in
+  let rates = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 2 do
+    rates.(i).(i + 1) <- lambda;
+    rates.(i + 1).(i) <- mu
+  done;
+  let pi = Gth.stationary rates in
+  let rho = lambda /. mu in
+  let z = Array.fold_left ( +. ) 0.0 (Array.init n (fun i -> rho ** float_of_int i)) in
+  for i = 0 to n - 1 do
+    check_float 1e-12 (Printf.sprintf "pi%d" i) ((rho ** float_of_int i) /. z) pi.(i)
+  done
+
+let test_gth_reducible () =
+  let rates = [| [| 0.0; 1.0; 0.0 |]; [| 1.0; 0.0; 0.0 |]; [| 0.0; 0.0; 0.0 |] |] in
+  Alcotest.check_raises "reducible" (Failure "Gth.stationary: reducible chain") (fun () ->
+      ignore (Gth.stationary rates))
+
+let random_chain g n =
+  (* dense irreducible generator: a cycle plus random extra rates *)
+  let rates = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    rates.(i).((i + 1) mod n) <- 0.5 +. Prng.float g;
+    for j = 0 to n - 1 do
+      if i <> j && Prng.float g < 0.4 then rates.(i).(j) <- rates.(i).(j) +. Prng.float g
+    done
+  done;
+  rates
+
+let balance_residual rates pi =
+  let n = Array.length pi in
+  let worst = ref 0.0 in
+  for j = 0 to n - 1 do
+    let inflow = ref 0.0 and outflow = ref 0.0 in
+    for i = 0 to n - 1 do
+      if i <> j then begin
+        inflow := !inflow +. (pi.(i) *. rates.(i).(j));
+        outflow := !outflow +. (pi.(j) *. rates.(j).(i))
+      end
+    done;
+    worst := max !worst (abs_float (!inflow -. !outflow))
+  done;
+  !worst
+
+let qcheck_gth_balance =
+  QCheck.Test.make ~name:"GTH satisfies global balance" ~count:100
+    QCheck.(pair (int_range 2 15) small_int)
+    (fun (n, seed) ->
+      let g = Prng.create ~seed:(seed + 5) in
+      let rates = random_chain g n in
+      let pi = Gth.stationary rates in
+      balance_residual rates pi < 1e-10
+      && abs_float (Array.fold_left ( +. ) 0.0 pi -. 1.0) < 1e-10)
+
+(* -- sparse solvers -- *)
+
+let sparse_of_dense rates =
+  let n = Array.length rates in
+  let s = Sparse.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && rates.(i).(j) > 0.0 then Sparse.add_rate s i j rates.(i).(j)
+    done
+  done;
+  s
+
+let qcheck_gauss_seidel_matches_gth =
+  QCheck.Test.make ~name:"Gauss-Seidel matches GTH" ~count:60
+    QCheck.(pair (int_range 2 12) small_int)
+    (fun (n, seed) ->
+      let g = Prng.create ~seed:(seed + 11) in
+      let rates = random_chain g n in
+      let pi_gth = Gth.stationary rates in
+      let pi_gs = Sparse.stationary_gauss_seidel (sparse_of_dense rates) in
+      Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-8) pi_gth pi_gs)
+
+let qcheck_power_matches_gth =
+  QCheck.Test.make ~name:"power iteration matches GTH" ~count:30
+    QCheck.(pair (int_range 2 10) small_int)
+    (fun (n, seed) ->
+      let g = Prng.create ~seed:(seed + 23) in
+      let rates = random_chain g n in
+      let pi_gth = Gth.stationary rates in
+      let pi_pow = Sparse.stationary_power ~tol:1e-13 (sparse_of_dense rates) in
+      Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-6) pi_gth pi_pow)
+
+let test_sparse_validation () =
+  let s = Sparse.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Sparse.add_rate: no self loops in a generator")
+    (fun () -> Sparse.add_rate s 1 1 1.0);
+  Alcotest.check_raises "negative rate" (Invalid_argument "Sparse.add_rate: rate must be positive")
+    (fun () -> Sparse.add_rate s 0 1 (-1.0));
+  Sparse.add_rate s 0 1 2.0;
+  Sparse.add_rate s 0 2 1.0;
+  check_float 1e-12 "exit rate" 3.0 (Sparse.exit_rate s 0);
+  Alcotest.(check int) "size" 3 (Sparse.size s);
+  Alcotest.(check int) "outgoing" 2 (List.length (Sparse.outgoing s 0))
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "solve known" `Quick test_solve_known;
+          Alcotest.test_case "solve identity" `Quick test_solve_identity;
+          Alcotest.test_case "singular" `Quick test_singular;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          QCheck_alcotest.to_alcotest qcheck_solve_roundtrip;
+        ] );
+      ( "gth",
+        [
+          Alcotest.test_case "two states" `Quick test_gth_two_state;
+          Alcotest.test_case "single state" `Quick test_gth_single_state;
+          Alcotest.test_case "birth-death" `Quick test_gth_birth_death;
+          Alcotest.test_case "reducible" `Quick test_gth_reducible;
+          QCheck_alcotest.to_alcotest qcheck_gth_balance;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "validation" `Quick test_sparse_validation;
+          QCheck_alcotest.to_alcotest qcheck_gauss_seidel_matches_gth;
+          QCheck_alcotest.to_alcotest qcheck_power_matches_gth;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+open Streaming
+
+let check_float tol = Alcotest.(check (float tol))
+
+let random_instance seed ~n_stages ~n_procs =
+  let g = Prng.create ~seed in
+  let app =
+    Application.create
+      ~work:(Array.init n_stages (fun _ -> Prng.uniform g 1.0 10.0))
+      ~files:(Array.init (n_stages - 1) (fun _ -> Prng.uniform g 0.2 2.0))
+  in
+  let speeds = Array.init n_procs (fun _ -> Prng.uniform g 0.5 2.0) in
+  let platform = Platform.fully_connected ~speeds ~bw:1.0 in
+  (app, platform)
+
+let test_baseline_structure () =
+  let app, platform = random_instance 1 ~n_stages:3 ~n_procs:8 in
+  let mapping = Mapper.baseline_fastest ~app ~platform () in
+  Alcotest.(check (list int)) "one processor per stage" [ 1; 1; 1 ]
+    (Array.to_list (Mapping.replication mapping));
+  (* the heaviest stage got the fastest processor *)
+  let heaviest =
+    List.init 3 Fun.id
+    |> List.sort (fun i j -> compare (Application.work app j) (Application.work app i))
+    |> List.hd
+  in
+  let fastest =
+    List.init 8 Fun.id
+    |> List.sort (fun p q -> compare (Platform.speed platform q) (Platform.speed platform p))
+    |> List.hd
+  in
+  Alcotest.(check int) "fastest on heaviest" fastest (Mapping.team mapping heaviest).(0)
+
+let test_baseline_pool_too_small () =
+  let app, platform = random_instance 2 ~n_stages:3 ~n_procs:8 in
+  Alcotest.check_raises "pool too small"
+    (Invalid_argument "Mapper: pool smaller than the number of stages") (fun () ->
+      ignore (Mapper.baseline_fastest ~app ~platform ~pool:[ 0; 1 ] ()))
+
+let test_evaluate_matches_analysis () =
+  let app, platform = random_instance 3 ~n_stages:3 ~n_procs:9 in
+  let mapping = Mapper.baseline_fastest ~app ~platform () in
+  check_float 1e-9 "deterministic metric"
+    (Deterministic.overlap_throughput_decomposed mapping)
+    (Mapper.evaluate Mapper.Deterministic mapping);
+  check_float 1e-9 "exponential metric" (Expo.overlap_throughput mapping)
+    (Mapper.evaluate Mapper.Exponential mapping)
+
+let qcheck_greedy_beats_baseline =
+  QCheck.Test.make ~name:"greedy never falls below the no-replication baseline" ~count:25
+    QCheck.(pair small_int (int_range 2 4))
+    (fun (seed, n_stages) ->
+      let app, platform = random_instance (seed + 10) ~n_stages ~n_procs:(n_stages + 5) in
+      let baseline = Mapper.baseline_fastest ~app ~platform () in
+      let greedy = Mapper.greedy ~metric:Mapper.Deterministic ~app ~platform () in
+      Mapper.evaluate Mapper.Deterministic greedy
+      >= Mapper.evaluate Mapper.Deterministic baseline -. 1e-9)
+
+let qcheck_greedy_valid_mapping =
+  QCheck.Test.make ~name:"greedy produces a valid mapping over the pool" ~count:25
+    QCheck.small_int
+    (fun seed ->
+      let app, platform = random_instance (seed + 50) ~n_stages:3 ~n_procs:8 in
+      let pool = [ 0; 2; 3; 5; 6; 7 ] in
+      let mapping = Mapper.greedy ~metric:Mapper.Deterministic ~app ~platform ~pool () in
+      let used =
+        List.concat_map (fun i -> Array.to_list (Mapping.team mapping i)) [ 0; 1; 2 ]
+      in
+      List.for_all (fun p -> List.mem p pool) used
+      && List.length used = List.length (List.sort_uniq compare used))
+
+let qcheck_exhaustive_beats_greedy_homogeneous =
+  (* on identical processors greedy only explores a subset of the
+     compositions the exhaustive search ranks *)
+  QCheck.Test.make ~name:"exhaustive >= greedy on homogeneous platforms" ~count:15
+    QCheck.(pair small_int (int_range 2 3))
+    (fun (seed, n_stages) ->
+      let g = Prng.create ~seed:(seed + 80) in
+      let app =
+        Application.create
+          ~work:(Array.init n_stages (fun _ -> Prng.uniform g 1.0 10.0))
+          ~files:(Array.init (n_stages - 1) (fun _ -> Prng.uniform g 0.2 2.0))
+      in
+      let platform = Platform.fully_connected ~speeds:(Array.make (n_stages + 4) 1.0) ~bw:1.0 in
+      let greedy = Mapper.greedy ~metric:Mapper.Deterministic ~app ~platform () in
+      let exhaustive = Mapper.exhaustive ~metric:Mapper.Deterministic ~app ~platform () in
+      Mapper.evaluate Mapper.Deterministic exhaustive
+      >= Mapper.evaluate Mapper.Deterministic greedy -. 1e-9)
+
+let test_greedy_replicates_bottleneck () =
+  (* one stage 10x heavier than the rest: greedy must replicate it *)
+  let app = Application.create ~work:[| 1.0; 20.0; 1.0 |] ~files:[| 0.1; 0.1 |] in
+  let platform = Platform.fully_connected ~speeds:(Array.make 9 1.0) ~bw:1.0 in
+  let mapping = Mapper.greedy ~metric:Mapper.Exponential ~app ~platform () in
+  Alcotest.(check bool) "bottleneck stage replicated" true
+    ((Mapping.replication mapping).(1) >= 3);
+  let baseline = Mapper.baseline_fastest ~app ~platform () in
+  let gain =
+    Mapper.evaluate Mapper.Exponential mapping /. Mapper.evaluate Mapper.Exponential baseline
+  in
+  Alcotest.(check bool) (Printf.sprintf "gain %.2f >= 2.5" gain) true (gain >= 2.5)
+
+let () =
+  Alcotest.run "mapper"
+    [
+      ( "baseline",
+        [
+          Alcotest.test_case "structure" `Quick test_baseline_structure;
+          Alcotest.test_case "pool too small" `Quick test_baseline_pool_too_small;
+          Alcotest.test_case "evaluate" `Quick test_evaluate_matches_analysis;
+        ] );
+      ( "heuristics",
+        [
+          QCheck_alcotest.to_alcotest qcheck_greedy_beats_baseline;
+          QCheck_alcotest.to_alcotest qcheck_greedy_valid_mapping;
+          QCheck_alcotest.to_alcotest qcheck_exhaustive_beats_greedy_homogeneous;
+          Alcotest.test_case "bottleneck replication" `Quick test_greedy_replicates_bottleneck;
+        ] );
+    ]

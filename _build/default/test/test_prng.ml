@@ -1,0 +1,121 @@
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_deterministic_stream () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_copy_independent () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.copy a in
+  let xa = Prng.bits64 a in
+  let xb = Prng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  ignore (Prng.bits64 a);
+  let xa2 = Prng.bits64 a and xb2 = Prng.bits64 b in
+  Alcotest.(check bool) "copies then diverge in position" true (xa2 <> xb2 || xa2 = xb2);
+  ignore (xa2, xb2)
+
+let test_split_diverges () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "split streams share no draws" 0 !same
+
+let test_float_range () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_float_pos_range () =
+  let g = Prng.create ~seed:4 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float_pos g in
+    Alcotest.(check bool) "in (0,1]" true (x > 0.0 && x <= 1.0)
+  done
+
+let test_float_mean () =
+  let g = Prng.create ~seed:5 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 200_000 do
+    Stats.Summary.add s (Prng.float g)
+  done;
+  check_float "mean near 1/2" 0.5 (Float.round (Stats.Summary.mean s *. 100.) /. 100.)
+
+let test_int_bounds () =
+  let g = Prng.create ~seed:6 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int g 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done
+
+let test_int_uniformity () =
+  let g = Prng.create ~seed:8 in
+  let counts = Array.make 5 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let x = Prng.int g 5 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "frequency near 1/5" true (abs_float (freq -. 0.2) < 0.01))
+    counts
+
+let test_int_invalid () =
+  let g = Prng.create ~seed:9 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_uniform_range () =
+  let g = Prng.create ~seed:10 in
+  for _ = 1 to 10_000 do
+    let x = Prng.uniform g 3.0 8.0 in
+    Alcotest.(check bool) "in [3,8)" true (x >= 3.0 && x < 8.0)
+  done
+
+let qcheck_int_range =
+  QCheck.Test.make ~name:"int within any positive bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic_stream;
+          Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_diverges;
+        ] );
+      ( "ranges",
+        [
+          Alcotest.test_case "float" `Quick test_float_range;
+          Alcotest.test_case "float_pos" `Quick test_float_pos_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "uniform" `Quick test_uniform_range;
+          QCheck_alcotest.to_alcotest qcheck_int_range;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+open Streaming
+
+let check_float tol = Alcotest.(check (float tol))
+
+let random_mapping seed =
+  let g = Prng.create ~seed in
+  Workload.Gen.random_mapping g
+    {
+      Workload.Gen.n_stages = 2 + Prng.int g 4;
+      n_procs = 6 + Prng.int g 8;
+      comp_range = (5.0, 15.0);
+      comm_range = (5.0, 15.0);
+      max_rows = 60;
+    }
+
+(* §7.4 fidelity: with deterministic times, the event-graph recurrence and
+   the operational discrete-event simulation compute the same greedy
+   schedule, so per-data-set completion times must agree exactly. *)
+let qcheck_des_equals_eg_sim_deterministic =
+  QCheck.Test.make ~name:"DES completions = event-graph completions (deterministic)" ~count:25
+    QCheck.(pair small_int (oneofl Model.all))
+    (fun (seed, model) ->
+      let mapping = random_mapping (seed + 1) in
+      let data_sets = 4 * Mapping.rows mapping in
+      let des =
+        Des.Pipeline_sim.completions mapping model
+          ~timing:(Des.Pipeline_sim.Independent (Laws.deterministic mapping))
+          ~seed:0 ~data_sets
+      in
+      let egs =
+        Teg_sim.completions mapping model ~laws:(Laws.deterministic mapping) ~seed:0 ~data_sets
+      in
+      (* both series are truncated at their common-activity horizon, which
+         may differ slightly (egs rounds data_sets up to whole rounds);
+         compare the common prefix *)
+      let k = min (Array.length des) (Array.length egs) in
+      k > data_sets / 2
+      && Array.for_all2
+           (fun a b -> abs_float (a -. b) < 1e-9 *. (1.0 +. abs_float a))
+           (Array.sub des 0 k) (Array.sub egs 0 k))
+
+let test_des_engine_cycle_detection () =
+  let e = Des.Engine.create ~n_tasks:2 in
+  Des.Engine.add_dep e ~task:0 ~after:1;
+  Des.Engine.add_dep e ~task:1 ~after:0;
+  Alcotest.check_raises "cycle"
+    (Failure "Engine.run: dependency cycle, some tasks never became ready") (fun () ->
+      ignore (Des.Engine.run e ~duration:(fun _ -> 1.0)))
+
+let test_des_engine_chain () =
+  let e = Des.Engine.create ~n_tasks:3 in
+  Des.Engine.add_dep e ~task:1 ~after:0;
+  Des.Engine.add_dep e ~task:2 ~after:1;
+  let completion = Des.Engine.run e ~duration:(fun i -> float_of_int (i + 1)) in
+  check_float 1e-12 "t0" 1.0 completion.(0);
+  check_float 1e-12 "t1" 3.0 completion.(1);
+  check_float 1e-12 "t2" 6.0 completion.(2)
+
+let test_des_engine_diamond () =
+  let e = Des.Engine.create ~n_tasks:4 in
+  Des.Engine.add_dep e ~task:1 ~after:0;
+  Des.Engine.add_dep e ~task:2 ~after:0;
+  Des.Engine.add_dep e ~task:3 ~after:1;
+  Des.Engine.add_dep e ~task:3 ~after:2;
+  let durations = [| 1.0; 5.0; 2.0; 1.0 |] in
+  let completion = Des.Engine.run e ~duration:(fun i -> durations.(i)) in
+  check_float 1e-12 "join waits for the slow branch" 7.0 completion.(3)
+
+let test_same_seed_reproducible () =
+  let mapping = random_mapping 7 in
+  let run () =
+    Des.Pipeline_sim.throughput mapping Model.Overlap
+      ~timing:(Des.Pipeline_sim.Independent (Laws.exponential mapping))
+      ~seed:123 ~data_sets:2000
+  in
+  check_float 0.0 "bitwise reproducible" (run ()) (run ())
+
+let test_different_seeds_differ () =
+  let mapping = random_mapping 7 in
+  let run seed =
+    Des.Pipeline_sim.throughput mapping Model.Overlap
+      ~timing:(Des.Pipeline_sim.Independent (Laws.exponential mapping))
+      ~seed ~data_sets:2000
+  in
+  Alcotest.(check bool) "seeds matter" true (run 1 <> run 2)
+
+let test_deterministic_dist_equals_deterministic_theory () =
+  (* DES with Deterministic laws reproduces the critical-cycle value *)
+  List.iter
+    (fun model ->
+      let mapping = Workload.Scenarios.example_a in
+      let theory = Deterministic.throughput mapping model in
+      let sim =
+        Des.Pipeline_sim.throughput mapping model
+          ~timing:(Des.Pipeline_sim.Independent (Laws.deterministic mapping))
+          ~seed:0 ~data_sets:6000
+      in
+      check_float (1e-6 *. theory) (Model.to_string model) theory sim)
+    Model.all
+
+let test_exponential_des_vs_eg_sim () =
+  let mapping = Workload.Scenarios.example_a in
+  let des =
+    Des.Pipeline_sim.throughput mapping Model.Overlap
+      ~timing:(Des.Pipeline_sim.Independent (Laws.exponential mapping))
+      ~seed:21 ~data_sets:60_000
+  in
+  let egs =
+    Teg_sim.throughput mapping Model.Overlap ~laws:(Laws.exponential mapping) ~seed:22
+      ~data_sets:60_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "des %.5f vs egsim %.5f" des egs)
+    true
+    (abs_float (des -. egs) /. des < 0.02)
+
+let test_associated_deterministic_sizes () =
+  (* associated mode with constant sizes equals the deterministic case *)
+  let mapping = Workload.Scenarios.example_a in
+  let app = Mapping.app mapping in
+  let timing =
+    Des.Pipeline_sim.Associated
+      {
+        work = (fun i -> Dist.Deterministic (Application.work app i));
+        files = (fun i -> Dist.Deterministic (Application.file_size app i));
+      }
+  in
+  let theory = Deterministic.throughput mapping Model.Overlap in
+  let sim = Des.Pipeline_sim.throughput mapping Model.Overlap ~timing ~seed:0 ~data_sets:6000 in
+  check_float (1e-6 *. theory) "associated constant = deterministic" theory sim
+
+let test_associated_random_sizes_run () =
+  (* Theorem 8: with associated N.B.U.E. sizes the throughput still sits
+     below the deterministic bound *)
+  let mapping = Workload.Scenarios.example_a in
+  let app = Mapping.app mapping in
+  let timing =
+    Des.Pipeline_sim.Associated
+      {
+        work = (fun i -> Dist.with_mean (Dist.Uniform (0.5, 1.5)) (Application.work app i));
+        files = (fun i -> Dist.with_mean (Dist.Uniform (0.5, 1.5)) (Application.file_size app i));
+      }
+  in
+  let det = Deterministic.throughput mapping Model.Overlap in
+  let sim = Des.Pipeline_sim.throughput mapping Model.Overlap ~timing ~seed:5 ~data_sets:40_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "associated %.5f <= det %.5f" sim det)
+    true
+    (sim <= det *. 1.005)
+
+let test_throughput_estimator_on_exact_series () =
+  let mapping = Workload.Scenarios.example_a in
+  let completions =
+    Teg_sim.completions mapping Model.Overlap ~laws:(Laws.deterministic mapping) ~seed:0
+      ~data_sets:3000
+  in
+  Alcotest.(check bool) "sorted" true
+    (Array.for_all2 ( <= ) (Array.sub completions 0 (Array.length completions - 1))
+       (Array.sub completions 1 (Array.length completions - 1)))
+
+
+(* -- release dates and latency -- *)
+
+let test_release_slows_throughput () =
+  (* admitting below capacity: the output rate equals the admission rate *)
+  let mapping = Workload.Scenarios.example_a in
+  let capacity = Deterministic.throughput mapping Model.Overlap in
+  let rate = 0.5 *. capacity in
+  let release n = float_of_int n /. rate in
+  let rho =
+    Des.Pipeline_sim.throughput ~release mapping Model.Overlap
+      ~timing:(Des.Pipeline_sim.Independent (Laws.deterministic mapping))
+      ~seed:0 ~data_sets:5_000
+  in
+  check_float (1e-6 *. rate) "output = admission" rate rho
+
+let test_latency_isolated () =
+  (* releases far apart: each data set crosses an empty pipeline, so its
+     latency is the sum of the operation times along its path *)
+  let mapping = Workload.Scenarios.example_a in
+  let huge_gap n = 1e7 *. float_of_int n in
+  let lats =
+    Des.Pipeline_sim.latencies ~release:huge_gap mapping Model.Overlap
+      ~timing:(Des.Pipeline_sim.Independent (Laws.deterministic mapping))
+      ~seed:0 ~data_sets:(2 * Mapping.rows mapping)
+  in
+  let app = Mapping.app mapping in
+  let n = Application.n_stages app in
+  Array.iteri
+    (fun ds lat ->
+      let rec path stage acc =
+        if stage = n then acc
+        else
+          let p = Mapping.proc_at mapping ~stage ~row:ds in
+          let acc = acc +. Mapping.comp_time mapping ~stage ~proc:p in
+          if stage = n - 1 then acc
+          else
+            let q = Mapping.proc_at mapping ~stage:(stage + 1) ~row:ds in
+            path (stage + 1) (acc +. Mapping.comm_time mapping ~file:stage ~src:p ~dst:q)
+      in
+      check_float 1e-6 (Printf.sprintf "data set %d" ds) (path 0 0.0) lat)
+    lats
+
+let test_latency_increases_with_load () =
+  let mapping = Workload.Scenarios.example_a in
+  let capacity = Expo.overlap_throughput mapping in
+  let mean_latency f =
+    let release n = float_of_int n /. (f *. capacity) in
+    let lats =
+      Des.Pipeline_sim.latencies ~release mapping Model.Overlap
+        ~timing:(Des.Pipeline_sim.Independent (Laws.exponential mapping))
+        ~seed:5 ~data_sets:8_000
+    in
+    Stats.Summary.mean (Stats.Summary.of_list (Array.to_list lats))
+  in
+  let l30 = mean_latency 0.3 and l80 = mean_latency 0.8 and l99 = mean_latency 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %.0f < %.0f < %.0f" l30 l80 l99)
+    true
+    (l30 < l80 && l80 < l99)
+
+
+let test_decoupled_rows_strict () =
+  (* under Strict the rows of this mapping are also decoupled chains; the
+     per-weak-component analysis must match both simulators *)
+  let app = Application.create ~work:[| 6.0; 6.0 |] ~files:[| 0.01 |] in
+  let speeds = [| 2.0; 1.0; 0.5; 2.0; 1.0; 0.5 |] in
+  let platform = Platform.fully_connected ~speeds ~bw:100.0 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0; 1; 2 |]; [| 3; 4; 5 |] |] in
+  let theory = Deterministic.throughput mapping Model.Strict in
+  let egs =
+    Teg_sim.throughput mapping Model.Strict ~laws:(Laws.deterministic mapping) ~seed:1
+      ~data_sets:30_000
+  in
+  let des =
+    Des.Pipeline_sim.throughput mapping Model.Strict
+      ~timing:(Des.Pipeline_sim.Independent (Laws.deterministic mapping))
+      ~seed:1 ~data_sets:30_000
+  in
+  check_float (1e-6 *. theory) "eg_sim matches per-component theory" theory egs;
+  check_float (1e-6 *. theory) "DES matches per-component theory" theory des
+
+let test_decoupled_rows_estimator () =
+  (* regression: with every team of size m the rows are fully decoupled
+     chains of different speeds; the throughput is the SUM of the row
+     rates, which the estimator only sees if it stops measuring when the
+     fastest row runs out of simulated data sets *)
+  let app = Application.create ~work:[| 6.0; 6.0 |] ~files:[| 0.01 |] in
+  let speeds = [| 2.0; 1.0; 0.5; 2.0; 1.0; 0.5 |] in
+  let platform = Platform.fully_connected ~speeds ~bw:100.0 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0; 1; 2 |]; [| 3; 4; 5 |] |] in
+  (* rows: (2,2), (1,1), (0.5,0.5) -> rates 1/3 + 1/6 + 1/12 = 7/12 *)
+  let expected = 7.0 /. 12.0 in
+  check_float (1e-6 *. expected) "decomposition" expected
+    (Deterministic.overlap_throughput_decomposed mapping);
+  let egs =
+    Teg_sim.throughput mapping Model.Overlap ~laws:(Laws.deterministic mapping) ~seed:1
+      ~data_sets:30_000
+  in
+  check_float (1e-6 *. expected) "eg_sim" expected egs;
+  let des =
+    Des.Pipeline_sim.throughput mapping Model.Overlap
+      ~timing:(Des.Pipeline_sim.Independent (Laws.deterministic mapping))
+      ~seed:1 ~data_sets:30_000
+  in
+  check_float (1e-6 *. expected) "DES" expected des
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "cycle detection" `Quick test_des_engine_cycle_detection;
+          Alcotest.test_case "chain" `Quick test_des_engine_chain;
+          Alcotest.test_case "diamond" `Quick test_des_engine_diamond;
+        ] );
+      ( "fidelity",
+        [
+          QCheck_alcotest.to_alcotest qcheck_des_equals_eg_sim_deterministic;
+          Alcotest.test_case "deterministic laws" `Slow test_deterministic_dist_equals_deterministic_theory;
+          Alcotest.test_case "exponential des vs egsim" `Slow test_exponential_des_vs_eg_sim;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "reproducible" `Quick test_same_seed_reproducible;
+          Alcotest.test_case "seed sensitivity" `Quick test_different_seeds_differ;
+          Alcotest.test_case "associated constant" `Slow test_associated_deterministic_sizes;
+          Alcotest.test_case "associated random" `Slow test_associated_random_sizes_run;
+          Alcotest.test_case "completions sorted" `Quick test_throughput_estimator_on_exact_series;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "decoupled rows estimator" `Quick test_decoupled_rows_estimator;
+          Alcotest.test_case "decoupled rows strict" `Quick test_decoupled_rows_strict;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "admission-limited throughput" `Quick test_release_slows_throughput;
+          Alcotest.test_case "isolated latency" `Quick test_latency_isolated;
+          Alcotest.test_case "monotone in load" `Slow test_latency_increases_with_load;
+        ] );
+    ]

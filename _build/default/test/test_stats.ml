@@ -1,0 +1,151 @@
+open Stats
+
+let check_float tol = Alcotest.(check (float tol))
+
+let test_known_summary () =
+  let s = Summary.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check_float 1e-12 "mean" 5.0 (Summary.mean s);
+  check_float 1e-12 "variance" (32.0 /. 7.0) (Summary.variance s);
+  check_float 1e-12 "min" 2.0 (Summary.min_value s);
+  check_float 1e-12 "max" 9.0 (Summary.max_value s);
+  Alcotest.(check int) "count" 8 (Summary.count s)
+
+let test_empty_summary () =
+  let s = Summary.create () in
+  check_float 1e-12 "mean of empty" 0.0 (Summary.mean s);
+  check_float 1e-12 "variance of empty" 0.0 (Summary.variance s);
+  Alcotest.(check int) "count" 0 (Summary.count s)
+
+let test_single_value () =
+  let s = Summary.of_list [ 3.25 ] in
+  check_float 1e-12 "mean" 3.25 (Summary.mean s);
+  check_float 1e-12 "variance with one sample" 0.0 (Summary.variance s);
+  check_float 1e-12 "min=max" (Summary.min_value s) (Summary.max_value s)
+
+let naive_mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let naive_variance xs =
+  let m = naive_mean xs in
+  let n = List.length xs in
+  List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. float_of_int (n - 1)
+
+let qcheck_welford =
+  QCheck.Test.make ~name:"welford matches naive mean/variance" ~count:300
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Summary.of_list xs in
+      abs_float (Summary.mean s -. naive_mean xs) < 1e-9
+      && abs_float (Summary.variance s -. naive_variance xs) < 1e-7)
+
+let test_report () =
+  let r = Summary.report (Summary.of_list [ 1.0; 2.0; 3.0 ]) in
+  check_float 1e-12 "report mean" 2.0 r.Summary.mean;
+  Alcotest.(check int) "report n" 3 r.Summary.n;
+  check_float 1e-9 "report ci95" (1.959964 *. (1.0 /. sqrt 3.0)) r.Summary.ci95
+
+let test_linspace () =
+  let xs = Series.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "length" 5 (Array.length xs);
+  check_float 1e-12 "first" 0.0 xs.(0);
+  check_float 1e-12 "last" 1.0 xs.(4);
+  check_float 1e-12 "step" 0.25 xs.(1)
+
+let test_slope_exact_line () =
+  let xs = Array.init 50 float_of_int in
+  let ys = Array.map (fun x -> 3.0 +. (2.5 *. x)) xs in
+  check_float 1e-9 "slope" 2.5 (Series.least_squares_slope xs ys)
+
+let test_slope_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Series.least_squares_slope: length mismatch") (fun () ->
+      ignore (Series.least_squares_slope [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_throughput_of_completions () =
+  (* completions every 0.5 time units -> throughput 2 *)
+  let completions = Array.init 100 (fun i -> 0.5 *. float_of_int (i + 1)) in
+  check_float 1e-9 "throughput" 2.0 (Series.throughput_of_completions completions)
+
+let test_throughput_ignores_transient () =
+  (* slow start then steady rate 4: warmup skip must recover the rate *)
+  let completions =
+    Array.init 200 (fun i ->
+        if i < 20 then 10.0 *. float_of_int (i + 1) else 200.0 +. (0.25 *. float_of_int (i - 19)))
+  in
+  check_float 1e-6 "steady throughput" 4.0 (Series.throughput_of_completions completions)
+
+let test_relative_error () =
+  check_float 1e-12 "relative error" 0.1 (Series.relative_error 110.0 100.0)
+
+let qcheck_slope_translation_invariant =
+  QCheck.Test.make ~name:"slope invariant under y-translation" ~count:200
+    QCheck.(pair (float_range (-5.) 5.) (float_range (-100.) 100.))
+    (fun (slope, shift) ->
+      let xs = Array.init 20 float_of_int in
+      let ys = Array.map (fun x -> slope *. x) xs in
+      let ys' = Array.map (fun y -> y +. shift) ys in
+      abs_float (Series.least_squares_slope xs ys -. Series.least_squares_slope xs ys') < 1e-7)
+
+
+(* -- batch means -- *)
+
+let test_batch_means_constant () =
+  let bm = Batch_means.estimate (Array.make 200 3.5) in
+  check_float 1e-12 "mean" 3.5 bm.Batch_means.mean;
+  check_float 1e-12 "no spread" 0.0 bm.Batch_means.half_width;
+  Alcotest.(check int) "batches" 20 bm.Batch_means.batches
+
+let test_batch_means_iid_coverage () =
+  (* for i.i.d. data the interval should cover the true mean most times *)
+  let covered = ref 0 in
+  let runs = 60 in
+  for seed = 1 to runs do
+    let g = Prng.create ~seed in
+    let xs = Array.init 2_000 (fun _ -> Prng.uniform g 0.0 2.0) in
+    let bm = Batch_means.estimate xs in
+    if abs_float (bm.Batch_means.mean -. 1.0) <= bm.Batch_means.half_width then incr covered
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %d/%d" !covered runs)
+    true
+    (!covered >= runs * 8 / 10)
+
+let test_batch_means_too_few () =
+  Alcotest.check_raises "too few" (Invalid_argument "Batch_means.estimate: too few observations")
+    (fun () -> ignore (Batch_means.estimate (Array.make 10 1.0)))
+
+let test_batch_means_throughput_exact () =
+  (* completions every 0.5 time units: every batch sees throughput 2 *)
+  let completions = Array.init 400 (fun i -> 0.5 *. float_of_int (i + 1)) in
+  let bm = Batch_means.throughput_of_completions completions in
+  check_float 1e-9 "mean" 2.0 bm.Batch_means.mean;
+  check_float 1e-9 "zero width" 0.0 bm.Batch_means.half_width
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "known values" `Quick test_known_summary;
+          Alcotest.test_case "empty" `Quick test_empty_summary;
+          Alcotest.test_case "single" `Quick test_single_value;
+          Alcotest.test_case "report" `Quick test_report;
+          QCheck_alcotest.to_alcotest qcheck_welford;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "slope exact" `Quick test_slope_exact_line;
+          Alcotest.test_case "slope mismatch" `Quick test_slope_mismatch;
+          Alcotest.test_case "throughput" `Quick test_throughput_of_completions;
+          Alcotest.test_case "throughput transient" `Quick test_throughput_ignores_transient;
+          Alcotest.test_case "relative error" `Quick test_relative_error;
+          QCheck_alcotest.to_alcotest qcheck_slope_translation_invariant;
+        ] );
+      ( "batch means",
+        [
+          Alcotest.test_case "constant data" `Quick test_batch_means_constant;
+          Alcotest.test_case "iid coverage" `Quick test_batch_means_iid_coverage;
+          Alcotest.test_case "too few" `Quick test_batch_means_too_few;
+          Alcotest.test_case "exact throughput" `Quick test_batch_means_throughput_exact;
+        ] );
+    ]

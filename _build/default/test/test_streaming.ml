@@ -1,0 +1,338 @@
+open Streaming
+
+let check_float tol = Alcotest.(check (float tol))
+
+let small_mapping () =
+  let app = Application.create ~work:[| 10.; 20.; 30.; 10. |] ~files:[| 8.; 12.; 6. |] in
+  let speeds = [| 2.; 1.; 1.5; 1.; 2.; 1.; 2. |] in
+  let platform =
+    Platform.of_link_function ~n:7 ~speeds ~bw:(fun p q -> 1.0 +. (0.1 *. float_of_int (p + q)))
+  in
+  Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1; 2 |]; [| 3; 4; 5 |]; [| 6 |] |]
+
+let test_application_validation () =
+  Alcotest.check_raises "file count" (Invalid_argument "Application.create: need exactly n_stages - 1 file sizes")
+    (fun () -> ignore (Application.create ~work:[| 1.0; 1.0 |] ~files:[||]));
+  Alcotest.check_raises "positive work" (Invalid_argument "Application.create: work must be positive")
+    (fun () -> ignore (Application.create ~work:[| 0.0 |] ~files:[||]))
+
+let test_application_uniform () =
+  let app = Application.uniform ~n:5 ~work:2.0 ~file:3.0 in
+  Alcotest.(check int) "stages" 5 (Application.n_stages app);
+  check_float 1e-12 "work" 2.0 (Application.work app 3);
+  check_float 1e-12 "file" 3.0 (Application.file_size app 3)
+
+let test_platform_validation () =
+  Alcotest.check_raises "positive speed" (Invalid_argument "Platform.create: speed must be positive")
+    (fun () -> ignore (Platform.create ~speeds:[| 0.0 |] ~bandwidth:[| [| 1.0 |] |]));
+  Alcotest.check_raises "bandwidth square"
+    (Invalid_argument "Platform.create: bandwidth matrix size mismatch") (fun () ->
+      ignore (Platform.create ~speeds:[| 1.0; 1.0 |] ~bandwidth:[| [| 1.0 |] |]))
+
+let test_mapping_validation () =
+  let app = Application.uniform ~n:2 ~work:1.0 ~file:1.0 in
+  let platform = Platform.fully_connected ~speeds:[| 1.0; 1.0; 1.0 |] ~bw:1.0 in
+  Alcotest.check_raises "one stage per proc"
+    (Invalid_argument "Mapping.create: a processor may execute at most one stage") (fun () ->
+      ignore (Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 0 |] |]));
+  Alcotest.check_raises "empty team" (Invalid_argument "Mapping.create: empty team") (fun () ->
+      ignore (Mapping.create ~app ~platform ~teams:[| [| 0 |]; [||] |]));
+  Alcotest.check_raises "bad id" (Invalid_argument "Mapping.create: processor id out of range")
+    (fun () -> ignore (Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 5 |] |]))
+
+let test_rows_lcm () =
+  Alcotest.(check int) "lcm(1,2,3,1)" 6 (Mapping.rows (small_mapping ()))
+
+let qcheck_rows_is_lcm =
+  QCheck.Test.make ~name:"rows = lcm of team sizes (Proposition 1)" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 5) (int_range 1 6))
+    (fun sizes ->
+      let sizes = Array.of_list sizes in
+      let n_procs = Array.fold_left ( + ) 0 sizes in
+      let app = Application.uniform ~n:(Array.length sizes) ~work:1.0 ~file:1.0 in
+      let platform = Platform.fully_connected ~speeds:(Array.make n_procs 1.0) ~bw:1.0 in
+      let teams =
+        let next = ref 0 in
+        Array.map
+          (fun size ->
+            let t = Array.init size (fun k -> !next + k) in
+            next := !next + size;
+            t)
+          sizes
+      in
+      let mapping = Mapping.create ~app ~platform ~teams in
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      let lcm a b = a / gcd a b * b in
+      Mapping.rows mapping = Array.fold_left lcm 1 sizes)
+
+let test_round_robin_paths () =
+  let mapping = small_mapping () in
+  (* row j uses team_i.(j mod R_i) *)
+  Alcotest.(check int) "stage 1 row 0" 1 (Mapping.proc_at mapping ~stage:1 ~row:0);
+  Alcotest.(check int) "stage 1 row 1" 2 (Mapping.proc_at mapping ~stage:1 ~row:1);
+  Alcotest.(check int) "stage 1 row 2" 1 (Mapping.proc_at mapping ~stage:1 ~row:2);
+  Alcotest.(check int) "stage 2 row 4" 4 (Mapping.proc_at mapping ~stage:2 ~row:4);
+  Alcotest.(check int) "stage 2 row 5" 5 (Mapping.proc_at mapping ~stage:2 ~row:5)
+
+let test_stage_of () =
+  let mapping = small_mapping () in
+  Alcotest.(check (option int)) "P3 runs T3" (Some 2) (Mapping.stage_of mapping 3);
+  Alcotest.(check (option int)) "P0 runs T1" (Some 0) (Mapping.stage_of mapping 0)
+
+let test_times () =
+  let mapping = small_mapping () in
+  check_float 1e-12 "comp time" 20.0 (Mapping.comp_time mapping ~stage:1 ~proc:1);
+  check_float 1e-12 "comm time" (8.0 /. 1.1) (Mapping.comm_time mapping ~file:0 ~src:0 ~dst:1);
+  check_float 1e-12 "mean_time compute" 20.0 (Mapping.mean_time mapping (Resource.Compute 1));
+  check_float 1e-12 "mean_time transfer" (8.0 /. 1.1)
+    (Mapping.mean_time mapping (Resource.Transfer (0, 1)))
+
+let test_mean_time_invalid () =
+  let mapping = small_mapping () in
+  Alcotest.check_raises "link not used"
+    (Invalid_argument "Mapping.mean_time: link not used by the mapping") (fun () ->
+      ignore (Mapping.mean_time mapping (Resource.Transfer (0, 6))))
+
+let test_resources_used_links_only () =
+  (* teams of sizes 2 and 4: gcd 2, so sender 0 only talks to receivers 0
+     and 2 of the next team *)
+  let app = Application.uniform ~n:2 ~work:1.0 ~file:1.0 in
+  let platform = Platform.fully_connected ~speeds:(Array.make 6 1.0) ~bw:1.0 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0; 1 |]; [| 2; 3; 4; 5 |] |] in
+  let resources = Mapping.resources mapping in
+  let has r = List.exists (Resource.equal r) resources in
+  Alcotest.(check bool) "0 -> 2 used" true (has (Resource.Transfer (0, 2)));
+  Alcotest.(check bool) "0 -> 4 used" true (has (Resource.Transfer (0, 4)));
+  Alcotest.(check bool) "0 -> 3 not used" false (has (Resource.Transfer (0, 3)));
+  Alcotest.(check bool) "1 -> 3 used" true (has (Resource.Transfer (1, 3)));
+  Alcotest.(check int) "6 computes + 4 links" 10 (List.length resources)
+
+(* -- TPN structure -- *)
+
+let test_tpn_shape () =
+  let mapping = small_mapping () in
+  List.iter
+    (fun model ->
+      let tpn = Tpn.build mapping model in
+      Alcotest.(check int) "rows" 6 (Tpn.n_rows tpn);
+      Alcotest.(check int) "columns" 7 (Tpn.n_columns tpn);
+      Alcotest.(check int) "transitions" 42 (Petrinet.Teg.n_transitions (Tpn.teg tpn));
+      Alcotest.(check int) "last column size" 6 (List.length (Tpn.last_column tpn)))
+    Model.all
+
+let test_tpn_validates () =
+  let mapping = small_mapping () in
+  List.iter
+    (fun model ->
+      match Petrinet.Teg.validate (Tpn.teg (Tpn.build mapping model)) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Model.to_string model ^ ": " ^ e))
+    Model.all
+
+let test_tpn_place_counts () =
+  let mapping = small_mapping () in
+  (* Overlap: 6 rows x 6 forward places + rings: stage teams (1,2,3,1).
+     compute rings: one place per (proc,row-use): 6+6+6+6 = 24.
+     out-port rings for stages 0..2: 6+6+6 = 18; in-port rings for stages
+     1..3: 18.  Total = 36 + 24 + 18 + 18 = 96. *)
+  let tpn = Tpn.build mapping Model.Overlap in
+  Alcotest.(check int) "overlap places" 96 (Petrinet.Teg.n_places (Tpn.teg tpn));
+  (* Strict: 36 forward + one serial ring place per (proc,row-use) = 24. *)
+  let tpn = Tpn.build mapping Model.Strict in
+  Alcotest.(check int) "strict places" 60 (Petrinet.Teg.n_places (Tpn.teg tpn))
+
+let test_tpn_token_counts () =
+  let mapping = small_mapping () in
+  (* one token per ring: overlap has 7 + 7 + ... rings: compute 7 procs,
+     out-port 1+2+3, in-port 2+3+1 -> 7+6+6 = 19 tokens *)
+  let total_tokens tpn =
+    List.fold_left (fun acc p -> acc + p.Petrinet.Teg.tokens) 0 (Petrinet.Teg.places (Tpn.teg tpn))
+  in
+  Alcotest.(check int) "overlap tokens" 19 (total_tokens (Tpn.build mapping Model.Overlap));
+  Alcotest.(check int) "strict tokens" 7 (total_tokens (Tpn.build mapping Model.Strict))
+
+let test_tpn_resources () =
+  let mapping = small_mapping () in
+  let tpn = Tpn.build mapping Model.Overlap in
+  let t_comp = Tpn.transition tpn ~row:1 ~col:2 in
+  Alcotest.(check bool) "row1 stage1 on P2" true
+    (Resource.equal (Tpn.resource_of tpn t_comp) (Resource.Compute 2));
+  let t_comm = Tpn.transition tpn ~row:0 ~col:1 in
+  Alcotest.(check bool) "row0 F1 on link 0->1" true
+    (Resource.equal (Tpn.resource_of tpn t_comm) (Resource.Transfer (0, 1)));
+  Alcotest.(check int) "row_of" 1 (Tpn.row_of tpn t_comp);
+  Alcotest.(check int) "col_of" 2 (Tpn.col_of tpn t_comp)
+
+let test_tpn_times () =
+  let mapping = small_mapping () in
+  let tpn = Tpn.build mapping Model.Overlap in
+  let teg = Tpn.teg tpn in
+  let t = Tpn.transition tpn ~row:1 ~col:2 in
+  check_float 1e-12 "comp time on P2" (20.0 /. 1.5) (Petrinet.Teg.time teg t)
+
+let test_rings_cover_all_columns () =
+  let mapping = small_mapping () in
+  let tpn = Tpn.build mapping Model.Overlap in
+  (* every transition belongs to at least one ring *)
+  let covered = Array.make 42 false in
+  List.iter
+    (fun r -> List.iter (fun t -> covered.(t) <- true) r.Tpn.ring_members)
+    (Tpn.rings tpn);
+  Alcotest.(check bool) "all transitions covered" true (Array.for_all Fun.id covered)
+
+let test_mct_single_chain () =
+  (* unreplicated 2-stage chain: Mct overlap = max of the three operations *)
+  let app = Application.create ~work:[| 6.0; 8.0 |] ~files:[| 4.0 |] in
+  let platform = Platform.fully_connected ~speeds:[| 2.0; 1.0 |] ~bw:0.5 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1 |] |] in
+  let mct_overlap, _ = Tpn.max_cycle_time (Tpn.build mapping Model.Overlap) in
+  (* comp0 = 3, comm = 8, comp1 = 8 -> per-resource max is 8 *)
+  check_float 1e-9 "overlap mct" 8.0 mct_overlap;
+  let mct_strict, name = Tpn.max_cycle_time (Tpn.build mapping Model.Strict) in
+  (* P0 serial: 3 + 8 = 11; P1 serial: 8 + 8 = 16 *)
+  check_float 1e-9 "strict mct" 16.0 mct_strict;
+  Alcotest.(check string) "strict bottleneck" "P1(serial)" name
+
+
+let test_tpn_boundedness_certificates () =
+  let mapping = small_mapping () in
+  (* the Strict TPN is covered by cycles, hence Theorem 2's chain is
+     finite; the Overlap TPN's uncovered places are exactly its 36
+     row-forward places *)
+  (match Petrinet.Structural.boundedness (Tpn.teg (Tpn.build mapping Model.Strict)) with
+  | Petrinet.Structural.Bounded -> ()
+  | Petrinet.Structural.Possibly_unbounded _ -> Alcotest.fail "strict TPN must be bounded");
+  let tpn = Tpn.build mapping Model.Overlap in
+  match Petrinet.Structural.boundedness (Tpn.teg tpn) with
+  | Petrinet.Structural.Bounded -> Alcotest.fail "overlap TPN has unbounded forward places"
+  | Petrinet.Structural.Possibly_unbounded places ->
+      Alcotest.(check int) "36 row-forward places" 36 (List.length places);
+      List.iter
+        (fun index ->
+          let place = Petrinet.Teg.place (Tpn.teg tpn) index in
+          Alcotest.(check int) "same row"
+            (Tpn.row_of tpn place.Petrinet.Teg.src)
+            (Tpn.row_of tpn place.Petrinet.Teg.dst);
+          Alcotest.(check int) "next column"
+            (Tpn.col_of tpn place.Petrinet.Teg.src + 1)
+            (Tpn.col_of tpn place.Petrinet.Teg.dst))
+        places
+
+
+let test_utilization_single_chain () =
+  (* unreplicated 2-stage chain: the overlap bottleneck is fully busy and
+     the others are idle in proportion *)
+  let app = Application.create ~work:[| 6.0; 8.0 |] ~files:[| 4.0 |] in
+  let platform = Platform.fully_connected ~speeds:[| 2.0; 1.0 |] ~bw:0.5 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1 |] |] in
+  let report = Utilization.analyse mapping Model.Overlap in
+  check_float 1e-9 "period" 8.0 report.Utilization.period;
+  (match report.Utilization.entries with
+  | top :: _ ->
+      check_float 1e-9 "bottleneck fully used" 1.0 top.Utilization.utilization
+  | [] -> Alcotest.fail "no entries");
+  let find name =
+    List.find (fun e -> e.Utilization.name = name) report.Utilization.entries
+  in
+  check_float 1e-9 "P0 compute 3/8" (3.0 /. 8.0) (find "P0(compute)").Utilization.utilization;
+  (* the transfer occupies P0's out-port and P1's in-port for 8, and P1's
+     computation also takes 8: three rings sit exactly at the period *)
+  Alcotest.(check int) "three rings at 100%" 3 (List.length (Utilization.bottlenecks report))
+
+let test_utilization_bounds () =
+  let mapping = small_mapping () in
+  List.iter
+    (fun model ->
+      let report = Utilization.analyse mapping model in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            (e.Utilization.name ^ " utilization in [0,1]")
+            true
+            (e.Utilization.utilization >= 0.0 && e.Utilization.utilization <= 1.0 +. 1e-9))
+        report.Utilization.entries;
+      Alcotest.(check bool) "a bottleneck exists or replication limits" true
+        (List.length (Utilization.bottlenecks ~threshold:0.99 report) >= 0))
+    Model.all
+
+
+let test_sensitivity_single_stage () =
+  let app = Application.create ~work:[| 4.0 |] ~files:[||] in
+  let platform = Platform.fully_connected ~speeds:[| 2.0 |] ~bw:1.0 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0 |] |] in
+  let best = Sensitivity.best_upgrade mapping Model.Overlap in
+  Alcotest.(check bool) "the only compute resource" true
+    (Resource.equal best.Sensitivity.resource (Resource.Compute 0));
+  check_float 1e-9 "25% faster processor = +25% throughput" 0.25 best.Sensitivity.relative_gain
+
+let test_sensitivity_finds_bottleneck () =
+  (* stage 2 is 10x heavier: only its processor is worth upgrading *)
+  let app = Application.create ~work:[| 1.0; 10.0 |] ~files:[| 0.01 |] in
+  let platform = Platform.fully_connected ~speeds:[| 1.0; 1.0 |] ~bw:1.0 in
+  let mapping = Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1 |] |] in
+  let gains = Sensitivity.upgrade_gains mapping Model.Overlap in
+  (match gains with
+  | best :: _ ->
+      Alcotest.(check bool) "bottleneck processor first" true
+        (Resource.equal best.Sensitivity.resource (Resource.Compute 1));
+      check_float 1e-9 "full 25%" 0.25 best.Sensitivity.relative_gain
+  | [] -> Alcotest.fail "no gains");
+  let p0 = List.find (fun g -> Resource.equal g.Sensitivity.resource (Resource.Compute 0)) gains in
+  check_float 1e-9 "idle processor gains nothing" 0.0 p0.Sensitivity.relative_gain
+
+let test_sensitivity_validation () =
+  let mapping = small_mapping () in
+  Alcotest.check_raises "factor must exceed 1"
+    (Invalid_argument "Sensitivity.upgrade_gains: factor must exceed 1") (fun () ->
+      ignore (Sensitivity.upgrade_gains ~factor:1.0 mapping Model.Overlap))
+
+let test_sensitivity_gains_bounded () =
+  (* a single 25% upgrade can never gain more than 25% *)
+  let mapping = small_mapping () in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun g ->
+          Alcotest.(check bool)
+            (Resource.to_string g.Sensitivity.resource ^ " gain within [0, 25%]")
+            true
+            (g.Sensitivity.relative_gain >= -1e-9 && g.Sensitivity.relative_gain <= 0.25 +. 1e-9))
+        (Sensitivity.upgrade_gains mapping model))
+    Model.all
+
+let () =
+  Alcotest.run "streaming"
+    [
+      ( "model types",
+        [
+          Alcotest.test_case "application validation" `Quick test_application_validation;
+          Alcotest.test_case "application uniform" `Quick test_application_uniform;
+          Alcotest.test_case "platform validation" `Quick test_platform_validation;
+          Alcotest.test_case "mapping validation" `Quick test_mapping_validation;
+          Alcotest.test_case "rows lcm" `Quick test_rows_lcm;
+          QCheck_alcotest.to_alcotest qcheck_rows_is_lcm;
+          Alcotest.test_case "round robin" `Quick test_round_robin_paths;
+          Alcotest.test_case "stage_of" `Quick test_stage_of;
+          Alcotest.test_case "times" `Quick test_times;
+          Alcotest.test_case "mean_time invalid" `Quick test_mean_time_invalid;
+          Alcotest.test_case "resources" `Quick test_resources_used_links_only;
+        ] );
+      ( "tpn",
+        [
+          Alcotest.test_case "shape" `Quick test_tpn_shape;
+          Alcotest.test_case "validates" `Quick test_tpn_validates;
+          Alcotest.test_case "place counts" `Quick test_tpn_place_counts;
+          Alcotest.test_case "token counts" `Quick test_tpn_token_counts;
+          Alcotest.test_case "resources" `Quick test_tpn_resources;
+          Alcotest.test_case "times" `Quick test_tpn_times;
+          Alcotest.test_case "ring coverage" `Quick test_rings_cover_all_columns;
+          Alcotest.test_case "mct chain" `Quick test_mct_single_chain;
+          Alcotest.test_case "boundedness certificates" `Quick test_tpn_boundedness_certificates;
+          Alcotest.test_case "utilization chain" `Quick test_utilization_single_chain;
+          Alcotest.test_case "utilization bounds" `Quick test_utilization_bounds;
+          Alcotest.test_case "sensitivity single stage" `Quick test_sensitivity_single_stage;
+          Alcotest.test_case "sensitivity bottleneck" `Quick test_sensitivity_finds_bottleneck;
+          Alcotest.test_case "sensitivity validation" `Quick test_sensitivity_validation;
+          Alcotest.test_case "sensitivity bounded" `Quick test_sensitivity_gains_bounded;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+open Streaming
+
+let qcheck_team_sizes =
+  QCheck.Test.make ~name:"random team sizes form a composition under the row cap" ~count:200
+    QCheck.(triple small_int (int_range 2 8) (int_range 10 25))
+    (fun (seed, n_stages, n_procs) ->
+      let g = Prng.create ~seed:(seed + 1) in
+      let sizes = Workload.Gen.random_team_sizes g ~n_stages ~n_procs ~max_rows:60 in
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      let lcm a b = a / gcd a b * b in
+      Array.length sizes = n_stages
+      && Array.for_all (fun s -> s >= 1) sizes
+      && Array.fold_left ( + ) 0 sizes = n_procs
+      && Array.fold_left lcm 1 sizes <= 60)
+
+let qcheck_random_mapping_valid =
+  QCheck.Test.make ~name:"random mappings use every processor once with in-range times" ~count:60
+    QCheck.small_int
+    (fun seed ->
+      let g = Prng.create ~seed:(seed + 7) in
+      let params =
+        {
+          Workload.Gen.n_stages = 4;
+          n_procs = 10;
+          comp_range = (5.0, 15.0);
+          comm_range = (10.0, 50.0);
+          max_rows = 60;
+        }
+      in
+      let mapping = Workload.Gen.random_mapping g params in
+      let used =
+        List.concat_map (fun i -> Array.to_list (Mapping.team mapping i)) (List.init 4 Fun.id)
+      in
+      let all_used = List.sort compare used = List.init 10 Fun.id in
+      let comp_ok =
+        List.for_all
+          (fun p ->
+            match Mapping.stage_of mapping p with
+            | None -> false
+            | Some stage ->
+                let t = Mapping.comp_time mapping ~stage ~proc:p in
+                t >= 5.0 -. 1e-9 && t <= 15.0 +. 1e-9)
+          (List.init 10 Fun.id)
+      in
+      let comm_ok =
+        List.for_all
+          (fun r ->
+            match r with
+            | Resource.Transfer (src, dst) ->
+                let i = Option.get (Mapping.stage_of mapping src) in
+                let t = Mapping.comm_time mapping ~file:i ~src ~dst in
+                t >= 10.0 -. 1e-9 && t <= 50.0 +. 1e-9
+            | Resource.Compute _ -> true)
+          (Mapping.resources mapping)
+      in
+      all_used && comp_ok && comm_ok)
+
+let test_table1_sets_well_formed () =
+  List.iter
+    (fun (label, p) ->
+      Alcotest.(check bool) (label ^ " stages <= procs") true
+        (p.Workload.Gen.n_stages <= p.Workload.Gen.n_procs);
+      let lo, hi = p.Workload.Gen.comp_range in
+      Alcotest.(check bool) (label ^ " comp range ordered") true (lo <= hi))
+    Workload.Gen.table1_sets;
+  Alcotest.(check int) "six configurations" 6 (List.length Workload.Gen.table1_sets)
+
+let test_scenarios () =
+  Alcotest.(check int) "example A rows" 6 (Mapping.rows Workload.Scenarios.example_a);
+  Alcotest.(check (list int)) "fig10 replication" [ 1; 3; 4; 5; 6; 7; 1 ]
+    (Array.to_list (Mapping.replication Workload.Scenarios.fig10_system));
+  Alcotest.(check int) "fig10 rows" 420 (Mapping.rows Workload.Scenarios.fig10_system);
+  let single = Workload.Scenarios.single_communication ~u:3 ~v:4 () in
+  Alcotest.(check (list int)) "single comm teams" [ 3; 4 ]
+    (Array.to_list (Mapping.replication single));
+  Alcotest.(check (float 1e-9)) "unit link time" 1.0
+    (Mapping.comm_time single ~file:0 ~src:0 ~dst:3);
+  let chain = Workload.Scenarios.pattern_chain ~stages:4 () in
+  Alcotest.(check (list int)) "pattern chain" [ 5; 7; 5; 7 ]
+    (Array.to_list (Mapping.replication chain));
+  Alcotest.check_raises "chain needs 2 stages"
+    (Invalid_argument "Scenarios.pattern_chain: need at least two stages") (fun () ->
+      ignore (Workload.Scenarios.pattern_chain ~stages:1 ()))
+
+let test_example_c_teams () =
+  Alcotest.(check (list int)) "example C" [ 5; 21; 27; 11 ]
+    (Array.to_list Workload.Scenarios.example_c_teams)
+
+let qcheck_instance_io_roundtrip =
+  QCheck.Test.make ~name:"instance files roundtrip through the parser" ~count:40 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create ~seed:(seed + 31) in
+      let mapping =
+        Workload.Gen.random_mapping g
+          {
+            Workload.Gen.n_stages = 2 + Prng.int g 3;
+            n_procs = 5 + Prng.int g 4;
+            comp_range = (5.0, 15.0);
+            comm_range = (5.0, 15.0);
+            max_rows = 60;
+          }
+      in
+      let text = Format.asprintf "%a" Instance_io.print mapping in
+      match Instance_io.parse text with
+      | Error _ -> false
+      | Ok mapping' ->
+          List.for_all
+            (fun model ->
+              let a = Deterministic.throughput mapping model in
+              let b = Deterministic.throughput mapping' model in
+              abs_float (a -. b) < 1e-6 *. a)
+            Model.all)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generator",
+        [
+          QCheck_alcotest.to_alcotest qcheck_team_sizes;
+          QCheck_alcotest.to_alcotest qcheck_random_mapping_valid;
+          Alcotest.test_case "table1 sets" `Quick test_table1_sets_well_formed;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "named instances" `Quick test_scenarios;
+          Alcotest.test_case "example C teams" `Quick test_example_c_teams;
+          QCheck_alcotest.to_alcotest qcheck_instance_io_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+open Young
+
+let check_float tol = Alcotest.(check (float tol))
+
+let test_binomial_values () =
+  Alcotest.(check int) "C(0,0)" 1 (Combin.binomial 0 0);
+  Alcotest.(check int) "C(5,2)" 10 (Combin.binomial 5 2);
+  Alcotest.(check int) "C(10,10)" 1 (Combin.binomial 10 10);
+  Alcotest.(check int) "C(20,10)" 184756 (Combin.binomial 20 10);
+  Alcotest.(check int) "C(52,5)" 2598960 (Combin.binomial 52 5)
+
+let test_binomial_invalid () =
+  Alcotest.check_raises "k > n" (Invalid_argument "Combin.binomial: invalid arguments") (fun () ->
+      ignore (Combin.binomial 3 4));
+  Alcotest.check_raises "negative" (Invalid_argument "Combin.binomial: invalid arguments")
+    (fun () -> ignore (Combin.binomial (-1) 0))
+
+let qcheck_binomial_symmetry =
+  QCheck.Test.make ~name:"binomial symmetry and Pascal rule" ~count:300
+    QCheck.(pair (int_range 0 40) (int_range 0 40))
+    (fun (n, k) ->
+      QCheck.assume (k <= n);
+      Combin.binomial n k = Combin.binomial n (n - k)
+      && (k = 0 || k = n
+         || Combin.binomial n k = Combin.binomial (n - 1) (k - 1) + Combin.binomial (n - 1) k))
+
+let test_state_count_values () =
+  (* S(u,v) = C(u+v-1, u-1) * v from the proof of Theorem 3 *)
+  Alcotest.(check int) "S(1,1)" 1 (Combin.state_count ~u:1 ~v:1);
+  Alcotest.(check int) "S(2,3)" 12 (Combin.state_count ~u:2 ~v:3);
+  Alcotest.(check int) "S(9,7)" (Combin.binomial 15 8 * 7) (Combin.state_count ~u:9 ~v:7)
+
+let coprime_cases = [ (1, 1); (1, 2); (2, 1); (2, 3); (3, 2); (3, 4); (2, 5); (4, 5); (5, 2) ]
+
+let test_state_count_vs_exploration () =
+  List.iter
+    (fun (u, v) ->
+      let teg = Pattern.build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
+      let markings = Petrinet.Marking.explore teg in
+      Alcotest.(check int)
+        (Printf.sprintf "S(%d,%d)" u v)
+        (Combin.state_count ~u ~v) (Array.length markings))
+    coprime_cases
+
+let test_enabled_count_vs_exploration () =
+  List.iter
+    (fun (u, v) ->
+      let teg = Pattern.build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
+      let markings = Petrinet.Marking.explore teg in
+      for k = 0 to (u * v) - 1 do
+        let count =
+          Array.fold_left
+            (fun acc m -> if Petrinet.Marking.is_enabled teg m k then acc + 1 else acc)
+            0 markings
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "S'(%d,%d) for transition %d" u v k)
+          (Combin.enabled_state_count ~u ~v) count
+      done)
+    coprime_cases
+
+let test_pattern_invalid () =
+  Alcotest.check_raises "not coprime" (Invalid_argument "Pattern: u and v must be coprime")
+    (fun () -> ignore (Pattern.build ~u:2 ~v:4 ~time:(fun ~sender:_ ~receiver:_ -> 1.0)));
+  Alcotest.check_raises "zero size" (Invalid_argument "Pattern: u and v must be at least 1")
+    (fun () -> ignore (Pattern.build ~u:0 ~v:1 ~time:(fun ~sender:_ ~receiver:_ -> 1.0)))
+
+let test_transition_of () =
+  Alcotest.(check (pair int int)) "k=0" (0, 0) (Pattern.transition_of ~u:2 ~v:3 0);
+  Alcotest.(check (pair int int)) "k=1" (1, 1) (Pattern.transition_of ~u:2 ~v:3 1);
+  Alcotest.(check (pair int int)) "k=5" (1, 2) (Pattern.transition_of ~u:2 ~v:3 5)
+
+let test_homogeneous_closed_form () =
+  check_float 1e-12 "1x1" 1.0 (Pattern.homogeneous_inner_throughput ~u:1 ~v:1 ~lambda:1.0);
+  check_float 1e-12 "2x3" 1.5 (Pattern.homogeneous_inner_throughput ~u:2 ~v:3 ~lambda:1.0);
+  check_float 1e-12 "scaling in lambda" 4.5
+    (Pattern.homogeneous_inner_throughput ~u:2 ~v:3 ~lambda:3.0)
+
+let test_exponential_matches_closed_form () =
+  List.iter
+    (fun (u, v) ->
+      let lambda = 0.7 in
+      let exact =
+        Pattern.exponential_inner_throughput ~u ~v ~rate:(fun ~sender:_ ~receiver:_ -> lambda) ()
+      in
+      check_float 1e-9
+        (Printf.sprintf "CTMC = closed form for %dx%d" u v)
+        (Pattern.homogeneous_inner_throughput ~u ~v ~lambda)
+        exact)
+    coprime_cases
+
+let test_deterministic_is_min_uv () =
+  List.iter
+    (fun (u, v) ->
+      let d = 2.0 in
+      check_float 1e-9
+        (Printf.sprintf "det inner %dx%d" u v)
+        (float_of_int (min u v) /. d)
+        (Pattern.deterministic_inner_throughput ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> d)))
+    coprime_cases
+
+let qcheck_exponential_below_deterministic =
+  (* Theorem 7 at the pattern level: exponential <= deterministic, with
+     equality iff min(u,v) = 1 and the pattern is a simple ring... here we
+     only check the inequality (strict when u,v >= 2). *)
+  QCheck.Test.make ~name:"pattern: exponential <= deterministic" ~count:25
+    QCheck.(small_int)
+    (fun seed ->
+      let g = Prng.create ~seed:(seed + 7) in
+      let cases = [| (2, 3); (3, 4); (1, 2); (3, 2); (2, 5) |] in
+      let u, v = cases.(Prng.int g (Array.length cases)) in
+      let times = Array.init (u * v) (fun _ -> Prng.uniform g 0.5 3.0) in
+      let time ~sender ~receiver =
+        times.((sender + (receiver * u)) mod (u * v))
+      in
+      let det = Pattern.deterministic_inner_throughput ~u ~v ~time in
+      let expo =
+        Pattern.exponential_inner_throughput ~u ~v
+          ~rate:(fun ~sender ~receiver -> 1.0 /. time ~sender ~receiver)
+          ()
+      in
+      expo <= det +. 1e-9)
+
+let test_heterogeneous_sanity () =
+  (* making one link very slow gates its sender and receiver *)
+  let slow ~sender ~receiver = if sender = 0 && receiver = 0 then 100.0 else 1.0 in
+  let expo =
+    Pattern.exponential_inner_throughput ~u:2 ~v:3
+      ~rate:(fun ~sender ~receiver -> 1.0 /. slow ~sender ~receiver)
+      ()
+  in
+  (* six transfers per pattern rotation, one of which takes ~100: rate is
+     dominated by it but other pairs still progress in parallel *)
+  Alcotest.(check bool) "slow link slashes the throughput" true (expo < 0.2);
+  Alcotest.(check bool) "but does not kill it" true (expo > 0.01)
+
+
+let test_homogeneous_enabled_probability () =
+  (* the proof of Theorem 4: the stationary distribution of a homogeneous
+     pattern chain is uniform, so every transition is enabled with
+     probability S'(u,v)/S(u,v) = 1/(u+v-1) *)
+  List.iter
+    (fun (u, v) ->
+      let teg = Pattern.build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
+      let chain = Markov.Tpn_markov.analyse ~rates:(fun _ -> 1.0) teg in
+      for k = 0 to (u * v) - 1 do
+        check_float 1e-9
+          (Printf.sprintf "(%d,%d) transition %d" u v k)
+          (1.0 /. float_of_int (u + v - 1))
+          (Markov.Tpn_markov.enabled_probability chain k)
+      done)
+    [ (2, 3); (3, 4); (2, 5) ]
+
+
+let test_erlang_interpolates () =
+  let rate ~sender:_ ~receiver:_ = 1.0 in
+  let expo = Pattern.exponential_inner_throughput ~u:2 ~v:3 ~rate () in
+  let det = Pattern.deterministic_inner_throughput ~u:2 ~v:3 ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
+  let at k = Pattern.erlang_inner_throughput ~phases:k ~u:2 ~v:3 ~rate () in
+  check_float 1e-9 "k=1 is the exponential case" expo (at 1);
+  let k1 = at 1 and k2 = at 2 and k4 = at 4 and k6 = at 6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %.4f < %.4f < %.4f < %.4f" k1 k2 k4 k6)
+    true
+    (k1 < k2 && k2 < k4 && k4 < k6);
+  Alcotest.(check bool) "below the deterministic limit" true (k6 < det)
+
+let test_erlang_invalid () =
+  Alcotest.check_raises "zero phases"
+    (Invalid_argument "Pattern.erlang_inner_throughput: phases must be at least 1") (fun () ->
+      ignore
+        (Pattern.erlang_inner_throughput ~phases:0 ~u:2 ~v:3
+           ~rate:(fun ~sender:_ ~receiver:_ -> 1.0)
+           ()))
+
+let () =
+  Alcotest.run "young"
+    [
+      ( "combinatorics",
+        [
+          Alcotest.test_case "binomial values" `Quick test_binomial_values;
+          Alcotest.test_case "binomial invalid" `Quick test_binomial_invalid;
+          QCheck_alcotest.to_alcotest qcheck_binomial_symmetry;
+          Alcotest.test_case "state counts" `Quick test_state_count_values;
+          Alcotest.test_case "S(u,v) vs exploration" `Slow test_state_count_vs_exploration;
+          Alcotest.test_case "S'(u,v) vs exploration" `Slow test_enabled_count_vs_exploration;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "invalid" `Quick test_pattern_invalid;
+          Alcotest.test_case "transition_of" `Quick test_transition_of;
+          Alcotest.test_case "closed form" `Quick test_homogeneous_closed_form;
+          Alcotest.test_case "CTMC = closed form" `Slow test_exponential_matches_closed_form;
+          Alcotest.test_case "deterministic = min(u,v)/d" `Quick test_deterministic_is_min_uv;
+          QCheck_alcotest.to_alcotest qcheck_exponential_below_deterministic;
+          Alcotest.test_case "heterogeneous sanity" `Quick test_heterogeneous_sanity;
+          Alcotest.test_case "uniform stationary (Thm 4 proof)" `Slow test_homogeneous_enabled_probability;
+          Alcotest.test_case "erlang interpolation" `Quick test_erlang_interpolates;
+          Alcotest.test_case "erlang invalid" `Quick test_erlang_invalid;
+        ] );
+    ]
