@@ -166,8 +166,127 @@ let run_benchmarks () =
         analysis)
     all_tests
 
+(* ---- parallel & caching study: 1 domain vs N domains, byte-identical
+   output check, pattern-cache cold/warm timing; emits BENCH_parallel.json ---- *)
+
+let pattern_pairs = [ (3, 4); (4, 5); (5, 6); (5, 7); (2, 9); (3, 8) ]
+
+let pattern_sweep pool =
+  Parallel.Pool.map_list pool
+    (fun (u, v) ->
+      Young.Pattern.exponential_inner_throughput ~u ~v
+        ~rate:(fun ~sender ~receiver ->
+          0.4 +. (0.07 *. float_of_int (((v * sender) + receiver) mod 5)))
+        ())
+    pattern_pairs
+
+let parallel_kernel () =
+  (* a multi-point kernel mixing the two hot-path shapes: heterogeneous
+     pattern-CTMC solves (state-space exploration + stationary solve) and
+     independent simulation replications (event loops); rendered to a
+     string so the byte-identical check is a plain comparison *)
+  let buf = Buffer.create 1024 in
+  let pool = Parallel.Pool.get () in
+  let rhos = pattern_sweep pool in
+  List.iter2
+    (fun (u, v) rho -> Buffer.add_string buf (Printf.sprintf "pattern %dx%d %.17g\n" u v rho))
+    pattern_pairs rhos;
+  let mapping = Workload.Scenarios.fig10_system in
+  let des =
+    Des.Pipeline_sim.replicated_throughputs ~pool mapping Model.Overlap
+      ~timing:(Des.Pipeline_sim.Independent (Laws.exponential mapping))
+      ~seeds:(List.init 8 (fun r -> 900 + r))
+      ~data_sets:3000
+  in
+  List.iteri (fun i rho -> Buffer.add_string buf (Printf.sprintf "des %d %.17g\n" i rho)) des;
+  let eg =
+    Teg_sim.replicated_throughputs ~pool mapping Model.Overlap ~laws:(Laws.exponential mapping)
+      ~seeds:(List.init 8 (fun r -> 950 + r))
+      ~data_sets:3000
+  in
+  List.iteri (fun i rho -> Buffer.add_string buf (Printf.sprintf "eg %d %.17g\n" i rho)) eg;
+  Buffer.contents buf
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (Unix.gettimeofday () -. t0, x)
+
+let parallel_study ~domains =
+  Format.printf "@.== Parallel & caching study ==@.";
+  Parallel.Pool.set_domains 1;
+  Young.Pattern.clear_caches ();
+  let seq_time, seq_out = timed parallel_kernel in
+  Parallel.Pool.set_domains domains;
+  Young.Pattern.clear_caches ();
+  let par_time, par_out = timed parallel_kernel in
+  let identical = String.equal seq_out par_out in
+  (* pattern-cache study on the same pool: cold solves everything, warm is
+     all memo hits *)
+  Young.Pattern.clear_caches ();
+  let pool = Parallel.Pool.get () in
+  let cold_time, cold = timed (fun () -> pattern_sweep pool) in
+  let warm_time, warm = timed (fun () -> pattern_sweep pool) in
+  let cache_ok = List.for_all2 (fun a b -> Float.equal a b) cold warm in
+  let stats = Young.Pattern.cache_stats () in
+  let par_speedup = seq_time /. par_time in
+  let cache_speedup = cold_time /. warm_time in
+  let host = Domain.recommended_domain_count () in
+  Format.printf "%-42s %12.3f s@." "kernel wall time, 1 domain" seq_time;
+  Format.printf "%-42s %12.3f s@." (Printf.sprintf "kernel wall time, %d domains" domains) par_time;
+  Format.printf "%-42s %12.2fx  (host has %d core%s)@." "parallel speedup" par_speedup host
+    (if host = 1 then "" else "s");
+  Format.printf "%-42s %12s@." "byte-identical output across pool sizes"
+    (if identical then "yes" else "NO");
+  Format.printf "%-42s %12.3f s@." "pattern sweep, cold cache" cold_time;
+  Format.printf "%-42s %12.6f s@." "pattern sweep, warm cache" warm_time;
+  Format.printf "%-42s %12.0fx@." "cache speedup" cache_speedup;
+  Format.printf "%-42s %6d hits %6d misses@." "cache counters" stats.Young.Pattern.hits
+    stats.Young.Pattern.misses;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"kernel\": \"6 heterogeneous pattern CTMCs + 8 DES + 8 event-graph replications\",\n\
+    \  \"domains_compared\": [1, %d],\n\
+    \  \"host_recommended_domains\": %d,\n\
+    \  \"wall_s_1_domain\": %.6f,\n\
+    \  \"wall_s_n_domains\": %.6f,\n\
+    \  \"parallel_speedup\": %.4f,\n\
+    \  \"identical_output\": %b,\n\
+    \  \"cache_cold_s\": %.6f,\n\
+    \  \"cache_warm_s\": %.6f,\n\
+    \  \"cache_speedup\": %.1f,\n\
+    \  \"cache_identical\": %b,\n\
+    \  \"cache_hits\": %d,\n\
+    \  \"cache_misses\": %d,\n\
+    \  \"cache_structures\": %d,\n\
+    \  \"cache_results\": %d\n\
+     }\n"
+    domains host seq_time par_time par_speedup identical cold_time warm_time cache_speedup
+    cache_ok stats.Young.Pattern.hits stats.Young.Pattern.misses
+    stats.Young.Pattern.structures stats.Young.Pattern.results;
+  close_out oc;
+  Format.printf "wrote BENCH_parallel.json@."
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let rec split_domains acc = function
+    | [] -> (None, List.rev acc)
+    | "--domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+            let more, kept = split_domains acc rest in
+            (Some (Option.value more ~default:d), kept)
+        | _ ->
+            prerr_endline "--domains expects a positive integer";
+            exit 2)
+    | [ "--domains" ] ->
+        prerr_endline "--domains expects a positive integer";
+        exit 2
+    | a :: rest -> split_domains (a :: acc) rest
+  in
+  let domains_opt, args = split_domains [] args in
+  Option.iter Parallel.Pool.set_domains domains_opt;
   let full = List.mem "--full" args in
   let ids = List.filter (fun a -> a <> "--full" && a <> "--no-bench") args in
   let quick = not full in
@@ -180,4 +299,12 @@ let () =
           | Some e -> e.Experiments.Registry.run ~quick Format.std_formatter
           | None -> Format.eprintf "unknown experiment %S@." id)
         ids);
-  if not (List.mem "--no-bench" args) then run_benchmarks ()
+  if not (List.mem "--no-bench" args) then begin
+    let study_domains =
+      match domains_opt with Some d when d > 1 -> d | _ -> 4
+    in
+    parallel_study ~domains:study_domains;
+    (* put the default pool back the way the user asked before Bechamel runs *)
+    Option.iter Parallel.Pool.set_domains domains_opt;
+    run_benchmarks ()
+  end

@@ -17,12 +17,19 @@ module Table = Hashtbl.Make (struct
   let hash = Marking.hash
 end)
 
-let analyse ?cap ~rates teg =
-  let n_trans = Teg.n_transitions teg in
-  let rate_array = Array.init n_trans rates in
-  Array.iteri
-    (fun v r -> if r <= 0.0 then invalid_arg (Printf.sprintf "Tpn_markov: rate of t%d not positive" v))
-    rate_array;
+(* The reachable marking graph and its recurrent class depend only on the
+   structure of the net (places, tokens), never on the transition rates, so
+   they can be computed once and reused across rate assignments — this is
+   what [Young.Pattern]'s per-shape cache shares between sweep points. *)
+type structure = {
+  s_teg : Teg.t;
+  markings : Marking.t array;
+  jumps : (int * int) list array;  (** per state: (transition, successor) *)
+  s_recurrent : int array;  (** global state ids of the recurrent class *)
+  local : int array;  (** global id -> recurrent index, -1 if transient *)
+}
+
+let structure ?cap teg =
   let markings = Marking.explore ?cap teg in
   let n = Array.length markings in
   let index = Table.create (2 * n) in
@@ -56,31 +63,45 @@ let analyse ?cap ~rates teg =
     | [] -> failwith "Tpn_markov: no recurrent class (empty chain?)"
     | _ -> failwith "Tpn_markov: several recurrent classes"
   in
-  let recurrent = Array.of_list recurrent_states in
+  let s_recurrent = Array.of_list recurrent_states in
   let local = Array.make n (-1) in
-  Array.iteri (fun k s -> local.(s) <- k) recurrent;
+  Array.iteri (fun k s -> local.(s) <- k) s_recurrent;
+  { s_teg = teg; markings; jumps; s_recurrent; local }
+
+let structure_states s = Array.length s.markings
+
+let analyse_with s ~rates =
+  let teg = s.s_teg in
+  let n_trans = Teg.n_transitions teg in
+  let rate_array = Array.init n_trans rates in
+  Array.iteri
+    (fun v r -> if r <= 0.0 then invalid_arg (Printf.sprintf "Tpn_markov: rate of t%d not positive" v))
+    rate_array;
+  let { markings; jumps; s_recurrent = recurrent; local; _ } = s in
   let chain = Ctmc.create (Array.length recurrent) in
   Array.iter
-    (fun s ->
+    (fun st ->
       List.iter
         (fun (v, j) ->
           (* A marking-preserving firing (e.g. a transition whose only place
              is a token self-loop) is a CTMC self-loop: it does not affect
              the stationary distribution and is skipped. *)
-          if local.(j) >= 0 && local.(j) <> local.(s) then
-            Ctmc.add_rate chain local.(s) local.(j) rate_array.(v))
-        jumps.(s))
+          if local.(j) >= 0 && local.(j) <> local.(st) then
+            Ctmc.add_rate chain local.(st) local.(j) rate_array.(v))
+        jumps.(st))
     recurrent;
   let pi = Ctmc.stationary chain in
   {
     teg;
     rates = rate_array;
-    recurrent = Array.map (fun s -> markings.(s)) recurrent;
+    recurrent = Array.map (fun st -> markings.(st)) recurrent;
     pi;
-    total_markings = n;
+    total_markings = Array.length markings;
     chain;
     initial_state = (if local.(0) >= 0 then Some local.(0) else None);
   }
+
+let analyse ?cap ~rates teg = analyse_with (structure ?cap teg) ~rates
 
 let n_markings t = t.total_markings
 let n_recurrent t = Array.length t.recurrent

@@ -10,14 +10,32 @@
 
 type t
 
-val analyse : ?cap:int -> rates:(int -> float) -> Petrinet.Teg.t -> t
+type structure
+(** The rate-independent part of the analysis: reachable markings, the
+    marking graph and its unique recurrent class.  It depends only on the
+    net structure, so one [structure] can be reused across any number of
+    rate assignments (and shared between domains — it is never mutated
+    after construction). *)
+
+val structure : ?cap:int -> Petrinet.Teg.t -> structure
 (** Explores the reachable markings (raising
-    [Petrinet.Marking.Capacity_exceeded] on a token-unbounded net),
-    restricts the chain to its unique recurrent class, and solves for the
-    stationary distribution.  [rates v] must be positive for every
-    transition.  Raises [Failure] if the marking chain has several
-    recurrent classes (which cannot happen for the nets built from
-    mappings, and signals a modelling error). *)
+    [Petrinet.Marking.Capacity_exceeded] on a token-unbounded net) and
+    isolates the recurrent class.  Raises [Failure] if the marking chain
+    has several recurrent classes. *)
+
+val structure_states : structure -> int
+(** Number of reachable markings of the structure. *)
+
+val analyse_with : structure -> rates:(int -> float) -> t
+(** Builds and solves the CTMC of a structure under the given rates.
+    [rates v] must be positive for every transition. *)
+
+val analyse : ?cap:int -> rates:(int -> float) -> Petrinet.Teg.t -> t
+(** [analyse ?cap ~rates teg] is
+    [analyse_with (structure ?cap teg) ~rates]: explores the reachable
+    markings (raising [Petrinet.Marking.Capacity_exceeded] on a
+    token-unbounded net), restricts the chain to its unique recurrent
+    class, and solves for the stationary distribution. *)
 
 val n_markings : t -> int
 (** Number of reachable markings (including transient ones). *)

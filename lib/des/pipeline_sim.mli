@@ -64,3 +64,18 @@ val throughput :
   seed:int ->
   data_sets:int ->
   float
+
+val replicated_throughputs :
+  ?pool:Parallel.Pool.t ->
+  ?warmup_fraction:float ->
+  ?release:(int -> float) ->
+  Streaming.Mapping.t ->
+  Streaming.Model.t ->
+  timing:timing ->
+  seeds:int list ->
+  data_sets:int ->
+  float list
+(** One {!throughput} estimate per seed, in seed order, the independent
+    replications running on [pool] (default {!Parallel.Pool.get}).  Each
+    replica draws from its own generator seeded by its own seed, so the
+    result list is identical for every pool size. *)

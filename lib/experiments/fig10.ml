@@ -19,7 +19,7 @@ let compute ?(quick = false) () =
   let exp_theory = Expo.overlap_throughput mapping in
   let det = Laws.deterministic mapping and expo = Laws.exponential mapping in
   let points =
-    List.map
+    Parallel.Pool.map_list (Parallel.Pool.get ())
       (fun data_sets ->
         {
           data_sets;

@@ -8,16 +8,30 @@ let compute ?(quick = false) () =
   let counts = if quick then [ 500; 2_000 ] else [ 500; 1_000; 5_000; 10_000 ] in
   let expo = Laws.exponential mapping in
   let reference = Deterministic.overlap_throughput_decomposed mapping in
+  let pool = Parallel.Pool.get () in
   let points =
     List.map
       (fun data_sets ->
+        (* independent replications, one seed each: the pooled runs return
+           in seed order, so the summaries accumulate exactly the
+           sequential stream of values *)
+        let des_values =
+          Des.Pipeline_sim.replicated_throughputs ~pool mapping Model.Overlap
+            ~timing:(Des.Pipeline_sim.Independent expo)
+            ~seeds:(List.init replicas (fun r -> 100 + r + 1))
+            ~data_sets
+        in
+        let eg_values =
+          Teg_sim.replicated_throughputs ~pool mapping Model.Overlap ~laws:expo
+            ~seeds:(List.init replicas (fun r -> 4_000 + r + 1))
+            ~data_sets
+        in
         let des = Stats.Summary.create () and eg = Stats.Summary.create () in
-        for r = 1 to replicas do
-          Stats.Summary.add des
-            (Exp_common.des_throughput ~data_sets mapping Model.Overlap ~laws:expo ~seed:(100 + r));
-          Stats.Summary.add eg
-            (Teg_sim.throughput mapping Model.Overlap ~laws:expo ~seed:(4_000 + r) ~data_sets)
-        done;
+        List.iter2
+          (fun d e ->
+            Stats.Summary.add des d;
+            Stats.Summary.add eg e)
+          des_values eg_values;
         { data_sets; des = Stats.Summary.report des; eg = Stats.Summary.report eg })
       counts
   in

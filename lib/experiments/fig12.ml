@@ -5,7 +5,7 @@ type point = { stages : int; cst_des : float; exp_des : float; exp_theory : floa
 let compute ?(quick = false) () =
   let stage_counts = if quick then [ 2; 4; 8 ] else [ 2; 4; 6; 8; 12; 16; 20; 24 ] in
   let data_sets = if quick then 6_000 else 20_000 in
-  List.map
+  Parallel.Pool.map_list (Parallel.Pool.get ())
     (fun stages ->
       let mapping = Workload.Scenarios.pattern_chain ~stages () in
       {

@@ -15,7 +15,7 @@ let pairs quick =
 
 let compute ?(quick = false) () =
   let data_sets = if quick then 10_000 else 40_000 in
-  List.map
+  Parallel.Pool.map_list (Parallel.Pool.get ())
     (fun (u, v) ->
       let mapping = Workload.Scenarios.single_communication ~u ~v () in
       {

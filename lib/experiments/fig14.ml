@@ -38,11 +38,17 @@ let measure ~data_sets ~time (u, v) =
 let compute ?(quick = false) () =
   let data_sets = if quick then 10_000 else 40_000 in
   let g = Prng.create ~seed:(Exp_common.base_seed + 14) in
-  let uniform_draws (u, v) =
-    let times = Array.init u (fun _ -> Array.init v (fun _ -> Prng.uniform g 100.0 1000.0)) in
-    measure ~data_sets ~time:(fun s r -> times.(s).(r)) (u, v)
+  (* the link-time draws stay sequential (one shared generator), only the
+     measurements fan out on the pool *)
+  let drawn =
+    List.map
+      (fun (u, v) ->
+        ((u, v), Array.init u (fun _ -> Array.init v (fun _ -> Prng.uniform g 100.0 1000.0))))
+      (pairs quick)
   in
-  List.map uniform_draws (pairs quick)
+  Parallel.Pool.map_list (Parallel.Pool.get ())
+    (fun ((u, v), times) -> measure ~data_sets ~time:(fun s r -> times.(s).(r)) (u, v))
+    drawn
 
 let compute_dominated ?(quick = false) () =
   (* the regime the paper describes — "a single link limits all
@@ -51,7 +57,7 @@ let compute_dominated ?(quick = false) () =
   let dominated (u, v) =
     measure ~data_sets ~time:(fun s r -> if s = 0 && r = 0 then 2000.0 else 150.0) (u, v)
   in
-  List.map dominated (pairs quick)
+  Parallel.Pool.map_list (Parallel.Pool.get ()) dominated (pairs quick)
 
 let print_rows ppf points =
   Exp_common.row ppf "%7s %12s %12s %12s %12s %12s" "u.v" "Cst(scscyc)" "Cst(eg_sim)" "Exp(DES)"

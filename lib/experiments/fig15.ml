@@ -12,7 +12,7 @@ let compute ?(quick = false) () =
   let receivers = 5 in
   let sender_counts = if quick then [ 2; 4; 7 ] else [ 2; 3; 4; 6; 7; 8; 9; 11; 12; 13; 14 ] in
   let data_sets = if quick then 10_000 else 40_000 in
-  List.map
+  Parallel.Pool.map_list (Parallel.Pool.get ())
     (fun senders ->
       let mapping = Workload.Scenarios.single_communication ~u:senders ~v:receivers () in
       let cst = Deterministic.overlap_throughput_decomposed mapping in

@@ -18,7 +18,8 @@ let compute ?(quick = false) () =
   let receivers = 5 in
   let sender_counts = if quick then [ 3; 7 ] else [ 2; 3; 4; 6; 7; 9; 11; 13 ] in
   let data_sets = if quick then 10_000 else 30_000 in
-  List.concat_map
+  List.concat
+  @@ Parallel.Pool.map_list (Parallel.Pool.get ())
     (fun senders ->
       let mapping = Workload.Scenarios.single_communication ~u:senders ~v:receivers () in
       let bounds = Bounds.compute mapping Model.Overlap in

@@ -20,8 +20,19 @@ let all =
 let find id = List.find_opt (fun e -> e.id = id) all
 
 let run_all ?quick ppf =
-  List.iter
-    (fun e ->
-      e.run ?quick ppf;
-      Format.fprintf ppf "@\n")
-    all
+  (* Each experiment renders into its own buffer, so the experiments can run
+     concurrently on the pool while the output stays in registry order —
+     byte-identical to the sequential run. *)
+  let outputs =
+    Parallel.Pool.map_list (Parallel.Pool.get ())
+      (fun e ->
+        let buf = Buffer.create 4096 in
+        let bppf = Format.formatter_of_buffer buf in
+        e.run ?quick bppf;
+        Format.fprintf bppf "@\n";
+        Format.pp_print_flush bppf ();
+        Buffer.contents buf)
+      all
+  in
+  List.iter (Format.pp_print_string ppf) outputs;
+  Format.pp_print_flush ppf ()

@@ -18,14 +18,24 @@ let compute ?(quick = false) () =
       let mappings = List.init instances (fun _ -> Workload.Gen.random_mapping g params) in
       List.map
         (fun model ->
-          let without, gap =
-            List.fold_left
-              (fun (without, gap) mapping ->
+          (* the generation above shares one generator and stays
+             sequential; the per-instance analyses are independent and run
+             on the pool, folded in instance order *)
+          let per_instance =
+            Parallel.Pool.map_list (Parallel.Pool.get ())
+              (fun mapping ->
                 let a = Deterministic.analyse mapping model in
                 let this_gap = Deterministic.critical_resource_gap a in
-                if Deterministic.has_critical_resource ~tolerance:1e-6 a then (without, gap)
-                else (without + 1, max gap this_gap))
-              (0, 0.0) mappings
+                if Deterministic.has_critical_resource ~tolerance:1e-6 a then None
+                else Some this_gap)
+              mappings
+          in
+          let without, gap =
+            List.fold_left
+              (fun (without, gap) -> function
+                | None -> (without, gap)
+                | Some this_gap -> (without + 1, max gap this_gap))
+              (0, 0.0) per_instance
           in
           { label; model; total = instances; without_critical = without; max_gap = gap })
         Model.all)

@@ -1,0 +1,175 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  cond : Condition.t;  (** signalled on enqueue, task completion and close *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec next () =
+      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+      else if pool.closed then None
+      else begin
+        Condition.wait pool.cond pool.mutex;
+        next ()
+      end
+    in
+    match next () with
+    | None -> Mutex.unlock pool.mutex
+    | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let pool =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Runs every task, blocking until all have completed.  The caller executes
+   tasks too — including, while it waits, tasks enqueued by OTHER concurrent
+   [run_all] calls.  That keeps nested parallelism (a pooled task that itself
+   calls [map]) deadlock-free: somebody always makes progress.  The first
+   exception (in task order of observation) is re-raised once every task has
+   finished. *)
+let run_all pool tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    let remaining = ref n in
+    let first_error = ref None in
+    let wrapped task () =
+      (try task ()
+       with e ->
+         Mutex.lock pool.mutex;
+         if !first_error = None then first_error := Some e;
+         Mutex.unlock pool.mutex);
+      Mutex.lock pool.mutex;
+      decr remaining;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    Array.iter (fun task -> Queue.add (wrapped task) pool.queue) tasks;
+    Condition.broadcast pool.cond;
+    while !remaining > 0 do
+      if Queue.is_empty pool.queue then Condition.wait pool.cond pool.mutex
+      else begin
+        let task = Queue.pop pool.queue in
+        Mutex.unlock pool.mutex;
+        task ();
+        Mutex.lock pool.mutex
+      end
+    done;
+    Mutex.unlock pool.mutex;
+    match !first_error with None -> () | Some e -> raise e
+  end
+
+(* Contiguous chunks, a few per domain so that uneven task costs still
+   balance.  Results land at their input index, so the output never depends
+   on execution order. *)
+let chunk_tasks pool n run_range =
+  let chunks = min n (4 * pool.size) in
+  Array.init chunks (fun c ->
+      let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+      fun () -> run_range lo hi)
+
+let map pool f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else if pool.size = 1 || n = 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    run_all pool
+      (chunk_tasks pool n (fun lo hi ->
+           for i = lo to hi - 1 do
+             results.(i) <- Some (f input.(i))
+           done));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let mapi pool f input =
+  let indexed = Array.mapi (fun i x -> (i, x)) input in
+  map pool (fun (i, x) -> f i x) indexed
+
+let map_list pool f input = Array.to_list (map pool f (Array.of_list input))
+
+let map_seeded pool ~seed f input =
+  Array.to_list
+    (mapi pool (fun i x -> f (Prng.stream ~seed i) x) (Array.of_list input))
+
+let init pool n f = map pool f (Array.init n Fun.id)
+
+(* ---- global default pool ---- *)
+
+let env_domains () =
+  match Sys.getenv_opt "PAR_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> Some d
+      | _ -> None)
+
+let default_domains () =
+  match env_domains () with Some d -> d | None -> Domain.recommended_domain_count ()
+
+let default : t option ref = ref None
+let default_mutex = Mutex.create ()
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock default_mutex;
+      let p = !default in
+      default := None;
+      Mutex.unlock default_mutex;
+      Option.iter shutdown p)
+
+let get () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default with
+    | Some p -> p
+    | None ->
+        let p = create ~domains:(default_domains ()) in
+        default := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  pool
+
+let set_domains domains =
+  if domains < 1 then invalid_arg "Pool.set_domains: need at least one domain";
+  Mutex.lock default_mutex;
+  let old = !default in
+  default := Some (create ~domains);
+  Mutex.unlock default_mutex;
+  Option.iter shutdown old

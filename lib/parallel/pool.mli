@@ -1,0 +1,64 @@
+(** Deterministic fixed-size domain pool.
+
+    A pool owns [domains - 1] worker domains (the caller of {!map} is the
+    last one) pulling tasks from a shared queue.  Work is distributed in
+    contiguous index chunks and every result is written at the index of its
+    input, so for a pure task function the output of {!map} is the same
+    array — same floats, same ordering — for every pool size, including 1.
+    Tasks that need randomness take their generator from
+    {!Prng.stream}[ ~seed index] (see {!map_seeded}), which depends only on
+    the task's index, never on the schedule; this is the determinism
+    contract relied on by the experiment sweeps.
+
+    Nested use is allowed: a task may itself call {!map} on the same pool.
+    A caller waiting for its own tasks keeps executing whatever is queued,
+    so nested maps cannot deadlock.  Exceptions raised by tasks are
+    re-raised in the caller once the whole batch has finished. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains ([domains >= 1]);
+    with [domains = 1] every map runs in the caller, with no domain
+    spawned. *)
+
+val shutdown : t -> unit
+(** Drains the queue, terminates and joins the workers.  Idempotent. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val size : t -> int
+(** Number of domains the pool uses, caller included. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_seeded : t -> seed:int -> (Prng.t -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_seeded pool ~seed f xs] runs [f g_i x_i] where [g_i] is the
+    independent stream [Prng.stream ~seed i]: the i-th task always sees the
+    same generator, whatever the pool size or schedule. *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+
+val run_all : t -> (unit -> unit) array -> unit
+(** Low-level primitive behind [map]: run every task, caller
+    participating, and return (or re-raise the first task exception) once
+    all have completed. *)
+
+(** {1 Global default pool}
+
+    Library entry points that accept [?pool] fall back to this pool.  Its
+    size comes from the [PAR_DOMAINS] environment variable when set to a
+    positive integer, from [Domain.recommended_domain_count ()] otherwise.
+    The pool is created on first use and shut down at exit. *)
+
+val get : unit -> t
+val set_domains : int -> unit
+(** Replace the default pool with one of the given size (used by
+    [bench/main.exe --domains N]). *)
+
+val default_domains : unit -> int
+(** The size {!get} would use for a fresh default pool. *)

@@ -33,6 +33,20 @@ let bits64 g =
   g.s3 <- rotl g.s3 45;
   result
 
+let stream ~seed index =
+  if index < 0 then invalid_arg "Prng.stream: index must be non-negative";
+  (* Hash the seed once, then place each stream at its own splitmix origin:
+     the golden-ratio multiple keeps distinct indices far apart in the
+     splitmix sequence and the xor decorrelates them from the base. *)
+  let base = ref (Int64.of_int seed) in
+  let h = splitmix_next base in
+  let state = ref (Int64.logxor h (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L)) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
 let split g =
   let state = ref (bits64 g) in
   let s0 = splitmix_next state in

@@ -15,6 +15,14 @@ val create : seed:int -> t
 val copy : t -> t
 (** Duplicate the state; the copy evolves independently. *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed i] is the [i]-th generator of a family of independent
+    streams derived from [seed] by splitmix64 mixing.  The stream depends
+    only on [(seed, i)] — never on how many streams exist or on the order
+    they are created in — so handing stream [i] to the task of index [i]
+    makes a parallel computation reproduce the sequential one exactly.
+    [i] must be non-negative. *)
+
 val split : t -> t
 (** [split g] advances [g] and returns a fresh generator whose stream is
     independent of the subsequent output of [g].  Used to hand disjoint

@@ -1,26 +1,22 @@
 type t = { mean : float; half_width : float; batches : int }
 
-(* two-sided 97.5% Student quantiles for small degrees of freedom, then
-   the normal approximation *)
-let student975 = function
-  | 1 -> 12.706
-  | 2 -> 4.303
-  | 3 -> 3.182
-  | 4 -> 2.776
-  | 5 -> 2.571
-  | 6 -> 2.447
-  | 7 -> 2.365
-  | 8 -> 2.306
-  | 9 -> 2.262
-  | 10 -> 2.228
-  | 11 -> 2.201
-  | 12 -> 2.179
-  | 13 -> 2.160
-  | 14 -> 2.145
-  | 15 -> 2.131
-  | 19 -> 2.093
-  | 29 -> 2.045
-  | df -> if df >= 30 then 1.96 else 2.1 (* between 15 and 29 *)
+(* Two-sided 97.5% Student quantiles: the complete table for df 1..30,
+   then the hyperbolic tail 1.96 + 2.46/df, which matches the table at
+   df = 30 (2.042) and decreases monotonically towards the normal
+   quantile 1.96 (at df = 40/60/120 it gives 2.022/2.001/1.981 against
+   tabulated 2.021/2.000/1.980).  The whole function is strictly
+   decreasing in df, which the previous sparse table was not. *)
+let student975_table =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let student975 df =
+  if df < 1 then invalid_arg "Batch_means.student975: need at least one degree of freedom"
+  else if df <= 30 then student975_table.(df - 1)
+  else 1.96 +. (2.46 /. float_of_int df)
 
 let of_batch_means means =
   let k = Array.length means in
@@ -42,13 +38,17 @@ let estimate ?(batches = 20) ?(warmup_fraction = 0.2) observations =
   if batches < 2 then invalid_arg "Batch_means.estimate: need at least two batches";
   if n < 2 * batches then invalid_arg "Batch_means.estimate: too few observations";
   let size = n / batches in
+  (* the [n mod batches] tail observations are folded into the final
+     batch; silently discarding them would bias the mean *)
   let means =
     Array.init batches (fun b ->
+        let first = b * size in
+        let last = if b = batches - 1 then n - 1 else first + size - 1 in
         let acc = ref 0.0 in
-        for i = b * size to ((b + 1) * size) - 1 do
+        for i = first to last do
           acc := !acc +. xs.(i)
         done;
-        !acc /. float_of_int size)
+        !acc /. float_of_int (last - first + 1))
   in
   of_batch_means means
 
@@ -61,7 +61,9 @@ let throughput_of_completions ?(batches = 20) ?(warmup_fraction = 0.2) completio
   let size = (n - start) / batches in
   let means =
     Array.init batches (fun b ->
-        let first = start + (b * size) and last = start + (((b + 1) * size) - 1) in
+        let first = start + (b * size) in
+        (* fold the remainder completions into the final batch *)
+        let last = if b = batches - 1 then n - 1 else first + size - 1 in
         (* the batch's time span starts at the previous completion, so the
            warmup interval is never counted *)
         let span = completions.(last) -. (if first = 0 then 0.0 else completions.(first - 1)) in

@@ -13,12 +13,24 @@ type t = {
   batches : int;
 }
 
+val student975 : int -> float
+(** Two-sided 97.5% Student quantile for the given degrees of freedom
+    (>= 1): exact table for df 1..30, then a monotone hyperbolic
+    approximation decreasing towards the normal quantile 1.96.  The
+    function is strictly decreasing in df. *)
+
 val estimate : ?batches:int -> ?warmup_fraction:float -> float array -> t
 (** [estimate observations] drops the first [warmup_fraction] (default
     0.2) of the samples, splits the rest into [batches] (default 20)
-    contiguous batches and returns the batch-means interval.  Raises
-    [Invalid_argument] with fewer than 2 observations per batch. *)
+    contiguous batches and returns the batch-means interval.  When the
+    post-warmup count is not a multiple of [batches], the remaining
+    [n mod batches] observations are folded into the final batch (no
+    observation is discarded; the final batch mean simply averages up to
+    [batches - 1] extra points).  Raises [Invalid_argument] with fewer
+    than 2 observations per batch. *)
 
 val throughput_of_completions : ?batches:int -> ?warmup_fraction:float -> float array -> t
 (** Batch-means interval for the throughput given sorted completion
-    times: each batch's throughput is (its count) / (its time span). *)
+    times: each batch's throughput is (its count) / (its time span).  As
+    in {!estimate}, the remainder completions are folded into the final
+    batch rather than discarded. *)

@@ -17,11 +17,15 @@ let pattern_time mapping comm ~sender ~receiver =
 
 let is_homogeneous mapping comm =
   let reference = pattern_time mapping comm ~sender:0 ~receiver:0 in
+  (* relative tolerance with an absolute floor: a (near-)zero reference
+     time would otherwise collapse the tolerance to zero and declare a
+     homogeneous component heterogeneous on float noise *)
+  let tol = Float.max (1e-12 *. abs_float reference) 1e-15 in
   let same = ref true in
   for s = 0 to comm.u - 1 do
     for r = 0 to comm.v - 1 do
       let t = pattern_time mapping comm ~sender:s ~receiver:r in
-      if abs_float (t -. reference) > 1e-12 *. reference then same := false
+      if abs_float (t -. reference) > tol then same := false
     done
   done;
   !same
@@ -72,16 +76,22 @@ let rows_of mapping = function
       let m = Mapping.rows mapping in
       List.init (m / g) (fun k -> residue + (k * g))
 
-let fold_throughput mapping ~inner =
+let fold_throughput ?pool mapping ~inner =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.get () in
+  let comps = Array.of_list (components mapping) in
+  (* the inner solves (one CTMC per communication component) are
+     independent and dominate the cost: run them on the pool, then do the
+     cheap rate propagation sequentially in column order *)
+  let inners = Parallel.Pool.map pool inner comps in
   let m = Mapping.rows mapping in
   let row_rate = Array.make m infinity in
-  List.iter
-    (fun component ->
+  Array.iteri
+    (fun k component ->
       let rows = rows_of mapping component in
       let count = float_of_int (List.length rows) in
-      let inner_per_row = inner component /. count in
+      let inner_per_row = inners.(k) /. count in
       let input_rate = List.fold_left (fun acc j -> min acc row_rate.(j)) infinity rows in
       let rate = min inner_per_row input_rate in
       List.iter (fun j -> row_rate.(j) <- rate) rows)
-    (components mapping);
+    comps;
   Array.fold_left ( +. ) 0.0 row_rate

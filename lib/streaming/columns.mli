@@ -35,7 +35,10 @@ val is_homogeneous : Mapping.t -> communication -> bool
 val components : Mapping.t -> component list
 (** All components, column by column from the first stage to the last. *)
 
-val fold_throughput : Mapping.t -> inner:(component -> float) -> float
+val fold_throughput : ?pool:Parallel.Pool.t -> Mapping.t -> inner:(component -> float) -> float
 (** Propagates per-row rates down the columns.  [inner c] must return the
     inner throughput of the component (data sets per time unit for the
-    whole component, in isolation). *)
+    whole component, in isolation).  The [inner] calls — independent CTMC
+    solves — run on [pool] (default {!Parallel.Pool.get}); [inner] must
+    therefore be safe to call from several domains, which every solver in
+    this repository is.  The result is identical for every pool size. *)

@@ -1,4 +1,4 @@
-let overlap_throughput ?pattern_cap ?(closed_form_only = false) mapping =
+let overlap_throughput ?pool ?pattern_cap ?(closed_form_only = false) mapping =
   let inner = function
     | Columns.Compute { stage; proc } -> 1.0 /. Mapping.comp_time mapping ~stage ~proc
     | Columns.Communication comm ->
@@ -14,7 +14,7 @@ let overlap_throughput ?pattern_cap ?(closed_form_only = false) mapping =
               1.0 /. Columns.pattern_time mapping comm ~sender ~receiver)
             ()
   in
-  Columns.fold_throughput mapping ~inner
+  Columns.fold_throughput ?pool mapping ~inner
 
 let markov_throughput ?cap tpn =
   let teg = Tpn.teg tpn in
@@ -54,7 +54,7 @@ let throughput mapping = function
   | Model.Overlap -> overlap_throughput mapping
   | Model.Strict -> strict_throughput mapping
 
-let overlap_throughput_erlang ?pattern_cap ~phases mapping =
+let overlap_throughput_erlang ?pool ?pattern_cap ~phases mapping =
   if phases < 1 then invalid_arg "Expo.overlap_throughput_erlang: phases must be at least 1";
   let inner = function
     | Columns.Compute { stage; proc } ->
@@ -67,7 +67,7 @@ let overlap_throughput_erlang ?pattern_cap ~phases mapping =
             1.0 /. Columns.pattern_time mapping comm ~sender ~receiver)
           ()
   in
-  Columns.fold_throughput mapping ~inner
+  Columns.fold_throughput ?pool mapping ~inner
 
 let strict_throughput_erlang ?cap ~phases mapping =
   if phases < 1 then invalid_arg "Expo.strict_throughput_erlang: phases must be at least 1";
@@ -80,7 +80,7 @@ let strict_throughput_erlang ?cap ~phases mapping =
   Markov.Tpn_markov.throughput_of chain
     (List.map (fun v -> Petrinet.Expand.last expansion v) (Tpn.last_column tpn))
 
-let overlap_throughput_ph ?pattern_cap ~ph mapping =
+let overlap_throughput_ph ?pool ?pattern_cap ~ph mapping =
   let inner = function
     | Columns.Compute { stage; proc } ->
         (* a saturated single server completes at 1/mean for any law *)
@@ -91,7 +91,7 @@ let overlap_throughput_ph ?pattern_cap ~ph mapping =
             ph (Resource.Transfer (comm.Columns.senders.(sender), comm.Columns.receivers.(receiver))))
           ()
   in
-  Columns.fold_throughput mapping ~inner
+  Columns.fold_throughput ?pool mapping ~inner
 
 let strict_throughput_ph ?cap ~ph mapping =
   let tpn = Tpn.build mapping Model.Strict in

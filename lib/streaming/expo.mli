@@ -2,7 +2,8 @@
     (§5).  Rates are the inverses of the nominal (mean) durations of the
     mapping. *)
 
-val overlap_throughput : ?pattern_cap:int -> ?closed_form_only:bool -> Mapping.t -> float
+val overlap_throughput :
+  ?pool:Parallel.Pool.t -> ?pattern_cap:int -> ?closed_form_only:bool -> Mapping.t -> float
 (** Theorem 3's per-column decomposition for the Overlap model.
     Each communication component is analysed through its pattern CTMC
     (S(u,v) states), except that components with homogeneous link times use
@@ -29,7 +30,8 @@ val throughput : Mapping.t -> Model.t -> float
 (** Dispatch: {!overlap_throughput} for Overlap, {!strict_throughput} for
     Strict. *)
 
-val overlap_throughput_erlang : ?pattern_cap:int -> phases:int -> Mapping.t -> float
+val overlap_throughput_erlang :
+  ?pool:Parallel.Pool.t -> ?pattern_cap:int -> phases:int -> Mapping.t -> float
 (** Exact throughput when every operation time is Erlang([phases]) with
     the nominal means (Overlap model): same per-column decomposition as
     {!overlap_throughput}, with each communication pattern analysed
@@ -44,7 +46,8 @@ val strict_throughput_erlang : ?cap:int -> phases:int -> Mapping.t -> float
 (** The general method on the phase-expanded Strict TPN: exact Erlang
     throughput, at a marking-space cost growing quickly with [phases]. *)
 
-val overlap_throughput_ph : ?pattern_cap:int -> ph:(Resource.t -> Markov.Ph.t) -> Mapping.t -> float
+val overlap_throughput_ph :
+  ?pool:Parallel.Pool.t -> ?pattern_cap:int -> ph:(Resource.t -> Markov.Ph.t) -> Mapping.t -> float
 (** Exact throughput for arbitrary phase-type operation times (Overlap
     model), through the phase-augmented marking chains of
     {!Markov.Tpn_markov_ph}.  The law of each resource must have the

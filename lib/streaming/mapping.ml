@@ -14,6 +14,9 @@ let lcm a b =
   if r <= 0 || r / b <> a / g then invalid_arg "Mapping: lcm of replication factors overflows";
   r
 
+let comm_time t ~file ~src ~dst =
+  Application.file_size t.app file /. Platform.bandwidth t.platform ~src ~dst
+
 let create ~app ~platform ~teams =
   let n = Application.n_stages app in
   let m_procs = Platform.n_processors platform in
@@ -31,7 +34,33 @@ let create ~app ~platform ~teams =
         team)
     teams;
   let m = Array.fold_left (fun acc team -> lcm acc (Array.length team)) 1 teams in
-  { app; platform; teams = Array.map Array.copy teams; stage_of_proc; m }
+  let t = { app; platform; teams = Array.map Array.copy teams; stage_of_proc; m } in
+  (* Validate the communication times of every link the round-robin will
+     actually use: downstream exponential analysis inverts them into
+     rates, so a zero or near-zero time (zero-byte file, infinite
+     bandwidth) would silently produce infinite rates that poison the
+     marking CTMC.  Failing here gives the caller a clear error at
+     mapping-construction time instead. *)
+  for file = 0 to n - 2 do
+    let senders = teams.(file) and receivers = teams.(file + 1) in
+    let g = gcd (Array.length senders) (Array.length receivers) in
+    Array.iteri
+      (fun a src ->
+        Array.iteri
+          (fun b dst ->
+            if a mod g = b mod g then begin
+              let time = comm_time t ~file ~src ~dst in
+              if (not (Float.is_finite time)) || time <= 1e-30 then
+                invalid_arg
+                  (Printf.sprintf
+                     "Mapping.create: communication time of file F%d on link P%d->P%d is %g \
+                      (zero-byte file or infinite bandwidth); exponential rates would be infinite"
+                     (file + 1) src dst time)
+            end)
+          receivers)
+      senders
+  done;
+  t
 
 let app t = t.app
 let platform t = t.platform
@@ -44,9 +73,6 @@ let proc_at t ~stage ~row = t.teams.(stage).(row mod Array.length t.teams.(stage
 let stage_of t p = t.stage_of_proc.(p)
 
 let comp_time t ~stage ~proc = Application.work t.app stage /. Platform.speed t.platform proc
-
-let comm_time t ~file ~src ~dst =
-  Application.file_size t.app file /. Platform.bandwidth t.platform ~src ~dst
 
 let mean_time t resource =
   match resource with

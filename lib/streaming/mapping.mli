@@ -11,7 +11,11 @@ type t
 
 val create : app:Application.t -> platform:Platform.t -> teams:int array array -> t
 (** Raises [Invalid_argument] if a team is empty, a processor id is out of
-    range or a processor appears in two teams (or twice in one). *)
+    range, a processor appears in two teams (or twice in one), or any
+    communication time the round-robin will use is zero, near-zero
+    (<= 1e-30) or non-finite — e.g. a zero-byte file or an infinite
+    bandwidth — since the exponential analysis inverts those times into
+    rates. *)
 
 val app : t -> Application.t
 val platform : t -> Platform.t

@@ -31,3 +31,9 @@ let completions mapping model ~laws ~seed ~data_sets =
 let throughput ?warmup_fraction mapping model ~laws ~seed ~data_sets =
   let series = completions mapping model ~laws ~seed ~data_sets in
   Stats.Series.throughput_of_completions ?warmup_fraction series
+
+let replicated_throughputs ?pool ?warmup_fraction mapping model ~laws ~seeds ~data_sets =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.get () in
+  Parallel.Pool.map_list pool
+    (fun seed -> throughput ?warmup_fraction mapping model ~laws ~seed ~data_sets)
+    seeds

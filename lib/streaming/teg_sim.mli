@@ -21,3 +21,17 @@ val throughput :
   float
 (** Steady-state throughput estimate (least-squares slope of the completion
     sequence, skipping the transient prefix). *)
+
+val replicated_throughputs :
+  ?pool:Parallel.Pool.t ->
+  ?warmup_fraction:float ->
+  Mapping.t ->
+  Model.t ->
+  laws:Laws.t ->
+  seeds:int list ->
+  data_sets:int ->
+  float list
+(** One {!throughput} estimate per seed, in seed order, the replications
+    running on [pool] (default {!Parallel.Pool.get}).  Each replica draws
+    from its own generator seeded by its own seed, so the result list is
+    identical for every pool size. *)

@@ -36,6 +36,95 @@ let build ~u ~v ~time =
   done;
   teg
 
+(* ---- pattern-solve caches ----
+
+   The reachable marking graph of a [u x v] pattern (and of its Erlang
+   expansion) depends only on the shape, never on the transfer times, so
+   the explored structure is cached per [(u, v, phases, cap)] and reused
+   across rate assignments.  On top of that, the solved throughput itself
+   is memoised per quantized rate matrix: parameter sweeps that revisit an
+   identical communication component skip both the exploration and the
+   elimination.  Both tables are guarded by one mutex so pooled domains
+   can share them; values are deterministic functions of their key, so a
+   racing duplicate computation is only wasted work, never a wrong
+   answer. *)
+
+type cache_stats = { hits : int; misses : int; structures : int; results : int }
+
+type shape = {
+  expansion : Petrinet.Expand.t option;  (** [None] for the 1-phase net *)
+  structure : Markov.Tpn_markov.structure;
+}
+
+let cache_mutex = Mutex.create ()
+let shape_cache : (int * int * int * int, shape) Hashtbl.t = Hashtbl.create 16
+let result_cache : (string, float) Hashtbl.t = Hashtbl.create 64
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+let locked f =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
+
+let cache_stats () =
+  locked (fun () ->
+      {
+        hits = !cache_hits;
+        misses = !cache_misses;
+        structures = Hashtbl.length shape_cache;
+        results = Hashtbl.length result_cache;
+      })
+
+let clear_caches () =
+  locked (fun () ->
+      Hashtbl.reset shape_cache;
+      Hashtbl.reset result_cache;
+      cache_hits := 0;
+      cache_misses := 0)
+
+let cap_key = function None -> -1 | Some c -> c
+
+(* Rates are quantized to 12 significant digits in the memo key: close
+   enough that two components identical up to float noise share a solve,
+   coarse enough that a genuine parameter change never collides. *)
+let result_key ~tag ~u ~v ~phases ~cap rates =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "%s:%d:%d:%d:%d" tag u v phases (cap_key cap));
+  Array.iter (fun r -> Buffer.add_char buf ','; Buffer.add_string buf (Printf.sprintf "%.12g" r)) rates;
+  Buffer.contents buf
+
+let find_result key =
+  locked (fun () ->
+      match Hashtbl.find_opt result_cache key with
+      | Some rho ->
+          incr cache_hits;
+          Some rho
+      | None ->
+          incr cache_misses;
+          None)
+
+let store_result key rho = locked (fun () -> Hashtbl.replace result_cache key rho)
+
+let shape_of ~u ~v ~phases ~cap =
+  let key = (u, v, phases, cap_key cap) in
+  match locked (fun () -> Hashtbl.find_opt shape_cache key) with
+  | Some shape -> shape
+  | None ->
+      (* built outside the lock: exploration can be slow, and a duplicate
+         build by a racing domain yields an equal value *)
+      let base = build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
+      let shape =
+        if phases = 1 then { expansion = None; structure = Markov.Tpn_markov.structure ?cap base }
+        else
+          let expansion = Petrinet.Expand.erlang ~phases:(fun _ -> phases) base in
+          {
+            expansion = Some expansion;
+            structure = Markov.Tpn_markov.structure ?cap (Petrinet.Expand.teg expansion);
+          }
+      in
+      locked (fun () -> if not (Hashtbl.mem shape_cache key) then Hashtbl.add shape_cache key shape);
+      shape
+
 let deterministic_inner_throughput ~u ~v ~time =
   let teg = build ~u ~v ~time in
   match Petrinet.Cycle_time.analyse teg with
@@ -43,13 +132,21 @@ let deterministic_inner_throughput ~u ~v ~time =
   | Some { Petrinet.Cycle_time.period; _ } -> float_of_int (u * v) /. period
 
 let exponential_inner_throughput ?cap ~u ~v ~rate () =
-  let teg = build ~u ~v ~time:(fun ~sender ~receiver -> 1.0 /. rate ~sender ~receiver) in
-  let rates id =
-    let s, r = transition_of ~u ~v id in
-    rate ~sender:s ~receiver:r
+  check u v;
+  let rates =
+    Array.init (u * v) (fun k ->
+        let s, r = transition_of ~u ~v k in
+        rate ~sender:s ~receiver:r)
   in
-  let chain = Markov.Tpn_markov.analyse ?cap ~rates teg in
-  Markov.Tpn_markov.throughput_of chain (List.init (u * v) Fun.id)
+  let key = result_key ~tag:"exp" ~u ~v ~phases:1 ~cap rates in
+  match find_result key with
+  | Some rho -> rho
+  | None ->
+      let shape = shape_of ~u ~v ~phases:1 ~cap in
+      let chain = Markov.Tpn_markov.analyse_with shape.structure ~rates:(fun id -> rates.(id)) in
+      let rho = Markov.Tpn_markov.throughput_of chain (List.init (u * v) Fun.id) in
+      store_result key rho;
+      rho
 
 let homogeneous_inner_throughput ~u ~v ~lambda =
   check u v;
@@ -57,17 +154,33 @@ let homogeneous_inner_throughput ~u ~v ~lambda =
 
 let erlang_inner_throughput ?cap ~phases ~u ~v ~rate () =
   if phases < 1 then invalid_arg "Pattern.erlang_inner_throughput: phases must be at least 1";
-  let base = build ~u ~v ~time:(fun ~sender ~receiver -> 1.0 /. rate ~sender ~receiver) in
-  let expansion = Petrinet.Expand.erlang ~phases:(fun _ -> phases) base in
-  let original_rate k =
-    let s, r = transition_of ~u ~v k in
-    rate ~sender:s ~receiver:r
+  if phases = 1 then
+    (* a 1-phase Erlang is exponential: share that shape and result memo
+       instead of building an (absent) expansion *)
+    exponential_inner_throughput ?cap ~u ~v ~rate ()
+  else begin
+  check u v;
+  let base_rates =
+    Array.init (u * v) (fun k ->
+        let s, r = transition_of ~u ~v k in
+        rate ~sender:s ~receiver:r)
   in
-  let rates id = Petrinet.Expand.phase_rates expansion ~original_rate id in
-  let chain = Markov.Tpn_markov.analyse ?cap ~rates (Petrinet.Expand.teg expansion) in
-  (* one data set completes per firing of a transfer's LAST phase *)
-  Markov.Tpn_markov.throughput_of chain
-    (List.init (u * v) (fun k -> Petrinet.Expand.last expansion k))
+  let key = result_key ~tag:"erl" ~u ~v ~phases ~cap base_rates in
+  match find_result key with
+  | Some rho -> rho
+  | None ->
+      let shape = shape_of ~u ~v ~phases ~cap in
+      let expansion = Option.get shape.expansion in
+      let rates id = Petrinet.Expand.phase_rates expansion ~original_rate:(fun k -> base_rates.(k)) id in
+      let chain = Markov.Tpn_markov.analyse_with shape.structure ~rates in
+      (* one data set completes per firing of a transfer's LAST phase *)
+      let rho =
+        Markov.Tpn_markov.throughput_of chain
+          (List.init (u * v) (fun k -> Petrinet.Expand.last expansion k))
+      in
+      store_result key rho;
+      rho
+  end
 
 let ph_inner_throughput ?cap ~u ~v ~ph () =
   let laws =

@@ -43,6 +43,30 @@ val erlang_inner_throughput :
     towards {!deterministic_inner_throughput} — an exact interpolation of
     the Theorem 7 sandwich. *)
 
+(** {1 Pattern-solve caches}
+
+    The reachable marking graph of a [u x v] pattern depends only on the
+    shape, so {!exponential_inner_throughput} and
+    {!erlang_inner_throughput} keep two process-wide caches: the explored
+    structure per [(u, v, phases, cap)], and the solved throughput per
+    [(u, v, phases, cap, rate matrix quantized to 12 significant digits)].
+    Both are thread-safe (shared by the {!Parallel.Pool} domains) and
+    purely an optimisation: cached and uncached calls return identical
+    floats. *)
+
+type cache_stats = {
+  hits : int;  (** result-memo lookups answered from the cache *)
+  misses : int;  (** result-memo lookups that had to solve *)
+  structures : int;  (** cached per-shape marking structures *)
+  results : int;  (** cached solved throughputs *)
+}
+
+val cache_stats : unit -> cache_stats
+
+val clear_caches : unit -> unit
+(** Drop both caches and reset the counters (used by tests and by the
+    cold/warm benchmark). *)
+
 val ph_inner_throughput :
   ?cap:int -> u:int -> v:int -> ph:(sender:int -> receiver:int -> Markov.Ph.t) -> unit -> float
 (** Exact stationary transfer rate for arbitrary phase-type link times,

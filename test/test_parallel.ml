@@ -1,0 +1,106 @@
+open Streaming
+
+let check_floats = Alcotest.(check (list (float 0.0)))
+
+(* a figure-style sweep: closed-form overlap throughput plus a short DES
+   run per (u, v) point — the two shapes the experiment drivers hand to
+   the pool *)
+let sweep_pairs = [ (2, 3); (3, 4); (2, 5); (4, 5); (3, 5) ]
+
+let sweep_point (u, v) =
+  let mapping = Workload.Scenarios.single_communication ~u ~v () in
+  let theory = Expo.overlap_throughput mapping in
+  let des =
+    Des.Pipeline_sim.throughput mapping Model.Overlap
+      ~timing:(Des.Pipeline_sim.Independent (Laws.exponential mapping))
+      ~seed:7 ~data_sets:500
+  in
+  theory +. (1e-3 *. des)
+
+let test_map_matches_sequential () =
+  let expected = List.map sweep_point sweep_pairs in
+  List.iter
+    (fun domains ->
+      let got =
+        Parallel.Pool.with_pool ~domains (fun pool ->
+            Parallel.Pool.map_list pool sweep_point sweep_pairs)
+      in
+      check_floats (Printf.sprintf "%d domains" domains) expected got)
+    [ 1; 2; 4 ]
+
+let test_map_preserves_order () =
+  let xs = Array.init 100 (fun i -> i) in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let ys = Parallel.Pool.mapi pool (fun i x -> (100 * i) + x) xs in
+      Alcotest.(check (array int)) "indexed order" (Array.map (fun i -> 101 * i) xs) ys)
+
+let test_map_seeded_schedule_independent () =
+  let items = List.init 12 Fun.id in
+  let draw g _item = Prng.float g in
+  let runs =
+    List.map
+      (fun domains ->
+        Parallel.Pool.with_pool ~domains (fun pool ->
+            Parallel.Pool.map_seeded pool ~seed:42 draw items))
+      [ 1; 2; 4 ]
+  in
+  match runs with
+  | [ a; b; c ] ->
+      check_floats "1 vs 2 domains" a b;
+      check_floats "1 vs 4 domains" a c;
+      (* distinct streams per item: all draws different *)
+      let sorted = List.sort_uniq compare a in
+      Alcotest.(check int) "streams are distinct" (List.length a) (List.length sorted)
+  | _ -> assert false
+
+let test_nested_map_no_deadlock () =
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let table =
+        Parallel.Pool.map_list pool
+          (fun x -> Parallel.Pool.map_list pool (fun y -> x * y) [ 1; 2; 3 ])
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested results"
+        [ [ 1; 2; 3 ]; [ 2; 4; 6 ]; [ 3; 6; 9 ]; [ 4; 8; 12 ] ]
+        table)
+
+let test_exception_propagates () =
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.check_raises "worker failure reraised" (Failure "boom") (fun () ->
+          ignore (Parallel.Pool.map_list pool (fun x -> if x = 7 then failwith "boom" else x)
+                    (List.init 20 Fun.id))))
+
+let test_replicated_sims_deterministic () =
+  let mapping = Workload.Scenarios.fig10_system in
+  let laws = Laws.exponential mapping in
+  let seeds = List.init 6 (fun r -> 300 + r) in
+  let run domains =
+    Parallel.Pool.with_pool ~domains (fun pool ->
+        let des =
+          Des.Pipeline_sim.replicated_throughputs ~pool mapping Model.Overlap
+            ~timing:(Des.Pipeline_sim.Independent laws) ~seeds ~data_sets:1000
+        in
+        let eg =
+          Teg_sim.replicated_throughputs ~pool mapping Model.Overlap ~laws ~seeds ~data_sets:1000
+        in
+        des @ eg)
+  in
+  check_floats "replications identical across pool sizes" (run 1) (run 4)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "map = sequential map" `Quick test_map_matches_sequential;
+          Alcotest.test_case "mapi order" `Quick test_map_preserves_order;
+          Alcotest.test_case "seeded streams" `Quick test_map_seeded_schedule_independent;
+          Alcotest.test_case "replicated sims" `Quick test_replicated_sims_deterministic;
+        ] );
+      ( "pool mechanics",
+        [
+          Alcotest.test_case "nested maps" `Quick test_nested_map_no_deadlock;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+        ] );
+    ]

@@ -113,6 +113,32 @@ let test_batch_means_too_few () =
   Alcotest.check_raises "too few" (Invalid_argument "Batch_means.estimate: too few observations")
     (fun () -> ignore (Batch_means.estimate (Array.make 10 1.0)))
 
+let test_student975_monotone () =
+  (* regression: the old sparse table jumped upwards between its anchor
+     points; the quantile must decrease strictly in the degrees of
+     freedom and stay above the normal quantile *)
+  for df = 1 to 120 do
+    let q = Batch_means.student975 df and q' = Batch_means.student975 (df + 1) in
+    if not (q > q') then
+      Alcotest.failf "student975 not strictly decreasing at df=%d: %g <= %g" df q q';
+    if not (q' > 1.96) then Alcotest.failf "student975 %d = %g <= 1.96" (df + 1) q'
+  done;
+  check_float 1e-9 "df=1" 12.706 (Batch_means.student975 1);
+  check_float 1e-9 "df=30" 2.042 (Batch_means.student975 30);
+  Alcotest.check_raises "df=0"
+    (Invalid_argument "Batch_means.student975: need at least one degree of freedom") (fun () ->
+      ignore (Batch_means.student975 0))
+
+let test_batch_means_tail_folding () =
+  (* 256 observations, warmup 20% -> 205 retained, 20 batches of 10 with
+     a remainder of 5.  The old code dropped the remainder; put extreme
+     values there and check they now reach the final batch's mean. *)
+  let xs = Array.init 256 (fun i -> if i >= 251 then 101.0 else 1.0) in
+  let bm = Batch_means.estimate xs in
+  let expected = (19.0 +. ((10.0 +. (5.0 *. 101.0)) /. 15.0)) /. 20.0 in
+  check_float 1e-12 "tail reaches the mean" expected bm.Batch_means.mean;
+  Alcotest.(check bool) "tail is not discarded" true (bm.Batch_means.mean > 1.0)
+
 let test_batch_means_throughput_exact () =
   (* completions every 0.5 time units: every batch sees throughput 2 *)
   let completions = Array.init 400 (fun i -> 0.5 *. float_of_int (i + 1)) in
@@ -146,6 +172,8 @@ let () =
           Alcotest.test_case "constant data" `Quick test_batch_means_constant;
           Alcotest.test_case "iid coverage" `Quick test_batch_means_iid_coverage;
           Alcotest.test_case "too few" `Quick test_batch_means_too_few;
+          Alcotest.test_case "student quantile monotone" `Quick test_student975_monotone;
+          Alcotest.test_case "tail folding" `Quick test_batch_means_tail_folding;
           Alcotest.test_case "exact throughput" `Quick test_batch_means_throughput_exact;
         ] );
     ]

@@ -40,6 +40,55 @@ let test_mapping_validation () =
   Alcotest.check_raises "bad id" (Invalid_argument "Mapping.create: processor id out of range")
     (fun () -> ignore (Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 5 |] |]))
 
+let test_mapping_rejects_zero_comm_time () =
+  (* regression: a zero-byte file used to slip through and later turn
+     into an infinite exponential rate; it must be rejected at
+     construction time *)
+  let platform = Platform.fully_connected ~speeds:[| 1.0; 1.0 |] ~bw:1.0 in
+  let raises_invalid name app =
+    Alcotest.(check bool) name true
+      (match Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1 |] |] with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+  in
+  raises_invalid "zero-byte file" (Application.create ~work:[| 1.0; 1.0 |] ~files:[| 0.0 |]);
+  raises_invalid "near-zero comm time"
+    (Application.create ~work:[| 1.0; 1.0 |] ~files:[| 1e-31 |]);
+  (* a tiny but representable communication time is still accepted *)
+  let app = Application.create ~work:[| 1.0; 1.0 |] ~files:[| 1e-20 |] in
+  ignore (Mapping.create ~app ~platform ~teams:[| [| 0 |]; [| 1 |] |])
+
+let communication_of mapping =
+  match
+    List.filter_map
+      (function Columns.Communication c -> Some c | Columns.Compute _ -> None)
+      (Columns.components mapping)
+  with
+  | [ c ] -> c
+  | _ -> Alcotest.fail "expected a single communication component"
+
+let test_is_homogeneous_tolerance () =
+  (* regression: with a tiny reference time the relative tolerance used
+     to collapse to (almost) zero and float noise read as heterogeneity;
+     an absolute floor of 1e-15 now absorbs it *)
+  let tiny = Workload.Scenarios.single_communication ~comm_time:(fun _ _ -> 1e-20) ~u:2 ~v:3 () in
+  Alcotest.(check bool) "equal tiny times" true
+    (Columns.is_homogeneous tiny (communication_of tiny));
+  let noisy =
+    Workload.Scenarios.single_communication
+      ~comm_time:(fun s r -> 1e-20 +. (1e-16 *. float_of_int ((2 * s) + r)))
+      ~u:2 ~v:3 ()
+  in
+  Alcotest.(check bool) "sub-floor noise is homogeneous" true
+    (Columns.is_homogeneous noisy (communication_of noisy));
+  let hetero =
+    Workload.Scenarios.single_communication
+      ~comm_time:(fun s r -> 1.0 +. (0.5 *. float_of_int ((2 * s) + r)))
+      ~u:2 ~v:3 ()
+  in
+  Alcotest.(check bool) "genuinely different times" false
+    (Columns.is_homogeneous hetero (communication_of hetero))
+
 let test_rows_lcm () =
   Alcotest.(check int) "lcm(1,2,3,1)" 6 (Mapping.rows (small_mapping ()))
 
@@ -309,6 +358,8 @@ let () =
           Alcotest.test_case "application uniform" `Quick test_application_uniform;
           Alcotest.test_case "platform validation" `Quick test_platform_validation;
           Alcotest.test_case "mapping validation" `Quick test_mapping_validation;
+          Alcotest.test_case "zero comm time rejected" `Quick test_mapping_rejects_zero_comm_time;
+          Alcotest.test_case "homogeneity tolerance" `Quick test_is_homogeneous_tolerance;
           Alcotest.test_case "rows lcm" `Quick test_rows_lcm;
           QCheck_alcotest.to_alcotest qcheck_rows_is_lcm;
           Alcotest.test_case "round robin" `Quick test_round_robin_paths;

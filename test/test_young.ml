@@ -173,6 +173,37 @@ let test_erlang_invalid () =
            ~rate:(fun ~sender:_ ~receiver:_ -> 1.0)
            ()))
 
+let test_cache_hits () =
+  Pattern.clear_caches ();
+  let rate ~sender ~receiver = 0.8 +. (0.05 *. float_of_int ((3 * sender) + receiver)) in
+  let first = Pattern.exponential_inner_throughput ~u:3 ~v:4 ~rate () in
+  let after_first = Pattern.cache_stats () in
+  Alcotest.(check int) "first solve is a miss" 1 after_first.Pattern.misses;
+  Alcotest.(check int) "no hit yet" 0 after_first.Pattern.hits;
+  Alcotest.(check int) "one structure explored" 1 after_first.Pattern.structures;
+  let second = Pattern.exponential_inner_throughput ~u:3 ~v:4 ~rate () in
+  let after_second = Pattern.cache_stats () in
+  Alcotest.(check int) "second solve is a hit" 1 after_second.Pattern.hits;
+  Alcotest.(check int) "no further miss" 1 after_second.Pattern.misses;
+  check_float 0.0 "memoised value is bit-identical" first second;
+  (* same shape, different rates: the CTMC is re-solved but the explored
+     state space is shared *)
+  let other = Pattern.exponential_inner_throughput ~u:3 ~v:4 ~rate:(fun ~sender:_ ~receiver:_ -> 2.0) () in
+  let after_other = Pattern.cache_stats () in
+  Alcotest.(check int) "new rates miss the result memo" 2 after_other.Pattern.misses;
+  Alcotest.(check int) "but reuse the structure" 1 after_other.Pattern.structures;
+  Alcotest.(check bool) "different rates give a different value" true (other <> second);
+  (* erlang expansions are cached under their own shape key *)
+  let e1 = Pattern.erlang_inner_throughput ~phases:2 ~u:2 ~v:3 ~rate () in
+  let e2 = Pattern.erlang_inner_throughput ~phases:2 ~u:2 ~v:3 ~rate () in
+  let after_erlang = Pattern.cache_stats () in
+  check_float 0.0 "erlang memoised" e1 e2;
+  Alcotest.(check int) "erlang adds one structure" 2 after_erlang.Pattern.structures;
+  Pattern.clear_caches ();
+  let cleared = Pattern.cache_stats () in
+  Alcotest.(check int) "clear resets hits" 0 cleared.Pattern.hits;
+  Alcotest.(check int) "clear resets structures" 0 cleared.Pattern.structures
+
 let () =
   Alcotest.run "young"
     [
@@ -197,5 +228,6 @@ let () =
           Alcotest.test_case "uniform stationary (Thm 4 proof)" `Slow test_homogeneous_enabled_probability;
           Alcotest.test_case "erlang interpolation" `Quick test_erlang_interpolates;
           Alcotest.test_case "erlang invalid" `Quick test_erlang_invalid;
+          Alcotest.test_case "solve caches" `Quick test_cache_hits;
         ] );
     ]
