@@ -38,6 +38,7 @@ let exit_rate t i = Linalg.Sparse.exit_rate t.sparse i
 let max_exit_rate t =
   let best = ref 0.0 in
   for i = 0 to t.n - 1 do
-    if exit_rate t i > !best then best := exit_rate t i
+    let r = exit_rate t i in
+    if r > !best then best := r
   done;
   !best

@@ -1,8 +1,21 @@
 type t = int array
 
 let initial teg = Array.of_list (List.map (fun p -> p.Teg.tokens) (Teg.places teg))
-let equal = ( = )
-let hash (m : t) = Hashtbl.hash (Array.to_list m)
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec loop i = i >= n || (a.(i) = b.(i) && loop (i + 1)) in
+  loop 0
+
+(* FNV-1a over the token counts: allocation-free, and token counts are
+   small so every count contributes to the low bits of the hash. *)
+let hash (m : t) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length m - 1 do
+    h := (!h lxor m.(i)) * 0x01000193 land max_int
+  done;
+  !h
 
 let is_enabled teg m v = List.for_all (fun p -> m.(p) > 0) (Teg.in_places teg v)
 
