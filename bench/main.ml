@@ -5,7 +5,9 @@
    to the paper's) and then times the computational kernels behind each of
    them with Bechamel — the running-time study of §7.7.
 
-   Usage: dune exec bench/main.exe [-- --full | -- table1 fig13 ...] *)
+   Usage: dune exec bench/main.exe [-- --full | -- table1 fig13 ...]
+   Pass -- --statespace to run only the state-space kernel ladder study
+   (per-stage cold/warm times, written to BENCH_statespace.json). *)
 
 open Bechamel
 open Toolkit
@@ -268,6 +270,16 @@ let parallel_study ~domains =
   close_out oc;
   Format.printf "wrote BENCH_parallel.json@."
 
+(* ---- state-space kernel study: per-stage cold/warm times over the
+   pattern ladder; emits BENCH_statespace.json ---- *)
+
+let statespace_study () =
+  Format.printf "@.== State-space kernel study ==@.";
+  let rungs = Experiments.Statespace.study () in
+  Experiments.Statespace.print Format.std_formatter rungs;
+  Experiments.Statespace.write_json ~path:"BENCH_statespace.json" rungs;
+  Format.printf "wrote BENCH_statespace.json@."
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec split_domains acc = function
@@ -288,6 +300,10 @@ let () =
   let domains_opt, args = split_domains [] args in
   Option.iter Parallel.Pool.set_domains domains_opt;
   let full = List.mem "--full" args in
+  if List.mem "--statespace" args then begin
+    statespace_study ();
+    exit 0
+  end;
   let ids = List.filter (fun a -> a <> "--full" && a <> "--no-bench") args in
   let quick = not full in
   (match ids with

@@ -21,8 +21,11 @@ val flow : t -> pi:float array -> src:int -> dst:int -> float
 (** Stationary probability flow π(src)·q(src,dst). *)
 
 val outgoing : t -> int -> (int * float) list
-(** Outgoing transitions of a state (target, rate); rates to the same
-    target may appear split across several entries. *)
+(** Outgoing transitions of a state (target, merged rate): duplicate edges
+    are merged when the generator is frozen, so each target appears once. *)
+
+val iter_outgoing : t -> int -> (int -> float -> unit) -> unit
+(** Allocation-free iteration over the merged outgoing edges of a state. *)
 
 val exit_rate : t -> int -> float
 val max_exit_rate : t -> float

@@ -10,65 +10,130 @@ type t = {
   initial_state : int option;  (** local index of the initial marking *)
 }
 
-module Table = Hashtbl.Make (struct
-  type t = Marking.t
-
-  let equal = Marking.equal
-  let hash = Marking.hash
-end)
-
 (* The reachable marking graph and its recurrent class depend only on the
    structure of the net (places, tokens), never on the transition rates, so
    they can be computed once and reused across rate assignments — this is
-   what [Young.Pattern]'s per-shape cache shares between sweep points. *)
+   what [Young.Pattern]'s per-shape cache shares between sweep points.
+   The graph is kept in the CSR form [Marking.explore_graph] produces:
+   three flat int arrays instead of a list of pairs per state. *)
 type structure = {
   s_teg : Teg.t;
   markings : Marking.t array;
-  jumps : (int * int) list array;  (** per state: (transition, successor) *)
+  row_ptr : int array;  (** per state, slice of [succ]/[via] *)
+  succ : int array;  (** successor state id per edge *)
+  via : int array;  (** transition fired per edge *)
   s_recurrent : int array;  (** global state ids of the recurrent class *)
   local : int array;  (** global id -> recurrent index, -1 if transient *)
 }
 
-let structure ?cap teg =
-  let markings = Marking.explore ?cap teg in
+(* Iterative Tarjan on the CSR adjacency; returns the component id of every
+   state (components numbered in completion order, as they are popped). *)
+let scc_components ~n ~row_ptr ~succ =
+  let comp = Array.make n (-1) in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Array.make n 0 in
+  let sp = ref 0 in
+  let next_index = ref 0 in
+  let n_comps = ref 0 in
+  (* explicit DFS stack: state and position in its edge slice *)
+  let dfs_state = Array.make n 0 in
+  let dfs_edge = Array.make n 0 in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      let top = ref 0 in
+      dfs_state.(0) <- root;
+      dfs_edge.(0) <- row_ptr.(root);
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack.(!sp) <- root;
+      incr sp;
+      on_stack.(root) <- true;
+      while !top >= 0 do
+        let v = dfs_state.(!top) in
+        let e = dfs_edge.(!top) in
+        if e < row_ptr.(v + 1) then begin
+          dfs_edge.(!top) <- e + 1;
+          let w = succ.(e) in
+          if index.(w) < 0 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            stack.(!sp) <- w;
+            incr sp;
+            on_stack.(w) <- true;
+            incr top;
+            dfs_state.(!top) <- w;
+            dfs_edge.(!top) <- row_ptr.(w)
+          end
+          else if on_stack.(w) && index.(w) < lowlink.(v) then lowlink.(v) <- index.(w)
+        end
+        else begin
+          if lowlink.(v) = index.(v) then begin
+            let c = !n_comps in
+            incr n_comps;
+            let continue = ref true in
+            while !continue do
+              decr sp;
+              let w = stack.(!sp) in
+              on_stack.(w) <- false;
+              comp.(w) <- c;
+              if w = v then continue := false
+            done
+          end;
+          decr top;
+          if !top >= 0 then begin
+            let parent = dfs_state.(!top) in
+            if lowlink.(v) < lowlink.(parent) then lowlink.(parent) <- lowlink.(v)
+          end
+        end
+      done
+    end
+  done;
+  (comp, !n_comps)
+
+let structure_of_graph teg (g : Marking.graph) =
+  let { Marking.markings; row_ptr; succ; via } = g in
   let n = Array.length markings in
-  let index = Table.create (2 * n) in
-  Array.iteri (fun i m -> Table.add index m i) markings;
-  (* Build the marking graph once; reuse it for the recurrent-class
-     restriction and the generator. *)
-  let jumps = Array.make n [] in
-  let graph = Graphs.Digraph.create n in
-  Array.iteri
-    (fun i m ->
-      List.iter
-        (fun v ->
-          let j = Table.find index (Marking.fire teg m v) in
-          jumps.(i) <- (v, j) :: jumps.(i);
-          Graphs.Digraph.add_edge graph ~src:i ~dst:j ~weight:0.0 ~tokens:0 ())
-        (Marking.enabled teg m))
-    markings;
   (* Bottom SCCs = recurrent classes. *)
-  let components = Graphs.Digraph.sccs graph in
-  let component_of = Array.make n (-1) in
-  List.iteri (fun c states -> List.iter (fun s -> component_of.(s) <- c) states) components;
-  let is_bottom = Array.make (List.length components) true in
-  Array.iteri
-    (fun i succs ->
-      List.iter (fun (_, j) -> if component_of.(j) <> component_of.(i) then is_bottom.(component_of.(i)) <- false) succs)
-    jumps;
-  let bottoms = List.filteri (fun c _ -> is_bottom.(c)) components in
-  let recurrent_states =
-    match bottoms with
-    | [ states ] -> List.sort compare states
-    | [] -> failwith "Tpn_markov: no recurrent class (empty chain?)"
-    | _ -> failwith "Tpn_markov: several recurrent classes"
+  let component_of, n_comps = scc_components ~n ~row_ptr ~succ in
+  let is_bottom = Array.make n_comps true in
+  for i = 0 to n - 1 do
+    for e = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      if component_of.(succ.(e)) <> component_of.(i) then is_bottom.(component_of.(i)) <- false
+    done
+  done;
+  let bottom =
+    let found = ref (-1) in
+    let several = ref false in
+    for c = 0 to n_comps - 1 do
+      if is_bottom.(c) then if !found < 0 then found := c else several := true
+    done;
+    if !several then failwith "Tpn_markov: several recurrent classes";
+    if !found < 0 then failwith "Tpn_markov: no recurrent class (empty chain?)";
+    !found
   in
-  let s_recurrent = Array.of_list recurrent_states in
+  let n_rec = ref 0 in
+  Array.iter (fun c -> if c = bottom then incr n_rec) component_of;
+  let s_recurrent = Array.make !n_rec 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    (* states in increasing id order, as the seed's [List.sort compare] *)
+    if component_of.(i) = bottom then begin
+      s_recurrent.(!k) <- i;
+      incr k
+    end
+  done;
   let local = Array.make n (-1) in
   Array.iteri (fun k s -> local.(s) <- k) s_recurrent;
-  { s_teg = teg; markings; jumps; s_recurrent; local }
+  { s_teg = teg; markings; row_ptr; succ; via; s_recurrent; local }
+
+let structure ?cap teg = structure_of_graph teg (Marking.explore_graph ?cap teg)
 
 let structure_states s = Array.length s.markings
+let structure_edges s = Array.length s.succ
 
 let analyse_with s ~rates =
   let teg = s.s_teg in
@@ -77,18 +142,18 @@ let analyse_with s ~rates =
   Array.iteri
     (fun v r -> if r <= 0.0 then invalid_arg (Printf.sprintf "Tpn_markov: rate of t%d not positive" v))
     rate_array;
-  let { markings; jumps; s_recurrent = recurrent; local; _ } = s in
+  let { markings; row_ptr; succ; via; s_recurrent = recurrent; local; _ } = s in
   let chain = Ctmc.create (Array.length recurrent) in
   Array.iter
     (fun st ->
-      List.iter
-        (fun (v, j) ->
-          (* A marking-preserving firing (e.g. a transition whose only place
-             is a token self-loop) is a CTMC self-loop: it does not affect
-             the stationary distribution and is skipped. *)
-          if local.(j) >= 0 && local.(j) <> local.(st) then
-            Ctmc.add_rate chain local.(st) local.(j) rate_array.(v))
-        jumps.(st))
+      for e = row_ptr.(st) to row_ptr.(st + 1) - 1 do
+        (* A marking-preserving firing (e.g. a transition whose only place
+           is a token self-loop) is a CTMC self-loop: it does not affect
+           the stationary distribution and is skipped. *)
+        let j = succ.(e) in
+        if local.(j) >= 0 && local.(j) <> local.(st) then
+          Ctmc.add_rate chain local.(st) local.(j) rate_array.(via.(e))
+      done)
     recurrent;
   let pi = Ctmc.stationary chain in
   {

@@ -23,8 +23,17 @@ val structure : ?cap:int -> Petrinet.Teg.t -> structure
     isolates the recurrent class.  Raises [Failure] if the marking chain
     has several recurrent classes. *)
 
+val structure_of_graph : Petrinet.Teg.t -> Petrinet.Marking.graph -> structure
+(** Builds the rate-independent structure from an already-explored marking
+    graph (same contract as {!structure}).  This is the entry point for
+    enumerators that construct the graph without a generic breadth-first
+    search, such as the Young-lattice walk of [Young.Pattern]. *)
+
 val structure_states : structure -> int
 (** Number of reachable markings of the structure. *)
+
+val structure_edges : structure -> int
+(** Number of edges of the marking graph (one per enabled firing). *)
 
 val analyse_with : structure -> rates:(int -> float) -> t
 (** Builds and solves the CTMC of a structure under the given rates.

@@ -8,7 +8,7 @@ let dtmc_step chain lambda pi =
   for i = 0 to n - 1 do
     if pi.(i) > 0.0 then begin
       next.(i) <- next.(i) +. (pi.(i) *. (1.0 -. (Ctmc.exit_rate chain i /. lambda)));
-      List.iter (fun (j, r) -> next.(j) <- next.(j) +. (pi.(i) *. r /. lambda)) (Ctmc.outgoing chain i)
+      Ctmc.iter_outgoing chain i (fun j r -> next.(j) <- next.(j) +. (pi.(i) *. r /. lambda))
     end
   done;
   next

@@ -1,0 +1,162 @@
+(* Running-time study of the compact state-space kernel (§7.7 companion):
+   for a ladder of u×v patterns (u·v from 9 to 36) and Erlang phase counts
+   1–3, measure each stage of the cold path — marking-graph construction,
+   recurrent-class isolation, CTMC build + stationary solve — plus the
+   warm path (the same query answered by the pattern-solve memo).  The
+   ladder spans both solver regimes: small rungs are eliminated by GTH,
+   large Erlang rungs go through the sparse Gauss–Seidel sweep. *)
+
+type rung = {
+  r_u : int;
+  r_v : int;
+  r_phases : int;
+  r_states : int;
+  r_edges : int;
+  r_recurrent : int;
+  r_explore_s : float;
+  r_structure_s : float;
+  r_solve_s : float;
+  r_warm_s : float;
+  r_throughput : float;
+}
+
+let ladder = [ (1, 9); (3, 4); (2, 9); (3, 5); (4, 5); (3, 7); (5, 6); (5, 7); (4, 9) ]
+let phase_counts = [ 1; 2; 3 ]
+
+let rate ~sender:_ ~receiver:_ = 1.0
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (Unix.gettimeofday () -. t0, x)
+
+let measure_rung ~u ~v ~phases =
+  let base = Young.Pattern.build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
+  (* cold path, stage by stage (bypassing the caches) *)
+  let explore_s, (teg, graph) =
+    timed (fun () ->
+        if phases = 1 then
+          let g =
+            match Young.Pattern.young_graph ~u ~v () with
+            | Some g -> g
+            | None -> Petrinet.Marking.explore_graph base
+          in
+          (base, g)
+        else
+          let teg = Petrinet.Expand.teg (Petrinet.Expand.erlang ~phases:(fun _ -> phases) base) in
+          (teg, Petrinet.Marking.explore_graph teg))
+  in
+  let structure_s, structure = timed (fun () -> Markov.Tpn_markov.structure_of_graph teg graph) in
+  let solve_s, chain =
+    timed (fun () -> Markov.Tpn_markov.analyse_with structure ~rates:(fun _ -> float_of_int phases))
+  in
+  (* warm path: the user-facing query, answered by the result memo (the
+     first call fills it and is not timed) *)
+  let solve () =
+    if phases = 1 then Young.Pattern.exponential_inner_throughput ~u ~v ~rate ()
+    else Young.Pattern.erlang_inner_throughput ~phases ~u ~v ~rate ()
+  in
+  let throughput = solve () in
+  let warm_s, warm_throughput = timed solve in
+  if warm_throughput <> throughput then failwith "Statespace: warm solve diverged from cold";
+  {
+    r_u = u;
+    r_v = v;
+    r_phases = phases;
+    r_states = Markov.Tpn_markov.structure_states structure;
+    r_edges = Markov.Tpn_markov.structure_edges structure;
+    r_recurrent = Markov.Tpn_markov.n_recurrent chain;
+    r_explore_s = explore_s;
+    r_structure_s = structure_s;
+    r_solve_s = solve_s;
+    r_warm_s = warm_s;
+    r_throughput = throughput;
+  }
+
+let study ?(ladder = ladder) ?(phases = phase_counts) () =
+  Young.Pattern.clear_caches ();
+  let rungs =
+    List.concat_map
+      (fun (u, v) -> List.map (fun p -> measure_rung ~u ~v ~phases:p) phases)
+      ladder
+  in
+  Young.Pattern.clear_caches ();
+  rungs
+
+let print fmt rungs =
+  Exp_common.header fmt "State-space kernel: exploration and solve times";
+  Exp_common.row fmt "%-8s %9s %9s %9s %11s %11s %11s %11s %12s" "pattern" "phases" "states"
+    "edges" "explore(s)" "scc(s)" "solve(s)" "warm(s)" "throughput";
+  List.iter
+    (fun r ->
+      Exp_common.row fmt "%dx%-6d %9d %9d %9d %11.4f %11.4f %11.4f %11.6f %12.6f" r.r_u r.r_v
+        r.r_phases r.r_states r.r_edges r.r_explore_s r.r_structure_s r.r_solve_s r.r_warm_s
+        r.r_throughput)
+    rungs
+
+(* Cold-path totals (structure + analyse_with, identical rates) of the
+   pre-rewrite kernel, measured on this host at the commit preceding the
+   compact kernel; embedded in the emitted JSON so a fresh run still
+   documents the speedup against a kernel that no longer exists in the
+   tree.  The old structure construction is quadratic in the state count,
+   so only rungs that finish in reasonable time are listed. *)
+let seed_baseline =
+  [
+    (5, 6, 1, 0.0199);
+    (5, 7, 1, 0.0504);
+    (5, 6, 2, 8.621);
+    (5, 7, 2, 38.925);
+    (4, 9, 3, 1409.74);
+    (5, 7, 3, 2564.56);
+  ]
+
+let rung_cold r = r.r_explore_s +. r.r_structure_s +. r.r_solve_s
+
+let write_json ~path rungs =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"ladder\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"u\": %d, \"v\": %d, \"phases\": %d, \"states\": %d, \"edges\": %d, \"recurrent\": \
+         %d, \"explore_s\": %.6f, \"structure_s\": %.6f, \"solve_s\": %.6f, \"cold_s\": %.6f, \
+         \"warm_s\": %.6f, \"throughput\": %.12g}%s\n"
+        r.r_u r.r_v r.r_phases r.r_states r.r_edges r.r_recurrent r.r_explore_s r.r_structure_s
+        r.r_solve_s (rung_cold r) r.r_warm_s r.r_throughput
+        (if i = List.length rungs - 1 then "" else ","))
+    rungs;
+  (match
+     List.fold_left
+       (fun acc r -> match acc with Some b when b.r_states >= r.r_states -> acc | _ -> Some r)
+       None rungs
+   with
+  | Some l ->
+      Printf.fprintf oc
+        "  ],\n  \"largest\": {\"u\": %d, \"v\": %d, \"phases\": %d, \"states\": %d, \"cold_s\": \
+         %.6f},\n"
+        l.r_u l.r_v l.r_phases l.r_states (rung_cold l)
+  | None -> Printf.fprintf oc "  ],\n");
+  let baseline =
+    List.filter_map
+      (fun (u, v, p, seed_s) ->
+        Option.map
+          (fun r -> (u, v, p, seed_s, rung_cold r))
+          (List.find_opt (fun r -> r.r_u = u && r.r_v = v && r.r_phases = p) rungs))
+      seed_baseline
+  in
+  Printf.fprintf oc
+    "  \"seed_baseline\": {\n\
+    \    \"note\": \"cold-path wall times of the pre-rewrite kernel (list-based exploration, \
+     hash-table generator), same pipeline and rates, measured on this host at the commit before \
+     the compact kernel\",\n\
+    \    \"rungs\": [\n";
+  List.iteri
+    (fun i (u, v, p, seed_s, now_s) ->
+      Printf.fprintf oc
+        "      {\"u\": %d, \"v\": %d, \"phases\": %d, \"seed_cold_s\": %.4f, \"cold_s\": %.6f, \
+         \"speedup\": %.1f}%s\n"
+        u v p seed_s now_s (seed_s /. now_s)
+        (if i = List.length baseline - 1 then "" else ","))
+    baseline;
+  Printf.fprintf oc "    ]\n  }\n}\n";
+  close_out oc

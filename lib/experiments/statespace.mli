@@ -1,0 +1,35 @@
+(** Running-time study of the compact state-space kernel: per-stage cold
+    timings (marking-graph construction, recurrent-class isolation,
+    stationary solve) and warm-path timings over a ladder of u×v patterns
+    and Erlang phase counts.  Run by [bench/main.exe -- --statespace],
+    which writes the results to BENCH_statespace.json; a two-rung smoke
+    version runs in the test suite. *)
+
+type rung = {
+  r_u : int;
+  r_v : int;
+  r_phases : int;
+  r_states : int;  (** reachable markings *)
+  r_edges : int;  (** marking-graph edges *)
+  r_recurrent : int;  (** states of the recurrent class *)
+  r_explore_s : float;  (** marking-graph construction (lattice walk or BFS) *)
+  r_structure_s : float;  (** SCC / recurrent-class isolation *)
+  r_solve_s : float;  (** CTMC build + stationary distribution *)
+  r_warm_s : float;  (** same query answered by the pattern-solve memo *)
+  r_throughput : float;
+}
+
+val ladder : (int * int) list
+(** The default (u, v) rungs, u·v increasing from 9 to 36. *)
+
+val phase_counts : int list
+(** Erlang phase counts measured per rung (1, 2, 3). *)
+
+val study : ?ladder:(int * int) list -> ?phases:int list -> unit -> rung list
+(** Measure every (rung, phase count) combination.  Clears the pattern
+    caches before and after, so timings are cold-path and the process-wide
+    caches are left empty. *)
+
+val print : Format.formatter -> rung list -> unit
+
+val write_json : path:string -> rung list -> unit

@@ -1,56 +1,195 @@
+(* Edges accumulate in flat append-only arrays; the first solve (or
+   structural query) freezes them into a CSR form — outgoing and incoming —
+   with duplicate i→j entries merged in insertion order, so the merged rate
+   is bit-identical to an incremental hash-table accumulation.  The frozen
+   arrays are what the solvers sweep: no cons cells on the hot path. *)
+
+type frozen = {
+  row_ptr : int array;  (** outgoing CSR, per source *)
+  cols : int array;
+  vals : float array;
+  in_ptr : int array;  (** incoming CSR, per target *)
+  in_src : int array;
+  in_vals : float array;
+}
+
 type t = {
   n : int;
-  out_rates : (int * float) list array;  (** outgoing, per source state *)
-  in_rates : (int * float) list array;  (** incoming, per target state *)
-  exit : float array;
+  mutable nnz : int;
+  mutable e_src : int array;
+  mutable e_dst : int array;
+  mutable e_rate : float array;
+  exit : float array;  (** maintained at insertion, in insertion order *)
+  mutable frozen : frozen option;
 }
 
 let create n =
-  { n; out_rates = Array.make n []; in_rates = Array.make n []; exit = Array.make n 0.0 }
+  {
+    n;
+    nnz = 0;
+    e_src = Array.make 16 0;
+    e_dst = Array.make 16 0;
+    e_rate = Array.make 16 0.0;
+    exit = Array.make n 0.0;
+    frozen = None;
+  }
 
 let add_rate t i j r =
   if i < 0 || i >= t.n || j < 0 || j >= t.n then invalid_arg "Sparse.add_rate: state out of range";
   if i = j then invalid_arg "Sparse.add_rate: no self loops in a generator";
   if r <= 0.0 then invalid_arg "Sparse.add_rate: rate must be positive";
-  t.out_rates.(i) <- (j, r) :: t.out_rates.(i);
-  t.in_rates.(j) <- (i, r) :: t.in_rates.(j);
-  t.exit.(i) <- t.exit.(i) +. r
+  if t.nnz = Array.length t.e_src then begin
+    let cap = 2 * t.nnz in
+    let grow_i a = let a' = Array.make cap 0 in Array.blit a 0 a' 0 t.nnz; a' in
+    let grow_f a = let a' = Array.make cap 0.0 in Array.blit a 0 a' 0 t.nnz; a' in
+    t.e_src <- grow_i t.e_src;
+    t.e_dst <- grow_i t.e_dst;
+    t.e_rate <- grow_f t.e_rate
+  end;
+  t.e_src.(t.nnz) <- i;
+  t.e_dst.(t.nnz) <- j;
+  t.e_rate.(t.nnz) <- r;
+  t.nnz <- t.nnz + 1;
+  t.exit.(i) <- t.exit.(i) +. r;
+  t.frozen <- None
+
+(* one direction of the CSR: group edges by [key], merging duplicate
+   [other] entries within a group in insertion order *)
+let csr_of ~n ~nnz ~key ~other ~rate =
+  let count = Array.make (n + 1) 0 in
+  for e = 0 to nnz - 1 do
+    count.(key.(e) + 1) <- count.(key.(e) + 1) + 1
+  done;
+  for i = 1 to n do
+    count.(i) <- count.(i) + count.(i - 1)
+  done;
+  (* stable bucket sort by key *)
+  let next = Array.copy count in
+  let by_key = Array.make nnz 0 in
+  for e = 0 to nnz - 1 do
+    let k = key.(e) in
+    by_key.(next.(k)) <- e;
+    next.(k) <- next.(k) + 1
+  done;
+  let ptr = Array.make (n + 1) 0 in
+  let cols = Array.make nnz 0 in
+  let vals = Array.make nnz 0.0 in
+  let slot = Array.make n (-1) in
+  let stamp = Array.make n (-1) in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    ptr.(i) <- !w;
+    for idx = count.(i) to count.(i + 1) - 1 do
+      let e = by_key.(idx) in
+      let j = other.(e) in
+      if stamp.(j) = i then vals.(slot.(j)) <- vals.(slot.(j)) +. rate.(e)
+      else begin
+        stamp.(j) <- i;
+        slot.(j) <- !w;
+        cols.(!w) <- j;
+        vals.(!w) <- rate.(e);
+        incr w
+      end
+    done
+  done;
+  ptr.(n) <- !w;
+  if !w = nnz then (ptr, cols, vals) else (ptr, Array.sub cols 0 !w, Array.sub vals 0 !w)
+
+let freeze t =
+  match t.frozen with
+  | Some f -> f
+  | None ->
+      let row_ptr, cols, vals =
+        csr_of ~n:t.n ~nnz:t.nnz ~key:t.e_src ~other:t.e_dst ~rate:t.e_rate
+      in
+      let in_ptr, in_src, in_vals =
+        csr_of ~n:t.n ~nnz:t.nnz ~key:t.e_dst ~other:t.e_src ~rate:t.e_rate
+      in
+      let f = { row_ptr; cols; vals; in_ptr; in_src; in_vals } in
+      t.frozen <- Some f;
+      f
 
 let size t = t.n
+let nnz t = t.nnz
 let exit_rate t i = t.exit.(i)
-let outgoing t i = t.out_rates.(i)
+
+let outgoing t i =
+  let f = freeze t in
+  let rec collect k acc =
+    if k < f.row_ptr.(i) then acc else collect (k - 1) ((f.cols.(k), f.vals.(k)) :: acc)
+  in
+  collect (f.row_ptr.(i + 1) - 1) []
+
+let rate t i j =
+  let f = freeze t in
+  let r = ref 0.0 in
+  for k = f.row_ptr.(i) to f.row_ptr.(i + 1) - 1 do
+    if f.cols.(k) = j then r := f.vals.(k)
+  done;
+  !r
+
+let iter_outgoing t i fn =
+  let f = freeze t in
+  for k = f.row_ptr.(i) to f.row_ptr.(i + 1) - 1 do
+    fn f.cols.(k) f.vals.(k)
+  done
+
+let to_dense t =
+  let f = freeze t in
+  let m = Array.make_matrix t.n t.n 0.0 in
+  for i = 0 to t.n - 1 do
+    for k = f.row_ptr.(i) to f.row_ptr.(i + 1) - 1 do
+      m.(i).(f.cols.(k)) <- f.vals.(k)
+    done
+  done;
+  m
 
 let normalize pi =
   let total = Array.fold_left ( +. ) 0.0 pi in
   if total <= 0.0 then failwith "Sparse: zero distribution";
   Array.iteri (fun i v -> pi.(i) <- v /. total) pi
 
-let residual t pi =
+let residual_frozen t f pi =
   (* L1 norm of pi.Q *)
   let acc = ref 0.0 in
   for j = 0 to t.n - 1 do
-    let inflow = List.fold_left (fun s (i, r) -> s +. (pi.(i) *. r)) 0.0 t.in_rates.(j) in
-    acc := !acc +. abs_float (inflow -. (pi.(j) *. t.exit.(j)))
+    let inflow = ref 0.0 in
+    for k = f.in_ptr.(j) to f.in_ptr.(j + 1) - 1 do
+      inflow := !inflow +. (pi.(f.in_src.(k)) *. f.in_vals.(k))
+    done;
+    acc := !acc +. abs_float (!inflow -. (pi.(j) *. t.exit.(j)))
   done;
   !acc
 
+(* The L1 residual costs a full sweep, so the iterative solvers only check
+   it every [check_every] sweeps — a converged iterate only gets more
+   converged, and the saved residual passes outweigh the few extra
+   sweeps. *)
+let check_every = 8
+
 let stationary_gauss_seidel ?(tol = 1e-12) ?(max_sweeps = 100_000) t =
+  let f = freeze t in
   let pi = Array.make t.n (1.0 /. float_of_int t.n) in
   let rec sweep k =
     if k > max_sweeps then failwith "Sparse.stationary_gauss_seidel: no convergence";
     for j = 0 to t.n - 1 do
       if t.exit.(j) > 0.0 then begin
-        let inflow = List.fold_left (fun s (i, r) -> s +. (pi.(i) *. r)) 0.0 t.in_rates.(j) in
-        pi.(j) <- inflow /. t.exit.(j)
+        let inflow = ref 0.0 in
+        for e = f.in_ptr.(j) to f.in_ptr.(j + 1) - 1 do
+          inflow := !inflow +. (pi.(f.in_src.(e)) *. f.in_vals.(e))
+        done;
+        pi.(j) <- !inflow /. t.exit.(j)
       end
     done;
     normalize pi;
-    if residual t pi > tol then sweep (k + 1)
+    if (k mod check_every = 0 || k >= max_sweeps) && residual_frozen t f pi <= tol then ()
+    else sweep (k + 1)
   in
   sweep 1;
   pi
 
 let stationary_power ?(tol = 1e-12) ?(max_iters = 1_000_000) t =
+  let f = freeze t in
   let lambda = 1.01 *. Array.fold_left max 1e-12 t.exit in
   let pi = Array.make t.n (1.0 /. float_of_int t.n) in
   let next = Array.make t.n 0.0 in
@@ -60,7 +199,10 @@ let stationary_power ?(tol = 1e-12) ?(max_iters = 1_000_000) t =
       next.(j) <- pi.(j) *. (1.0 -. (t.exit.(j) /. lambda))
     done;
     for i = 0 to t.n - 1 do
-      List.iter (fun (j, r) -> next.(j) <- next.(j) +. (pi.(i) *. r /. lambda)) t.out_rates.(i)
+      let w = pi.(i) /. lambda in
+      for e = f.row_ptr.(i) to f.row_ptr.(i + 1) - 1 do
+        next.(f.cols.(e)) <- next.(f.cols.(e)) +. (w *. f.vals.(e))
+      done
     done;
     let diff = ref 0.0 in
     for j = 0 to t.n - 1 do
@@ -68,7 +210,7 @@ let stationary_power ?(tol = 1e-12) ?(max_iters = 1_000_000) t =
       pi.(j) <- next.(j)
     done;
     normalize pi;
-    if !diff > tol then iterate (k + 1)
+    if (k mod check_every = 0 || k >= max_iters) && !diff <= tol then () else iterate (k + 1)
   in
   iterate 1;
   pi

@@ -5,7 +5,10 @@
     states we switch to iterative solvers on a sparse representation. *)
 
 type t
-(** A CTMC generator in sparse form: [n] states, outgoing transition lists. *)
+(** A CTMC generator: edges accumulate in flat append-only arrays and are
+    frozen on first use into compressed-sparse-row form (outgoing and
+    incoming), with duplicate i → j entries merged in insertion order.
+    Further [add_rate] calls simply invalidate the frozen view. *)
 
 val create : int -> t
 (** [create n] is an empty generator over states [0..n-1]. *)
@@ -14,14 +17,33 @@ val add_rate : t -> int -> int -> float -> unit
 (** [add_rate t i j r] adds rate [r] to the transition i → j (i ≠ j, r > 0). *)
 
 val size : t -> int
+
+val nnz : t -> int
+(** Number of inserted edges (before duplicate merging). *)
+
 val exit_rate : t -> int -> float
+
 val outgoing : t -> int -> (int * float) list
+(** Merged outgoing transitions of a state, in first-insertion order. *)
+
+val rate : t -> int -> int -> float
+(** Merged rate of i → j; 0 if absent. *)
+
+val iter_outgoing : t -> int -> (int -> float -> unit) -> unit
+(** [iter_outgoing t i f] calls [f j r] for every merged edge i → j without
+    allocating. *)
+
+val to_dense : t -> float array array
+(** Dense [n × n] rate matrix built straight from the frozen CSR (zero
+    diagonal); input to the GTH solver. *)
 
 val stationary_gauss_seidel : ?tol:float -> ?max_sweeps:int -> t -> float array
 (** Gauss–Seidel iteration on the balance equations
     π_j · exit_j = Σ_i π_i q_{ij}, renormalised each sweep.  Converges for
     irreducible chains; raises [Failure] if the tolerance (default 1e-12 on
-    the L1 residual) is not met within [max_sweeps] (default 100_000). *)
+    the L1 residual) is not met within [max_sweeps] (default 100_000).
+    The residual — itself a full sweep — is only evaluated every 8th
+    sweep. *)
 
 val stationary_power : ?tol:float -> ?max_iters:int -> t -> float array
 (** Power iteration on the uniformised chain; slower but useful as an

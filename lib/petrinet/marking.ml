@@ -1,6 +1,7 @@
 type t = int array
 
 let initial teg = Array.of_list (List.map (fun p -> p.Teg.tokens) (Teg.places teg))
+
 let equal (a : t) (b : t) =
   let n = Array.length a in
   n = Array.length b
@@ -31,6 +32,12 @@ let fire teg m v =
   List.iter (fun p -> m'.(p) <- m'.(p) + 1) (Teg.out_places teg v);
   m'
 
+let fire_into teg m v ~into =
+  if not (is_enabled teg m v) then invalid_arg "Marking.fire_into: transition not enabled";
+  Array.blit m 0 into 0 (Array.length m);
+  List.iter (fun p -> into.(p) <- into.(p) - 1) (Teg.in_places teg v);
+  List.iter (fun p -> into.(p) <- into.(p) + 1) (Teg.out_places teg v)
+
 exception Capacity_exceeded of int
 
 module Table = Hashtbl.Make (struct
@@ -40,23 +47,258 @@ module Table = Hashtbl.Make (struct
   let hash = hash
 end)
 
-let explore ?(cap = 200_000) teg =
-  let seen = Table.create 1024 in
-  let order = ref [] in
-  let count = ref 0 in
-  let queue = Queue.create () in
-  let register m =
-    if not (Table.mem seen m) then begin
-      if !count >= cap then raise (Capacity_exceeded cap);
-      Table.add seen m !count;
-      incr count;
-      order := m :: !order;
-      Queue.add m queue
-    end
-  in
-  register (initial teg);
-  while not (Queue.is_empty queue) do
-    let m = Queue.pop queue in
-    List.iter (fun v -> register (fire teg m v)) (enabled teg m)
+(* ---- compact state-space kernel ----
+
+   Reachability exploration works on a packed representation whenever the
+   whole marking fits one OCaml int: each place gets a fixed bit field
+   sized from the tokens it can hold.  Firing a transition is then a
+   single integer addition (the net token movement of the transition is a
+   constant code delta) and deduplication hashes a machine int instead of
+   an array.  Two width ladders are tried — per-place initial counts, then
+   the total token count T of the net (a sound per-place bound for
+   conservative nets, i.e. every net whose exploration terminates is
+   covered by token-invariant cycles) — with an overflow guard on every
+   firing; a net that outgrows both ladders restarts on the int-array
+   path, which deduplicates whole markings but fires into a scratch buffer
+   instead of copying an array per edge. *)
+
+type graph = {
+  markings : t array;  (** BFS discovery order; index 0 is the initial marking *)
+  row_ptr : int array;  (** length [n_states + 1] *)
+  succ : int array;  (** CSR successor state ids *)
+  via : int array;  (** CSR transition fired along each edge *)
+}
+
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create n = { a = Array.make (max n 16) 0; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.a then begin
+      let a' = Array.make (2 * b.len) 0 in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.a.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let to_array b = Array.sub b.a 0 b.len
+end
+
+(* bits needed to store values 0..bound *)
+let nbits bound =
+  let rec go b acc = if b = 0 then max acc 1 else go (b lsr 1) (acc + 1) in
+  go bound 0
+
+type codec = {
+  c_shift : int array;
+  c_mask : int array;  (** per place, already shifted to bit 0 *)
+}
+
+let codec_of_widths widths =
+  let n = Array.length widths in
+  let shift = Array.make n 0 in
+  let mask = Array.make n 0 in
+  let total = ref 0 in
+  for p = 0 to n - 1 do
+    shift.(p) <- !total;
+    mask.(p) <- (1 lsl widths.(p)) - 1;
+    total := !total + widths.(p)
   done;
-  Array.of_list (List.rev !order)
+  if !total > 62 then None else Some { c_shift = shift; c_mask = mask }
+
+let encode c (m : t) =
+  let code = ref 0 in
+  for p = 0 to Array.length m - 1 do
+    code := !code lor (m.(p) lsl c.c_shift.(p))
+  done;
+  !code
+
+let decode c ~n_places code =
+  Array.init n_places (fun p -> (code lsr c.c_shift.(p)) land c.c_mask.(p))
+
+exception Field_overflow
+
+(* per-transition effect, as flat arrays *)
+type effects = {
+  e_in : int array array;  (** input place indices *)
+  e_out : int array array;  (** output place indices *)
+  e_out_pure : int array array;  (** output places that are not also inputs *)
+  e_delta : int array;  (** net packed-code delta (packed path only) *)
+}
+
+let effects_of teg codec =
+  let nt = Teg.n_transitions teg in
+  let e_in = Array.init nt (fun v -> Array.of_list (Teg.in_places teg v)) in
+  let e_out = Array.init nt (fun v -> Array.of_list (Teg.out_places teg v)) in
+  let e_out_pure =
+    Array.init nt (fun v ->
+        let ins = Teg.in_places teg v in
+        Array.of_list (List.filter (fun p -> not (List.mem p ins)) (Teg.out_places teg v)))
+  in
+  let e_delta =
+    match codec with
+    | None -> Array.make nt 0
+    | Some c ->
+        Array.init nt (fun v ->
+            let d = ref 0 in
+            List.iter (fun p -> d := !d + (1 lsl c.c_shift.(p))) (Teg.out_places teg v);
+            List.iter (fun p -> d := !d - (1 lsl c.c_shift.(p))) (Teg.in_places teg v);
+            !d)
+  in
+  { e_in; e_out; e_out_pure; e_delta }
+
+(* Packed BFS.  Raises [Field_overflow] if any place outgrows its field —
+   the caller then retries with wider fields or the array path. *)
+let explore_packed ~cap ~record teg codec =
+  let eff = effects_of teg (Some codec) in
+  let nt = Teg.n_transitions teg in
+  let codes = Ibuf.create 1024 in
+  let index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let row = Ibuf.create 1024 in
+  let succ = Ibuf.create 1024 in
+  let via = Ibuf.create 1024 in
+  let register code =
+    match Hashtbl.find_opt index code with
+    | Some id -> id
+    | None ->
+        if codes.Ibuf.len >= cap then raise (Capacity_exceeded cap);
+        let id = codes.Ibuf.len in
+        Hashtbl.add index code id;
+        Ibuf.push codes code;
+        id
+  in
+  let m0 = initial teg in
+  ignore (register (encode codec m0));
+  let head = ref 0 in
+  while !head < codes.Ibuf.len do
+    let code = codes.Ibuf.a.(!head) in
+    if record then Ibuf.push row succ.Ibuf.len;
+    for v = 0 to nt - 1 do
+      let ins = eff.e_in.(v) in
+      let enabled =
+        let ok = ref true in
+        for k = 0 to Array.length ins - 1 do
+          let p = ins.(k) in
+          if (code lsr codec.c_shift.(p)) land codec.c_mask.(p) = 0 then ok := false
+        done;
+        !ok
+      in
+      if enabled then begin
+        let outs = eff.e_out_pure.(v) in
+        for k = 0 to Array.length outs - 1 do
+          let p = outs.(k) in
+          if (code lsr codec.c_shift.(p)) land codec.c_mask.(p) = codec.c_mask.(p) then
+            raise Field_overflow
+        done;
+        let id = register (code + eff.e_delta.(v)) in
+        if record then begin
+          Ibuf.push succ id;
+          Ibuf.push via v
+        end
+      end
+    done;
+    incr head
+  done;
+  if record then Ibuf.push row succ.Ibuf.len;
+  let n_places = Teg.n_places teg in
+  {
+    markings = Array.init codes.Ibuf.len (fun i -> decode codec ~n_places codes.Ibuf.a.(i));
+    row_ptr = Ibuf.to_array row;
+    succ = Ibuf.to_array succ;
+    via = Ibuf.to_array via;
+  }
+
+(* Array-path BFS: markings are deduplicated whole, firings go into a
+   scratch buffer that is only retained (and re-allocated) when it is a
+   new state. *)
+let explore_arrays ~cap ~record teg =
+  let eff = effects_of teg None in
+  let nt = Teg.n_transitions teg in
+  let n_places = Teg.n_places teg in
+  let store = ref (Array.make 1024 [||]) in
+  let count = ref 0 in
+  let index = Table.create 1024 in
+  let row = Ibuf.create 1024 in
+  let succ = Ibuf.create 1024 in
+  let via = Ibuf.create 1024 in
+  let register m =
+    match Table.find_opt index m with
+    | Some id -> (id, false)
+    | None ->
+        if !count >= cap then raise (Capacity_exceeded cap);
+        let id = !count in
+        if id = Array.length !store then begin
+          let a' = Array.make (2 * id) [||] in
+          Array.blit !store 0 a' 0 id;
+          store := a'
+        end;
+        !store.(id) <- m;
+        Table.add index m id;
+        incr count;
+        (id, true)
+  in
+  ignore (register (initial teg));
+  let scratch = ref (Array.make n_places 0) in
+  let head = ref 0 in
+  while !head < !count do
+    let m = !store.(!head) in
+    if record then Ibuf.push row succ.Ibuf.len;
+    for v = 0 to nt - 1 do
+      let ins = eff.e_in.(v) in
+      let enabled =
+        let ok = ref true in
+        for k = 0 to Array.length ins - 1 do
+          if m.(ins.(k)) = 0 then ok := false
+        done;
+        !ok
+      in
+      if enabled then begin
+        let s = !scratch in
+        Array.blit m 0 s 0 n_places;
+        for k = 0 to Array.length ins - 1 do
+          s.(ins.(k)) <- s.(ins.(k)) - 1
+        done;
+        let outs = eff.e_out.(v) in
+        for k = 0 to Array.length outs - 1 do
+          s.(outs.(k)) <- s.(outs.(k)) + 1
+        done;
+        let id, fresh = register s in
+        if fresh then scratch := Array.make n_places 0;
+        if record then begin
+          Ibuf.push succ id;
+          Ibuf.push via v
+        end
+      end
+    done;
+    incr head
+  done;
+  if record then Ibuf.push row succ.Ibuf.len;
+  {
+    markings = Array.sub !store 0 !count;
+    row_ptr = Ibuf.to_array row;
+    succ = Ibuf.to_array succ;
+    via = Ibuf.to_array via;
+  }
+
+let explore_auto ~cap ~record ~packed teg =
+  if not packed then explore_arrays ~cap ~record teg
+  else begin
+    let m0 = initial teg in
+    let total = Array.fold_left ( + ) 0 m0 in
+    let widths_initial = Array.map nbits m0 in
+    let widths_total = Array.map (fun _ -> nbits total) m0 in
+    let attempts =
+      (if widths_initial = widths_total then [ widths_initial ] else [ widths_initial; widths_total ])
+      |> List.filter_map codec_of_widths
+    in
+    let rec try_codecs = function
+      | [] -> explore_arrays ~cap ~record teg
+      | c :: rest -> ( try explore_packed ~cap ~record teg c with Field_overflow -> try_codecs rest)
+    in
+    try_codecs attempts
+  end
+
+let explore_graph ?(cap = 200_000) ?(packed = true) teg = explore_auto ~cap ~record:true ~packed teg
+let explore ?(cap = 200_000) teg = (explore_auto ~cap ~record:false ~packed:true teg).markings

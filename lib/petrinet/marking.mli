@@ -22,11 +22,36 @@ val fire : Teg.t -> t -> int -> t
     produces one in each output place.  Raises [Invalid_argument] if [v] is
     not enabled. *)
 
+val fire_into : Teg.t -> t -> int -> into:t -> unit
+(** In-place counterpart of {!fire}: writes the successor marking into
+    [into] (same length as [m]) instead of allocating.  [into] may not
+    alias [m].  Raises [Invalid_argument] if [v] is not enabled. *)
+
 exception Capacity_exceeded of int
 (** Raised by {!explore} when more markings than the cap are reachable. *)
+
+type graph = {
+  markings : t array;  (** BFS discovery order; index 0 is the initial marking *)
+  row_ptr : int array;  (** length [Array.length markings + 1] *)
+  succ : int array;  (** successor state id of each edge, rows concatenated *)
+  via : int array;  (** transition fired along each edge *)
+}
+(** The reachable marking graph in compressed-sparse-row form: the edges
+    out of state [i] are [succ.(k), via.(k)] for
+    [k] in [row_ptr.(i) .. row_ptr.(i+1) - 1], listed in increasing
+    transition order. *)
 
 val explore : ?cap:int -> Teg.t -> t array
 (** Breadth-first enumeration of the reachable markings, starting from the
     initial one (index 0 of the result).  [cap] (default 200_000) bounds
     the exploration; exceeding it raises {!Capacity_exceeded} — which is
     the signature of a token-unbounded net such as the full Overlap TPN. *)
+
+val explore_graph : ?cap:int -> ?packed:bool -> Teg.t -> graph
+(** Like {!explore} but also records the marking graph (one edge per
+    enabled firing).  Markings are packed into single-int codes whenever
+    the per-place bit fields fit one machine word — firing is then an
+    integer addition — with an automatic fallback to the int-array
+    representation.  [packed:false] forces the fallback path (the two
+    paths return identical graphs; the flag exists for differential
+    testing and benchmarks). *)

@@ -36,6 +36,137 @@ let build ~u ~v ~time =
   done;
   teg
 
+(* ---- direct Young-lattice enumeration ----
+
+   The reachable markings of the pattern are pairs of Young diagrams
+   (Theorem 3); operationally, every serialisation ring carries exactly one
+   token, so a marking is fully described by the *position* of the token in
+   each of the u sender rings and v receiver rings.  The enumerator below
+   walks that lattice directly on a packed (positions) code — u fields of
+   width ⌈log₂ v⌉ and v fields of width ⌈log₂ u⌉ — instead of running the
+   generic breadth-first search over the 2·u·v-place marking vector:
+   transition k is enabled iff sender ring [k mod u] sits one slot before k
+   and receiver ring [k mod v] likewise, and firing k advances both rings.
+   Traversal order (breadth-first, transitions in increasing k) matches
+   [Marking.explore_graph] exactly, so the resulting graph — markings,
+   order, and edges — is identical to the generic one, just cheaper to
+   produce. *)
+
+let nbits bound =
+  let rec go b acc = if b = 0 then max acc 1 else go (b lsr 1) (acc + 1) in
+  go bound 0
+
+let young_graph ?(cap = 200_000) ~u ~v () =
+  check u v;
+  let n = u * v in
+  let pw = nbits (v - 1) and qw = nbits (u - 1) in
+  if (u * pw) + (v * qw) > 62 then None
+  else begin
+    let p_shift = Array.init u (fun s -> s * pw) in
+    let q_shift = Array.init v (fun r -> (u * pw) + (r * qw)) in
+    let p_mask = (1 lsl pw) - 1 and q_mask = (1 lsl qw) - 1 in
+    (* per transition k: the ring fields it reads and the positions they
+       must hold for k to be enabled, and the positions firing k writes *)
+    let sender = Array.init n (fun k -> k mod u) in
+    let receiver = Array.init n (fun k -> k mod v) in
+    let p_next = Array.init n (fun k -> k / u) in
+    let q_next = Array.init n (fun k -> k / v) in
+    let p_need = Array.init n (fun k -> ((k / u) - 1 + v) mod v) in
+    let q_need = Array.init n (fun k -> ((k / v) - 1 + u) mod u) in
+    let initial =
+      let c = ref 0 in
+      for s = 0 to u - 1 do
+        c := !c lor ((v - 1) lsl p_shift.(s))
+      done;
+      for r = 0 to v - 1 do
+        c := !c lor ((u - 1) lsl q_shift.(r))
+      done;
+      !c
+    in
+    let codes = ref (Array.make 1024 0) in
+    let count = ref 0 in
+    let index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let succ = ref (Array.make 1024 0) in
+    let via = ref (Array.make 1024 0) in
+    let n_edges = ref 0 in
+    let row_ptr = ref (Array.make 1025 0) in
+    let push_state code =
+      match Hashtbl.find_opt index code with
+      | Some id -> id
+      | None ->
+          if !count >= cap then raise (Petrinet.Marking.Capacity_exceeded cap);
+          let id = !count in
+          if id = Array.length !codes then begin
+            let a = Array.make (2 * id) 0 in
+            Array.blit !codes 0 a 0 id;
+            codes := a;
+            let rp = Array.make ((2 * id) + 1) 0 in
+            Array.blit !row_ptr 0 rp 0 (id + 1);
+            row_ptr := rp
+          end;
+          !codes.(id) <- code;
+          Hashtbl.add index code id;
+          incr count;
+          id
+    in
+    let push_edge dst k =
+      if !n_edges = Array.length !succ then begin
+        let grow a = let a' = Array.make (2 * !n_edges) 0 in Array.blit a 0 a' 0 !n_edges; a' in
+        succ := grow !succ;
+        via := grow !via
+      end;
+      !succ.(!n_edges) <- dst;
+      !via.(!n_edges) <- k;
+      incr n_edges
+    in
+    ignore (push_state initial);
+    let head = ref 0 in
+    while !head < !count do
+      let code = !codes.(!head) in
+      !row_ptr.(!head) <- !n_edges;
+      for k = 0 to n - 1 do
+        let s = sender.(k) and r = receiver.(k) in
+        if
+          (code lsr p_shift.(s)) land p_mask = p_need.(k)
+          && (code lsr q_shift.(r)) land q_mask = q_need.(k)
+        then begin
+          let code' =
+            code
+            land lnot (p_mask lsl p_shift.(s))
+            land lnot (q_mask lsl q_shift.(r))
+            lor (p_next.(k) lsl p_shift.(s))
+            lor (q_next.(k) lsl q_shift.(r))
+          in
+          push_edge (push_state code') k
+        end
+      done;
+      incr head
+    done;
+    !row_ptr.(!count) <- !n_edges;
+    (* decode ring positions back to the 2·u·v-place marking vector, in the
+       place order [build] creates: sender ring s occupies places
+       [s·v .. s·v+v-1], receiver ring r places [u·v + r·u .. + u-1] *)
+    let markings =
+      Array.init !count (fun id ->
+          let code = !codes.(id) in
+          let m = Array.make (2 * n) 0 in
+          for s = 0 to u - 1 do
+            m.((s * v) + ((code lsr p_shift.(s)) land p_mask)) <- 1
+          done;
+          for r = 0 to v - 1 do
+            m.(n + (r * u) + ((code lsr q_shift.(r)) land q_mask)) <- 1
+          done;
+          m)
+    in
+    Some
+      {
+        Petrinet.Marking.markings;
+        row_ptr = Array.sub !row_ptr 0 (!count + 1);
+        succ = Array.sub !succ 0 !n_edges;
+        via = Array.sub !via 0 !n_edges;
+      }
+  end
+
 (* ---- pattern-solve caches ----
 
    The reachable marking graph of a [u x v] pattern (and of its Erlang
@@ -114,7 +245,15 @@ let shape_of ~u ~v ~phases ~cap =
          build by a racing domain yields an equal value *)
       let base = build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
       let shape =
-        if phases = 1 then { expansion = None; structure = Markov.Tpn_markov.structure ?cap base }
+        if phases = 1 then
+          (* the direct lattice walk produces the same graph as the generic
+             BFS; fall back when the position code would not fit an int *)
+          let structure =
+            match young_graph ?cap ~u ~v () with
+            | Some g -> Markov.Tpn_markov.structure_of_graph base g
+            | None -> Markov.Tpn_markov.structure ?cap base
+          in
+          { expansion = None; structure }
         else
           let expansion = Petrinet.Expand.erlang ~phases:(fun _ -> phases) base in
           {

@@ -19,6 +19,18 @@ val build : u:int -> v:int -> time:(sender:int -> receiver:int -> float) -> Petr
 val transition_of : u:int -> v:int -> int -> int * int
 (** [transition_of ~u ~v k] = (sender slot, receiver slot) of transition k. *)
 
+val young_graph : ?cap:int -> u:int -> v:int -> unit -> Petrinet.Marking.graph option
+(** Direct enumeration of the reachable marking graph of {!build}'s net:
+    a marking is the token position in each of the u+v serialisation
+    rings (a pair of Young-diagram paths, Theorem 3), and the enumerator
+    walks those position tuples combinatorially instead of firing the
+    generic breadth-first search.  The result — marking set, discovery
+    order and edge lists — is identical to
+    [Petrinet.Marking.explore_graph (build ~u ~v ...)].  Returns [None]
+    when the packed position code would exceed one machine int (the
+    caller then falls back to the generic exploration); raises
+    [Petrinet.Marking.Capacity_exceeded] beyond [cap] states. *)
+
 val deterministic_inner_throughput : u:int -> v:int -> time:(sender:int -> receiver:int -> float) -> float
 (** [u * v / period] where the period is the critical cycle of the pattern:
     data sets per time unit with constant transfer times.  For homogeneous

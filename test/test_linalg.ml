@@ -149,6 +149,41 @@ let qcheck_power_matches_gth =
       let pi_pow = Sparse.stationary_power ~tol:1e-13 (sparse_of_dense rates) in
       Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-6) pi_gth pi_pow)
 
+(* The three stationary solvers must agree on generators of every size the
+   auto-selection can route to either path: random ergodic chains up to
+   n = 300 with random sparsity, including duplicate [add_rate] insertions
+   (which must merge, not drift).  GTH runs on the dense image of the same
+   sparse object, so this also pins the CSR merge against elimination. *)
+let test_solvers_agree_random () =
+  let g = Prng.create ~seed:97 in
+  for case = 1 to 50 do
+    let n = 2 + Prng.int g 299 in
+    let s = Sparse.create n in
+    (* an irreducible backbone cycle, then random extra edges *)
+    for i = 0 to n - 1 do
+      Sparse.add_rate s i ((i + 1) mod n) (0.5 +. Prng.float g)
+    done;
+    for _ = 1 to n * (1 + Prng.int g 4) do
+      let i = Prng.int g n and j = Prng.int g n in
+      if i <> j then begin
+        let r = 0.1 +. Prng.float g in
+        Sparse.add_rate s i j r;
+        if Prng.float g < 0.3 then Sparse.add_rate s i j r
+      end
+    done;
+    let pi_gth = Gth.stationary (Sparse.to_dense s) in
+    let pi_gs = Sparse.stationary_gauss_seidel s in
+    let pi_pow = Sparse.stationary_power ~tol:1e-13 s in
+    for i = 0 to n - 1 do
+      if abs_float (pi_gth.(i) -. pi_gs.(i)) > 1e-9 then
+        Alcotest.failf "case %d (n=%d): Gauss-Seidel deviates at state %d: %.12g vs %.12g" case n i
+          pi_gth.(i) pi_gs.(i);
+      if abs_float (pi_gth.(i) -. pi_pow.(i)) > 1e-9 then
+        Alcotest.failf "case %d (n=%d): power deviates at state %d: %.12g vs %.12g" case n i
+          pi_gth.(i) pi_pow.(i)
+    done
+  done
+
 let test_sparse_validation () =
   let s = Sparse.create 3 in
   Alcotest.check_raises "self loop" (Invalid_argument "Sparse.add_rate: no self loops in a generator")
@@ -186,5 +221,7 @@ let () =
           Alcotest.test_case "validation" `Quick test_sparse_validation;
           QCheck_alcotest.to_alcotest qcheck_gauss_seidel_matches_gth;
           QCheck_alcotest.to_alcotest qcheck_power_matches_gth;
+          Alcotest.test_case "GTH = GS = power on random ergodic generators" `Slow
+            test_solvers_agree_random;
         ] );
     ]

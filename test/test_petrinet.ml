@@ -104,6 +104,58 @@ let test_two_rings_product () =
   Teg.add_place teg ~src:4 ~dst:2 ~tokens:1;
   Alcotest.(check int) "2 x 3 markings" 6 (Array.length (Marking.explore teg))
 
+(* The packed exploration must be observationally identical to the
+   int-array one: same marking set, same breadth-first discovery order,
+   same edge lists.  Exercised on the nets the experiments solve — patterns,
+   Erlang expansions, strict and overlapped mapping TPNs — plus a
+   multi-token ring that forces the width-ladder escalation (a place ends
+   up holding more tokens than it starts with). *)
+let check_same_graph name (a : Marking.graph) (b : Marking.graph) =
+  Alcotest.(check int)
+    (name ^ ": states")
+    (Array.length a.Marking.markings)
+    (Array.length b.Marking.markings);
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check (array int)) (Printf.sprintf "%s: marking %d" name i) m b.Marking.markings.(i))
+    a.Marking.markings;
+  Alcotest.(check (array int)) (name ^ ": row_ptr") a.Marking.row_ptr b.Marking.row_ptr;
+  Alcotest.(check (array int)) (name ^ ": succ") a.Marking.succ b.Marking.succ;
+  Alcotest.(check (array int)) (name ^ ": via") a.Marking.via b.Marking.via
+
+let test_explore_packed_vs_arrays () =
+  let pattern u v = Young.Pattern.build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
+  let mapping_teg u v model =
+    Streaming.Tpn.teg (Streaming.Tpn.build (Workload.Scenarios.single_communication ~u ~v ()) model)
+  in
+  let two_token_ring =
+    let teg = Teg.create ~labels:[| "a"; "b"; "c" |] ~times:(Array.make 3 1.0) in
+    Teg.add_place teg ~src:0 ~dst:1 ~tokens:0;
+    Teg.add_place teg ~src:1 ~dst:2 ~tokens:0;
+    Teg.add_place teg ~src:2 ~dst:0 ~tokens:2;
+    teg
+  in
+  let cases =
+    [
+      ("pattern 3x4", pattern 3 4);
+      ("pattern 2x5", pattern 2 5);
+      ("pattern 4x5", pattern 4 5);
+      ("erlang 2x3, 3 phases", Expand.teg (Expand.erlang ~phases:(fun _ -> 3) (pattern 2 3)));
+      ("strict 2x3", mapping_teg 2 3 Streaming.Model.Strict);
+      (* the Overlap TPN is token-unbounded when explored whole (its row
+         chains have no back-pressure) — the experiments only ever explore
+         its pattern decomposition, so it is exercised via the patterns
+         above; the strict net is also checked under Erlang expansion *)
+      ( "erlang strict 2x3, 2 phases",
+        Expand.teg (Expand.erlang ~phases:(fun _ -> 2) (mapping_teg 2 3 Streaming.Model.Strict)) );
+      ("two-token ring", two_token_ring);
+    ]
+  in
+  List.iter
+    (fun (name, teg) ->
+      check_same_graph name (Marking.explore_graph teg) (Marking.explore_graph ~packed:false teg))
+    cases
+
 (* -- deterministic cycle time -- *)
 
 let test_ring_period () =
@@ -315,6 +367,7 @@ let () =
           Alcotest.test_case "explore ring" `Quick test_explore_ring;
           Alcotest.test_case "explore capacity" `Quick test_explore_capacity;
           Alcotest.test_case "two rings product" `Quick test_two_rings_product;
+          Alcotest.test_case "packed = array exploration" `Quick test_explore_packed_vs_arrays;
         ] );
       ( "cycle time",
         [

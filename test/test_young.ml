@@ -204,6 +204,38 @@ let test_cache_hits () =
   Alcotest.(check int) "clear resets hits" 0 cleared.Pattern.hits;
   Alcotest.(check int) "clear resets structures" 0 cleared.Pattern.structures
 
+let test_young_graph_matches_bfs () =
+  List.iter
+    (fun (u, v) ->
+      let teg = Pattern.build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
+      let generic = Petrinet.Marking.explore_graph teg in
+      match Pattern.young_graph ~u ~v () with
+      | None -> Alcotest.failf "young_graph (%d,%d) should fit one int" u v
+      | Some direct ->
+          let tag fmt = Printf.sprintf ("%d,%d: " ^^ fmt) u v in
+          Alcotest.(check int)
+            (tag "states")
+            (Array.length generic.Petrinet.Marking.markings)
+            (Array.length direct.Petrinet.Marking.markings);
+          Array.iteri
+            (fun i m ->
+              Alcotest.(check (array int))
+                (tag "marking %d" i)
+                m
+                direct.Petrinet.Marking.markings.(i))
+            generic.Petrinet.Marking.markings;
+          Alcotest.(check (array int)) (tag "row_ptr") generic.Petrinet.Marking.row_ptr
+            direct.Petrinet.Marking.row_ptr;
+          Alcotest.(check (array int)) (tag "succ") generic.Petrinet.Marking.succ
+            direct.Petrinet.Marking.succ;
+          Alcotest.(check (array int)) (tag "via") generic.Petrinet.Marking.via
+            direct.Petrinet.Marking.via)
+    coprime_cases
+
+let test_young_graph_cap () =
+  Alcotest.check_raises "cap" (Petrinet.Marking.Capacity_exceeded 5) (fun () ->
+      ignore (Pattern.young_graph ~cap:5 ~u:3 ~v:4 ()))
+
 let () =
   Alcotest.run "young"
     [
@@ -229,5 +261,7 @@ let () =
           Alcotest.test_case "erlang interpolation" `Quick test_erlang_interpolates;
           Alcotest.test_case "erlang invalid" `Quick test_erlang_invalid;
           Alcotest.test_case "solve caches" `Quick test_cache_hits;
+          Alcotest.test_case "young lattice walk = generic BFS" `Quick test_young_graph_matches_bfs;
+          Alcotest.test_case "young lattice walk honours cap" `Quick test_young_graph_cap;
         ] );
     ]
