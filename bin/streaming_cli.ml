@@ -28,7 +28,25 @@ let load path =
 
 (* analyze *)
 
-let analyze_run path model with_expo with_utilization with_sensitivity =
+(* Typed solver failures reach the user as one actionable line (exit 3),
+   never as a raw exception backtrace. *)
+let solver_error_exit ~cap err =
+  Format.eprintf "error: %s@." (Supervise.Error.to_string err);
+  (match err with
+  | Supervise.Error.State_space_exceeded _ ->
+      Format.eprintf
+        "hint: the marking space does not fit the exploration bound; retry with a larger --cap \
+         (currently %d), reduce the replication factors, or use the overlap model's per-column \
+         decomposition@."
+        cap
+  | Supervise.Error.No_convergence _ ->
+      Format.eprintf "hint: the iterative solver stalled; a looser tolerance may help@."
+  | Supervise.Error.Non_ergodic _ ->
+      Format.eprintf "hint: the marking chain has no unique recurrent class@."
+  | Supervise.Error.Numerical _ | Supervise.Error.Budget_exhausted _ -> ());
+  exit 3
+
+let analyze_run path model cap with_expo with_utilization with_sensitivity =
   let mapping = load path in
   Format.printf "%a" Mapping.pp mapping;
   let a = Deterministic.analyse mapping model in
@@ -44,9 +62,11 @@ let analyze_run path model with_expo with_utilization with_sensitivity =
       (100.0 *. Deterministic.critical_resource_gap a);
   if with_expo then begin
     let expo =
-      match model with
-      | Model.Overlap -> Expo.overlap_throughput mapping
-      | Model.Strict -> Expo.strict_throughput ~cap:2_000_000 mapping
+      try
+        match model with
+        | Model.Overlap -> Expo.overlap_throughput mapping
+        | Model.Strict -> Expo.strict_throughput ~cap mapping
+      with Supervise.Error.Solver_error err -> solver_error_exit ~cap err
     in
     Format.printf "exponential rate      : %.6g@." expo;
     Format.printf "N.B.U.E. bounds       : [%.6g, %.6g] (Theorem 7)@." expo
@@ -63,6 +83,10 @@ let analyze_run path model with_expo with_utilization with_sensitivity =
   0
 
 let analyze_cmd =
+  let cap =
+    Arg.(value & opt int 2_000_000 & info [ "cap" ]
+           ~doc:"Marking exploration bound for the strict exponential analysis.")
+  in
   let with_expo =
     Arg.(value & flag & info [ "exponential"; "e" ]
            ~doc:"Also compute the exponential-case throughput (may be expensive for strict).")
@@ -77,7 +101,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Deterministic (and optionally exponential) throughput of an instance")
-    Term.(const analyze_run $ file_arg $ model_arg $ with_expo $ with_utilization
+    Term.(const analyze_run $ file_arg $ model_arg $ cap $ with_expo $ with_utilization
           $ with_sensitivity)
 
 (* simulate *)
@@ -180,7 +204,10 @@ let simulate_cmd =
 
 let bounds_run path model =
   let mapping = load path in
-  let b = Bounds.compute ~strict_cap:2_000_000 mapping model in
+  let b =
+    try Bounds.compute ~strict_cap:2_000_000 mapping model
+    with Supervise.Error.Solver_error err -> solver_error_exit ~cap:2_000_000 err
+  in
   Format.printf "Theorem 7 bounds (%s model):@." (Model.to_string model);
   Format.printf "  deterministic upper bound : %.6g@." b.Bounds.upper;
   Format.printf "  exponential lower bound   : %.6g@." b.Bounds.lower;
@@ -188,7 +215,10 @@ let bounds_run path model =
   Format.printf "Any N.B.U.E. operation-time law lands inside; exact Erlang values:@.";
   List.iter
     (fun k ->
-      let v = Throughput.evaluate ~cap:2_000_000 (Throughput.Erlang_times k) mapping model in
+      let v =
+        try Throughput.evaluate ~cap:2_000_000 (Throughput.Erlang_times k) mapping model
+        with Supervise.Error.Solver_error err -> solver_error_exit ~cap:2_000_000 err
+      in
       Format.printf "  erlang-%d (scv %.2f)        : %.6g@." k (1.0 /. float_of_int k) v)
     [ 2; 4 ];
   0
@@ -226,6 +256,112 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper")
     Term.(const experiment_run $ id $ full)
+
+(* experiments: the supervised, journaled, resumable runner *)
+
+(* SUPERVISE_INJECT=fail=exp[:point],flaky=exp[:point],... — a test-only
+   fault hook: "fail" fails every attempt of the matching points, "flaky"
+   (alias "degrade") only the first, so the retry succeeds degraded. *)
+let inject_of_env () =
+  match Sys.getenv_opt "SUPERVISE_INJECT" with
+  | None | Some "" -> None
+  | Some spec ->
+      let rules =
+        String.split_on_char ',' spec
+        |> List.filter_map (fun rule ->
+               match String.index_opt rule '=' with
+               | None -> None
+               | Some i ->
+                   let kind = String.sub rule 0 i in
+                   let target = String.sub rule (i + 1) (String.length rule - i - 1) in
+                   let exp, point =
+                     match String.index_opt target ':' with
+                     | None -> (target, None)
+                     | Some j ->
+                         ( String.sub target 0 j,
+                           Some (String.sub target (j + 1) (String.length target - j - 1)) )
+                   in
+                   (match kind with
+                   | "fail" -> Some (`Fail, exp, point)
+                   | "flaky" | "degrade" -> Some (`Flaky, exp, point)
+                   | _ -> None))
+      in
+      if rules = [] then None
+      else
+        Some
+          (fun ~exp ~point ~attempt ->
+            List.iter
+              (fun (kind, e, p) ->
+                if e = exp && (match p with None -> true | Some p -> p = point) then
+                  if kind = `Fail || attempt = 0 then
+                    Supervise.Error.raise_
+                      (Supervise.Error.Numerical
+                         { what = "injected fault"; where = exp ^ "/" ^ point }))
+              rules)
+
+let experiments_run ids all full journal resume wall =
+  let quick = not full in
+  if resume && journal = None then begin
+    Format.eprintf "error: --resume requires --journal@.";
+    exit 2
+  end;
+  let entries =
+    if all then Experiments.Registry.all
+    else
+      List.map
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some e -> e
+          | None ->
+              Format.eprintf "unknown experiment %S; try 'list'@." id;
+              exit 2)
+        ids
+  in
+  if entries = [] then begin
+    Format.eprintf "error: no experiments selected (pass ids or --all)@.";
+    exit 2
+  end;
+  let point_budget = Option.map (fun wall -> Supervise.Budget.create ~wall ()) wall in
+  let health =
+    Experiments.Registry.run_entries ~quick ?journal ~resume ?point_budget
+      ?inject:(inject_of_env ()) entries Format.std_formatter
+  in
+  if health.Experiments.Runner.failed > 0 then begin
+    Format.eprintf "error: %d point(s) failed for good; the journal keeps the completed ones@."
+      health.Experiments.Runner.failed;
+    1
+  end
+  else begin
+    if health.Experiments.Runner.degraded > 0 then
+      Format.eprintf "warning: %d point(s) solved degraded (see the journal for details)@."
+        health.Experiments.Runner.degraded;
+    0
+  end
+
+let experiments_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (see 'list').")
+  in
+  let all = Arg.(value & flag & info [ "all"; "a" ] ~doc:"Run every registered experiment.") in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Run at full size (slower, closer to the paper).")
+  in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Journal each completed point to $(docv) (JSONL, atomically rewritten).")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Replay points already journaled (requires --journal); failed points are re-run.")
+  in
+  let wall =
+    Arg.(value & opt (some float) None & info [ "wall" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget per solve attempt.")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Run experiments under supervision: journaled, resumable, with degraded retries")
+    Term.(const experiments_run $ ids $ all $ full $ journal $ resume $ wall)
 
 (* list *)
 
@@ -268,6 +404,15 @@ let main =
   Cmd.group
     (Cmd.info "streaming_cli" ~version:"1.0.0"
        ~doc:"Throughput of probabilistic and replicated streaming applications")
-    [ analyze_cmd; bounds_cmd; simulate_cmd; experiment_cmd; list_cmd; dot_cmd; template_cmd ]
+    [
+      analyze_cmd;
+      bounds_cmd;
+      simulate_cmd;
+      experiment_cmd;
+      experiments_cmd;
+      list_cmd;
+      dot_cmd;
+      template_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

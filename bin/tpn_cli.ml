@@ -91,7 +91,16 @@ let markov_run path cap =
       exit 2)
     else 1.0 /. t
   in
-  let chain = Markov.Tpn_markov.analyse ~cap ~rates teg in
+  let chain =
+    try Markov.Tpn_markov.analyse ~cap ~rates teg
+    with Supervise.Error.Solver_error err ->
+      Format.eprintf "error: %s@." (Supervise.Error.to_string err);
+      (match err with
+      | Supervise.Error.State_space_exceeded _ ->
+          Format.eprintf "hint: retry with a larger --cap (currently %d)@." cap
+      | _ -> ());
+      exit 3
+  in
   Format.printf "reachable markings    : %d (%d recurrent)@." (Markov.Tpn_markov.n_markings chain)
     (Markov.Tpn_markov.n_recurrent chain);
   for v = 0 to Teg.n_transitions teg - 1 do

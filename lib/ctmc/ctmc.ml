@@ -24,6 +24,60 @@ let stationary ?(solver = Auto) t =
       if t.n <= gth_threshold then Linalg.Gth.stationary (Linalg.Sparse.to_dense t.sparse)
       else Linalg.Sparse.stationary_gauss_seidel t.sparse
 
+(* ---- supervised solving: the escalation ladder ---- *)
+
+type rung = Rung_gth | Rung_gauss_seidel of { tol : float } | Rung_power of { tol : float }
+
+let rung_name = function
+  | Rung_gth -> "gth"
+  | Rung_gauss_seidel { tol } -> Printf.sprintf "gauss-seidel(tol=%g)" tol
+  | Rung_power { tol } -> Printf.sprintf "power(tol=%g)" tol
+
+(* GTH is exact but dense O(n³), so it only heads the ladder for chains it
+   can actually chew through; the iterative rungs then relax the tolerance
+   before switching method entirely. *)
+let default_ladder n =
+  let iterative =
+    [
+      Rung_gauss_seidel { tol = 1e-12 };
+      Rung_gauss_seidel { tol = 1e-9 };
+      Rung_power { tol = 1e-10 };
+    ]
+  in
+  if n <= gth_threshold then Rung_gth :: iterative else iterative
+
+let run_rung ?budget t = function
+  | Rung_gth ->
+      let pi = Linalg.Gth.stationary (Linalg.Sparse.to_dense t.sparse) in
+      (pi, Supervise.Provenance.Exact)
+  | Rung_gauss_seidel { tol } ->
+      let pi, stats = Linalg.Sparse.stationary_gauss_seidel_stats ?budget ~tol t.sparse in
+      (pi, Supervise.Provenance.Iterative { residual = stats.Linalg.Sparse.residual })
+  | Rung_power { tol } ->
+      let pi, stats = Linalg.Sparse.stationary_power_stats ?budget ~tol t.sparse in
+      (pi, Supervise.Provenance.Iterative { residual = stats.Linalg.Sparse.residual })
+
+let stationary_supervised ?budget ?ladder t =
+  let ladder = match ladder with Some l -> l | None -> default_ladder t.n in
+  if ladder = [] then invalid_arg "Ctmc.stationary_supervised: empty ladder";
+  let rec climb prior = function
+    | [] -> assert false
+    | rung :: rest -> (
+        try
+          let pi, quality = run_rung ?budget t rung in
+          (pi, Supervise.Provenance.solved ~rung:(rung_name rung) ~prior quality)
+        with Supervise.Error.Solver_error err ->
+          let prior =
+            prior @ [ { Supervise.Provenance.rung = rung_name rung; outcome = Error err } ]
+          in
+          (* a spent wall clock fails every later rung too — stop climbing *)
+          let final =
+            match err with Supervise.Error.Budget_exhausted _ -> true | _ -> rest = []
+          in
+          if final then raise (Supervise.Error.Solver_error err) else climb prior rest)
+  in
+  climb [] ladder
+
 let flow t ~pi ~src ~dst = pi.(src) *. Linalg.Sparse.rate t.sparse src dst
 let outgoing t i = Linalg.Sparse.outgoing t.sparse i
 let iter_outgoing t i f = Linalg.Sparse.iter_outgoing t.sparse i f

@@ -17,6 +17,25 @@ val stationary : ?solver:method_ -> t -> float array
     uses the numerically exact GTH elimination up to 1200 states and
     sparse Gauss–Seidel beyond. *)
 
+type rung = Rung_gth | Rung_gauss_seidel of { tol : float } | Rung_power of { tol : float }
+(** One step of an escalation ladder: a solver paired with the tolerance
+    it is asked to reach. *)
+
+val default_ladder : int -> rung list
+(** The standard ladder for an [n]-state chain: GTH (only when [n] is
+    within the dense threshold), Gauss–Seidel at 1e-12, Gauss–Seidel
+    relaxed to 1e-9, power iteration at 1e-10. *)
+
+val stationary_supervised :
+  ?budget:Supervise.Budget.t -> ?ladder:rung list -> t -> float array * Supervise.Provenance.t
+(** Climbs the ladder (default {!default_ladder}) until a rung succeeds,
+    returning the distribution together with a provenance record listing
+    every attempt.  A success on any rung after the first is marked
+    degraded.  Raises the last rung's [Supervise.Error.Solver_error] if
+    all rungs fail, and stops climbing immediately on [Budget_exhausted]
+    (a spent wall clock fails every later rung too).  The [budget] is
+    threaded into the iterative rungs' sweep loops. *)
+
 val flow : t -> pi:float array -> src:int -> dst:int -> float
 (** Stationary probability flow π(src)·q(src,dst). *)
 

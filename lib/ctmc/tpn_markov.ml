@@ -111,8 +111,14 @@ let structure_of_graph teg (g : Marking.graph) =
     for c = 0 to n_comps - 1 do
       if is_bottom.(c) then if !found < 0 then found := c else several := true
     done;
-    if !several then failwith "Tpn_markov: several recurrent classes";
-    if !found < 0 then failwith "Tpn_markov: no recurrent class (empty chain?)";
+    if !several || !found < 0 then begin
+      (* not ergodic: no unique recurrent class — report how the states
+         split between (any) bottom SCC and the transient part *)
+      let recurrent = ref 0 in
+      Array.iter (fun c -> if c >= 0 && is_bottom.(c) then incr recurrent) component_of;
+      Supervise.Error.raise_
+        (Supervise.Error.Non_ergodic { recurrent = !recurrent; transient = n - !recurrent })
+    end;
     !found
   in
   let n_rec = ref 0 in
@@ -130,19 +136,19 @@ let structure_of_graph teg (g : Marking.graph) =
   Array.iteri (fun k s -> local.(s) <- k) s_recurrent;
   { s_teg = teg; markings; row_ptr; succ; via; s_recurrent; local }
 
-let structure ?cap teg = structure_of_graph teg (Marking.explore_graph ?cap teg)
+let structure ?cap ?budget teg = structure_of_graph teg (Marking.explore_graph ?cap ?budget teg)
 
 let structure_states s = Array.length s.markings
 let structure_edges s = Array.length s.succ
 
-let analyse_with s ~rates =
+let build_chain s ~rates =
   let teg = s.s_teg in
   let n_trans = Teg.n_transitions teg in
   let rate_array = Array.init n_trans rates in
   Array.iteri
     (fun v r -> if r <= 0.0 then invalid_arg (Printf.sprintf "Tpn_markov: rate of t%d not positive" v))
     rate_array;
-  let { markings; row_ptr; succ; via; s_recurrent = recurrent; local; _ } = s in
+  let { row_ptr; succ; via; s_recurrent = recurrent; local; _ } = s in
   let chain = Ctmc.create (Array.length recurrent) in
   Array.iter
     (fun st ->
@@ -155,9 +161,12 @@ let analyse_with s ~rates =
           Ctmc.add_rate chain local.(st) local.(j) rate_array.(via.(e))
       done)
     recurrent;
-  let pi = Ctmc.stationary chain in
+  (rate_array, chain)
+
+let assemble s ~rate_array ~chain ~pi =
+  let { markings; s_recurrent = recurrent; local; _ } = s in
   {
-    teg;
+    teg = s.s_teg;
     rates = rate_array;
     recurrent = Array.map (fun st -> markings.(st)) recurrent;
     pi;
@@ -166,7 +175,20 @@ let analyse_with s ~rates =
     initial_state = (if local.(0) >= 0 then Some local.(0) else None);
   }
 
+let analyse_with s ~rates =
+  let rate_array, chain = build_chain s ~rates in
+  let pi = Ctmc.stationary chain in
+  assemble s ~rate_array ~chain ~pi
+
+let analyse_with_supervised ?budget ?ladder s ~rates =
+  let rate_array, chain = build_chain s ~rates in
+  let pi, provenance = Ctmc.stationary_supervised ?budget ?ladder chain in
+  (assemble s ~rate_array ~chain ~pi, provenance)
+
 let analyse ?cap ~rates teg = analyse_with (structure ?cap teg) ~rates
+
+let analyse_supervised ?cap ?budget ?ladder ~rates teg =
+  analyse_with_supervised ?budget ?ladder (structure ?cap ?budget teg) ~rates
 
 let n_markings t = t.total_markings
 let n_recurrent t = Array.length t.recurrent

@@ -17,11 +17,13 @@ type structure
     rate assignments (and shared between domains — it is never mutated
     after construction). *)
 
-val structure : ?cap:int -> Petrinet.Teg.t -> structure
-(** Explores the reachable markings (raising
-    [Petrinet.Marking.Capacity_exceeded] on a token-unbounded net) and
-    isolates the recurrent class.  Raises [Failure] if the marking chain
-    has several recurrent classes. *)
+val structure : ?cap:int -> ?budget:Supervise.Budget.t -> Petrinet.Teg.t -> structure
+(** Explores the reachable markings (raising [Supervise.Error.Solver_error
+    (State_space_exceeded _)] on a token-unbounded net) and isolates the
+    recurrent class.  Raises [Supervise.Error.Solver_error (Non_ergodic _)]
+    — carrying the recurrent/transient state counts — if the marking chain
+    does not have a unique recurrent class.  The [budget] bounds the
+    exploration (state ceiling and wall deadline). *)
 
 val structure_of_graph : Petrinet.Teg.t -> Petrinet.Marking.graph -> structure
 (** Builds the rate-independent structure from an already-explored marking
@@ -39,12 +41,33 @@ val analyse_with : structure -> rates:(int -> float) -> t
 (** Builds and solves the CTMC of a structure under the given rates.
     [rates v] must be positive for every transition. *)
 
+val analyse_with_supervised :
+  ?budget:Supervise.Budget.t ->
+  ?ladder:Ctmc.rung list ->
+  structure ->
+  rates:(int -> float) ->
+  t * Supervise.Provenance.t
+(** As {!analyse_with}, but solves the chain through
+    {!Ctmc.stationary_supervised}'s escalation ladder and reports the
+    provenance of the result. *)
+
 val analyse : ?cap:int -> rates:(int -> float) -> Petrinet.Teg.t -> t
 (** [analyse ?cap ~rates teg] is
     [analyse_with (structure ?cap teg) ~rates]: explores the reachable
-    markings (raising [Petrinet.Marking.Capacity_exceeded] on a
-    token-unbounded net), restricts the chain to its unique recurrent
-    class, and solves for the stationary distribution. *)
+    markings (raising [Supervise.Error.Solver_error
+    (State_space_exceeded _)] on a token-unbounded net), restricts the
+    chain to its unique recurrent class, and solves for the stationary
+    distribution. *)
+
+val analyse_supervised :
+  ?cap:int ->
+  ?budget:Supervise.Budget.t ->
+  ?ladder:Ctmc.rung list ->
+  rates:(int -> float) ->
+  Petrinet.Teg.t ->
+  t * Supervise.Provenance.t
+(** Supervised counterpart of {!analyse}: budgeted exploration followed by
+    the escalation ladder. *)
 
 val n_markings : t -> int
 (** Number of reachable markings (including transient ones). *)

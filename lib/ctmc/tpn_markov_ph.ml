@@ -33,7 +33,8 @@ let initial_assignments laws newly =
     [ (1.0, []) ]
     newly
 
-let analyse ?(cap = 500_000) ~ph_of teg =
+let analyse ?(cap = 500_000) ?budget ~ph_of teg =
+  let cap = match budget with None -> cap | Some b -> Supervise.Budget.cap_allowed b cap in
   let n_trans = Teg.n_transitions teg in
   let laws = Array.init n_trans ph_of in
   Array.iteri
@@ -53,7 +54,12 @@ let analyse ?(cap = 500_000) ~ph_of teg =
     match Table.find_opt index s with
     | Some i -> i
     | None ->
-        if !count >= cap then raise (Marking.Capacity_exceeded cap);
+        if !count >= cap then
+          Supervise.Error.raise_
+            (Supervise.Error.State_space_exceeded { cap; explored = !count });
+        (match budget with
+        | Some b when !count land 1023 = 0 -> Supervise.Budget.check b
+        | _ -> ());
         let i = !count in
         Table.add index s i;
         incr count;
@@ -131,8 +137,10 @@ let analyse ?(cap = 500_000) ~ph_of teg =
   let recurrent_states =
     match bottoms with
     | [ nodes ] -> List.sort compare nodes
-    | [] -> failwith "Tpn_markov_ph: no recurrent class"
-    | _ -> failwith "Tpn_markov_ph: several recurrent classes"
+    | _ ->
+        let recurrent = List.fold_left (fun acc nodes -> acc + List.length nodes) 0 bottoms in
+        Supervise.Error.raise_
+          (Supervise.Error.Non_ergodic { recurrent; transient = n - recurrent })
   in
   let recurrent = Array.of_list recurrent_states in
   let local = Array.make n (-1) in

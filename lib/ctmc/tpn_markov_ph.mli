@@ -17,10 +17,13 @@
 
 type t
 
-val analyse : ?cap:int -> ph_of:(int -> Ph.t) -> Petrinet.Teg.t -> t
+val analyse :
+  ?cap:int -> ?budget:Supervise.Budget.t -> ph_of:(int -> Ph.t) -> Petrinet.Teg.t -> t
 (** [cap] (default 500_000) bounds the number of (marking, phases)
-    states.  Raises [Petrinet.Marking.Capacity_exceeded] beyond it and
-    [Failure] if the chain has several recurrent classes. *)
+    states.  Raises [Supervise.Error.Solver_error]:
+    [State_space_exceeded _] beyond the cap and [Non_ergodic _] if the
+    chain does not have a unique recurrent class.  The [budget] tightens
+    the cap and its wall deadline is polled during construction. *)
 
 val n_states : t -> int
 

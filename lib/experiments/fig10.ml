@@ -13,34 +13,58 @@ type series = { cst_theory : float; exp_theory : float; points : point list }
 let counts quick =
   if quick then [ 500; 2_000; 10_000 ] else [ 500; 1_000; 5_000; 10_000; 20_000; 50_000 ]
 
-let compute ?(quick = false) () =
+let theory () =
   let mapping = Workload.Scenarios.fig10_system in
-  let cst_theory = Deterministic.overlap_throughput_decomposed mapping in
-  let exp_theory = Expo.overlap_throughput mapping in
+  ( Deterministic.overlap_throughput_decomposed mapping,
+    Expo.overlap_throughput mapping )
+
+let solve_point data_sets =
+  let mapping = Workload.Scenarios.fig10_system in
   let det = Laws.deterministic mapping and expo = Laws.exponential mapping in
+  {
+    data_sets;
+    cst_des = Exp_common.des_throughput ~data_sets mapping Model.Overlap ~laws:det ~seed:1;
+    cst_eg = Teg_sim.throughput mapping Model.Overlap ~laws:det ~seed:1 ~data_sets;
+    exp_des = Exp_common.des_throughput ~data_sets mapping Model.Overlap ~laws:expo ~seed:2;
+    exp_eg = Teg_sim.throughput mapping Model.Overlap ~laws:expo ~seed:3 ~data_sets;
+  }
+
+let compute ?(quick = false) () =
+  let cst_theory, exp_theory = theory () in
   let points =
-    Parallel.Pool.map_list (Parallel.Pool.get ())
-      (fun data_sets ->
-        {
-          data_sets;
-          cst_des = Exp_common.des_throughput ~data_sets mapping Model.Overlap ~laws:det ~seed:1;
-          cst_eg =
-            Teg_sim.throughput mapping Model.Overlap ~laws:det ~seed:1 ~data_sets;
-          exp_des = Exp_common.des_throughput ~data_sets mapping Model.Overlap ~laws:expo ~seed:2;
-          exp_eg = Teg_sim.throughput mapping Model.Overlap ~laws:expo ~seed:3 ~data_sets;
-        })
-      (counts quick)
+    Parallel.Pool.map_list (Parallel.Pool.get ()) solve_point (counts quick)
   in
   { cst_theory; exp_theory; points }
 
-let run ?quick ppf =
+(* The head and row renderers are shared between the monolithic [run] and
+   the per-point decomposition below, so the concatenated fragments are
+   byte-identical to the one-shot rendering. *)
+let render_head ppf (cst_theory, exp_theory) =
   Exp_common.header ppf "Figure 10: throughput vs number of processed data sets";
-  let s = compute ?quick () in
-  Exp_common.row ppf "theory: constant=%.6f exponential=%.6f" s.cst_theory s.exp_theory;
+  Exp_common.row ppf "theory: constant=%.6f exponential=%.6f" cst_theory exp_theory;
   Exp_common.row ppf "%10s %12s %12s %12s %12s" "data sets" "Cst(DES)" "Cst(eg_sim)" "Exp(DES)"
-    "Exp(eg_sim)";
-  List.iter
-    (fun p ->
-      Exp_common.row ppf "%10d %12.6f %12.6f %12.6f %12.6f" p.data_sets p.cst_des p.cst_eg
-        p.exp_des p.exp_eg)
-    s.points
+    "Exp(eg_sim)"
+
+let render_point ppf p =
+  Exp_common.row ppf "%10d %12.6f %12.6f %12.6f %12.6f" p.data_sets p.cst_des p.cst_eg p.exp_des
+    p.exp_eg
+
+let run ?quick ppf =
+  let s = compute ?quick () in
+  render_head ppf (s.cst_theory, s.exp_theory);
+  List.iter (render_point ppf) s.points
+
+let points ?(quick = false) () =
+  {
+    Runner.key = "head";
+    solve = (fun ?budget:_ () -> Runner.ok (Runner.render (fun ppf -> render_head ppf (theory ()))));
+  }
+  :: List.map
+       (fun data_sets ->
+         {
+           Runner.key = string_of_int data_sets;
+           solve =
+             (fun ?budget:_ () ->
+               Runner.ok (Runner.render (fun ppf -> render_point ppf (solve_point data_sets))));
+         })
+       (counts quick)

@@ -16,3 +16,11 @@ type series = { cst_theory : float; exp_theory : float; points : point list }
 
 val compute : ?quick:bool -> unit -> series
 val run : ?quick:bool -> Format.formatter -> unit
+
+val points : ?quick:bool -> unit -> Runner.point list
+(** Per-point decomposition for the resumable runner: a "head" point
+    (header, theory line, column titles) followed by one point per
+    data-set count.  The concatenated fragments are byte-identical to
+    {!run}'s output.  The other experiments stay monolithic — Table 1 in
+    particular draws one PRNG stream sequentially across its
+    configurations, so its rows cannot be solved independently. *)

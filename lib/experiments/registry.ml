@@ -1,20 +1,42 @@
-type entry = { id : string; title : string; run : ?quick:bool -> Format.formatter -> unit }
+type entry = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+  points : ?quick:bool -> unit -> Runner.point list;
+}
+
+(* Default decomposition: the whole experiment is one point whose fragment
+   is the monolithic rendering. *)
+let monolithic run ?quick () =
+  [
+    {
+      Runner.key = "all";
+      solve = (fun ?budget:_ () -> Runner.ok (Runner.render (fun ppf -> run ?quick ppf)));
+    };
+  ]
+
+let entry id title run = { id; title; run; points = monolithic run }
 
 let all =
   [
-    { id = "table1"; title = "Experiments without critical resource"; run = Table1.run };
-    { id = "fig10"; title = "Throughput vs number of processed data sets"; run = Fig10.run };
-    { id = "fig11"; title = "Dispersion of the throughput estimate"; run = Fig11.run };
-    { id = "fig12"; title = "Throughput vs number of stages"; run = Fig12.run };
-    { id = "fig13"; title = "Homogeneous network: Theorem 4 vs simulation"; run = Fig13.run };
-    { id = "fig14"; title = "Heterogeneous network"; run = Fig14.run };
-    { id = "fig15"; title = "Exponential vs constant ratio"; run = Fig15.run };
-    { id = "fig16"; title = "N.B.U.E. laws within the bounds"; run = Fig16.run };
-    { id = "fig17"; title = "non-N.B.U.E. laws outside the bounds"; run = Fig17.run };
-    { id = "thm8"; title = "associated case ordering (extension)"; run = Thm8.run };
-    { id = "ablation"; title = "buffer capacity & slow-link dominance (extension)"; run = Ablation.run };
-    { id = "heuristics"; title = "mapping heuristics comparison (extension)"; run = Heuristics.run };
-    { id = "erlang"; title = "exact phase-type analysis (extension)"; run = Erlang.run };
+    entry "table1" "Experiments without critical resource" Table1.run;
+    {
+      id = "fig10";
+      title = "Throughput vs number of processed data sets";
+      run = Fig10.run;
+      points = Fig10.points;
+    };
+    entry "fig11" "Dispersion of the throughput estimate" Fig11.run;
+    entry "fig12" "Throughput vs number of stages" Fig12.run;
+    entry "fig13" "Homogeneous network: Theorem 4 vs simulation" Fig13.run;
+    entry "fig14" "Heterogeneous network" Fig14.run;
+    entry "fig15" "Exponential vs constant ratio" Fig15.run;
+    entry "fig16" "N.B.U.E. laws within the bounds" Fig16.run;
+    entry "fig17" "non-N.B.U.E. laws outside the bounds" Fig17.run;
+    entry "thm8" "associated case ordering (extension)" Thm8.run;
+    entry "ablation" "buffer capacity & slow-link dominance (extension)" Ablation.run;
+    entry "heuristics" "mapping heuristics comparison (extension)" Heuristics.run;
+    entry "erlang" "exact phase-type analysis (extension)" Erlang.run;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
@@ -22,9 +44,11 @@ let find id = List.find_opt (fun e -> e.id = id) all
 let run_all ?quick ppf =
   (* Each experiment renders into its own buffer, so the experiments can run
      concurrently on the pool while the output stays in registry order —
-     byte-identical to the sequential run. *)
+     byte-identical to the sequential run.  Per-item error capture means a
+     failing experiment no longer discards the others' finished output: the
+     prefix before the first failure is printed, then the error propagates. *)
   let outputs =
-    Parallel.Pool.map_list (Parallel.Pool.get ())
+    Parallel.Pool.map_list_result (Parallel.Pool.get ())
       (fun e ->
         let buf = Buffer.create 4096 in
         let bppf = Format.formatter_of_buffer buf in
@@ -34,5 +58,20 @@ let run_all ?quick ppf =
         Buffer.contents buf)
       all
   in
-  List.iter (Format.pp_print_string ppf) outputs;
-  Format.pp_print_flush ppf ()
+  let first_error = ref None in
+  List.iter
+    (fun r ->
+      match (r, !first_error) with
+      | Ok text, None -> Format.pp_print_string ppf text
+      | Ok _, Some _ -> ()
+      | Error e, None -> first_error := Some e
+      | Error _, Some _ -> ())
+    outputs;
+  Format.pp_print_flush ppf ();
+  match !first_error with None -> () | Some e -> raise e
+
+let run_entries ?quick ?journal ?resume ?point_budget ?inject ?err entries ppf =
+  let tasks =
+    List.map (fun e -> { Runner.exp = e.id; points = e.points ?quick () }) entries
+  in
+  Runner.run_tasks ?quick ?journal ?resume ?point_budget ?inject ?err tasks ppf

@@ -5,8 +5,30 @@ type entry = {
   id : string;  (** e.g. "table1", "fig13" *)
   title : string;
   run : ?quick:bool -> Format.formatter -> unit;
+  points : ?quick:bool -> unit -> Runner.point list;
+      (** decomposition for the resumable runner; the concatenated point
+          fragments equal [run]'s output byte for byte *)
 }
 
 val all : entry list
 val find : string -> entry option
+
 val run_all : ?quick:bool -> Format.formatter -> unit
+(** One-shot parallel run of every experiment (no journal). *)
+
+val run_entries :
+  ?quick:bool ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?point_budget:Supervise.Budget.t ->
+  ?inject:Runner.inject ->
+  ?err:Format.formatter ->
+  entry list ->
+  Format.formatter ->
+  Runner.health
+(** Resumable counterpart of {!run_all} over a chosen subset of entries:
+    solves the entries' points in order through {!Runner.run_tasks},
+    journaling / replaying as requested.  Output on the main formatter is
+    byte-identical to running the same entries through {!run_all}'s
+    format (each experiment followed by a blank line); health and
+    diagnostics go to [err]. *)

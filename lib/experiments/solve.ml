@@ -1,0 +1,20 @@
+open Streaming
+
+(* The last rung of the escalation ladder: when the exact and iterative
+   solvers have all failed (state space over the cap, no convergence,
+   budget spent), estimate the throughput by discrete-event simulation and
+   report an honest batch-means confidence interval alongside. *)
+let des_estimate ?(data_sets = 20_000) ~seed mapping model () =
+  let laws = Laws.exponential mapping in
+  let completions =
+    Des.Pipeline_sim.completions mapping model
+      ~timing:(Des.Pipeline_sim.Independent laws)
+      ~seed ~data_sets
+  in
+  let bm = Stats.Batch_means.throughput_of_completions completions in
+  (bm.Stats.Batch_means.mean, bm.Stats.Batch_means.half_width)
+
+let throughput ?cap ?budget ?ladder ?(data_sets = 20_000) ?(seed = Exp_common.base_seed) mapping =
+  Expo.strict_throughput_supervised ?cap ?budget ?ladder
+    ~simulate:(des_estimate ~data_sets ~seed mapping Model.Strict)
+    mapping

@@ -1,0 +1,30 @@
+(** The complete escalation ladder for the Strict-model throughput:
+    GTH → Gauss–Seidel → power iteration → discrete-event estimate.
+
+    The first three rungs live in {!Markov.Ctmc.stationary_supervised};
+    this module supplies the last one — a DES estimate with a batch-means
+    confidence interval — which cannot live in [lib/streaming] because the
+    simulator sits above it in the library stack. *)
+
+val des_estimate :
+  ?data_sets:int ->
+  seed:int ->
+  Streaming.Mapping.t ->
+  Streaming.Model.t ->
+  unit ->
+  float * float
+(** [(estimate, ci)] — simulated throughput under exponential laws with
+    its 95% batch-means half-width ([data_sets] defaults to 20_000). *)
+
+val throughput :
+  ?cap:int ->
+  ?budget:Supervise.Budget.t ->
+  ?ladder:Markov.Ctmc.rung list ->
+  ?data_sets:int ->
+  ?seed:int ->
+  Streaming.Mapping.t ->
+  float * Supervise.Provenance.t
+(** {!Streaming.Expo.strict_throughput_supervised} with the DES rung
+    plugged in: never raises for solver reasons — the worst case is a
+    degraded [Simulated] result whose provenance lists every failed
+    attempt. *)

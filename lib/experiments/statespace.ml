@@ -58,7 +58,10 @@ let measure_rung ~u ~v ~phases =
   in
   let throughput = solve () in
   let warm_s, warm_throughput = timed solve in
-  if warm_throughput <> throughput then failwith "Statespace: warm solve diverged from cold";
+  if warm_throughput <> throughput then
+    Supervise.Error.raise_
+      (Supervise.Error.Numerical
+         { what = "warm solve diverged from cold"; where = "Statespace.measure" });
   {
     r_u = u;
     r_v = v;

@@ -17,7 +17,13 @@ let stationary rates =
       for j = 0 to k - 1 do
         s := !s +. m.(k).(j)
       done;
-      if !s <= 0.0 then failwith "Gth.stationary: reducible chain";
+      if !s <= 0.0 then
+        Supervise.Error.raise_
+          (Supervise.Error.Numerical
+             {
+               what = Printf.sprintf "reducible chain: no outflow mass eliminating state %d" k;
+               where = "Gth.stationary";
+             });
       for i = 0 to k - 1 do
         m.(i).(k) <- m.(i).(k) /. !s
       done;

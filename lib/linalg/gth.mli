@@ -11,6 +11,7 @@ val stationary : float array array -> float array
 (** [stationary rates] returns the stationary distribution π (πQ = 0,
     Σπ = 1) of the irreducible chain whose off-diagonal transition rates
     (or probabilities) are [rates].  The diagonal entries are ignored.
-    Raises [Invalid_argument] on a non-square input and [Failure] if the
+    Raises [Invalid_argument] on a non-square input and
+    [Supervise.Error.Solver_error (Numerical _)] if the
     chain is reducible (a state with no outgoing rate is reached during
     elimination). *)

@@ -53,7 +53,9 @@ let solve a b =
     for i = k + 1 to n - 1 do
       if abs_float m.(i).(k) > abs_float m.(!pivot).(k) then pivot := i
     done;
-    if abs_float m.(!pivot).(k) < 1e-300 then failwith "Matrix.solve: singular matrix";
+    if abs_float m.(!pivot).(k) < 1e-300 then
+      Supervise.Error.raise_
+        (Supervise.Error.Numerical { what = "singular matrix"; where = "Matrix.solve" });
     if !pivot <> k then begin
       let tmp = m.(k) in
       m.(k) <- m.(!pivot);

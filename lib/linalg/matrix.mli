@@ -14,6 +14,7 @@ val mul_vec : t -> float array -> float array
 
 val solve : t -> float array -> float array
 (** [solve a b] solves [a x = b] by LU decomposition with partial pivoting.
-    Raises [Failure] if the matrix is (numerically) singular. *)
+    Raises [Supervise.Error.Solver_error (Numerical _)] if the matrix is
+    (numerically) singular. *)
 
 val pp : Format.formatter -> t -> unit

@@ -146,7 +146,9 @@ let to_dense t =
 
 let normalize pi =
   let total = Array.fold_left ( +. ) 0.0 pi in
-  if total <= 0.0 then failwith "Sparse: zero distribution";
+  if total <= 0.0 then
+    Supervise.Error.raise_
+      (Supervise.Error.Numerical { what = "zero distribution mass"; where = "Sparse.normalize" });
   Array.iteri (fun i v -> pi.(i) <- v /. total) pi
 
 let residual_frozen t f pi =
@@ -167,11 +169,26 @@ let residual_frozen t f pi =
    sweeps. *)
 let check_every = 8
 
-let stationary_gauss_seidel ?(tol = 1e-12) ?(max_sweeps = 100_000) t =
+type stats = { sweeps : int; residual : float }
+
+(* the budget's wall deadline is polled at the residual cadence: a handful
+   of gettimeofday calls per thousand sweeps *)
+let budget_check budget k =
+  match budget with
+  | None -> ()
+  | Some b -> if k mod check_every = 0 then Supervise.Budget.check b
+
+let stationary_gauss_seidel_stats ?budget ?(tol = 1e-12) ?(max_sweeps = 100_000) t =
+  let max_sweeps =
+    match budget with None -> max_sweeps | Some b -> Supervise.Budget.sweeps_allowed b max_sweeps
+  in
   let f = freeze t in
   let pi = Array.make t.n (1.0 /. float_of_int t.n) in
   let rec sweep k =
-    if k > max_sweeps then failwith "Sparse.stationary_gauss_seidel: no convergence";
+    if k > max_sweeps then
+      Supervise.Error.raise_
+        (Supervise.Error.No_convergence { sweeps = max_sweeps; residual = residual_frozen t f pi });
+    budget_check budget k;
     for j = 0 to t.n - 1 do
       if t.exit.(j) > 0.0 then begin
         let inflow = ref 0.0 in
@@ -182,19 +199,31 @@ let stationary_gauss_seidel ?(tol = 1e-12) ?(max_sweeps = 100_000) t =
       end
     done;
     normalize pi;
-    if (k mod check_every = 0 || k >= max_sweeps) && residual_frozen t f pi <= tol then ()
+    if k mod check_every = 0 || k >= max_sweeps then begin
+      let r = residual_frozen t f pi in
+      if r <= tol then { sweeps = k; residual = r } else sweep (k + 1)
+    end
     else sweep (k + 1)
   in
-  sweep 1;
-  pi
+  let st = sweep 1 in
+  (pi, st)
 
-let stationary_power ?(tol = 1e-12) ?(max_iters = 1_000_000) t =
+let stationary_gauss_seidel ?budget ?tol ?max_sweeps t =
+  fst (stationary_gauss_seidel_stats ?budget ?tol ?max_sweeps t)
+
+let stationary_power_stats ?budget ?(tol = 1e-12) ?(max_iters = 1_000_000) t =
+  let max_iters =
+    match budget with None -> max_iters | Some b -> Supervise.Budget.sweeps_allowed b max_iters
+  in
   let f = freeze t in
   let lambda = 1.01 *. Array.fold_left max 1e-12 t.exit in
   let pi = Array.make t.n (1.0 /. float_of_int t.n) in
   let next = Array.make t.n 0.0 in
   let rec iterate k =
-    if k > max_iters then failwith "Sparse.stationary_power: no convergence";
+    if k > max_iters then
+      Supervise.Error.raise_
+        (Supervise.Error.No_convergence { sweeps = max_iters; residual = residual_frozen t f pi });
+    budget_check budget k;
     for j = 0 to t.n - 1 do
       next.(j) <- pi.(j) *. (1.0 -. (t.exit.(j) /. lambda))
     done;
@@ -210,7 +239,12 @@ let stationary_power ?(tol = 1e-12) ?(max_iters = 1_000_000) t =
       pi.(j) <- next.(j)
     done;
     normalize pi;
-    if (k mod check_every = 0 || k >= max_iters) && !diff <= tol then () else iterate (k + 1)
+    if (k mod check_every = 0 || k >= max_iters) && !diff <= tol then
+      { sweeps = k; residual = residual_frozen t f pi }
+    else iterate (k + 1)
   in
-  iterate 1;
-  pi
+  let st = iterate 1 in
+  (pi, st)
+
+let stationary_power ?budget ?tol ?max_iters t =
+  fst (stationary_power_stats ?budget ?tol ?max_iters t)

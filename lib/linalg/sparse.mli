@@ -37,14 +37,35 @@ val to_dense : t -> float array array
 (** Dense [n × n] rate matrix built straight from the frozen CSR (zero
     diagonal); input to the GTH solver. *)
 
-val stationary_gauss_seidel : ?tol:float -> ?max_sweeps:int -> t -> float array
+type stats = { sweeps : int; residual : float }
+(** What an iterative solve achieved: sweeps executed and the L1 residual
+    of π·Q at the final iterate — the raw material of a result's
+    provenance record. *)
+
+val stationary_gauss_seidel :
+  ?budget:Supervise.Budget.t -> ?tol:float -> ?max_sweeps:int -> t -> float array
 (** Gauss–Seidel iteration on the balance equations
     π_j · exit_j = Σ_i π_i q_{ij}, renormalised each sweep.  Converges for
-    irreducible chains; raises [Failure] if the tolerance (default 1e-12 on
-    the L1 residual) is not met within [max_sweeps] (default 100_000).
-    The residual — itself a full sweep — is only evaluated every 8th
-    sweep. *)
+    irreducible chains; raises [Supervise.Error.Solver_error
+    (No_convergence _)] — carrying the sweeps spent and the residual
+    achieved — if the tolerance (default 1e-12 on the L1 residual) is not
+    met within [max_sweeps] (default 100_000).  The residual — itself a
+    full sweep — is only evaluated every 8th sweep, and the [budget]'s
+    wall deadline is polled at the same cadence ([Budget_exhausted] when
+    it fires); the budget's sweep ceiling tightens [max_sweeps]. *)
 
-val stationary_power : ?tol:float -> ?max_iters:int -> t -> float array
+val stationary_gauss_seidel_stats :
+  ?budget:Supervise.Budget.t -> ?tol:float -> ?max_sweeps:int -> t -> float array * stats
+(** As {!stationary_gauss_seidel}, also reporting the sweep count and
+    achieved residual of the successful solve. *)
+
+val stationary_power :
+  ?budget:Supervise.Budget.t -> ?tol:float -> ?max_iters:int -> t -> float array
 (** Power iteration on the uniformised chain; slower but useful as an
-    independent cross-check of the Gauss–Seidel result. *)
+    independent cross-check of the Gauss–Seidel result.  Failure and
+    budget behaviour as in {!stationary_gauss_seidel}. *)
+
+val stationary_power_stats :
+  ?budget:Supervise.Budget.t -> ?tol:float -> ?max_iters:int -> t -> float array * stats
+(** As {!stationary_power}, also reporting the iteration count and the L1
+    residual of the final iterate (one extra residual pass). *)

@@ -7,7 +7,7 @@ let evaluate metric mapping =
   | Deterministic -> Streaming.Deterministic.overlap_throughput_decomposed mapping
   | Exponential -> (
       try Expo.overlap_throughput ~pattern_cap:200_000 mapping with
-      | Petrinet.Marking.Capacity_exceeded _ -> 0.0
+      | Supervise.Error.Solver_error (Supervise.Error.State_space_exceeded _) -> 0.0
       | Invalid_argument _ -> 0.0)
 
 let default_pool platform = List.init (Platform.n_processors platform) Fun.id

@@ -123,6 +123,14 @@ let mapi pool f input =
 
 let map_list pool f input = Array.to_list (map pool f (Array.of_list input))
 
+(* Per-item error capture: a failing item yields [Error exn] at its index
+   instead of poisoning the whole batch.  [map] keeps first-error-wins
+   semantics for callers that want the batch to fail as a unit. *)
+let map_result pool f input =
+  map pool (fun x -> match f x with v -> Ok v | exception e -> Error e) input
+
+let map_list_result pool f input = Array.to_list (map_result pool f (Array.of_list input))
+
 let map_seeded pool ~seed f input =
   Array.to_list
     (mapi pool (fun i x -> f (Prng.stream ~seed i) x) (Array.of_list input))

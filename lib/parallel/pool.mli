@@ -36,6 +36,13 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 val mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
+val map_result : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Like {!map}, but a task that raises yields [Error exn] at its index
+    instead of failing the whole batch: the other items still complete
+    and return [Ok].  Determinism contract as in {!map}. *)
+
+val map_list_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
 val map_seeded : t -> seed:int -> (Prng.t -> 'a -> 'b) -> 'a list -> 'b list
 (** [map_seeded pool ~seed f xs] runs [f g_i x_i] where [g_i] is the
     independent stream [Prng.stream ~seed i]: the i-th task always sees the

@@ -38,7 +38,17 @@ let fire_into teg m v ~into =
   List.iter (fun p -> into.(p) <- into.(p) - 1) (Teg.in_places teg v);
   List.iter (fun p -> into.(p) <- into.(p) + 1) (Teg.out_places teg v)
 
-exception Capacity_exceeded of int
+let capacity_exceeded ~cap ~explored =
+  Supervise.Error.raise_ (Supervise.Error.State_space_exceeded { cap; explored })
+
+(* the budget's wall deadline is polled once per [budget_stride] registered
+   states — BFS registration is the explorer's unit of progress *)
+let budget_stride = 1024
+
+let budget_tick budget count =
+  match budget with
+  | None -> ()
+  | Some b -> if count land (budget_stride - 1) = 0 then Supervise.Budget.check b
 
 module Table = Hashtbl.Make (struct
   type nonrec t = t
@@ -151,7 +161,7 @@ let effects_of teg codec =
 
 (* Packed BFS.  Raises [Field_overflow] if any place outgrows its field —
    the caller then retries with wider fields or the array path. *)
-let explore_packed ~cap ~record teg codec =
+let explore_packed ~cap ~budget ~record teg codec =
   let eff = effects_of teg (Some codec) in
   let nt = Teg.n_transitions teg in
   let codes = Ibuf.create 1024 in
@@ -163,7 +173,8 @@ let explore_packed ~cap ~record teg codec =
     match Hashtbl.find_opt index code with
     | Some id -> id
     | None ->
-        if codes.Ibuf.len >= cap then raise (Capacity_exceeded cap);
+        if codes.Ibuf.len >= cap then capacity_exceeded ~cap ~explored:codes.Ibuf.len;
+        budget_tick budget codes.Ibuf.len;
         let id = codes.Ibuf.len in
         Hashtbl.add index code id;
         Ibuf.push codes code;
@@ -213,7 +224,7 @@ let explore_packed ~cap ~record teg codec =
 (* Array-path BFS: markings are deduplicated whole, firings go into a
    scratch buffer that is only retained (and re-allocated) when it is a
    new state. *)
-let explore_arrays ~cap ~record teg =
+let explore_arrays ~cap ~budget ~record teg =
   let eff = effects_of teg None in
   let nt = Teg.n_transitions teg in
   let n_places = Teg.n_places teg in
@@ -227,7 +238,8 @@ let explore_arrays ~cap ~record teg =
     match Table.find_opt index m with
     | Some id -> (id, false)
     | None ->
-        if !count >= cap then raise (Capacity_exceeded cap);
+        if !count >= cap then capacity_exceeded ~cap ~explored:!count;
+        budget_tick budget !count;
         let id = !count in
         if id = Array.length !store then begin
           let a' = Array.make (2 * id) [||] in
@@ -282,8 +294,8 @@ let explore_arrays ~cap ~record teg =
     via = Ibuf.to_array via;
   }
 
-let explore_auto ~cap ~record ~packed teg =
-  if not packed then explore_arrays ~cap ~record teg
+let explore_auto ~cap ~budget ~record ~packed teg =
+  if not packed then explore_arrays ~cap ~budget ~record teg
   else begin
     let m0 = initial teg in
     let total = Array.fold_left ( + ) 0 m0 in
@@ -294,11 +306,18 @@ let explore_auto ~cap ~record ~packed teg =
       |> List.filter_map codec_of_widths
     in
     let rec try_codecs = function
-      | [] -> explore_arrays ~cap ~record teg
-      | c :: rest -> ( try explore_packed ~cap ~record teg c with Field_overflow -> try_codecs rest)
+      | [] -> explore_arrays ~cap ~budget ~record teg
+      | c :: rest -> (
+          try explore_packed ~cap ~budget ~record teg c with Field_overflow -> try_codecs rest)
     in
     try_codecs attempts
   end
 
-let explore_graph ?(cap = 200_000) ?(packed = true) teg = explore_auto ~cap ~record:true ~packed teg
-let explore ?(cap = 200_000) teg = (explore_auto ~cap ~record:false ~packed:true teg).markings
+let effective_cap cap budget =
+  match budget with None -> cap | Some b -> Supervise.Budget.cap_allowed b cap
+
+let explore_graph ?(cap = 200_000) ?budget ?(packed = true) teg =
+  explore_auto ~cap:(effective_cap cap budget) ~budget ~record:true ~packed teg
+
+let explore ?(cap = 200_000) ?budget teg =
+  (explore_auto ~cap:(effective_cap cap budget) ~budget ~record:false ~packed:true teg).markings

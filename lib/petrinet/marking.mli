@@ -27,8 +27,6 @@ val fire_into : Teg.t -> t -> int -> into:t -> unit
     [into] (same length as [m]) instead of allocating.  [into] may not
     alias [m].  Raises [Invalid_argument] if [v] is not enabled. *)
 
-exception Capacity_exceeded of int
-(** Raised by {!explore} when more markings than the cap are reachable. *)
 
 type graph = {
   markings : t array;  (** BFS discovery order; index 0 is the initial marking *)
@@ -41,13 +39,17 @@ type graph = {
     [k] in [row_ptr.(i) .. row_ptr.(i+1) - 1], listed in increasing
     transition order. *)
 
-val explore : ?cap:int -> Teg.t -> t array
+val explore : ?cap:int -> ?budget:Supervise.Budget.t -> Teg.t -> t array
 (** Breadth-first enumeration of the reachable markings, starting from the
     initial one (index 0 of the result).  [cap] (default 200_000) bounds
-    the exploration; exceeding it raises {!Capacity_exceeded} — which is
-    the signature of a token-unbounded net such as the full Overlap TPN. *)
+    the exploration; exceeding it raises
+    [Supervise.Error.Solver_error (State_space_exceeded _)] — which is
+    the signature of a token-unbounded net such as the full Overlap TPN.
+    A [budget] tightens the cap with its state ceiling, and its wall
+    deadline is polled every 1024 registered states
+    ([Budget_exhausted]). *)
 
-val explore_graph : ?cap:int -> ?packed:bool -> Teg.t -> graph
+val explore_graph : ?cap:int -> ?budget:Supervise.Budget.t -> ?packed:bool -> Teg.t -> graph
 (** Like {!explore} but also records the marking graph (one edge per
     enabled firing).  Markings are packed into single-int codes whenever
     the per-place bit fields fit one machine word — firing is then an

@@ -24,6 +24,29 @@ let markov_throughput ?cap tpn =
 
 let strict_throughput ?cap mapping = markov_throughput ?cap (Tpn.build mapping Model.Strict)
 
+(* Supervised variant: the exact/iterative pipeline runs under a budget and
+   an escalation ladder; if the whole ladder fails (or the state space blows
+   the cap) and a [simulate] rung is supplied, the result degrades to a
+   simulation estimate instead of an exception. *)
+let strict_throughput_supervised ?cap ?budget ?ladder ?simulate mapping =
+  let tpn = Tpn.build mapping Model.Strict in
+  let teg = Tpn.teg tpn in
+  let rates v = 1.0 /. Petrinet.Teg.time teg v in
+  try
+    let chain, provenance =
+      Markov.Tpn_markov.analyse_supervised ?cap ?budget ?ladder ~rates teg
+    in
+    (Markov.Tpn_markov.throughput_of chain (Tpn.last_column tpn), provenance)
+  with Supervise.Error.Solver_error err as exn -> (
+    match simulate with
+    | None -> raise exn
+    | Some sim ->
+        let prior =
+          [ { Supervise.Provenance.rung = "general-method"; outcome = Error err } ]
+        in
+        let value, ci = sim () in
+        (value, Supervise.Provenance.solved ~rung:"des" ~prior (Supervise.Provenance.Simulated { ci })))
+
 (* Bound every row-forward place of the Overlap TPN by a back-place with
    [buffer] tokens: the marking space becomes finite, at the price of a
    blocking semantics that underestimates the true throughput (the gap

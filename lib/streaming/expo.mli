@@ -18,6 +18,22 @@ val strict_throughput : ?cap:int -> Mapping.t -> float
     covered by token-invariant cycles, so its marking space is finite; the
     cost is exponential in the replication factors. *)
 
+val strict_throughput_supervised :
+  ?cap:int ->
+  ?budget:Supervise.Budget.t ->
+  ?ladder:Markov.Ctmc.rung list ->
+  ?simulate:(unit -> float * float) ->
+  Mapping.t ->
+  float * Supervise.Provenance.t
+(** {!strict_throughput} under supervision: exploration respects [cap] and
+    the [budget]'s state ceiling / wall deadline, the stationary solve
+    climbs {!Markov.Ctmc.stationary_supervised}'s ladder, and the returned
+    provenance records every attempt.  If the whole exact/iterative
+    pipeline fails and [simulate] is supplied, its [(estimate, ci)] result
+    is returned as a degraded [Simulated] value instead of raising;
+    without [simulate] the final [Supervise.Error.Solver_error]
+    propagates. *)
+
 val general_throughput : ?cap:int -> ?buffer:int -> Mapping.t -> Model.t -> float
 (** The general method on the full TPN of either model.  The Overlap TPN
     has unbounded forward places, so for [Model.Overlap] the row places

@@ -28,6 +28,11 @@ let parse text =
     if List.exists (( = ) None) parsed then None
     else Some (Array.of_list (List.map Option.get parsed))
   in
+  (* numeric sanity is checked where the line number is still at hand, so a
+     NaN three screens into a file is reported as "line 47: ...", not as a
+     late [Invalid_argument] from the model constructors *)
+  let bad ~strict v = (not (Float.is_finite v)) || if strict then v <= 0.0 else v < 0.0 in
+  let any_bad ~strict a = Array.exists (bad ~strict) a in
   List.iteri
     (fun lineno raw ->
       let lineno = lineno + 1 in
@@ -43,23 +48,33 @@ let parse text =
           | None -> fail (Printf.sprintf "line %d: bad processor count" lineno))
       | "work" :: rest -> (
           match floats rest with
+          | Some a when any_bad ~strict:true a ->
+              fail (Printf.sprintf "line %d: work sizes must be finite and positive" lineno)
           | Some a -> work := Some a
           | None -> fail (Printf.sprintf "line %d: bad work sizes" lineno))
       | "files" :: rest -> (
           match floats rest with
+          | Some a when any_bad ~strict:false a ->
+              fail (Printf.sprintf "line %d: file sizes must be finite and non-negative" lineno)
           | Some a -> files := Some a
           | None -> fail (Printf.sprintf "line %d: bad file sizes" lineno))
       | "speeds" :: rest -> (
           match floats rest with
+          | Some a when any_bad ~strict:true a ->
+              fail (Printf.sprintf "line %d: speeds must be finite and positive" lineno)
           | Some a -> speeds := Some a
           | None -> fail (Printf.sprintf "line %d: bad speeds" lineno))
       | [ "bandwidth"; "default"; v ] -> (
           match float_of v with
+          | Some b when bad ~strict:true b ->
+              fail (Printf.sprintf "line %d: default bandwidth must be finite and positive" lineno)
           | Some b -> bw_default := Some b
           | None -> fail (Printf.sprintf "line %d: bad default bandwidth" lineno))
       | [ "bandwidth"; p; q; v ] -> (
           match (int_of_string_opt p, int_of_string_opt q, float_of v) with
-          | Some p, Some q, Some b -> bw_overrides := (p, q, b) :: !bw_overrides
+          | Some _, Some _, Some b when bad ~strict:true b ->
+              fail (Printf.sprintf "line %d: bandwidth must be finite and positive" lineno)
+          | Some p, Some q, Some b -> bw_overrides := (lineno, p, q, b) :: !bw_overrides
           | _ -> fail (Printf.sprintf "line %d: bad bandwidth override" lineno))
       | "team" :: rest -> (
           match ints rest with
@@ -82,15 +97,25 @@ let parse text =
           if Array.length teams <> n then Error "need exactly one 'team' line per stage"
           else begin
             let bandwidth = Array.init m (fun _ -> Array.make m bw) in
+            let range_error = ref None in
             List.iter
-              (fun (p, q, b) ->
-                if p >= 0 && p < m && q >= 0 && q < m then bandwidth.(p).(q) <- b)
-              !bw_overrides;
-            try
-              let app = Application.create ~work ~files in
-              let platform = Platform.create ~speeds ~bandwidth in
-              Ok (Mapping.create ~app ~platform ~teams)
-            with Invalid_argument msg -> Error msg
+              (fun (lineno, p, q, b) ->
+                if p >= 0 && p < m && q >= 0 && q < m then bandwidth.(p).(q) <- b
+                else if !range_error = None then
+                  range_error :=
+                    Some
+                      (Printf.sprintf
+                         "line %d: bandwidth override %d %d out of range (processors %d)" lineno p
+                         q m))
+              (List.rev !bw_overrides);
+            match !range_error with
+            | Some msg -> Error msg
+            | None -> (
+                try
+                  let app = Application.create ~work ~files in
+                  let platform = Platform.create ~speeds ~bandwidth in
+                  Ok (Mapping.create ~app ~platform ~teams)
+                with Invalid_argument msg -> Error msg)
           end)
 
 (* shortest decimal representation that parses back to the same float,

@@ -20,7 +20,11 @@
     Lines starting with [#] (or trailing [#] comments) are ignored. *)
 
 val parse : string -> (Mapping.t, string) result
-(** Parse the contents of an instance description. *)
+(** Parse the contents of an instance description.  Numeric values are
+    vetted where they are read: work sizes, speeds and bandwidths must be
+    finite and positive, file sizes finite and non-negative, and a
+    bandwidth override must name processors that exist — violations are
+    reported with the offending line number. *)
 
 val parse_file : string -> (Mapping.t, string) result
 

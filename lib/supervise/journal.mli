@@ -1,0 +1,35 @@
+(** Crash-safe JSONL journal of completed experiment points.
+
+    One record per line, a flat JSON object of string fields:
+
+    {v
+    {"exp":"fig10","point":"n=500","status":"exact","detail":"...","output":"..."}
+    v}
+
+    [output] holds the point's rendered text fragment verbatim (escaped),
+    so a resumed run can replay completed points byte-identically without
+    re-solving them.  {!save} writes the whole journal to a temporary
+    file and renames it over the target, so a crash never leaves a
+    half-written journal in place; {!load} additionally tolerates a
+    truncated or corrupt tail (it returns the longest valid prefix), so
+    even a journal damaged by external means resumes from what survived. *)
+
+type status = Exact | Degraded | Failed
+
+type record = {
+  exp : string;  (** experiment id, or ["@meta"] for the run-config header *)
+  point : string;
+  status : status;
+  detail : string;  (** provenance / error description *)
+  output : string;  (** rendered fragment; empty for failed points *)
+}
+
+val status_to_string : status -> string
+val encode : record -> string
+(** One JSON line, no trailing newline. *)
+
+val load : string -> record list
+(** Records of the longest valid prefix; [[]] when the file is missing. *)
+
+val save : string -> record list -> unit
+(** Atomic whole-file rewrite: temp file + rename. *)

@@ -94,7 +94,9 @@ let young_graph ?(cap = 200_000) ~u ~v () =
       match Hashtbl.find_opt index code with
       | Some id -> id
       | None ->
-          if !count >= cap then raise (Petrinet.Marking.Capacity_exceeded cap);
+          if !count >= cap then
+            Supervise.Error.raise_
+              (Supervise.Error.State_space_exceeded { cap; explored = !count });
           let id = !count in
           if id = Array.length !codes then begin
             let a = Array.make (2 * id) 0 in

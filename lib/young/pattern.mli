@@ -29,7 +29,8 @@ val young_graph : ?cap:int -> u:int -> v:int -> unit -> Petrinet.Marking.graph o
     [Petrinet.Marking.explore_graph (build ~u ~v ...)].  Returns [None]
     when the packed position code would exceed one machine int (the
     caller then falls back to the generic exploration); raises
-    [Petrinet.Marking.Capacity_exceeded] beyond [cap] states. *)
+    [Supervise.Error.Solver_error (State_space_exceeded _)] beyond [cap]
+    states. *)
 
 val deterministic_inner_throughput : u:int -> v:int -> time:(sender:int -> receiver:int -> float) -> float
 (** [u * v / period] where the period is the critical cycle of the pattern:

@@ -46,6 +46,31 @@ let test_parse_errors () =
   expect_error "team" "stages 2\nwork 1 1\nfiles 1\nprocessors 2\nspeeds 1 1\nbandwidth default 1\nteam 0\n";
   expect_error "bad speeds" "stages 1\nwork 1\nprocessors 1\nspeeds abc\nbandwidth default 1\nteam 0\n"
 
+(* numeric sanity: NaN, infinities, wrong signs and dangling overrides are
+   rejected with the offending line number *)
+let test_parse_insane_numbers () =
+  expect_error "line 2: work sizes must be finite and positive"
+    "stages 1\nwork nan\nprocessors 1\nspeeds 1\nbandwidth default 1\nteam 0\n";
+  expect_error "line 2: work sizes must be finite and positive"
+    "stages 1\nwork -3\nprocessors 1\nspeeds 1\nbandwidth default 1\nteam 0\n";
+  expect_error "line 4: speeds must be finite and positive"
+    "stages 1\nwork 1\nprocessors 2\nspeeds 1 inf\nbandwidth default 1\nteam 0\n";
+  expect_error "line 4: speeds must be finite and positive"
+    "stages 1\nwork 1\nprocessors 1\nspeeds 0\nbandwidth default 1\nteam 0\n";
+  expect_error "line 5: default bandwidth must be finite and positive"
+    "stages 1\nwork 1\nprocessors 1\nspeeds 1\nbandwidth default -0.5\nteam 0\n";
+  expect_error "line 6: bandwidth must be finite and positive"
+    "stages 1\nwork 1\nprocessors 2\nspeeds 1 1\nbandwidth default 1\nbandwidth 0 1 nan\nteam 0\n";
+  expect_error "line 3: file sizes must be finite and non-negative"
+    "stages 2\nwork 1 1\nfiles -1\nprocessors 2\nspeeds 1 1\nbandwidth default 1\nteam 0\nteam 1\n";
+  expect_error "line 6: bandwidth override 0 7 out of range (processors 2)"
+    "stages 1\nwork 1\nprocessors 2\nspeeds 1 1\nbandwidth default 1\nbandwidth 0 7 0.5\nteam 0\n";
+  (* a zero file size passes numeric validation (non-negative) but the
+     model still rejects it: a zero-time communication would need an
+     infinite exponential rate *)
+  expect_error "communication time"
+    "stages 2\nwork 1 1\nfiles 0\nprocessors 2\nspeeds 1 1\nbandwidth default 1\nteam 0\nteam 1\n"
+
 let test_roundtrip () =
   let mapping = Workload.Scenarios.example_a in
   let text = Format.asprintf "%a" Instance_io.print mapping in
@@ -116,6 +141,7 @@ let () =
         [
           Alcotest.test_case "ok" `Quick test_parse_ok;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "insane numbers" `Quick test_parse_insane_numbers;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
           Alcotest.test_case "missing file" `Quick test_parse_file_missing;
         ] );

@@ -91,8 +91,10 @@ let test_explore_capacity () =
   Teg.add_place teg ~src:0 ~dst:0 ~tokens:1;
   Teg.add_place teg ~src:0 ~dst:1 ~tokens:0;
   Teg.add_place teg ~src:1 ~dst:1 ~tokens:1;
-  Alcotest.check_raises "capacity" (Marking.Capacity_exceeded 50) (fun () ->
-      ignore (Marking.explore ~cap:50 teg))
+  Alcotest.check_raises "capacity"
+    (Supervise.Error.Solver_error
+       (Supervise.Error.State_space_exceeded { cap = 50; explored = 50 }))
+    (fun () -> ignore (Marking.explore ~cap:50 teg))
 
 let test_two_rings_product () =
   (* two independent rings in one net: reachable markings = product *)

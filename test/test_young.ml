@@ -233,8 +233,10 @@ let test_young_graph_matches_bfs () =
     coprime_cases
 
 let test_young_graph_cap () =
-  Alcotest.check_raises "cap" (Petrinet.Marking.Capacity_exceeded 5) (fun () ->
-      ignore (Pattern.young_graph ~cap:5 ~u:3 ~v:4 ()))
+  Alcotest.check_raises "cap"
+    (Supervise.Error.Solver_error
+       (Supervise.Error.State_space_exceeded { cap = 5; explored = 5 }))
+    (fun () -> ignore (Pattern.young_graph ~cap:5 ~u:3 ~v:4 ()))
 
 let () =
   Alcotest.run "young"
