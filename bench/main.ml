@@ -270,6 +270,149 @@ let parallel_study ~domains =
   close_out oc;
   Format.printf "wrote BENCH_parallel.json@."
 
+(* ---- query-service load study: N concurrent clients against an
+   in-process daemon on a Unix socket; cold vs. warm-cache latency and
+   throughput vs. client count; emits BENCH_service.json ---- *)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+
+(* distinct small instances: distinct rate matrices keep the cold pass
+   honest (no accidental pattern-cache memo hits between instances) *)
+let service_instances =
+  List.init 8 (fun i ->
+      let g = Prng.create ~seed:(7_000 + i) in
+      let mapping =
+        Workload.Gen.random_mapping g
+          {
+            Workload.Gen.n_stages = 5;
+            n_procs = 14;
+            comp_range = (4., 12.);
+            comm_range = (4., 12.);
+            max_rows = 60;
+          }
+      in
+      Instance_io.to_string mapping)
+
+let service_request instance =
+  Service.Json.render
+    (Service.Client.solve_request ~model:Model.Overlap ~law:Service.Engine.Exponential ~instance ())
+
+let with_client addr f =
+  match Service.Client.connect addr with
+  | Error msg -> failwith ("service bench: " ^ msg)
+  | Ok client -> Fun.protect ~finally:(fun () -> Service.Client.close client) (fun () -> f client)
+
+let timed_requests client lines =
+  List.map
+    (fun line ->
+      let t0 = Unix.gettimeofday () in
+      (match Service.Client.rpc_raw client line with
+      | Ok _ -> ()
+      | Error msg -> failwith ("service bench: " ^ msg));
+      Unix.gettimeofday () -. t0)
+    lines
+
+let service_study () =
+  Format.printf "@.== Query-service load study ==@.";
+  let path = Filename.temp_file "bench_service" ".sock" in
+  let addr = Service.Protocol.Unix_domain path in
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let config =
+    { (Service.Server.default_config ()) with Service.Server.cache_capacity = 64; log = null_ppf }
+  in
+  let server = Service.Server.create config in
+  let server_thread = Thread.create (fun () -> Service.Server.serve server addr) () in
+  let rec wait_ready tries =
+    if tries = 0 then failwith "service bench: daemon did not come up";
+    match Service.Client.connect addr with
+    | Ok c -> Service.Client.close c
+    | Error _ ->
+        Thread.delay 0.05;
+        wait_ready (tries - 1)
+  in
+  wait_ready 100;
+  let lines = List.map service_request service_instances in
+  (* cold: every instance is a miss; warm: the same requests replay from
+     the LRU *)
+  let cold = with_client addr (fun c -> timed_requests c lines) in
+  let warm = with_client addr (fun c -> timed_requests c lines) in
+  let cold_median = median cold and warm_median = median warm in
+  let client_counts = [ 1; 2; 4; 8 ] in
+  let requests_per_client = 50 in
+  let sweep =
+    List.map
+      (fun clients ->
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init clients (fun k ->
+              Thread.create
+                (fun () ->
+                  with_client addr (fun c ->
+                      for r = 0 to requests_per_client - 1 do
+                        let line = List.nth lines ((k + r) mod List.length lines) in
+                        match Service.Client.rpc_raw c line with
+                        | Ok _ -> ()
+                        | Error msg -> failwith ("service bench: " ^ msg)
+                      done))
+                ())
+        in
+        List.iter Thread.join threads;
+        let wall = Unix.gettimeofday () -. t0 in
+        let rps = float_of_int (clients * requests_per_client) /. wall in
+        (clients, wall, rps))
+      client_counts
+  in
+  let hits, misses =
+    let s = Service.Lru.stats (Service.Server.cache server) in
+    (s.Service.Lru.hits, s.Service.Lru.misses)
+  in
+  with_client addr (fun c -> ignore (Service.Client.shutdown c));
+  Thread.join server_thread;
+  Format.printf "%-42s %12.6f s@." "cold-cache median latency" cold_median;
+  Format.printf "%-42s %12.6f s@." "warm-cache median latency" warm_median;
+  Format.printf "%-42s %12s@." "warm median < cold median"
+    (if warm_median < cold_median then "yes" else "NO");
+  List.iter
+    (fun (clients, wall, rps) ->
+      Format.printf "%-42s %12.0f req/s  (%.3f s wall)@."
+        (Printf.sprintf "throughput, %d client(s) x %d requests" clients requests_per_client)
+        rps wall)
+    sweep;
+  Format.printf "%-42s %6d hits %6d misses@." "daemon cache counters" hits misses;
+  let oc = open_out "BENCH_service.json" in
+  let fmt_latencies xs =
+    String.concat ", " (List.map (fun l -> Printf.sprintf "%.6f" l) xs)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"8 distinct (5,14) overlap/exponential instances over a Unix socket\",\n\
+    \  \"requests_per_client\": %d,\n\
+    \  \"cold_latency_s\": [%s],\n\
+    \  \"warm_latency_s\": [%s],\n\
+    \  \"cold_median_s\": %.6f,\n\
+    \  \"warm_median_s\": %.6f,\n\
+    \  \"warm_lt_cold\": %b,\n\
+    \  \"cache_hits\": %d,\n\
+    \  \"cache_misses\": %d,\n\
+    \  \"clients_sweep\": [%s]\n\
+     }\n"
+    requests_per_client (fmt_latencies cold) (fmt_latencies warm) cold_median warm_median
+    (warm_median < cold_median) hits misses
+    (String.concat ", "
+       (List.map
+          (fun (clients, wall, rps) ->
+            Printf.sprintf "{\"clients\": %d, \"wall_s\": %.6f, \"requests_per_s\": %.1f}" clients
+              wall rps)
+          sweep));
+  close_out oc;
+  Format.printf "wrote BENCH_service.json@."
+
 (* ---- state-space kernel study: per-stage cold/warm times over the
    pattern ladder; emits BENCH_statespace.json ---- *)
 
@@ -302,6 +445,10 @@ let () =
   let full = List.mem "--full" args in
   if List.mem "--statespace" args then begin
     statespace_study ();
+    exit 0
+  end;
+  if List.mem "--service" args then begin
+    service_study ();
     exit 0
   end;
   let ids = List.filter (fun a -> a <> "--full" && a <> "--no-bench") args in

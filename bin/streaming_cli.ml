@@ -389,6 +389,147 @@ let dot_cmd =
        ~doc:"Print the timed Petri net of an instance in Graphviz format (cf. paper Figs 2-3)")
     Term.(const dot_run $ file_arg $ model_arg)
 
+(* serve: the persistent throughput-query daemon *)
+
+let addr_conv =
+  Arg.conv
+    ( (fun s ->
+        match Service.Protocol.addr_of_string s with
+        | Ok addr -> Ok addr
+        | Error msg -> Error (`Msg msg)),
+      fun ppf addr -> Format.pp_print_string ppf (Service.Protocol.addr_to_string addr) )
+
+let addr_arg =
+  Arg.(
+    required
+    & opt (some addr_conv) None
+    & info [ "socket"; "s" ] ~docv:"ADDR"
+        ~doc:"Service address: unix:PATH, tcp:HOST:PORT, or a bare socket path.")
+
+let serve_run addr cache_capacity max_inflight max_frame wall quiet =
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let default = Service.Server.default_config () in
+  let config =
+    {
+      Service.Server.cache_capacity;
+      max_inflight = (match max_inflight with Some m -> m | None -> default.Service.Server.max_inflight);
+      max_frame;
+      default_wall = wall;
+      log = (if quiet then null_ppf else Format.err_formatter);
+    }
+  in
+  let server = Service.Server.create config in
+  match Service.Server.serve server addr with
+  | () -> 0
+  | exception Unix.Unix_error (err, fn, arg) ->
+      Format.eprintf "error: cannot serve on %s: %s (%s %s)@."
+        (Service.Protocol.addr_to_string addr) (Unix.error_message err) fn arg;
+      2
+
+let serve_cmd =
+  let cache =
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc:"LRU result-cache capacity.")
+  in
+  let max_inflight =
+    Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Concurrent solve/batch requests admitted before the daemon answers busy \
+                 (default 4x the domain-pool size).")
+  in
+  let max_frame =
+    Arg.(value & opt int (1 lsl 20) & info [ "max-frame" ] ~docv:"BYTES"
+           ~doc:"Request line size limit; longer frames get an oversized_frame error.")
+  in
+  let wall =
+    Arg.(value & opt (some float) None & info [ "wall" ] ~docv:"SECONDS"
+           ~doc:"Server-side wall-clock budget applied to requests that carry none.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No connection/drain log on stderr.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent throughput-query daemon (NDJSON over a socket; SIGTERM drains)")
+    Term.(const serve_run $ addr_arg $ cache $ max_inflight $ max_frame $ wall $ quiet)
+
+(* query: the matching client *)
+
+let service_law_conv =
+  Arg.conv
+    ( (fun s ->
+        match Service.Engine.law_of_string s with Ok l -> Ok l | Error msg -> Error (`Msg msg)),
+      fun ppf l -> Format.pp_print_string ppf (Service.Engine.law_to_string l) )
+
+let query_run addr command instance model law cap wall simulate repeat =
+  let fail msg =
+    Format.eprintf "error: %s@." msg;
+    exit 1
+  in
+  let client = match Service.Client.connect addr with Ok c -> c | Error msg -> fail msg in
+  Fun.protect ~finally:(fun () -> Service.Client.close client) @@ fun () ->
+  let print_reply = function
+    | Ok line ->
+        print_endline line;
+        ()
+    | Error msg -> fail msg
+  in
+  match command with
+  | "ping" | "stats" | "shutdown" ->
+      let request =
+        Service.Json.Obj
+          [ ("v", Service.Json.Int Service.Protocol.version); ("cmd", Service.Json.String command) ]
+      in
+      print_reply (Service.Client.rpc_raw client (Service.Json.render request));
+      0
+  | "solve" -> (
+      match instance with
+      | None -> fail "solve needs an INSTANCE file (positional argument)"
+      | Some path ->
+          let text =
+            match In_channel.with_open_text path In_channel.input_all with
+            | text -> text
+            | exception Sys_error msg -> fail msg
+          in
+          let request =
+            Service.Client.solve_request ~model ~law ?cap ?wall ~simulate ~instance:text ()
+          in
+          let line = Service.Json.render request in
+          for _ = 1 to repeat do
+            print_reply (Service.Client.rpc_raw client line)
+          done;
+          0)
+  | cmd -> fail (Printf.sprintf "unknown query command %S (ping|stats|solve|shutdown)" cmd)
+
+let query_cmd =
+  let command =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"COMMAND"
+           ~doc:"One of ping, stats, solve, shutdown.")
+  in
+  let instance =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"INSTANCE"
+           ~doc:"Instance file (for solve).")
+  in
+  let law =
+    Arg.(value & opt service_law_conv Service.Engine.Exponential & info [ "law"; "l" ] ~docv:"LAW"
+           ~doc:"Law: deterministic, exponential or erlang:K.")
+  in
+  let cap =
+    Arg.(value & opt (some int) None & info [ "cap" ] ~doc:"Marking exploration bound (strict).")
+  in
+  let wall =
+    Arg.(value & opt (some float) None & info [ "wall" ] ~docv:"SECONDS"
+           ~doc:"Per-request wall-clock budget.")
+  in
+  let simulate =
+    Arg.(value & flag & info [ "simulate" ]
+           ~doc:"Allow the degraded DES rung when the exact/iterative ladder fails.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat"; "n" ] ~docv:"N"
+           ~doc:"Send the solve N times on one connection (cache/load study).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query a running throughput daemon (NDJSON replies on stdout)")
+    Term.(const query_run $ addr_arg $ command $ instance $ model_arg $ law $ cap $ wall
+          $ simulate $ repeat)
+
 (* template *)
 
 let template_run () =
@@ -413,6 +554,8 @@ let main =
       list_cmd;
       dot_cmd;
       template_cmd;
+      serve_cmd;
+      query_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

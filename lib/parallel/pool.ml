@@ -4,6 +4,7 @@ type t = {
   cond : Condition.t;  (** signalled on enqueue, task completion and close *)
   queue : (unit -> unit) Queue.t;
   mutable closed : bool;
+  mutable drained : bool;  (** workers joined; only ever set after [closed] *)
   mutable workers : unit Domain.t list;
 }
 
@@ -38,19 +39,39 @@ let create ~domains =
       cond = Condition.create ();
       queue = Queue.create ();
       closed = false;
+      drained = false;
       workers = [];
     }
   in
   pool.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
   pool
 
+(* Idempotent and safe under concurrency: exactly one caller takes the
+   worker list (under the mutex) and joins it; every other caller —
+   concurrent or later — waits until that join has finished, so all
+   shutdown calls return with the workers really gone.  Workers drain the
+   queue before honouring [closed] (see [worker]), and a caller blocked in
+   [run_all] keeps executing its own tasks, so in-flight maps complete. *)
 let shutdown pool =
   Mutex.lock pool.mutex;
-  pool.closed <- true;
-  Condition.broadcast pool.cond;
-  Mutex.unlock pool.mutex;
-  List.iter Domain.join pool.workers;
-  pool.workers <- []
+  if pool.closed then begin
+    while not pool.drained do
+      Condition.wait pool.cond pool.mutex
+    done;
+    Mutex.unlock pool.mutex
+  end
+  else begin
+    pool.closed <- true;
+    let workers = pool.workers in
+    pool.workers <- [];
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join workers;
+    Mutex.lock pool.mutex;
+    pool.drained <- true;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex
+  end
 
 let with_pool ~domains f =
   let pool = create ~domains in

@@ -23,7 +23,16 @@ val create : domains:int -> t
     spawned. *)
 
 val shutdown : t -> unit
-(** Drains the queue, terminates and joins the workers.  Idempotent. *)
+(** Drains the queue, terminates and joins the workers.  Idempotent and
+    safe under concurrency: any number of callers, from any thread, may
+    shut the same pool down — one of them joins the workers and the rest
+    block until the join has finished, so every call returns with the
+    workers gone.  A map in flight when shutdown starts completes
+    normally (workers finish the queued tasks before exiting, and the
+    mapping caller keeps executing its own tasks).  A map started {e
+    after} shutdown still returns the right result: with the workers
+    gone, the caller executes every task itself — the daemon's graceful
+    drain relies on both properties. *)
 
 val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down

@@ -1,0 +1,86 @@
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let connect addr =
+  match
+    let domain =
+      match addr with Protocol.Unix_domain _ -> Unix.PF_UNIX | Protocol.Tcp _ -> Unix.PF_INET
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Protocol.sockaddr_of addr) with
+    | () -> { fd; ic = Unix.in_channel_of_descr fd }
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" (Protocol.addr_to_string addr)
+           (Unix.error_message err))
+  | exception Failure msg -> Error msg
+
+let close t = try close_in t.ic (* closes the shared fd *) with Sys_error _ -> ()
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let rpc_raw t line =
+  match
+    write_all t.fd (line ^ "\n") 0 (String.length line + 1);
+    input_line t.ic
+  with
+  | reply -> Ok reply
+  | exception End_of_file -> Error "connection closed by the daemon"
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | exception Sys_error msg -> Error msg
+
+let rpc t request =
+  match rpc_raw t (Json.render request) with
+  | Error _ as e -> e
+  | Ok line -> (
+      match Json.parse line with
+      | Ok reply -> Ok reply
+      | Error msg -> Error ("unparsable reply: " ^ msg))
+
+let reply_ok reply =
+  match Option.bind (Json.member "ok" reply) Json.to_bool_opt with Some b -> b | None -> false
+
+let reply_error_kind reply =
+  Option.bind (Json.member "error" reply) (fun e ->
+      Option.bind (Json.member "kind" e) Json.to_string_opt)
+
+let reply_result reply = Json.member "result" reply
+
+let command cmd t = rpc t (Json.Obj [ ("v", Json.Int Protocol.version); ("cmd", Json.String cmd) ])
+let ping = command "ping"
+let stats = command "stats"
+let shutdown = command "shutdown"
+
+let solve_fields ?model ?law ?cap ?wall ?sweeps ?states ?simulate ~instance () =
+  let opt name conv v = Option.map (fun v -> (name, conv v)) v in
+  List.filter_map Fun.id
+    [
+      Some ("instance", Json.String instance);
+      opt "model" (fun m -> Json.String (Streaming.Model.to_string m)) model;
+      opt "law" (fun l -> Json.String (Engine.law_to_string l)) law;
+      opt "cap" (fun c -> Json.Int c) cap;
+      opt "wall" (fun w -> Json.Float w) wall;
+      opt "sweeps" (fun s -> Json.Int s) sweeps;
+      opt "states" (fun s -> Json.Int s) states;
+      opt "simulate" (fun b -> Json.Bool b) simulate;
+    ]
+
+let solve_request ?id ?model ?law ?cap ?wall ?sweeps ?states ?simulate ~instance () =
+  Json.Obj
+    ([ ("v", Json.Int Protocol.version); ("cmd", Json.String "solve") ]
+    @ (match id with Some id -> [ ("id", id) ] | None -> [])
+    @ solve_fields ?model ?law ?cap ?wall ?sweeps ?states ?simulate ~instance ())
+
+let batch_request ?id items =
+  Json.Obj
+    ([ ("v", Json.Int Protocol.version); ("cmd", Json.String "batch") ]
+    @ (match id with Some id -> [ ("id", id) ] | None -> [])
+    @ [ ("requests", Json.List items) ])

@@ -1,0 +1,53 @@
+(** Blocking NDJSON client for the query daemon: one connection, one
+    request line out, one reply line back, in order.  Used by
+    [streaming_cli query] and the service load bench. *)
+
+type t
+
+val connect : Protocol.addr -> (t, string) result
+val close : t -> unit
+
+val rpc : t -> Json.t -> (Json.t, string) result
+(** Sends one request object, reads one reply line.  [Error] means a
+    transport problem (connection refused/reset, unparsable reply) —
+    protocol-level failures come back as [Ok] replies with [ok:false]. *)
+
+val rpc_raw : t -> string -> (string, string) result
+(** Same, without encoding/decoding — the load bench uses this to keep
+    client-side JSON cost out of the measured latency. *)
+
+(* ---- reply helpers ---- *)
+
+val reply_ok : Json.t -> bool
+(** The [ok] field (false when missing). *)
+
+val reply_error_kind : Json.t -> string option
+(** [error.kind] of an [ok:false] reply. *)
+
+val reply_result : Json.t -> Json.t option
+
+(* ---- canned requests ---- *)
+
+val ping : t -> (Json.t, string) result
+val stats : t -> (Json.t, string) result
+val shutdown : t -> (Json.t, string) result
+
+val solve_request :
+  ?id:Json.t ->
+  ?model:Streaming.Model.t ->
+  ?law:Engine.law ->
+  ?cap:int ->
+  ?wall:float ->
+  ?sweeps:int ->
+  ?states:int ->
+  ?simulate:bool ->
+  instance:string ->
+  unit ->
+  Json.t
+(** The request object for one solve; omitted fields are left to the
+    daemon's defaults.  Compose with {!rpc}, or wrap a list of them as a
+    batch with {!batch_request}. *)
+
+val batch_request : ?id:Json.t -> Json.t list -> Json.t
+(** Wraps solve request objects (their [cmd]/[v] fields are ignored by
+    the daemon) into one [batch] request. *)

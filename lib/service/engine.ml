@@ -1,0 +1,117 @@
+open Streaming
+
+type law = Deterministic | Exponential | Erlang of int
+
+let law_of_string s =
+  match String.split_on_char ':' s with
+  | [ "deterministic" ] -> Ok Deterministic
+  | [ "exponential" ] -> Ok Exponential
+  | [ "erlang"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 1 -> Ok (Erlang k)
+      | _ -> Error "erlang:K needs a positive integer phase count")
+  | _ -> Error (Printf.sprintf "unknown law %S (deterministic|exponential|erlang:K)" s)
+
+let law_to_string = function
+  | Deterministic -> "deterministic"
+  | Exponential -> "exponential"
+  | Erlang k -> Printf.sprintf "erlang:%d" k
+
+type query = {
+  instance : string;
+  model : Model.t;
+  law : law;
+  cap : int;
+  wall : float option;
+  sweeps : int option;
+  states : int option;
+  simulate : bool;
+}
+
+let default_cap = 500_000
+
+type prepared = { key : string; canonical : string; mapping : Mapping.t }
+
+let prepare q =
+  match Instance_io.parse q.instance with
+  | Error msg -> Error msg
+  | Ok mapping ->
+      let canonical = Instance_io.to_string mapping in
+      let key =
+        Printf.sprintf "v1|model=%s|law=%s|cap=%d|sim=%b\n%s" (Model.to_string q.model)
+          (law_to_string q.law) q.cap q.simulate canonical
+      in
+      Ok { key; canonical; mapping }
+
+type outcome = {
+  throughput : float;
+  quality : string;
+  degraded : bool;
+  provenance : string;
+  pattern_states : int;
+}
+
+(* state-space-size proxy: every communication pattern of the mapping
+   contributes its Young-lattice size S(u,v) — the quantity that actually
+   drives the cost of the exact solvers *)
+let pattern_state_count mapping =
+  let r = Mapping.replication mapping in
+  let total = ref 0 in
+  for i = 0 to Array.length r - 2 do
+    total := !total + Young.Combin.state_count ~u:r.(i) ~v:r.(i + 1)
+  done;
+  !total
+
+let quality_string = function
+  | Supervise.Provenance.Exact -> "exact"
+  | Supervise.Provenance.Iterative _ -> "iterative"
+  | Supervise.Provenance.Simulated _ -> "simulated"
+
+let budget_of q =
+  match (q.wall, q.sweeps, q.states) with
+  | None, None, None -> None
+  | wall, sweeps, states -> Some (Supervise.Budget.create ?wall ?sweeps ?states ())
+
+let exact rho = (rho, "exact", false, "exact")
+
+let solve prepared q =
+  let mapping = prepared.mapping in
+  match
+    match (q.law, q.model) with
+    | Deterministic, model -> exact (Deterministic.throughput mapping model)
+    | Exponential, Model.Overlap -> exact (Expo.overlap_throughput mapping)
+    | Exponential, Model.Strict ->
+        let budget = budget_of q in
+        let rho, prov =
+          if q.simulate then Experiments.Solve.throughput ~cap:q.cap ?budget mapping
+          else Expo.strict_throughput_supervised ~cap:q.cap ?budget mapping
+        in
+        ( rho,
+          quality_string prov.Supervise.Provenance.quality,
+          prov.Supervise.Provenance.degraded,
+          Supervise.Provenance.describe prov )
+    | Erlang phases, Model.Overlap -> exact (Expo.overlap_throughput_erlang ~phases mapping)
+    | Erlang phases, Model.Strict -> exact (Expo.strict_throughput_erlang ~cap:q.cap ~phases mapping)
+  with
+  | rho, quality, degraded, provenance ->
+      Ok
+        {
+          throughput = rho;
+          quality;
+          degraded;
+          provenance;
+          pattern_states = pattern_state_count mapping;
+        }
+  | exception Supervise.Error.Solver_error err -> Error err
+  | exception Invalid_argument msg ->
+      Error (Supervise.Error.Numerical { what = msg; where = "Service.Engine.solve" })
+
+let outcome_json o =
+  Json.Obj
+    [
+      ("throughput", Json.Float o.throughput);
+      ("quality", Json.String o.quality);
+      ("degraded", Json.Bool o.degraded);
+      ("provenance", Json.String o.provenance);
+      ("pattern_states", Json.Int o.pattern_states);
+    ]

@@ -1,0 +1,71 @@
+(** Query dispatch: one parsed [solve] request in, one solved (or typed
+    failure) out.  This is the seam between the wire protocol and the
+    paper's machinery — everything socket-shaped stays in {!Server},
+    everything solver-shaped is reached from here.
+
+    A query names an instance (in the {!Streaming.Instance_io} textual
+    format), an execution model, an operation-time law and optional
+    bounds.  Dispatch:
+
+    - [Deterministic] → critical-cycle analysis (§4), both models;
+    - [Exponential], Overlap → Theorem 3/4 per-column decomposition
+      (sharing the process-wide pattern caches);
+    - [Exponential], Strict → the supervised general method: marking
+      exploration under [cap], the GTH → Gauss–Seidel → power ladder
+      under the request's budget, and optionally (with [simulate]) the
+      DES final rung;
+    - [Erlang k] → the phase-expanded exact solvers of §6.
+
+    Budgets are per-request: the wall clock starts when the solve is
+    dispatched, never when the daemon starts. *)
+
+type law = Deterministic | Exponential | Erlang of int
+
+val law_of_string : string -> (law, string) result
+(** ["deterministic"], ["exponential"], ["erlang:K"] with [K >= 1]. *)
+
+val law_to_string : law -> string
+
+type query = {
+  instance : string;  (** instance text, [Instance_io] format *)
+  model : Streaming.Model.t;
+  law : law;
+  cap : int;  (** marking-exploration bound for the Strict solvers *)
+  wall : float option;  (** per-request wall-clock budget, seconds *)
+  sweeps : int option;  (** iterative-sweep budget *)
+  states : int option;  (** explored-state budget *)
+  simulate : bool;  (** allow the degraded DES rung (Strict+Exponential) *)
+}
+
+val default_cap : int
+
+type prepared = { key : string; canonical : string; mapping : Streaming.Mapping.t }
+
+val prepare : query -> (prepared, string) result
+(** Validates the instance through the hardened parser and canonicalizes
+    it: [key] is the cache key — the canonical instance rendering plus
+    every solve-relevant parameter (model, law, cap; budgets are
+    excluded, because they bound effort, not the value) — so two
+    textually different descriptions of the same solve share one cache
+    entry. *)
+
+type outcome = {
+  throughput : float;
+  quality : string;  (** ["exact"] | ["iterative"] | ["simulated"] *)
+  degraded : bool;
+  provenance : string;  (** the attempt trail, human-oriented *)
+  pattern_states : int;
+      (** state-space-size proxy: sum of S(u,v) over the instance's
+          communication patterns *)
+}
+
+val solve : prepared -> query -> (outcome, Supervise.Error.t) result
+(** Runs the dispatch above under a fresh budget built from the query.
+    [Invalid_argument] from a model constructor is mapped to a
+    [Numerical] solver error; no exception escapes for solver reasons. *)
+
+val outcome_json : outcome -> Json.t
+(** The [result] object of a [solve] reply; rendering it is what the
+    cache stores and replays byte-identically. *)
+
+val pattern_state_count : Streaming.Mapping.t -> int

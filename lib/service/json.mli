@@ -1,0 +1,43 @@
+(** Minimal self-contained JSON for the query service's NDJSON protocol.
+
+    [Supervise.Journal] carries a flat string-field codec that is enough
+    for experiment journals; the wire protocol needs the full value space
+    (numbers, booleans, nesting), so the service owns this one.  Rendering
+    is deterministic — object fields keep their construction order and
+    floats use the shortest decimal that parses back to the same value —
+    so rendering the same value twice yields byte-identical text.  The
+    result cache relies on this to replay answers verbatim. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val render : t -> string
+(** One line, no trailing newline.  Non-finite floats render as [null]
+    (JSON has no literal for them); solver outputs are vetted finite
+    before they get here. *)
+
+val parse : string -> (t, string) result
+(** Strict single-value parse of a whole line; trailing garbage, control
+    characters in strings, lone surrogates and truncated input are
+    errors.  Numbers without [.]/[e] that fit an OCaml [int] parse as
+    [Int], everything else as [Float]. *)
+
+(* ---- accessors used by the protocol layer ---- *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the field [k]; [None] on missing or non-object. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+(** [Int n] and integral [Float]s both convert. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert. *)
+
+val to_bool_opt : t -> bool option

@@ -1,0 +1,31 @@
+(** Bounded least-recently-used result cache, safe for concurrent use.
+
+    Keys are canonical request renderings (see {!Engine.cache_key}), so
+    two textually different requests that describe the same solve share
+    one entry.  Values are immutable rendered replies; a hit returns the
+    stored string verbatim, which is what makes repeated identical
+    queries byte-identical.  All operations take an internal mutex —
+    the daemon's connection threads and the batch pool insert
+    concurrently. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity >= 1]; raises [Invalid_argument] otherwise. *)
+
+val find : 'a t -> string -> 'a option
+(** Looks up and promotes the entry to most-recently-used; counts a hit
+    or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts (or refreshes) the entry as most-recently-used, evicting the
+    least-recently-used one when the cache is full. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without promotion and without touching the counters. *)
+
+type stats = { hits : int; misses : int; entries : int; capacity : int; evictions : int }
+
+val stats : 'a t -> stats
+val clear : 'a t -> unit
+(** Drops every entry; the hit/miss/eviction counters survive. *)

@@ -1,0 +1,120 @@
+(* Counter tables plus two fixed-bucket histograms.  Buckets are
+   cumulative-friendly "le" upper bounds with a final +inf catch-all, the
+   shape every scraping convention understands. *)
+
+let latency_bounds = [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0; 100.0 |]
+let states_bounds = [| 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000.; 10_000_000. |]
+
+type histogram = { bounds : float array; counts : int array; mutable total : int }
+
+let histogram bounds = { bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0 }
+
+let observe h v =
+  let rec bucket i =
+    if i >= Array.length h.bounds then Array.length h.bounds
+    else if v <= h.bounds.(i) then i
+    else bucket (i + 1)
+  in
+  h.counts.(bucket 0) <- h.counts.(bucket 0) + 1;
+  h.total <- h.total + 1
+
+type t = {
+  started : float;
+  requests : (string, int ref) Hashtbl.t;
+  errors : (string, int ref) Hashtbl.t;
+  provenance : (string, int ref) Hashtbl.t;
+  mutable solved : int;
+  mutable cache_served : int;
+  latency : histogram;
+  states : histogram;
+  mutex : Mutex.t;
+}
+
+let create () =
+  {
+    started = Unix.gettimeofday ();
+    requests = Hashtbl.create 8;
+    errors = Hashtbl.create 8;
+    provenance = Hashtbl.create 4;
+    solved = 0;
+    cache_served = 0;
+    latency = histogram latency_bounds;
+    states = histogram states_bounds;
+    mutex = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bump table key =
+  match Hashtbl.find_opt table key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace table key (ref 1)
+
+let record_request t ~cmd = locked t (fun () -> bump t.requests cmd)
+let record_error t ~kind = locked t (fun () -> bump t.errors kind)
+
+let record_solve t ~cached ~quality ~latency ~states =
+  locked t (fun () ->
+      t.solved <- t.solved + 1;
+      if cached then t.cache_served <- t.cache_served + 1;
+      bump t.provenance quality;
+      observe t.latency latency;
+      observe t.states (float_of_int states))
+
+let table_json table =
+  Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> fun fields -> Json.Obj fields
+
+let histogram_json h =
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i count ->
+           let le =
+             if i < Array.length h.bounds then Json.Float h.bounds.(i) else Json.String "inf"
+           in
+           Json.Obj [ ("le", le); ("count", Json.Int count) ])
+         h.counts)
+  in
+  Json.Obj [ ("total", Json.Int h.total); ("buckets", Json.List buckets) ]
+
+let to_json t =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+          ("requests", table_json t.requests);
+          ("errors", table_json t.errors);
+          ("solved", Json.Int t.solved);
+          ("cache_served", Json.Int t.cache_served);
+          ("provenance", table_json t.provenance);
+          ("latency_s", histogram_json t.latency);
+          ("pattern_states", histogram_json t.states);
+        ])
+
+let dump t ppf =
+  let j = to_json t in
+  let table title = function
+    | Some (Json.Obj fields) ->
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Json.Int n -> Format.fprintf ppf "%-24s %8d@." (title ^ "." ^ k) n
+            | _ -> ())
+          fields
+    | _ -> ()
+  in
+  (match Json.member "uptime_s" j with
+  | Some (Json.Float s) -> Format.fprintf ppf "%-24s %10.3f s@." "uptime" s
+  | _ -> ());
+  table "requests" (Json.member "requests" j);
+  table "errors" (Json.member "errors" j);
+  (match (Json.member "solved" j, Json.member "cache_served" j) with
+  | Some (Json.Int s), Some (Json.Int c) ->
+      Format.fprintf ppf "%-24s %8d@." "solved" s;
+      Format.fprintf ppf "%-24s %8d@." "cache_served" c
+  | _ -> ());
+  table "provenance" (Json.member "provenance" j)

@@ -1,0 +1,28 @@
+(** Live daemon metrics: request/error/busy counters, a log-scale solve
+    latency histogram, a state-space-size histogram and per-result
+    provenance counts.  Served by the [stats] command and dumped to
+    stderr during graceful drain.  Thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val record_request : t -> cmd:string -> unit
+(** Counts one incoming request under its command name (including
+    requests that later fail). *)
+
+val record_error : t -> kind:string -> unit
+(** Counts one error reply under its protocol error kind ([busy]
+    rejections land here too). *)
+
+val record_solve : t -> cached:bool -> quality:string -> latency:float -> states:int -> unit
+(** Counts one answered solve: cache hit/served-from-cache vs computed,
+    winning quality ([exact]/[iterative]/[simulated]), wall latency in
+    seconds and the pattern-state-space size proxy of the instance. *)
+
+val to_json : t -> Json.t
+(** Everything above as one stable JSON object (histograms as
+    [{"le": bound, "count": n}] lists with a final catch-all bucket). *)
+
+val dump : t -> Format.formatter -> unit
+(** Human-oriented one-per-line rendering for the drain log. *)

@@ -1,0 +1,218 @@
+let version = 1
+
+type error =
+  | Parse_error of string
+  | Version_mismatch of { got : string }
+  | Unknown_command of string
+  | Bad_request of string
+  | Oversized_frame of { limit : int }
+  | Busy of { inflight : int; limit : int }
+  | Solver of Supervise.Error.t
+  | Internal of string
+
+let error_kind = function
+  | Parse_error _ -> "parse_error"
+  | Version_mismatch _ -> "version_mismatch"
+  | Unknown_command _ -> "unknown_command"
+  | Bad_request _ -> "bad_request"
+  | Oversized_frame _ -> "oversized_frame"
+  | Busy _ -> "busy"
+  | Internal _ -> "internal"
+  | Solver err -> (
+      match err with
+      | Supervise.Error.No_convergence _ -> "no_convergence"
+      | Supervise.Error.State_space_exceeded _ -> "state_space_exceeded"
+      | Supervise.Error.Non_ergodic _ -> "non_ergodic"
+      | Supervise.Error.Numerical _ -> "numerical"
+      | Supervise.Error.Budget_exhausted _ -> "budget_exhausted")
+
+let error_message = function
+  | Parse_error msg -> "malformed JSON: " ^ msg
+  | Version_mismatch { got } ->
+      Printf.sprintf "protocol version mismatch: daemon speaks %d, request says %s" version got
+  | Unknown_command cmd -> Printf.sprintf "unknown command %S" cmd
+  | Bad_request msg -> msg
+  | Oversized_frame { limit } -> Printf.sprintf "frame exceeds the %d-byte limit" limit
+  | Busy { inflight; limit } ->
+      Printf.sprintf "daemon busy: %d request(s) in flight (limit %d); retry later" inflight limit
+  | Solver err -> Supervise.Error.to_string err
+  | Internal msg -> "internal error: " ^ msg
+
+(* the typed payload survives the wire: a client can react to
+   [budget_exhausted] vs [state_space_exceeded] without parsing prose *)
+let error_extras = function
+  | Solver (Supervise.Error.No_convergence { sweeps; residual }) ->
+      [ ("sweeps", Json.Int sweeps); ("residual", Json.Float residual) ]
+  | Solver (Supervise.Error.State_space_exceeded { cap; explored }) ->
+      [ ("cap", Json.Int cap); ("explored", Json.Int explored) ]
+  | Solver (Supervise.Error.Non_ergodic { recurrent; transient }) ->
+      [ ("recurrent", Json.Int recurrent); ("transient", Json.Int transient) ]
+  | Solver (Supervise.Error.Numerical { what; where }) ->
+      [ ("what", Json.String what); ("where", Json.String where) ]
+  | Solver (Supervise.Error.Budget_exhausted { elapsed }) ->
+      [ ("elapsed_s", Json.Float elapsed) ]
+  | Busy { inflight; limit } -> [ ("inflight", Json.Int inflight); ("limit", Json.Int limit) ]
+  | Oversized_frame { limit } -> [ ("limit", Json.Int limit) ]
+  | _ -> []
+
+let retriable = function Busy _ -> true | _ -> false
+
+let error_json e =
+  Json.Obj
+    ([
+       ("kind", Json.String (error_kind e));
+       ("message", Json.String (error_message e));
+       ("retriable", Json.Bool (retriable e));
+     ]
+    @ error_extras e)
+
+(* ---- request decoding ---- *)
+
+let decode_query json =
+  let str k = Option.bind (Json.member k json) Json.to_string_opt in
+  let int k = Option.bind (Json.member k json) Json.to_int_opt in
+  let flt k = Option.bind (Json.member k json) Json.to_float_opt in
+  let bool_ k = Option.bind (Json.member k json) Json.to_bool_opt in
+  let field_type_ok k conv =
+    match Json.member k json with None -> true | Some v -> conv v <> None
+  in
+  if not (field_type_ok "instance" Json.to_string_opt) then
+    Error (Bad_request "field 'instance' must be a string")
+  else
+    match str "instance" with
+    | None -> Error (Bad_request "solve needs a string field 'instance'")
+    | Some instance -> (
+        let model_result =
+          match str "model" with
+          | None when field_type_ok "model" Json.to_string_opt -> Ok Streaming.Model.Overlap
+          | Some "overlap" -> Ok Streaming.Model.Overlap
+          | Some "strict" -> Ok Streaming.Model.Strict
+          | Some m -> Error (Bad_request (Printf.sprintf "unknown model %S (overlap|strict)" m))
+          | None -> Error (Bad_request "field 'model' must be a string")
+        in
+        let law_result =
+          match str "law" with
+          | None when field_type_ok "law" Json.to_string_opt -> Ok Engine.Exponential
+          | Some l -> (
+              match Engine.law_of_string l with
+              | Ok law -> Ok law
+              | Error msg -> Error (Bad_request msg))
+          | None -> Error (Bad_request "field 'law' must be a string")
+        in
+        match (model_result, law_result) with
+        | Error e, _ | _, Error e -> Error e
+        | Ok model, Ok law ->
+            let cap = Option.value (int "cap") ~default:Engine.default_cap in
+            let wall = flt "wall" in
+            let sweeps = int "sweeps" in
+            let states = int "states" in
+            let simulate = Option.value (bool_ "simulate") ~default:false in
+            let bad_opt check = function Some v -> not (check v) | None -> false in
+            if cap <= 0 then Error (Bad_request "cap must be positive")
+            else if bad_opt (fun w -> w > 0.0 && Float.is_finite w) wall then
+              Error (Bad_request "wall must be positive and finite")
+            else if bad_opt (fun s -> s > 0) sweeps then Error (Bad_request "sweeps must be positive")
+            else if bad_opt (fun s -> s > 0) states then Error (Bad_request "states must be positive")
+            else Ok { Engine.instance; model; law; cap; wall; sweeps; states; simulate })
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Solve of Engine.query
+  | Batch of (Engine.query, error) result list
+
+let max_batch = 64
+
+let parse_request json =
+  let id = Json.member "id" json in
+  match json with
+  | Json.Obj _ -> (
+      let v_ok =
+        match Json.member "v" json with
+        | None -> Ok ()
+        | Some (Json.Int v) when v = version -> Ok ()
+        | Some other -> Error (Version_mismatch { got = Json.render other })
+      in
+      match v_ok with
+      | Error e -> Error (id, e)
+      | Ok () -> (
+          match Option.bind (Json.member "cmd" json) Json.to_string_opt with
+          | None -> Error (id, Bad_request "request needs a string field 'cmd'")
+          | Some "ping" -> Ok (id, Ping)
+          | Some "stats" -> Ok (id, Stats)
+          | Some "shutdown" -> Ok (id, Shutdown)
+          | Some "solve" -> (
+              match decode_query json with
+              | Ok q -> Ok (id, Solve q)
+              | Error e -> Error (id, e))
+          | Some "batch" -> (
+              match Json.member "requests" json with
+              | Some (Json.List items) when List.length items <= max_batch ->
+                  Ok (id, Batch (List.map decode_query items))
+              | Some (Json.List items) ->
+                  Error
+                    ( id,
+                      Bad_request
+                        (Printf.sprintf "batch of %d exceeds the %d-request limit"
+                           (List.length items) max_batch) )
+              | _ -> Error (id, Bad_request "batch needs a list field 'requests'"))
+          | Some cmd -> Error (id, Unknown_command cmd)))
+  | _ -> Error (None, Parse_error "request must be a JSON object")
+
+(* ---- reply assembly ----
+   Replies are assembled by splicing rendered fragments, so a cached
+   [result] string reaches the wire byte-for-byte unchanged. *)
+
+let id_fragment = function
+  | None -> ""
+  | Some id -> Printf.sprintf "\"id\":%s," (Json.render id)
+
+let ok_reply ~id ?cached ~result () =
+  let cached_fragment =
+    match cached with
+    | None -> ""
+    | Some c -> Printf.sprintf "\"cached\":%b," c
+  in
+  Printf.sprintf "{\"v\":%d,%s\"ok\":true,%s\"result\":%s}" version (id_fragment id)
+    cached_fragment result
+
+let error_reply ~id e =
+  Printf.sprintf "{\"v\":%d,%s\"ok\":false,\"error\":%s}" version (id_fragment id)
+    (Json.render (error_json e))
+
+(* ---- addresses ---- *)
+
+type addr = Unix_domain of string | Tcp of string * int
+
+let addr_of_string s =
+  let port_of p =
+    match int_of_string_opt p with
+    | Some port when port > 0 && port < 65536 -> Ok port
+    | _ -> Error (Printf.sprintf "bad port %S" p)
+  in
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_domain (String.sub s 5 (String.length s - 5)))
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then
+    match String.split_on_char ':' (String.sub s 4 (String.length s - 4)) with
+    | [ host; p ] -> Result.map (fun port -> Tcp (host, port)) (port_of p)
+    | [ p ] -> Result.map (fun port -> Tcp ("127.0.0.1", port)) (port_of p)
+    | _ -> Error (Printf.sprintf "bad tcp address %S (use tcp:HOST:PORT)" s)
+  else if s = "" then Error "empty service address"
+  else Ok (Unix_domain s)
+
+let addr_to_string = function
+  | Unix_domain path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let sockaddr_of = function
+  | Unix_domain path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      Unix.ADDR_INET (ip, port)

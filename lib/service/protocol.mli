@@ -1,0 +1,70 @@
+(** The wire protocol of the throughput query service.
+
+    Version 1, newline-delimited JSON: each request is one JSON object on
+    one line, each reply one object on one line, in request order.
+
+    Requests: [{"v":1, "id":..., "cmd":"solve"|"batch"|"stats"|"ping"|
+    "shutdown", ...}].  ["v"] defaults to 1 when absent; any other value
+    is a [version_mismatch].  ["id"] is an arbitrary JSON value echoed
+    verbatim in the reply (absent → omitted).
+
+    [solve] fields: ["instance"] (string, {!Streaming.Instance_io}
+    format, required), ["model"] ("overlap", default | "strict"),
+    ["law"] ("deterministic" | "exponential", default | "erlang:K"),
+    ["cap"], ["wall"], ["sweeps"], ["states"], ["simulate"] (bool).
+    [batch] carries ["requests"], a list of solve-field objects.
+
+    Replies: [{"v":1, "id":..., "ok":true, "cached":bool, "result":{...}}]
+    or [{"v":1, "id":..., "ok":false, "error":{"kind":..., "message":...,
+    "retriable":bool, ...}}].  Solver failures keep their typed payload
+    ([budget_exhausted] carries ["elapsed_s"], [state_space_exceeded]
+    carries ["cap"]/["explored"], ...). *)
+
+val version : int
+
+(** Typed reasons a request is answered with [ok:false]. *)
+type error =
+  | Parse_error of string  (** the line is not a JSON object *)
+  | Version_mismatch of { got : string }
+  | Unknown_command of string
+  | Bad_request of string  (** well-formed JSON, invalid fields/instance *)
+  | Oversized_frame of { limit : int }
+  | Busy of { inflight : int; limit : int }  (** backpressure; retriable *)
+  | Solver of Supervise.Error.t
+  | Internal of string
+
+val error_kind : error -> string
+(** The stable [kind] string of the reply ([parse_error], [busy],
+    [budget_exhausted], ...). *)
+
+val error_json : error -> Json.t
+(** The ["error"] object: kind, message, retriable, typed extras. *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Solve of Engine.query
+  | Batch of (Engine.query, error) result list
+
+val parse_request : Json.t -> (Json.t option * request, Json.t option * error) result
+(** Decodes one request object; the first component is the echoed [id].
+    A [Batch] keeps per-item decode errors in place so one bad item does
+    not poison its siblings. *)
+
+val ok_reply : id:Json.t option -> ?cached:bool -> result:string -> unit -> string
+(** Assembles an [ok:true] reply line around an already-rendered
+    [result] object, splicing it verbatim — the cache's byte-identical
+    replay depends on this. *)
+
+val error_reply : id:Json.t option -> error -> string
+
+(* ---- service addresses ---- *)
+
+type addr = Unix_domain of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"], or a bare path (→ Unix domain). *)
+
+val addr_to_string : addr -> string
+val sockaddr_of : addr -> Unix.sockaddr

@@ -1,0 +1,350 @@
+type config = {
+  cache_capacity : int;
+  max_inflight : int;
+  max_frame : int;
+  default_wall : float option;
+  log : Format.formatter;
+}
+
+let default_config () =
+  {
+    cache_capacity = 256;
+    max_inflight = 4 * Parallel.Pool.size (Parallel.Pool.get ());
+    max_frame = 1 lsl 20;
+    default_wall = None;
+    log = Format.err_formatter;
+  }
+
+(* what a cache hit replays: the rendered result object verbatim, plus the
+   two numbers the metrics want without re-parsing it *)
+type entry = { rendered : string; quality : string; states : int }
+
+type t = {
+  config : config;
+  metrics : Metrics.t;
+  cache : entry Lru.t;
+  admit_mutex : Mutex.t;
+  mutable inflight : int;
+  stop : bool Atomic.t;
+  mutable stop_pipe : (Unix.file_descr * Unix.file_descr) option;
+}
+
+let create config =
+  {
+    config;
+    metrics = Metrics.create ();
+    cache = Lru.create ~capacity:config.cache_capacity;
+    admit_mutex = Mutex.create ();
+    inflight = 0;
+    stop = Atomic.make false;
+    stop_pipe = None;
+  }
+
+let metrics t = t.metrics
+let cache t = t.cache
+
+let request_stop t =
+  if not (Atomic.exchange t.stop true) then
+    match t.stop_pipe with
+    | Some (_, wr) -> ( try ignore (Unix.write_substring wr "x" 0 1) with Unix.Unix_error _ -> ())
+    | None -> ()
+
+(* ---- admission control: bounded in-flight solves, busy past it ---- *)
+
+let try_admit t =
+  Mutex.lock t.admit_mutex;
+  let admitted = t.inflight < t.config.max_inflight in
+  if admitted then t.inflight <- t.inflight + 1;
+  let current = t.inflight in
+  Mutex.unlock t.admit_mutex;
+  if admitted then Ok ()
+  else Error (Protocol.Busy { inflight = current; limit = t.config.max_inflight })
+
+let release t () =
+  Mutex.lock t.admit_mutex;
+  t.inflight <- t.inflight - 1;
+  Mutex.unlock t.admit_mutex
+
+let stats_json t =
+  let c = Lru.stats t.cache in
+  Mutex.lock t.admit_mutex;
+  let inflight = t.inflight in
+  Mutex.unlock t.admit_mutex;
+  Json.Obj
+    [
+      ("version", Json.Int Protocol.version);
+      ("metrics", Metrics.to_json t.metrics);
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int c.Lru.hits);
+            ("misses", Json.Int c.Lru.misses);
+            ("entries", Json.Int c.Lru.entries);
+            ("capacity", Json.Int c.Lru.capacity);
+            ("evictions", Json.Int c.Lru.evictions);
+          ] );
+      ("pool_domains", Json.Int (Parallel.Pool.size (Parallel.Pool.get ())));
+      ("inflight", Json.Int inflight);
+      ("max_inflight", Json.Int t.config.max_inflight);
+      ("max_frame", Json.Int t.config.max_frame);
+      ("draining", Json.Bool (Atomic.get t.stop));
+    ]
+
+(* ---- one solve, cache-first ---- *)
+
+let solve_one t q =
+  match Engine.prepare q with
+  | Error msg -> Error (Protocol.Bad_request msg)
+  | Ok prepared -> (
+      let t0 = Unix.gettimeofday () in
+      match Lru.find t.cache prepared.Engine.key with
+      | Some entry ->
+          Metrics.record_solve t.metrics ~cached:true ~quality:entry.quality
+            ~latency:(Unix.gettimeofday () -. t0)
+            ~states:entry.states;
+          Ok (entry.rendered, true)
+      | None -> (
+          (* the server-side wall ceiling protects the daemon from
+             budget-less requests; an explicit client budget wins *)
+          let q =
+            match (q.Engine.wall, t.config.default_wall) with
+            | None, Some _ -> { q with Engine.wall = t.config.default_wall }
+            | _ -> q
+          in
+          match Engine.solve prepared q with
+          | Ok outcome ->
+              let rendered = Json.render (Engine.outcome_json outcome) in
+              Lru.add t.cache prepared.Engine.key
+                {
+                  rendered;
+                  quality = outcome.Engine.quality;
+                  states = outcome.Engine.pattern_states;
+                };
+              Metrics.record_solve t.metrics ~cached:false ~quality:outcome.Engine.quality
+                ~latency:(Unix.gettimeofday () -. t0)
+                ~states:outcome.Engine.pattern_states;
+              Ok (rendered, false)
+          | Error err -> Error (Protocol.Solver err)))
+
+(* ---- request dispatch ---- *)
+
+let respond t line =
+  let err id e =
+    Metrics.record_error t.metrics ~kind:(Protocol.error_kind e);
+    (Protocol.error_reply ~id e, `Continue)
+  in
+  match Json.parse line with
+  | Error msg ->
+      Metrics.record_request t.metrics ~cmd:"invalid";
+      err None (Protocol.Parse_error msg)
+  | Ok json -> (
+      match Protocol.parse_request json with
+      | Error (id, e) ->
+          Metrics.record_request t.metrics ~cmd:"invalid";
+          err id e
+      | Ok (id, request) -> (
+          let cmd =
+            match request with
+            | Protocol.Ping -> "ping"
+            | Protocol.Stats -> "stats"
+            | Protocol.Shutdown -> "shutdown"
+            | Protocol.Solve _ -> "solve"
+            | Protocol.Batch _ -> "batch"
+          in
+          Metrics.record_request t.metrics ~cmd;
+          match request with
+          | Protocol.Ping ->
+              let result =
+                Json.render (Json.Obj [ ("pong", Json.Bool true); ("version", Json.Int Protocol.version) ])
+              in
+              (Protocol.ok_reply ~id ~result (), `Continue)
+          | Protocol.Stats ->
+              (Protocol.ok_reply ~id ~result:(Json.render (stats_json t)) (), `Continue)
+          | Protocol.Shutdown ->
+              let result = Json.render (Json.Obj [ ("stopping", Json.Bool true) ]) in
+              (Protocol.ok_reply ~id ~result (), `Shutdown)
+          | Protocol.Solve q -> (
+              match try_admit t with
+              | Error busy -> err id busy
+              | Ok () -> (
+                  Fun.protect ~finally:(release t) @@ fun () ->
+                  match solve_one t q with
+                  | Ok (rendered, cached) ->
+                      (Protocol.ok_reply ~id ~cached ~result:rendered (), `Continue)
+                  | Error e -> err id e))
+          | Protocol.Batch items -> (
+              match try_admit t with
+              | Error busy -> err id busy
+              | Ok () ->
+                  Fun.protect ~finally:(release t) @@ fun () ->
+                  let item_error e =
+                    Metrics.record_error t.metrics ~kind:(Protocol.error_kind e);
+                    Printf.sprintf "{\"ok\":false,\"error\":%s}" (Json.render (Protocol.error_json e))
+                  in
+                  let parts =
+                    Parallel.Pool.map_list (Parallel.Pool.get ())
+                      (fun item ->
+                        match item with
+                        | Error e -> item_error e
+                        | Ok q -> (
+                            match solve_one t q with
+                            | Ok (rendered, cached) ->
+                                Printf.sprintf "{\"ok\":true,\"cached\":%b,\"result\":%s}" cached
+                                  rendered
+                            | Error e -> item_error e))
+                      items
+                  in
+                  let result =
+                    Printf.sprintf "{\"count\":%d,\"results\":[%s]}" (List.length items)
+                      (String.concat "," parts)
+                  in
+                  (Protocol.ok_reply ~id ~result (), `Continue))))
+
+(* ---- the socket loop ---- *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send fd line = match write_all fd (line ^ "\n") 0 (String.length line + 1) with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+(* Wait until [fd] has data or the stop pipe fires; the stop byte is never
+   consumed, so one write wakes every waiter, now and later. *)
+let rec wait_readable fd stop_rd =
+  match Unix.select [ fd; stop_rd ] [] [] (-1.0) with
+  | readable, _, _ -> List.mem fd readable
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd stop_rd
+
+let conn_loop t stop_rd fd =
+  let chunk_len = 4096 in
+  let chunk = Bytes.create chunk_len in
+  let acc = Buffer.create 512 in
+  let skipping = ref false in
+  let alive = ref true in
+  let process_line line =
+    if String.trim line <> "" then begin
+      let reply, k = respond t line in
+      if not (send fd reply) then alive := false;
+      match k with
+      | `Shutdown ->
+          request_stop t;
+          alive := false
+      | `Continue -> ()
+    end
+  in
+  let feed_char c =
+    if c = '\n' then begin
+      if !skipping then skipping := false
+      else begin
+        let line = Buffer.contents acc in
+        Buffer.clear acc;
+        process_line line
+      end;
+      (* a drain lets the request that is already being served finish,
+         then closes the connection instead of reading the next frame *)
+      if Atomic.get t.stop then alive := false
+    end
+    else if not !skipping then begin
+      Buffer.add_char acc c;
+      if Buffer.length acc > t.config.max_frame then begin
+        Buffer.clear acc;
+        skipping := true;
+        Metrics.record_error t.metrics ~kind:"oversized_frame";
+        if
+          not
+            (send fd
+               (Protocol.error_reply ~id:None
+                  (Protocol.Oversized_frame { limit = t.config.max_frame })))
+        then alive := false
+      end
+    end
+  in
+  while !alive do
+    if not (wait_readable fd stop_rd) then alive := false
+    else
+      match Unix.read fd chunk 0 chunk_len with
+      | 0 ->
+          (* EOF: an unterminated tail is a truncated frame — answer it
+             (best effort; the peer may be gone) and close *)
+          if Buffer.length acc > 0 && not !skipping then begin
+            Metrics.record_error t.metrics ~kind:"parse_error";
+            ignore
+              (send fd
+                 (Protocol.error_reply ~id:None
+                    (Protocol.Parse_error "truncated line: no newline before end of stream")))
+          end;
+          alive := false
+      | n ->
+          for i = 0 to n - 1 do
+            feed_char (Bytes.get chunk i)
+          done
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> alive := false
+  done;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve t addr =
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let stop_rd, stop_wr = Unix.pipe () in
+  t.stop_pipe <- Some (stop_rd, stop_wr);
+  if Atomic.get t.stop then ignore (Unix.write_substring stop_wr "x" 0 1);
+  let on_signal = Sys.Signal_handle (fun _ -> request_stop t) in
+  let old_term = Sys.signal Sys.sigterm on_signal in
+  let old_int = Sys.signal Sys.sigint on_signal in
+  let domain =
+    match addr with Protocol.Unix_domain _ -> Unix.PF_UNIX | Protocol.Tcp _ -> Unix.PF_INET
+  in
+  let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let cleanup_path () =
+    match addr with
+    | Protocol.Unix_domain path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Protocol.Tcp _ -> ()
+  in
+  let finally () =
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    cleanup_path ();
+    t.stop_pipe <- None;
+    (try Unix.close stop_rd with Unix.Unix_error _ -> ());
+    (try Unix.close stop_wr with Unix.Unix_error _ -> ());
+    ignore (Sys.signal Sys.sigterm old_term);
+    ignore (Sys.signal Sys.sigint old_int);
+    ignore (Sys.signal Sys.sigpipe old_pipe)
+  in
+  Fun.protect ~finally @@ fun () ->
+  (match addr with Protocol.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true | _ -> ());
+  cleanup_path ();
+  Unix.bind listen_fd (Protocol.sockaddr_of addr);
+  Unix.listen listen_fd 64;
+  Format.fprintf t.config.log "service: listening on %s (cache %d, inflight limit %d)@."
+    (Protocol.addr_to_string addr) t.config.cache_capacity t.config.max_inflight;
+  let conns_mutex = Mutex.create () in
+  let conns = ref [] in
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then
+      if wait_readable listen_fd stop_rd then begin
+        (match Unix.accept listen_fd with
+        | fd, _ ->
+            let th = Thread.create (fun () -> conn_loop t stop_rd fd) () in
+            Mutex.lock conns_mutex;
+            conns := th :: !conns;
+            Mutex.unlock conns_mutex
+        | exception Unix.Unix_error _ -> ());
+        accept_loop ()
+      end
+  in
+  accept_loop ();
+  Format.fprintf t.config.log "service: draining %d connection(s)@."
+    (Mutex.lock conns_mutex;
+     let n = List.length !conns in
+     Mutex.unlock conns_mutex;
+     n);
+  Mutex.lock conns_mutex;
+  let threads = !conns in
+  Mutex.unlock conns_mutex;
+  List.iter Thread.join threads;
+  Format.fprintf t.config.log "service: drained; final metrics:@.";
+  Metrics.dump t.metrics t.config.log

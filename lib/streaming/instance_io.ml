@@ -161,3 +161,10 @@ let print ppf mapping =
     Array.iter (fun p -> Format.fprintf ppf " %d" p) (Mapping.team mapping i);
     Format.fprintf ppf "@\n"
   done
+
+let to_string mapping =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  print ppf mapping;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

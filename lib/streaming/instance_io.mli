@@ -30,3 +30,11 @@ val parse_file : string -> (Mapping.t, string) result
 
 val print : Format.formatter -> Mapping.t -> unit
 (** Write a mapping back in the same format. *)
+
+val to_string : Mapping.t -> string
+(** The canonical rendering of a mapping: {!print} into a string.  Two
+    instance texts that parse to the same mapping render identically
+    (whatever their spacing, comments, line order or float spellings), and
+    the rendering parses back to the same mapping — [parse ∘ to_string =
+    id].  The query service's cache keys and the experiment journals both
+    key on this rendering. *)

@@ -88,6 +88,30 @@ let test_roundtrip () =
             (Deterministic.throughput mapping' model))
         Model.all
 
+(* canonical rendering: [to_string] is a fixed point of [parse] — render,
+   reparse, render again and the bytes are identical.  The query service
+   derives its cache keys from this rendering, so two textually different
+   descriptions of the same instance collide exactly when this property
+   holds. *)
+let qcheck_render_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string m) renders back byte-identically" ~count:60
+    QCheck.small_int (fun seed ->
+      let g = Prng.create ~seed:(9_000 + seed) in
+      let params =
+        {
+          Workload.Gen.n_stages = 2 + (seed mod 4);
+          n_procs = 6 + (seed mod 7);
+          comp_range = (0.5, 20.);
+          comm_range = (0.25, 10.);
+          max_rows = 40;
+        }
+      in
+      let mapping = Workload.Gen.random_mapping g params in
+      let text = Instance_io.to_string mapping in
+      match Instance_io.parse text with
+      | Error msg -> QCheck.Test.fail_reportf "reparse failed: %s" msg
+      | Ok mapping' -> String.equal text (Instance_io.to_string mapping'))
+
 let test_parse_file_missing () =
   match Instance_io.parse_file "/nonexistent/instance.txt" with
   | Ok _ -> Alcotest.fail "expected an error"
@@ -143,6 +167,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "insane numbers" `Quick test_parse_insane_numbers;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_render_roundtrip;
           Alcotest.test_case "missing file" `Quick test_parse_file_missing;
         ] );
       ("example C", [ Alcotest.test_case "structure" `Quick test_example_c_structure ]);

@@ -88,6 +88,42 @@ let test_replicated_sims_deterministic () =
   in
   check_floats "replications identical across pool sizes" (run 1) (run 4)
 
+(* ---- shutdown semantics the query daemon's graceful drain relies on ---- *)
+
+let test_shutdown_idempotent () =
+  let pool = Parallel.Pool.create ~domains:4 in
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool;
+  (* with the workers gone, a map still returns the right answer: the
+     caller executes every task itself *)
+  let ys = Parallel.Pool.map_list pool (fun x -> x * x) [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "map after shutdown" [ 1; 4; 9; 16 ] ys
+
+let test_shutdown_concurrent () =
+  let pool = Parallel.Pool.create ~domains:4 in
+  let closers =
+    List.init 8 (fun _ -> Thread.create (fun () -> Parallel.Pool.shutdown pool) ())
+  in
+  Parallel.Pool.shutdown pool;
+  List.iter Thread.join closers;
+  Alcotest.(check (list int))
+    "usable after a shutdown race" [ 2; 4; 6 ]
+    (Parallel.Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_shutdown_during_inflight_map () =
+  let pool = Parallel.Pool.create ~domains:4 in
+  let closer =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.003;
+        Parallel.Pool.shutdown pool)
+      ()
+  in
+  let xs = List.init 200 Fun.id in
+  let ys = Parallel.Pool.map_list pool (fun x -> Thread.delay 0.0002; x + 1) xs in
+  Thread.join closer;
+  Alcotest.(check (list int)) "in-flight map completes" (List.map succ xs) ys
+
 let () =
   Alcotest.run "parallel"
     [
@@ -102,5 +138,11 @@ let () =
         [
           Alcotest.test_case "nested maps" `Quick test_nested_map_no_deadlock;
           Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "idempotent, usable after" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "concurrent closers" `Quick test_shutdown_concurrent;
+          Alcotest.test_case "in-flight map completes" `Quick test_shutdown_during_inflight_map;
         ] );
     ]

@@ -1,0 +1,478 @@
+(* The throughput query service: JSON codec, LRU cache, NDJSON protocol
+   semantics (through Server.respond, no socket needed), socket behaviour
+   (in-process daemon on a temp Unix socket) and the CLI serve/query pair
+   end to end.  Socket tests skip gracefully on platforms without
+   Unix-domain sockets. *)
+
+open Service
+
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let config ?(cache = 8) ?(max_inflight = 4) ?(max_frame = 1 lsl 20) ?wall () =
+  {
+    Server.cache_capacity = cache;
+    max_inflight;
+    max_frame;
+    default_wall = wall;
+    log = null_ppf;
+  }
+
+(* a (1,2)-replicated two-stage system: small enough that every law and
+   model solves instantly *)
+let instance =
+  "stages 2\nwork 1 1\nfiles 1\nprocessors 3\nspeeds 1 1 1\nbandwidth default 1\n\
+   team 0\nteam 1 2\n"
+
+(* the same system, textually scrambled: comments, spacing, redundant
+   decimals.  Canonicalization must collapse both onto one cache key. *)
+let instance_messy =
+  "# same system, different bytes\nstages    2\nwork 1.0   1\nfiles 1.00\n\
+   processors 3\nspeeds 1 1.0 1.000\nbandwidth   default 1.0\nteam 0\nteam 1 2\n"
+
+(* the four-stage system of the instance_io tests: big enough that the
+   strict exponential ladder does real work, so a vanishing wall budget
+   reliably exhausts *)
+let big_instance =
+  "stages 4\nwork 52 48 72 32\nfiles 24 36 28\nprocessors 7\n\
+   speeds 2 0.8 1.1 0.9 1.3 0.7 1.6\nbandwidth default 0.5\n\
+   team 0\nteam 1 2\nteam 3 4 5\nteam 6\n"
+
+let parse_reply line =
+  match Json.parse line with
+  | Ok j -> j
+  | Error msg -> Alcotest.fail (Printf.sprintf "unparsable reply %S: %s" line msg)
+
+let respond server line = fst (Server.respond server line)
+
+let expect_error_kind server line kind =
+  let reply = parse_reply (respond server line) in
+  Alcotest.(check bool) "ok:false" false (Client.reply_ok reply);
+  Alcotest.(check (option string)) ("kind " ^ kind) (Some kind) (Client.reply_error_kind reply)
+
+let solve_line ?model ?law ?cap ?wall ?simulate inst =
+  Json.render (Client.solve_request ?model ?law ?cap ?wall ?simulate ~instance:inst ())
+
+(* ---- JSON codec ---- *)
+
+let test_json_roundtrip () =
+  let value =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("b", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("x", Json.Float 0.1);
+        ("big", Json.Float 1.5e300);
+        ("s", Json.String "a\"b\\c\nd\té");
+        ("l", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "" ]);
+        ("o", Json.Obj [ ("k", Json.List []) ]);
+      ]
+  in
+  let text = Json.render value in
+  (match Json.parse text with
+  | Error msg -> Alcotest.fail msg
+  | Ok value' ->
+      Alcotest.(check string) "render ∘ parse ∘ render" text (Json.render value'));
+  (* deterministic rendering: same value, same bytes *)
+  Alcotest.(check string) "rendering is stable" text (Json.render value)
+
+let test_json_escapes () =
+  (match Json.parse {|"café \n A"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "unicode escapes" "café \n A" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error msg -> Alcotest.fail msg);
+  match Json.parse "\"tab\tinside\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "raw control character accepted"
+
+let test_json_rejects () =
+  let bad = [ "{"; "[1,2"; "{} trailing"; "01"; {|{"a":}|}; {|"\ud800"|}; "nul" ] in
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" text))
+    bad
+
+(* ---- LRU ---- *)
+
+let test_lru_eviction_order () =
+  let lru = Lru.create ~capacity:2 in
+  Lru.add lru "a" 1;
+  Lru.add lru "b" 2;
+  Lru.add lru "c" 3;
+  (* capacity 2: inserting c evicts the least recently used, a *)
+  Alcotest.(check bool) "a evicted" false (Lru.mem lru "a");
+  Alcotest.(check bool) "b kept" true (Lru.mem lru "b");
+  Alcotest.(check bool) "c kept" true (Lru.mem lru "c");
+  let s = Lru.stats lru in
+  Alcotest.(check int) "one eviction" 1 s.Lru.evictions;
+  Alcotest.(check int) "two entries" 2 s.Lru.entries
+
+let test_lru_promotion () =
+  let lru = Lru.create ~capacity:2 in
+  Lru.add lru "a" 1;
+  Lru.add lru "b" 2;
+  (* touching a makes b the eviction victim *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find lru "a");
+  Lru.add lru "c" 3;
+  Alcotest.(check bool) "a survives (promoted)" true (Lru.mem lru "a");
+  Alcotest.(check bool) "b evicted" false (Lru.mem lru "b")
+
+let test_lru_counters () =
+  let lru = Lru.create ~capacity:4 in
+  Alcotest.(check (option int)) "miss" None (Lru.find lru "x");
+  Lru.add lru "x" 7;
+  Alcotest.(check (option int)) "hit" (Some 7) (Lru.find lru "x");
+  Alcotest.(check (option int)) "hit again" (Some 7) (Lru.find lru "x");
+  let s = Lru.stats lru in
+  Alcotest.(check int) "hits" 2 s.Lru.hits;
+  Alcotest.(check int) "misses" 1 s.Lru.misses;
+  (* mem neither counts nor promotes *)
+  ignore (Lru.mem lru "x");
+  Alcotest.(check int) "mem does not count" 2 (Lru.stats lru).Lru.hits;
+  Lru.clear lru;
+  let s = Lru.stats lru in
+  Alcotest.(check int) "cleared" 0 s.Lru.entries;
+  Alcotest.(check int) "counters survive clear" 2 s.Lru.hits
+
+(* ---- protocol semantics, no socket ---- *)
+
+let test_malformed_json () =
+  let server = Server.create (config ()) in
+  expect_error_kind server "{not json" "parse_error";
+  expect_error_kind server "" "parse_error";
+  (* the daemon stays healthy *)
+  let reply = parse_reply (respond server {|{"v":1,"cmd":"ping"}|}) in
+  Alcotest.(check bool) "ping after garbage" true (Client.reply_ok reply)
+
+let test_unknown_command () =
+  let server = Server.create (config ()) in
+  expect_error_kind server {|{"v":1,"cmd":"frobnicate"}|} "unknown_command";
+  (* no cmd at all is a malformed request, not an unknown command *)
+  expect_error_kind server {|{"v":1}|} "bad_request"
+
+let test_version_mismatch () =
+  let server = Server.create (config ()) in
+  expect_error_kind server {|{"v":2,"cmd":"ping"}|} "version_mismatch";
+  (* v defaults to 1 when absent *)
+  let reply = parse_reply (respond server {|{"cmd":"ping"}|}) in
+  Alcotest.(check bool) "no v means v=1" true (Client.reply_ok reply)
+
+let test_id_echoed () =
+  let server = Server.create (config ()) in
+  let reply = parse_reply (respond server {|{"v":1,"cmd":"ping","id":42}|}) in
+  Alcotest.(check bool) "id echoed" true (Json.member "id" reply = Some (Json.Int 42));
+  (* also on errors *)
+  let reply = parse_reply (respond server {|{"v":1,"cmd":"nope","id":"q7"}|}) in
+  Alcotest.(check bool) "id echoed on error" true
+    (Json.member "id" reply = Some (Json.String "q7"))
+
+let test_bad_request () =
+  let server = Server.create (config ()) in
+  (* no instance at all *)
+  expect_error_kind server {|{"v":1,"cmd":"solve"}|} "bad_request";
+  (* instance text the hardened parser rejects *)
+  expect_error_kind server (solve_line "stages nonsense\n") "bad_request";
+  (* well-formed instance, bogus law *)
+  expect_error_kind server
+    (Json.render
+       (Json.Obj
+          [
+            ("v", Json.Int 1);
+            ("cmd", Json.String "solve");
+            ("instance", Json.String instance);
+            ("law", Json.String "zipf");
+          ]))
+    "bad_request"
+
+let test_solve_ok () =
+  let server = Server.create (config ()) in
+  let reply = parse_reply (respond server (solve_line ~law:Engine.Deterministic instance)) in
+  Alcotest.(check bool) "ok" true (Client.reply_ok reply);
+  match Client.reply_result reply with
+  | None -> Alcotest.fail "no result"
+  | Some result ->
+      (match Json.member "throughput" result with
+      | Some (Json.Float rho) -> Alcotest.(check bool) "throughput > 0" true (rho > 0.0)
+      | _ -> Alcotest.fail "no throughput");
+      Alcotest.(check (option string)) "quality" (Some "exact")
+        (Option.bind (Json.member "quality" result) Json.to_string_opt)
+
+let test_cache_hit_byte_identical () =
+  let server = Server.create (config ()) in
+  let line = solve_line instance in
+  let first = respond server line in
+  let second = respond server line in
+  let result_of r =
+    match Client.reply_result (parse_reply r) with
+    | Some j -> Json.render j
+    | None -> Alcotest.fail "no result"
+  in
+  Alcotest.(check string) "byte-identical result" (result_of first) (result_of second);
+  Alcotest.(check bool) "first not cached" true
+    (Json.member "cached" (parse_reply first) = Some (Json.Bool false));
+  Alcotest.(check bool) "second cached" true
+    (Json.member "cached" (parse_reply second) = Some (Json.Bool true));
+  let s = Lru.stats (Server.cache server) in
+  Alcotest.(check int) "one miss" 1 s.Lru.misses;
+  Alcotest.(check int) "one hit" 1 s.Lru.hits;
+  Alcotest.(check int) "one entry" 1 s.Lru.entries;
+  (* the stats command reports the same counters *)
+  let reply = parse_reply (respond server {|{"v":1,"cmd":"stats"}|}) in
+  match Client.reply_result reply with
+  | None -> Alcotest.fail "no stats result"
+  | Some stats ->
+      Alcotest.(check (option int)) "stats cache hits" (Some 1)
+        (Option.bind (Json.member "cache" stats) (fun c ->
+             Option.bind (Json.member "hits" c) Json.to_int_opt))
+
+let test_cache_canonical_sharing () =
+  let server = Server.create (config ()) in
+  ignore (respond server (solve_line instance));
+  let reply = parse_reply (respond server (solve_line instance_messy)) in
+  Alcotest.(check bool) "messy text is a cache hit" true
+    (Json.member "cached" reply = Some (Json.Bool true));
+  Alcotest.(check int) "one shared entry" 1 (Lru.stats (Server.cache server)).Lru.entries
+
+let test_budget_exhausted_structured () =
+  let server = Server.create (config ()) in
+  let line = solve_line ~model:Streaming.Model.Strict ~wall:1e-9 big_instance in
+  let reply = parse_reply (respond server line) in
+  Alcotest.(check bool) "ok:false" false (Client.reply_ok reply);
+  Alcotest.(check (option string)) "budget_exhausted" (Some "budget_exhausted")
+    (Client.reply_error_kind reply);
+  (match Json.member "error" reply with
+  | Some err ->
+      Alcotest.(check bool) "elapsed_s present" true (Json.member "elapsed_s" err <> None);
+      Alcotest.(check (option bool)) "not retriable" (Some false)
+        (Option.bind (Json.member "retriable" err) Json.to_bool_opt)
+  | None -> Alcotest.fail "no error object");
+  (* the failure is the request's, not the daemon's *)
+  let reply = parse_reply (respond server {|{"v":1,"cmd":"ping"}|}) in
+  Alcotest.(check bool) "daemon alive" true (Client.reply_ok reply);
+  let reply = parse_reply (respond server (solve_line instance)) in
+  Alcotest.(check bool) "daemon still solves" true (Client.reply_ok reply)
+
+let test_busy_backpressure () =
+  let server = Server.create (config ~max_inflight:0 ()) in
+  let reply = parse_reply (respond server (solve_line instance)) in
+  Alcotest.(check (option string)) "busy" (Some "busy") (Client.reply_error_kind reply);
+  (match Json.member "error" reply with
+  | Some err ->
+      Alcotest.(check (option bool)) "busy is retriable" (Some true)
+        (Option.bind (Json.member "retriable" err) Json.to_bool_opt)
+  | None -> Alcotest.fail "no error object");
+  (* ping and stats are not admission-controlled *)
+  let reply = parse_reply (respond server {|{"v":1,"cmd":"ping"}|}) in
+  Alcotest.(check bool) "ping unaffected" true (Client.reply_ok reply)
+
+let test_batch_isolates_bad_items () =
+  let server = Server.create (config ()) in
+  let good = Client.solve_request ~instance () in
+  let bad = Json.Obj [ ("model", Json.String "overlap") ] (* no instance *) in
+  let line = Json.render (Client.batch_request [ good; bad; good ]) in
+  let reply = parse_reply (respond server line) in
+  Alcotest.(check bool) "batch ok" true (Client.reply_ok reply);
+  match Client.reply_result reply with
+  | None -> Alcotest.fail "no result"
+  | Some result -> (
+      Alcotest.(check (option int)) "count" (Some 3)
+        (Option.bind (Json.member "count" result) Json.to_int_opt);
+      match Json.member "results" result with
+      | Some (Json.List [ a; b; c ]) ->
+          let ok j = Json.member "ok" j = Some (Json.Bool true) in
+          Alcotest.(check bool) "item 0 ok" true (ok a);
+          Alcotest.(check bool) "item 1 failed alone" false (ok b);
+          Alcotest.(check bool) "item 2 ok" true (ok c)
+      | _ -> Alcotest.fail "expected 3 results")
+
+let test_shutdown_command () =
+  let server = Server.create (config ()) in
+  let reply, verdict = Server.respond server {|{"v":1,"cmd":"shutdown"}|} in
+  Alcotest.(check bool) "shutdown acknowledged" true (Client.reply_ok (parse_reply reply));
+  Alcotest.(check bool) "loop told to stop" true (verdict = `Shutdown)
+
+(* ---- socket behaviour ---- *)
+
+let temp_socket () =
+  let path = Filename.temp_file "test_service" ".sock" in
+  Sys.remove path;
+  path
+
+(* run [f addr] against an in-process daemon; skip (not fail) where
+   Unix-domain sockets are unavailable *)
+let with_daemon ?(config = config ()) f =
+  let path = temp_socket () in
+  let addr = Protocol.Unix_domain path in
+  let server = Server.create config in
+  match
+    let t = Thread.create (fun () -> Server.serve server addr) () in
+    (server, t)
+  with
+  | exception Unix.Unix_error _ -> Printf.eprintf "skipping: no Unix-domain sockets\n%!"
+  | server, thread ->
+      let rec wait_ready tries =
+        if tries = 0 then Alcotest.fail "daemon did not come up"
+        else
+          match Client.connect addr with
+          | Ok c ->
+              Client.close c
+          | Error _ ->
+              Thread.delay 0.02;
+              wait_ready (tries - 1)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.request_stop server;
+          Thread.join thread;
+          if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          wait_ready 250;
+          f addr)
+
+let connect_exn addr =
+  match Client.connect addr with Ok c -> c | Error msg -> Alcotest.fail msg
+
+let rpc_exn client request =
+  match Client.rpc client request with Ok reply -> reply | Error msg -> Alcotest.fail msg
+
+let test_socket_smoke () =
+  with_daemon (fun addr ->
+      let client = connect_exn addr in
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      (match Client.ping client with
+      | Ok reply -> Alcotest.(check bool) "pong" true (Client.reply_ok reply)
+      | Error msg -> Alcotest.fail msg);
+      let request = Client.solve_request ~instance () in
+      let reply = rpc_exn client request in
+      Alcotest.(check bool) "solve over socket" true (Client.reply_ok reply);
+      let reply = rpc_exn client request in
+      Alcotest.(check bool) "second solve cached" true
+        (Json.member "cached" reply = Some (Json.Bool true));
+      match Client.stats client with
+      | Error msg -> Alcotest.fail msg
+      | Ok stats_reply -> (
+          match Client.reply_result stats_reply with
+          | None -> Alcotest.fail "no stats"
+          | Some stats ->
+              Alcotest.(check (option int)) "daemon counted the hit" (Some 1)
+                (Option.bind (Json.member "cache" stats) (fun c ->
+                     Option.bind (Json.member "hits" c) Json.to_int_opt))))
+
+let test_socket_oversized_frame () =
+  with_daemon ~config:(config ~max_frame:256 ()) (fun addr ->
+      let client = connect_exn addr in
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      let huge = Printf.sprintf {|{"v":1,"cmd":"ping","pad":"%s"}|} (String.make 600 'x') in
+      (match Client.rpc_raw client huge with
+      | Error msg -> Alcotest.fail msg
+      | Ok reply ->
+          Alcotest.(check (option string)) "oversized_frame" (Some "oversized_frame")
+            (Client.reply_error_kind (parse_reply reply)));
+      (* the connection survives: the daemon skipped to the newline *)
+      match Client.ping client with
+      | Ok reply -> Alcotest.(check bool) "ping after oversize" true (Client.reply_ok reply)
+      | Error msg -> Alcotest.fail msg)
+
+let test_socket_truncated_line () =
+  with_daemon (fun addr ->
+      let path = match addr with Protocol.Unix_domain p -> p | _ -> assert false in
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let partial = {|{"v":1,"cmd":"ping"|} in
+      ignore (Unix.write_substring fd partial 0 (String.length partial));
+      (* EOF before any newline: the daemon answers a parse_error for the
+         dangling bytes instead of dropping them silently *)
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let ic = Unix.in_channel_of_descr fd in
+      match input_line ic with
+      | reply ->
+          Alcotest.(check (option string)) "truncated line" (Some "parse_error")
+            (Client.reply_error_kind (parse_reply reply))
+      | exception End_of_file -> Alcotest.fail "no reply to a truncated line")
+
+(* ---- CLI end to end: serve, query, SIGTERM drain, exit 0 ---- *)
+
+let cli =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/streaming_cli.exe"
+
+let sh cmd = Sys.command (cmd ^ " >/dev/null 2>&1")
+
+let test_cli_serve_query_sigterm () =
+  let path = temp_socket () in
+  let instance_file = Filename.temp_file "instance" ".txt" in
+  Out_channel.with_open_bin instance_file (fun oc -> Out_channel.output_string oc instance);
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; path; "--quiet" |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let addr = Protocol.Unix_domain path in
+  let rec wait_ready tries =
+    if tries = 0 then Alcotest.fail "daemon did not come up"
+    else
+      match Client.connect addr with
+      | Ok c -> Client.close c
+      | Error _ ->
+          Thread.delay 0.02;
+          wait_ready (tries - 1)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid) with Unix.Unix_error _ -> ());
+      if Sys.file_exists path then Sys.remove path;
+      Sys.remove instance_file)
+    (fun () ->
+      wait_ready 250;
+      Alcotest.(check int) "query ping" 0 (sh (cli ^ " query -s " ^ path ^ " ping"));
+      Alcotest.(check int) "query solve" 0
+        (sh (cli ^ " query -s " ^ path ^ " solve " ^ instance_file));
+      (* repeated solves on one connection exercise the cache *)
+      Alcotest.(check int) "query solve -n 3" 0
+        (sh (cli ^ " query -s " ^ path ^ " solve " ^ instance_file ^ " -n 3"));
+      Unix.kill pid Sys.sigterm;
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "SIGTERM drains to exit 0" true (status = Unix.WEXITED 0))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "rejects" `Quick test_json_rejects;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "promotion" `Quick test_lru_promotion;
+          Alcotest.test_case "counters" `Quick test_lru_counters;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "malformed json" `Quick test_malformed_json;
+          Alcotest.test_case "unknown command" `Quick test_unknown_command;
+          Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "id echoed" `Quick test_id_echoed;
+          Alcotest.test_case "bad request" `Quick test_bad_request;
+          Alcotest.test_case "solve ok" `Quick test_solve_ok;
+          Alcotest.test_case "cache hit byte-identical" `Quick test_cache_hit_byte_identical;
+          Alcotest.test_case "canonical sharing" `Quick test_cache_canonical_sharing;
+          Alcotest.test_case "budget exhausted" `Quick test_budget_exhausted_structured;
+          Alcotest.test_case "busy backpressure" `Quick test_busy_backpressure;
+          Alcotest.test_case "batch isolates bad items" `Quick test_batch_isolates_bad_items;
+          Alcotest.test_case "shutdown command" `Quick test_shutdown_command;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "smoke" `Quick test_socket_smoke;
+          Alcotest.test_case "oversized frame" `Quick test_socket_oversized_frame;
+          Alcotest.test_case "truncated line" `Quick test_socket_truncated_line;
+        ] );
+      ("cli", [ Alcotest.test_case "serve/query/SIGTERM" `Quick test_cli_serve_query_sigterm ]);
+    ]
