@@ -7,7 +7,10 @@
 
    Usage: dune exec bench/main.exe [-- --full | -- table1 fig13 ...]
    Pass -- --statespace to run only the state-space kernel ladder study
-   (per-stage cold/warm times, written to BENCH_statespace.json). *)
+   (per-stage cold/warm times, written to BENCH_statespace.json).
+   Pass -- --obs to run only the tracing-overhead smoke: the same ladder
+   with tracing disabled vs enabled, written to BENCH_obs.json; exits 1
+   when the enabled run costs more than 5%. *)
 
 open Bechamel
 open Toolkit
@@ -413,6 +416,60 @@ let service_study () =
   close_out oc;
   Format.printf "wrote BENCH_service.json@."
 
+(* ---- tracing-overhead study: the state-space ladder with tracing
+   disabled vs enabled; emits BENCH_obs.json and fails (exit 1) when the
+   enabled run costs more than 5% ---- *)
+
+let obs_study () =
+  Format.printf "@.== Tracing-overhead study ==@.";
+  (* interleaved disabled/enabled rounds, best-of per configuration: the
+     minimum filters scheduler noise, the interleaving cancels the
+     heap-growth bias a disabled-then-enabled ordering would bake in, and
+     the compact gives every pass the same GC starting point.  Each
+     study () clears the pattern caches, so every pass is equally cold. *)
+  let events = ref 0 in
+  let one_pass enabled =
+    Obs.Trace.set_enabled enabled;
+    Obs.Trace.clear ();
+    Gc.compact ();
+    let t, () = timed (fun () -> ignore (Experiments.Statespace.study ())) in
+    if enabled then events := List.length (Obs.Trace.events ());
+    Obs.Trace.set_enabled false;
+    t
+  in
+  let rounds = 3 in
+  let disabled_s = ref infinity and enabled_s = ref infinity in
+  for _ = 1 to rounds do
+    disabled_s := min !disabled_s (one_pass false);
+    enabled_s := min !enabled_s (one_pass true)
+  done;
+  let disabled_s = !disabled_s and enabled_s = !enabled_s in
+  Obs.Trace.clear ();
+  let overhead = (enabled_s /. disabled_s) -. 1.0 in
+  let threshold = 0.05 in
+  let pass = overhead <= threshold in
+  Format.printf "%-42s %12.3f s@." "state-space ladder, tracing disabled" disabled_s;
+  Format.printf "%-42s %12.3f s@." "state-space ladder, tracing enabled" enabled_s;
+  Format.printf "%-42s %12d@." "events recorded per enabled pass" !events;
+  Format.printf "%-42s %11.2f%%  (threshold %.0f%%)@." "tracing overhead" (100.0 *. overhead)
+    (100.0 *. threshold);
+  Format.printf "%-42s %12s@." "within threshold" (if pass then "yes" else "NO");
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"kernel\": \"state-space ladder (9 patterns x 3 phase counts), best of 3 interleaved passes\",\n\
+    \  \"wall_disabled_s\": %.6f,\n\
+    \  \"wall_enabled_s\": %.6f,\n\
+    \  \"overhead_frac\": %.6f,\n\
+    \  \"events_per_pass\": %d,\n\
+    \  \"threshold_frac\": %.2f,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    disabled_s enabled_s overhead !events threshold pass;
+  close_out oc;
+  Format.printf "wrote BENCH_obs.json@.";
+  if not pass then exit 1
+
 (* ---- state-space kernel study: per-stage cold/warm times over the
    pattern ladder; emits BENCH_statespace.json ---- *)
 
@@ -445,6 +502,10 @@ let () =
   let full = List.mem "--full" args in
   if List.mem "--statespace" args then begin
     statespace_study ();
+    exit 0
+  end;
+  if List.mem "--obs" args then begin
+    obs_study ();
     exit 0
   end;
   if List.mem "--service" args then begin

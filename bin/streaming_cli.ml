@@ -26,6 +26,28 @@ let load path =
       Format.eprintf "error: %s@." msg;
       exit 2
 
+(* --trace FILE: record span timelines for the run and export them as a
+   Chrome trace_event file (chrome://tracing, Perfetto). *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a span timeline of the run and write it to $(docv) in Chrome \
+               trace_event JSON (open in chrome://tracing or Perfetto).")
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Obs.Trace.clear ();
+      Obs.Trace.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Trace.set_enabled false;
+          Obs.Trace.write_chrome path;
+          Format.eprintf "trace: wrote %d events to %s@."
+            (List.length (Obs.Trace.events ())) path)
+        f
+
 (* analyze *)
 
 (* Typed solver failures reach the user as one actionable line (exit 3),
@@ -230,7 +252,8 @@ let bounds_cmd =
 
 (* experiment *)
 
-let experiment_run id full =
+let experiment_run id full trace =
+  with_trace trace @@ fun () ->
   let quick = not full in
   match id with
   | "all" ->
@@ -255,7 +278,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper")
-    Term.(const experiment_run $ id $ full)
+    Term.(const experiment_run $ id $ full $ trace_arg)
 
 (* experiments: the supervised, journaled, resumable runner *)
 
@@ -299,7 +322,8 @@ let inject_of_env () =
                          { what = "injected fault"; where = exp ^ "/" ^ point }))
               rules)
 
-let experiments_run ids all full journal resume wall =
+let experiments_run ids all full journal resume wall trace =
+  with_trace trace @@ fun () ->
   let quick = not full in
   if resume && journal = None then begin
     Format.eprintf "error: --resume requires --journal@.";
@@ -361,7 +385,55 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run experiments under supervision: journaled, resumable, with degraded retries")
-    Term.(const experiments_run $ ids $ all $ full $ journal $ resume $ wall)
+    Term.(const experiments_run $ ids $ all $ full $ journal $ resume $ wall $ trace_arg)
+
+(* profile: run one experiment under tracing and print the span tree *)
+
+let profile_run id full trace =
+  match Experiments.Registry.find id with
+  | None ->
+      Format.eprintf "unknown experiment %S; try 'list'@." id;
+      1
+  | Some e ->
+      let quick = not full in
+      let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+      Obs.Trace.clear ();
+      Obs.Trace.set_enabled true;
+      let t0 = Obs.Clock.now_ns () in
+      let finish () =
+        let wall_ns = Obs.Clock.now_ns () - t0 in
+        Obs.Trace.set_enabled false;
+        (wall_ns, Obs.Trace.events ())
+      in
+      (match Experiments.Registry.run_entries ~quick ~resume:false ~err:null_ppf [ e ] null_ppf with
+      | (_ : Experiments.Runner.health) -> ()
+      | exception exn ->
+          ignore (finish ());
+          raise exn);
+      let wall_ns, events = finish () in
+      Format.printf "profile: %s (%s), wall %.3f s@." id
+        (if quick then "quick" else "full")
+        (Obs.Clock.ns_to_s wall_ns);
+      Obs.Profile.print ~wall_ns Format.std_formatter events;
+      (match trace with
+      | None -> ()
+      | Some path ->
+          Obs.Trace.write_chrome path;
+          Format.printf "trace: wrote %d events to %s@." (List.length events) path);
+      0
+
+let profile_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id to profile (see 'list').")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Profile the full-size run (slower).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run one experiment under tracing and print a nested wall-time profile tree")
+    Term.(const profile_run $ id $ full $ trace_arg)
 
 (* list *)
 
@@ -478,6 +550,28 @@ let query_run addr command instance model law cap wall simulate repeat =
       in
       print_reply (Service.Client.rpc_raw client (Service.Json.render request));
       0
+  | "metrics" -> (
+      let request =
+        Service.Json.Obj
+          [ ("v", Service.Json.Int Service.Protocol.version); ("cmd", Service.Json.String "metrics") ]
+      in
+      match Service.Client.rpc_raw client (Service.Json.render request) with
+      | Error msg -> fail msg
+      | Ok line -> (
+          (* the reply wraps the exposition text in JSON; unwrap it so the
+             output pipes straight into a Prometheus scrape file *)
+          match
+            Result.to_option (Service.Json.parse line)
+            |> Fun.flip Option.bind (Service.Json.member "result")
+            |> Fun.flip Option.bind (Service.Json.member "text")
+            |> Fun.flip Option.bind (fun t -> Service.Json.to_string_opt t)
+          with
+          | Some text ->
+              print_string text;
+              0
+          | None ->
+              print_endline line;
+              0))
   | "solve" -> (
       match instance with
       | None -> fail "solve needs an INSTANCE file (positional argument)"
@@ -495,12 +589,13 @@ let query_run addr command instance model law cap wall simulate repeat =
             print_reply (Service.Client.rpc_raw client line)
           done;
           0)
-  | cmd -> fail (Printf.sprintf "unknown query command %S (ping|stats|solve|shutdown)" cmd)
+  | cmd -> fail (Printf.sprintf "unknown query command %S (ping|stats|metrics|solve|shutdown)" cmd)
 
 let query_cmd =
   let command =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"COMMAND"
-           ~doc:"One of ping, stats, solve, shutdown.")
+           ~doc:"One of ping, stats, metrics, solve, shutdown.  [metrics] prints the \
+                 daemon's metric registry in the Prometheus text format.")
   in
   let instance =
     Arg.(value & pos 1 (some file) None & info [] ~docv:"INSTANCE"
@@ -551,6 +646,7 @@ let main =
       simulate_cmd;
       experiment_cmd;
       experiments_cmd;
+      profile_cmd;
       list_cmd;
       dot_cmd;
       template_cmd;

@@ -46,15 +46,39 @@ let default_ladder n =
   in
   if n <= gth_threshold then Rung_gth :: iterative else iterative
 
+let m_gth_solves =
+  Obs.Metrics.Counter.create ~help:"Exact GTH stationary solves" "ctmc_gth_solves_total"
+
+let m_sweeps method_ =
+  Obs.Metrics.Counter.create
+    ~labels:[ ("method", method_) ]
+    ~help:"Iterative stationary-solver sweeps" "ctmc_sweeps_total"
+
+let m_gs_sweeps = m_sweeps "gauss-seidel"
+let m_power_sweeps = m_sweeps "power"
+
+let m_rung_reached rung =
+  Obs.Metrics.Counter.create
+    ~labels:[ ("rung", rung) ]
+    ~help:"Escalation-ladder rung that produced the accepted solution"
+    "ctmc_ladder_rung_total"
+
+let m_ladder_failed =
+  Obs.Metrics.Counter.create ~help:"Supervised solves where every rung failed"
+    "ctmc_ladder_failed_total"
+
 let run_rung ?budget t = function
   | Rung_gth ->
       let pi = Linalg.Gth.stationary (Linalg.Sparse.to_dense t.sparse) in
+      Obs.Metrics.Counter.incr m_gth_solves;
       (pi, Supervise.Provenance.Exact)
   | Rung_gauss_seidel { tol } ->
       let pi, stats = Linalg.Sparse.stationary_gauss_seidel_stats ?budget ~tol t.sparse in
+      Obs.Metrics.Counter.add m_gs_sweeps stats.Linalg.Sparse.sweeps;
       (pi, Supervise.Provenance.Iterative { residual = stats.Linalg.Sparse.residual })
   | Rung_power { tol } ->
       let pi, stats = Linalg.Sparse.stationary_power_stats ?budget ~tol t.sparse in
+      Obs.Metrics.Counter.add m_power_sweeps stats.Linalg.Sparse.sweeps;
       (pi, Supervise.Provenance.Iterative { residual = stats.Linalg.Sparse.residual })
 
 let stationary_supervised ?budget ?ladder t =
@@ -64,7 +88,10 @@ let stationary_supervised ?budget ?ladder t =
     | [] -> assert false
     | rung :: rest -> (
         try
-          let pi, quality = run_rung ?budget t rung in
+          let pi, quality =
+            Obs.Trace.span ("ctmc:" ^ rung_name rung) (fun () -> run_rung ?budget t rung)
+          in
+          Obs.Metrics.Counter.incr (m_rung_reached (rung_name rung));
           (pi, Supervise.Provenance.solved ~rung:(rung_name rung) ~prior quality)
         with Supervise.Error.Solver_error err ->
           let prior =
@@ -74,9 +101,15 @@ let stationary_supervised ?budget ?ladder t =
           let final =
             match err with Supervise.Error.Budget_exhausted _ -> true | _ -> rest = []
           in
-          if final then raise (Supervise.Error.Solver_error err) else climb prior rest)
+          if final then begin
+            Obs.Metrics.Counter.incr m_ladder_failed;
+            raise (Supervise.Error.Solver_error err)
+          end
+          else climb prior rest)
   in
-  climb [] ladder
+  Obs.Trace.span "ctmc:stationary_supervised" (fun () ->
+      Obs.Trace.add_attr "states" (string_of_int t.n);
+      climb [] ladder)
 
 let flow t ~pi ~src ~dst = pi.(src) *. Linalg.Sparse.rate t.sparse src dst
 let outgoing t i = Linalg.Sparse.outgoing t.sparse i

@@ -7,6 +7,8 @@ type timing =
 
 let raw_completions ?release mapping model ~timing ~seed ~data_sets =
   if data_sets < 1 then invalid_arg "Pipeline_sim.completions: need at least one data set";
+  Obs.Trace.span "des:pipeline_sim" @@ fun () ->
+  Obs.Trace.add_attr "data_sets" (string_of_int data_sets);
   let n = Mapping.n_stages mapping in
   let cols = (2 * n) - 1 in
   let replication = Mapping.replication mapping in

@@ -50,12 +50,13 @@ let run_all ?quick ppf =
   let outputs =
     Parallel.Pool.map_list_result (Parallel.Pool.get ())
       (fun e ->
-        let buf = Buffer.create 4096 in
-        let bppf = Format.formatter_of_buffer buf in
-        e.run ?quick bppf;
-        Format.fprintf bppf "@\n";
-        Format.pp_print_flush bppf ();
-        Buffer.contents buf)
+        Obs.Trace.span ("experiment:" ^ e.id) (fun () ->
+            let buf = Buffer.create 4096 in
+            let bppf = Format.formatter_of_buffer buf in
+            e.run ?quick bppf;
+            Format.fprintf bppf "@\n";
+            Format.pp_print_flush bppf ();
+            Buffer.contents buf))
       all
   in
   let first_error = ref None in

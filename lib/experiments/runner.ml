@@ -38,6 +38,7 @@ let meta_record quick =
     status = Supervise.Journal.Exact;
     detail = "experiment runner journal";
     output = "";
+    elapsed = "";
   }
 
 (* The journal is only trusted when its meta record matches the requested
@@ -100,19 +101,24 @@ let run_tasks ?(quick = false) ?journal ?(resume = false) ?point_budget ?inject
                 let budget = Option.map Supervise.Budget.restart point_budget in
                 pt.solve ?budget ()
               in
+              let t0 = Obs.Clock.now_ns () in
               let outcome, retried =
-                try (attempt 0, false)
-                with Supervise.Error.Solver_error first -> (
-                  Format.fprintf err "supervise: %s/%s: %s; retrying@." task.exp pt.key
-                    (Supervise.Error.to_string first);
-                  try (attempt 1, true)
-                  with Supervise.Error.Solver_error second ->
-                    ( {
-                        status = Supervise.Journal.Failed;
-                        detail = Supervise.Error.to_string second;
-                        output = "";
-                      },
-                      true ))
+                Obs.Trace.span ("point:" ^ task.exp ^ "/" ^ pt.key) (fun () ->
+                    try (attempt 0, false)
+                    with Supervise.Error.Solver_error first -> (
+                      Format.fprintf err "supervise: %s/%s: %s; retrying@." task.exp pt.key
+                        (Supervise.Error.to_string first);
+                      try (attempt 1, true)
+                      with Supervise.Error.Solver_error second ->
+                        ( {
+                            status = Supervise.Journal.Failed;
+                            detail = Supervise.Error.to_string second;
+                            output = "";
+                          },
+                          true )))
+              in
+              let elapsed =
+                Printf.sprintf "%.6f" (Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0))
               in
               let status =
                 match (outcome.status, retried) with
@@ -131,6 +137,7 @@ let run_tasks ?(quick = false) ?journal ?(resume = false) ?point_budget ?inject
                   status;
                   detail;
                   output = outcome.output;
+                  elapsed;
                 };
               count status ~was_reused:false)
         task.points;

@@ -1,0 +1,3 @@
+external now_ns : unit -> int = "obs_monotonic_ns" [@@noalloc]
+
+let ns_to_s ns = float_of_int ns /. 1e9

@@ -1,0 +1,12 @@
+(** Monotonic clock.
+
+    Thin wrapper over [clock_gettime(CLOCK_MONOTONIC)]. The reading is an
+    immediate integer (nanoseconds), so taking a timestamp never allocates —
+    the property the disabled-tracing fast path of {!Trace} depends on. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an unspecified (boot-time) epoch. Monotonic across
+    domains and threads of one process; never goes backwards. *)
+
+val ns_to_s : int -> float
+(** Convert a nanosecond count (or difference) to seconds. *)

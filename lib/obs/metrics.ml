@@ -1,0 +1,375 @@
+type labels = (string * string) list
+
+(* Histogram: fixed non-cumulative bucket counters plus every sample, so
+   quantiles are exact (nearest rank) instead of bucket-interpolated.
+   A mutex guards the whole record; histograms are observed once per
+   request/solve, never per state, so contention is negligible. *)
+type hist = {
+  bounds : float array; (* strictly increasing, finite *)
+  counts : int array; (* length = Array.length bounds + 1; last = +Inf *)
+  mutable hsum : float;
+  mutable samples : floatarray;
+  mutable n : int;
+  hm : Mutex.t;
+}
+
+type cell =
+  | Counter_c of int Atomic.t
+  | Gauge_c of float Atomic.t
+  | Hist_c of hist
+
+type metric = {
+  m_name : string;
+  m_labels : labels;
+  m_help : string;
+  cell : cell;
+}
+
+type registry = {
+  tbl : (string * labels, metric) Hashtbl.t;
+  mutable order : metric list; (* reverse creation order *)
+  mutable collectors : (string * (unit -> unit)) list;
+  rm : Mutex.t;
+}
+
+let create_registry () =
+  { tbl = Hashtbl.create 64; order = []; collectors = []; rm = Mutex.create () }
+
+let default = create_registry ()
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = ':')
+       name
+  && not (name.[0] >= '0' && name.[0] <= '9')
+
+let canon_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let kind_name = function
+  | Counter_c _ -> "counter"
+  | Gauge_c _ -> "gauge"
+  | Hist_c _ -> "histogram"
+
+(* Find-or-create under the registry mutex; [make] builds the cell only
+   when the metric does not exist yet. *)
+let intern registry name labels help make check =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Obs.Metrics: invalid metric name %S" name);
+  let labels = canon_labels labels in
+  let key = (name, labels) in
+  Mutex.lock registry.rm;
+  let m =
+    match Hashtbl.find_opt registry.tbl key with
+    | Some m ->
+        if not (check m.cell) then begin
+          Mutex.unlock registry.rm;
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %s already registered as a %s" name
+               (kind_name m.cell))
+        end;
+        m
+    | None ->
+        let m = { m_name = name; m_labels = labels; m_help = help; cell = make () } in
+        Hashtbl.add registry.tbl key m;
+        registry.order <- m :: registry.order;
+        m
+  in
+  Mutex.unlock registry.rm;
+  m
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let create ?(registry = default) ?(labels = []) ?(help = "") name =
+    let m =
+      intern registry name labels help
+        (fun () -> Counter_c (Atomic.make 0))
+        (function Counter_c _ -> true | _ -> false)
+    in
+    match m.cell with Counter_c a -> a | _ -> assert false
+
+  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let value t = Atomic.get t
+end
+
+module Gauge = struct
+  type t = float Atomic.t
+
+  let create ?(registry = default) ?(labels = []) ?(help = "") name =
+    let m =
+      intern registry name labels help
+        (fun () -> Gauge_c (Atomic.make 0.))
+        (function Gauge_c _ -> true | _ -> false)
+    in
+    match m.cell with Gauge_c a -> a | _ -> assert false
+
+  let set t v = Atomic.set t v
+
+  let rec add t d =
+    let v = Atomic.get t in
+    if not (Atomic.compare_and_set t v (v +. d)) then add t d
+
+  let value t = Atomic.get t
+end
+
+module Histogram = struct
+  type t = hist
+
+  let create ?(registry = default) ?(labels = []) ?(help = "") ~buckets name =
+    Array.iteri
+      (fun i b ->
+        if not (Float.is_finite b) then
+          invalid_arg "Obs.Metrics.Histogram: non-finite bucket bound";
+        if i > 0 && b <= buckets.(i - 1) then
+          invalid_arg "Obs.Metrics.Histogram: bounds must be increasing")
+      buckets;
+    let m =
+      intern registry name labels help
+        (fun () ->
+          Hist_c
+            {
+              bounds = Array.copy buckets;
+              counts = Array.make (Array.length buckets + 1) 0;
+              hsum = 0.;
+              samples = Float.Array.create 64;
+              n = 0;
+              hm = Mutex.create ();
+            })
+        (function Hist_c _ -> true | _ -> false)
+    in
+    match m.cell with Hist_c h -> h | _ -> assert false
+
+  let bucket_index bounds v =
+    let n = Array.length bounds in
+    let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe h v =
+    Mutex.lock h.hm;
+    let i = bucket_index h.bounds v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.hsum <- h.hsum +. v;
+    let cap = Float.Array.length h.samples in
+    if h.n = cap then begin
+      let bigger = Float.Array.create (2 * cap) in
+      Float.Array.blit h.samples 0 bigger 0 cap;
+      h.samples <- bigger
+    end;
+    Float.Array.set h.samples h.n v;
+    h.n <- h.n + 1;
+    Mutex.unlock h.hm
+
+  let count h =
+    Mutex.lock h.hm;
+    let n = h.n in
+    Mutex.unlock h.hm;
+    n
+
+  let sum h =
+    Mutex.lock h.hm;
+    let s = h.hsum in
+    Mutex.unlock h.hm;
+    s
+
+  (* Exact nearest-rank quantile: the ceil(q*n)-th smallest sample. *)
+  let quantile_sorted sorted n q =
+    if n = 0 then nan
+    else begin
+      let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+      let rank = max 1 (min n rank) in
+      Float.Array.get sorted (rank - 1)
+    end
+
+  let quantile h q =
+    Mutex.lock h.hm;
+    let n = h.n in
+    let copy = Float.Array.create (max n 1) in
+    Float.Array.blit h.samples 0 copy 0 n;
+    Mutex.unlock h.hm;
+    let sub = Float.Array.sub copy 0 n in
+    Float.Array.sort compare sub;
+    quantile_sorted sub n q
+end
+
+type histogram_view = {
+  h_count : int;
+  h_sum : float;
+  h_buckets : (float * int) array;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_view
+
+type sample = {
+  s_name : string;
+  s_labels : labels;
+  s_help : string;
+  s_value : value;
+}
+
+let register_collector ?(registry = default) ~name fn =
+  Mutex.lock registry.rm;
+  registry.collectors <- (name, fn) :: List.remove_assoc name registry.collectors;
+  Mutex.unlock registry.rm
+
+let view_hist h =
+  Mutex.lock h.hm;
+  let n = h.n in
+  let s = h.hsum in
+  let counts = Array.copy h.counts in
+  let copy = Float.Array.create (max n 1) in
+  Float.Array.blit h.samples 0 copy 0 n;
+  Mutex.unlock h.hm;
+  let nb = Array.length h.bounds in
+  let buckets =
+    Array.init (nb + 1) (fun i ->
+        ((if i < nb then h.bounds.(i) else infinity), counts.(i)))
+  in
+  let sorted = Float.Array.sub copy 0 n in
+  Float.Array.sort compare sorted;
+  let q p = Histogram.quantile_sorted sorted n p in
+  {
+    h_count = n;
+    h_sum = s;
+    h_buckets = buckets;
+    h_p50 = q 0.50;
+    h_p90 = q 0.90;
+    h_p99 = q 0.99;
+  }
+
+let samples registry =
+  Mutex.lock registry.rm;
+  let collectors = registry.collectors in
+  Mutex.unlock registry.rm;
+  List.iter (fun (_, fn) -> fn ()) (List.rev collectors);
+  Mutex.lock registry.rm;
+  let metrics = List.rev registry.order in
+  Mutex.unlock registry.rm;
+  metrics
+  |> List.map (fun m ->
+         let v =
+           match m.cell with
+           | Counter_c a -> Counter_v (Atomic.get a)
+           | Gauge_c a -> Gauge_v (Atomic.get a)
+           | Hist_c h -> Histogram_v (view_hist h)
+         in
+         { s_name = m.m_name; s_labels = m.m_labels; s_help = m.m_help; s_value = v })
+  |> List.sort (fun a b ->
+         match compare a.s_name b.s_name with
+         | 0 -> compare a.s_labels b.s_labels
+         | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition format                                   *)
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels ?extra labels =
+  let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+  match labels with
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) kvs)
+      ^ "}"
+
+let render_float v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus registry =
+  let ss = samples registry in
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  let header name kind help =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.add seen_header name ();
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun s ->
+      match s.s_value with
+      | Counter_v v ->
+          header s.s_name "counter" s.s_help;
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" s.s_name (render_labels s.s_labels) v)
+      | Gauge_v v ->
+          header s.s_name "gauge" s.s_help;
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" s.s_name (render_labels s.s_labels)
+               (render_float v))
+      | Histogram_v h ->
+          header s.s_name "histogram" s.s_help;
+          let cum = ref 0 in
+          Array.iter
+            (fun (le, c) ->
+              cum := !cum + c;
+              let le_s = if le = infinity then "+Inf" else render_float le in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" s.s_name
+                   (render_labels ~extra:("le", le_s) s.s_labels)
+                   !cum))
+            h.h_buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" s.s_name (render_labels s.s_labels)
+               (render_float h.h_sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" s.s_name (render_labels s.s_labels)
+               h.h_count);
+          List.iter
+            (fun (suffix, v) ->
+              let qname = s.s_name ^ suffix in
+              header qname "gauge"
+                (if s.s_help = "" then "" else s.s_help ^ " (exact quantile)");
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" qname (render_labels s.s_labels)
+                   (render_float v)))
+            [ ("_p50", h.h_p50); ("_p90", h.h_p90); ("_p99", h.h_p99) ])
+    ss;
+  Buffer.contents buf
+
+let reset registry =
+  Mutex.lock registry.rm;
+  let metrics = registry.order in
+  Mutex.unlock registry.rm;
+  List.iter
+    (fun m ->
+      match m.cell with
+      | Counter_c a -> Atomic.set a 0
+      | Gauge_c a -> Atomic.set a 0.
+      | Hist_c h ->
+          Mutex.lock h.hm;
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.hsum <- 0.;
+          h.n <- 0;
+          Mutex.unlock h.hm)
+    metrics

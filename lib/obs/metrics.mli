@@ -1,0 +1,119 @@
+(** Registry of counters, gauges and histograms.
+
+    A registry is an instantiable bag of named metrics. Most code uses the
+    process-wide {!default} registry; the service daemon owns a private one
+    per server so concurrent servers (as in the tests) do not share state.
+
+    Creation is idempotent: [create] with a (name, labels) pair that already
+    exists returns the existing metric, so hot modules can create handles at
+    module-init time and instrumentation sites can re-derive labelled
+    children cheaply. Creating an existing name with a different metric kind
+    raises [Invalid_argument].
+
+    Histograms keep both fixed bucket counts (for the service JSON shape)
+    and every observed sample, giving {e exact} nearest-rank p50/p90/p99
+    summaries rather than bucket-interpolated estimates. *)
+
+type registry
+
+val default : registry
+(** The process-wide registry used when [?registry] is omitted. *)
+
+val create_registry : unit -> registry
+(** A fresh, empty registry independent of {!default}. *)
+
+type labels = (string * string) list
+(** Label pairs; canonically sorted by key internally. *)
+
+module Counter : sig
+  type t
+
+  val create :
+    ?registry:registry -> ?labels:labels -> ?help:string -> string -> t
+  (** Idempotent: same (name, labels) in the same registry returns the same
+      underlying counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val create :
+    ?registry:registry -> ?labels:labels -> ?help:string -> string -> t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val create :
+    ?registry:registry ->
+    ?labels:labels ->
+    ?help:string ->
+    buckets:float array ->
+    string ->
+    t
+  (** [buckets] are strictly increasing finite upper bounds; an implicit
+      [+Inf] bucket is appended. Idempotent like {!Counter.create} (the
+      bucket bounds of the first creation win). *)
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  val sum : t -> float
+
+  val quantile : t -> float -> float
+  (** Exact nearest-rank quantile over all observed samples, [q] in (0,1].
+      [nan] when the histogram is empty. *)
+end
+
+(** Snapshot view of one histogram. *)
+type histogram_view = {
+  h_count : int;
+  h_sum : float;
+  h_buckets : (float * int) array;
+      (** (upper bound, count in this bucket — {e non}-cumulative); the last
+          bound is [infinity]. *)
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;  (** exact nearest-rank quantiles; [nan] when empty *)
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_view
+
+type sample = {
+  s_name : string;
+  s_labels : labels;
+  s_help : string;
+  s_value : value;
+}
+
+val register_collector : ?registry:registry -> name:string -> (unit -> unit) -> unit
+(** Register a callback run before every {!samples} / {!to_prometheus} so
+    externally-owned statistics (e.g. the [Young.Pattern] memo caches, the
+    service LRU) can be mirrored into gauges on demand. Idempotent by
+    [name]: re-registering replaces the previous callback. *)
+
+val samples : registry -> sample list
+(** Stable order: sorted by metric name, then labels. Runs collectors. *)
+
+val to_prometheus : registry -> string
+(** Render the registry in the Prometheus text exposition format (version
+    0.0.4). Histograms emit cumulative [_bucket{le=...}] series plus
+    [_sum]/[_count], and additionally [_p50]/[_p90]/[_p99] gauges carrying
+    the exact quantiles. Runs collectors. *)
+
+val reset : registry -> unit
+(** Zero every metric in the registry (registrations are kept). Intended
+    for tests and benchmarks. *)

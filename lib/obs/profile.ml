@@ -1,0 +1,123 @@
+type node = {
+  p_name : string;
+  p_total_ns : int;
+  p_count : int;
+  p_children : node list;
+}
+
+(* Mutable accumulation node while replaying one buffer's B/E stream. *)
+type acc = {
+  a_name : string;
+  mutable a_total : int;
+  mutable a_count : int;
+  a_children : (string, acc) Hashtbl.t;
+  mutable a_order : string list; (* reverse first-seen order *)
+}
+
+let make_acc name =
+  { a_name = name; a_total = 0; a_count = 0; a_children = Hashtbl.create 4; a_order = [] }
+
+let child_of acc name =
+  match Hashtbl.find_opt acc.a_children name with
+  | Some c -> c
+  | None ->
+      let c = make_acc name in
+      Hashtbl.add acc.a_children name c;
+      acc.a_order <- name :: acc.a_order;
+      c
+
+let rec freeze acc =
+  let children =
+    List.rev_map (fun name -> freeze (Hashtbl.find acc.a_children name)) acc.a_order
+  in
+  let children =
+    if children = [] then []
+    else begin
+      let covered = List.fold_left (fun s c -> s + c.p_total_ns) 0 children in
+      let self = acc.a_total - covered in
+      if self > 0 then
+        children
+        @ [ { p_name = "(self)"; p_total_ns = self; p_count = acc.a_count; p_children = [] } ]
+      else children
+    end
+  in
+  { p_name = acc.a_name; p_total_ns = acc.a_total; p_count = acc.a_count; p_children = children }
+
+let trees evs =
+  (* group by tid, preserving per-buffer event order *)
+  let by_tid : (int, Trace.event list ref) Hashtbl.t = Hashtbl.create 8 in
+  let tid_order = ref [] in
+  List.iter
+    (fun (ev : Trace.event) ->
+      match Hashtbl.find_opt by_tid ev.ev_tid with
+      | Some l -> l := ev :: !l
+      | None ->
+          Hashtbl.add by_tid ev.ev_tid (ref [ ev ]);
+          tid_order := ev.ev_tid :: !tid_order)
+    evs;
+  List.rev !tid_order
+  |> List.map (fun tid ->
+         let evs = List.rev !(Hashtbl.find by_tid tid) in
+         let root = make_acc "" in
+         (* stack of (acc, begin_ts) *)
+         let stack = ref [] in
+         let scope () = match !stack with [] -> root | (a, _) :: _ -> a in
+         let last_ts = ref 0 in
+         List.iter
+           (fun (ev : Trace.event) ->
+             last_ts := ev.ev_ts_ns;
+             match ev.ev_ph with
+             | 'B' -> stack := (child_of (scope ()) ev.ev_name, ev.ev_ts_ns) :: !stack
+             | 'E' -> (
+                 match !stack with
+                 | (a, t0) :: rest when a.a_name = ev.ev_name ->
+                     a.a_total <- a.a_total + (ev.ev_ts_ns - t0);
+                     a.a_count <- a.a_count + 1;
+                     stack := rest
+                 | _ -> () (* unmatched end: ignore *))
+             | _ -> ())
+           evs;
+         (* close anything still open at the last timestamp seen *)
+         List.iter
+           (fun (a, t0) ->
+             a.a_total <- a.a_total + (!last_ts - t0);
+             a.a_count <- a.a_count + 1)
+           !stack;
+         let frozen = freeze root in
+         (tid, frozen.p_children))
+
+let rec leaf_sum_ns n =
+  match n.p_children with
+  | [] -> n.p_total_ns
+  | cs -> List.fold_left (fun s c -> s + leaf_sum_ns c) 0 cs
+
+let print ?wall_ns ppf evs =
+  let forests = trees evs in
+  let root_sum roots = List.fold_left (fun s n -> s + n.p_total_ns) 0 roots in
+  let forests =
+    List.stable_sort (fun (_, a) (_, b) -> compare (root_sum b) (root_sum a)) forests
+  in
+  let pct denom ns =
+    if denom <= 0 then 0. else 100. *. float_of_int ns /. float_of_int denom
+  in
+  let rec emit denom depth n =
+    Format.fprintf ppf "  %s%-*s %10.3f ms %5.1f%% %8dx@."
+      (String.make (2 * depth) ' ')
+      (max 1 (36 - (2 * depth)))
+      n.p_name
+      (float_of_int n.p_total_ns /. 1e6)
+      (pct denom n.p_total_ns) n.p_count;
+    List.iter (emit denom (depth + 1)) n.p_children
+  in
+  (match wall_ns with
+  | Some w -> Format.fprintf ppf "  %-36s %10.3f ms %5.1f%%@." "total" (float_of_int w /. 1e6) 100.
+  | None -> ());
+  List.iteri
+    (fun i (tid, roots) ->
+      if roots <> [] then begin
+        if i > 0 || wall_ns <> None then
+          Format.fprintf ppf "  -- buffer tid=%d --@." tid;
+        let denom = match wall_ns with Some w -> w | None -> root_sum roots in
+        List.iter (emit denom 0) roots
+      end)
+    forests

@@ -1,0 +1,29 @@
+(** Plain-text profile tree built from recorded trace events.
+
+    Spans are merged by path (same name under the same parent accumulates
+    total time and a call count), per trace buffer. Nodes that have
+    children get a [(self)] pseudo-leaf carrying the time not covered by
+    any child, so the leaves of the printed tree always sum to the root
+    totals. *)
+
+type node = {
+  p_name : string;
+  p_total_ns : int;
+  p_count : int;
+  p_children : node list;  (** first-seen order; includes the [(self)] leaf *)
+}
+
+val trees : Trace.event list -> (int * node list) list
+(** Per-buffer forests, [(tid, roots)], in buffer order. Unmatched end
+    events are ignored; spans still open at the end of the event list are
+    closed at the last timestamp seen on their buffer. *)
+
+val leaf_sum_ns : node -> int
+(** Sum of leaf totals under [node] (equals [p_total_ns] by construction
+    whenever the node has children, thanks to the [(self)] leaf). *)
+
+val print : ?wall_ns:int -> Format.formatter -> Trace.event list -> unit
+(** Render the forests as an indented tree with durations, percentages and
+    call counts. Percentages are relative to [wall_ns] when given (with a
+    [total] header line), otherwise to each buffer's root sum. The buffer
+    with the largest recorded total is printed first. *)

@@ -1,0 +1,198 @@
+type event = {
+  ev_name : string;
+  ev_ph : char;
+  ev_ts_ns : int;
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+let dummy_event = { ev_name = ""; ev_ph = 'i'; ev_ts_ns = 0; ev_tid = 0; ev_args = [] }
+
+(* One buffer per (domain, systhread). The owner appends without locking:
+   it writes the slot, then publishes with an atomic store of the length
+   (release); readers load the length first (acquire), so every slot below
+   it is safely initialised. Growing the array and exporting both take the
+   per-buffer mutex so the array swap cannot tear a concurrent copy. *)
+type buffer = {
+  tid : int; (* serial used as the Chrome tid *)
+  mutable events : event array;
+  len : int Atomic.t;
+  grow : Mutex.t;
+  mutable open_attrs : (string * string) list ref list;
+      (* attribute cells of the currently open spans, innermost first;
+         owner-thread only *)
+}
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+let epoch_ns = Clock.now_ns ()
+
+let buffers : buffer list ref = ref []
+let buffer_of : (int * int, buffer) Hashtbl.t = Hashtbl.create 16
+let buffers_mutex = Mutex.create ()
+let next_tid = Atomic.make 1
+
+(* Thread.id distinguishes the service's per-connection systhreads, which
+   all share domain 0. On a fresh worker domain the threads runtime may not
+   be initialised yet; fall back to 0 (the domain's only thread). *)
+let thread_id () = try Thread.id (Thread.self ()) with _ -> 0
+
+type cached = No_buffer | Cached of int * buffer
+
+let dls_key : cached ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref No_buffer)
+
+let make_buffer key =
+  Mutex.lock buffers_mutex;
+  let buf =
+    match Hashtbl.find_opt buffer_of key with
+    | Some b -> b
+    | None ->
+        let b =
+          {
+            tid = Atomic.fetch_and_add next_tid 1;
+            events = Array.make 256 dummy_event;
+            len = Atomic.make 0;
+            grow = Mutex.create ();
+            open_attrs = [];
+          }
+        in
+        Hashtbl.add buffer_of key b;
+        buffers := b :: !buffers;
+        b
+  in
+  Mutex.unlock buffers_mutex;
+  buf
+
+let my_buffer () =
+  let cache = Domain.DLS.get dls_key in
+  let thr = thread_id () in
+  match !cache with
+  | Cached (t, b) when t = thr -> b
+  | _ ->
+      let b = make_buffer ((Domain.self () :> int), thr) in
+      cache := Cached (thr, b);
+      b
+
+let record buf ev =
+  let n = Atomic.get buf.len in
+  let cap = Array.length buf.events in
+  if n = cap then begin
+    Mutex.lock buf.grow;
+    let bigger = Array.make (2 * cap) dummy_event in
+    Array.blit buf.events 0 bigger 0 cap;
+    buf.events <- bigger;
+    Mutex.unlock buf.grow
+  end;
+  buf.events.(n) <- ev;
+  Atomic.set buf.len (n + 1)
+
+let now_rel () = Clock.now_ns () - epoch_ns
+
+(* Slow path kept out of [span] so the disabled branch stays a tail call
+   to [f] after one atomic load — no closure, no allocation. *)
+let span_on name f =
+  let buf = my_buffer () in
+  record buf
+    { ev_name = name; ev_ph = 'B'; ev_ts_ns = now_rel (); ev_tid = buf.tid; ev_args = [] };
+  let attrs = ref [] in
+  buf.open_attrs <- attrs :: buf.open_attrs;
+  Fun.protect
+    ~finally:(fun () ->
+      (match buf.open_attrs with [] -> () | _ :: tl -> buf.open_attrs <- tl);
+      record buf
+        {
+          ev_name = name;
+          ev_ph = 'E';
+          ev_ts_ns = now_rel ();
+          ev_tid = buf.tid;
+          ev_args = List.rev !attrs;
+        })
+    f
+
+let span name f = if Atomic.get on then span_on name f else f ()
+
+let add_attr k v =
+  if Atomic.get on then
+    let buf = my_buffer () in
+    match buf.open_attrs with [] -> () | attrs :: _ -> attrs := (k, v) :: !attrs
+
+let instant ?(args = []) name =
+  if Atomic.get on then
+    let buf = my_buffer () in
+    record buf
+      { ev_name = name; ev_ph = 'i'; ev_ts_ns = now_rel (); ev_tid = buf.tid; ev_args = args }
+
+let snapshot_buffers () =
+  Mutex.lock buffers_mutex;
+  let bufs = List.rev !buffers in
+  Mutex.unlock buffers_mutex;
+  bufs
+
+let events () =
+  snapshot_buffers ()
+  |> List.concat_map (fun b ->
+         Mutex.lock b.grow;
+         let n = Atomic.get b.len in
+         let out = List.init n (fun i -> b.events.(i)) in
+         Mutex.unlock b.grow;
+         out)
+
+let clear () =
+  List.iter (fun b -> Atomic.set b.len 0) (snapshot_buffers ())
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json () =
+  let evs = events () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      (* ts is in microseconds; keep sub-µs precision as decimals *)
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%c\",\"ts\":%d.%03d,\"pid\":1,\"tid\":%d"
+           (json_escape ev.ev_name) ev.ev_ph (ev.ev_ts_ns / 1000)
+           (ev.ev_ts_ns mod 1000) ev.ev_tid);
+      (match ev.ev_args with
+      | [] -> ()
+      | args ->
+          Buffer.add_string buf ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf
+                (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+            args;
+          Buffer.add_char buf '}');
+      (match ev.ev_ph with
+      | 'i' -> Buffer.add_string buf ",\"s\":\"t\"}"
+      | _ -> Buffer.add_char buf '}'))
+    evs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json ()))

@@ -1,0 +1,52 @@
+(** Structured spans with monotonic timing.
+
+    Events are recorded into per-(domain, thread) buffers: the owner writes
+    without taking any lock (publication via an atomic length, growth and
+    export guarded by a per-buffer mutex), so the domain pool can trace
+    concurrently without contention, and the service's per-connection
+    systhreads — which share domain 0 — still get correctly nested spans.
+
+    When tracing is disabled (the default), {!span} costs one atomic load
+    and allocates nothing, so always-on instrumentation in hot paths is
+    free. *)
+
+val set_enabled : bool -> unit
+(** Toggle recording. Toggle only when no spans are open (e.g. around a
+    whole CLI run), otherwise begin/end pairs can be split. *)
+
+val enabled : unit -> bool
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; when tracing is enabled, brackets it with
+    begin/end events on this thread's buffer. Exceptions still close the
+    span. Disabled: exactly [f ()], zero allocation. *)
+
+val add_attr : string -> string -> unit
+(** Attach a key/value attribute to the innermost open span of the calling
+    thread (carried on its end event). No-op when tracing is disabled or no
+    span is open. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** Record a point event. No-op when disabled. *)
+
+type event = {
+  ev_name : string;
+  ev_ph : char;  (** ['B'] begin, ['E'] end, ['i'] instant *)
+  ev_ts_ns : int;  (** relative to the process trace epoch *)
+  ev_tid : int;  (** buffer serial — one per (domain, thread) *)
+  ev_args : (string * string) list;
+}
+
+val events : unit -> event list
+(** Snapshot of all recorded events, grouped per buffer in recording order
+    (within one [ev_tid], begin/end pairs nest properly). *)
+
+val clear : unit -> unit
+(** Drop all recorded events. Call only when no spans are open. *)
+
+val to_chrome_json : unit -> string
+(** Render {!events} in the Chrome [trace_event] JSON array format
+    (loadable by [chrome://tracing] and Perfetto). *)
+
+val write_chrome : string -> unit
+(** [write_chrome path] writes {!to_chrome_json} to [path]. *)

@@ -10,11 +10,57 @@ type t = {
 
 let size t = t.size
 
+(* Pool observability: counters/gauges live in the process-wide registry.
+   "caller" tasks are the ones the mapping caller steals back while it
+   waits (the caller-helps discipline), "worker" tasks ran on a spawned
+   domain.  All updates are per-task or per-batch, never per-item, so the
+   cost is invisible next to the mutex traffic they ride along with. *)
+let m_queue_depth =
+  Obs.Metrics.Gauge.create ~help:"Tasks currently waiting in the shared pool queue"
+    "pool_queue_depth"
+
+let m_pool_domains =
+  Obs.Metrics.Gauge.create ~help:"Domains of the most recently created pool (caller included)"
+    "pool_domains"
+
+let m_utilization =
+  Obs.Metrics.Gauge.create
+    ~help:"Busy fraction of the pool during the most recent run_all batch"
+    "pool_utilization"
+
+let m_tasks executor =
+  Obs.Metrics.Counter.create
+    ~labels:[ ("executor", executor) ]
+    ~help:"Pool tasks executed" "pool_tasks_total"
+
+let m_tasks_worker = m_tasks "worker"
+let m_tasks_caller = m_tasks "caller"
+
+let m_busy executor =
+  Obs.Metrics.Counter.create
+    ~labels:[ ("executor", executor) ]
+    ~help:"Nanoseconds spent executing pool tasks" "pool_busy_ns_total"
+
+let m_busy_worker = m_busy "worker"
+let m_busy_caller = m_busy "caller"
+
+let note_depth pool = Obs.Metrics.Gauge.set m_queue_depth (float_of_int (Queue.length pool.queue))
+
+let timed_task busy tasks task =
+  let t0 = Obs.Clock.now_ns () in
+  task ();
+  Obs.Metrics.Counter.add busy (Obs.Clock.now_ns () - t0);
+  Obs.Metrics.Counter.incr tasks
+
 let worker pool =
   let rec loop () =
     Mutex.lock pool.mutex;
     let rec next () =
-      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+      if not (Queue.is_empty pool.queue) then begin
+        let task = Queue.pop pool.queue in
+        note_depth pool;
+        Some task
+      end
       else if pool.closed then None
       else begin
         Condition.wait pool.cond pool.mutex;
@@ -25,7 +71,7 @@ let worker pool =
     | None -> Mutex.unlock pool.mutex
     | Some task ->
         Mutex.unlock pool.mutex;
-        task ();
+        timed_task m_busy_worker m_tasks_worker task;
         loop ()
   in
   loop ()
@@ -44,6 +90,7 @@ let create ~domains =
     }
   in
   pool.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  Obs.Metrics.Gauge.set m_pool_domains (float_of_int domains);
   pool
 
 (* Idempotent and safe under concurrency: exactly one caller takes the
@@ -99,19 +146,36 @@ let run_all pool tasks =
       Condition.broadcast pool.cond;
       Mutex.unlock pool.mutex
     in
+    let batch_t0 = Obs.Clock.now_ns () in
+    let busy_before =
+      Obs.Metrics.Counter.value m_busy_worker + Obs.Metrics.Counter.value m_busy_caller
+    in
     Mutex.lock pool.mutex;
     Array.iter (fun task -> Queue.add (wrapped task) pool.queue) tasks;
+    note_depth pool;
     Condition.broadcast pool.cond;
     while !remaining > 0 do
       if Queue.is_empty pool.queue then Condition.wait pool.cond pool.mutex
       else begin
         let task = Queue.pop pool.queue in
+        note_depth pool;
         Mutex.unlock pool.mutex;
-        task ();
+        timed_task m_busy_caller m_tasks_caller task;
         Mutex.lock pool.mutex
       end
     done;
     Mutex.unlock pool.mutex;
+    (* Approximate batch utilization: busy-ns accumulated process-wide over
+       the batch's wall time, normalised by pool width.  Concurrent batches
+       bleed into each other's figure — good enough for a load gauge. *)
+    let wall = Obs.Clock.now_ns () - batch_t0 in
+    if wall > 0 then begin
+      let busy_after =
+        Obs.Metrics.Counter.value m_busy_worker + Obs.Metrics.Counter.value m_busy_caller
+      in
+      Obs.Metrics.Gauge.set m_utilization
+        (float_of_int (busy_after - busy_before) /. float_of_int (pool.size * wall))
+    end;
     match !first_error with None -> () | Some e -> raise e
   end
 

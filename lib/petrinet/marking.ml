@@ -316,8 +316,25 @@ let explore_auto ~cap ~budget ~record ~packed teg =
 let effective_cap cap budget =
   match budget with None -> cap | Some b -> Supervise.Budget.cap_allowed b cap
 
+let m_states_explored =
+  Obs.Metrics.Counter.create ~help:"Markings discovered by reachability exploration"
+    "marking_states_explored_total"
+
+let m_edges_explored =
+  Obs.Metrics.Counter.create ~help:"Marking-graph edges discovered by reachability exploration"
+    "marking_edges_total"
+
 let explore_graph ?(cap = 200_000) ?budget ?(packed = true) teg =
-  explore_auto ~cap:(effective_cap cap budget) ~budget ~record:true ~packed teg
+  Obs.Trace.span "petrinet:explore_graph" (fun () ->
+      let g = explore_auto ~cap:(effective_cap cap budget) ~budget ~record:true ~packed teg in
+      (* counters bump once per exploration, not per state, so the
+         disabled-tracing overhead stays negligible *)
+      let states = Array.length g.markings and edges = Array.length g.succ in
+      Obs.Metrics.Counter.add m_states_explored states;
+      Obs.Metrics.Counter.add m_edges_explored edges;
+      Obs.Trace.add_attr "states" (string_of_int states);
+      Obs.Trace.add_attr "edges" (string_of_int edges);
+      g)
 
 let explore ?(cap = 200_000) ?budget teg =
   (explore_auto ~cap:(effective_cap cap budget) ~budget ~record:false ~packed:true teg).markings

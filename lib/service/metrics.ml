@@ -1,99 +1,136 @@
-(* Counter tables plus two fixed-bucket histograms.  Buckets are
-   cumulative-friendly "le" upper bounds with a final +inf catch-all, the
-   shape every scraping convention understands. *)
+(* Daemon metrics, backed by the generic [Obs.Metrics] registry.  Each
+   server owns a private registry so concurrent servers (the tests spawn
+   several) do not share counters; the [stats] JSON shape of the previous
+   hand-rolled implementation is preserved (with an added exact-quantile
+   "summary" on each histogram), and the same registry renders as
+   Prometheus text for the [metrics] protocol command. *)
 
 let latency_bounds = [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0; 100.0 |]
 let states_bounds = [| 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000.; 10_000_000. |]
 
-type histogram = { bounds : float array; counts : int array; mutable total : int }
-
-let histogram bounds = { bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0 }
-
-let observe h v =
-  let rec bucket i =
-    if i >= Array.length h.bounds then Array.length h.bounds
-    else if v <= h.bounds.(i) then i
-    else bucket (i + 1)
-  in
-  h.counts.(bucket 0) <- h.counts.(bucket 0) + 1;
-  h.total <- h.total + 1
-
 type t = {
   started : float;
-  requests : (string, int ref) Hashtbl.t;
-  errors : (string, int ref) Hashtbl.t;
-  provenance : (string, int ref) Hashtbl.t;
-  mutable solved : int;
-  mutable cache_served : int;
-  latency : histogram;
-  states : histogram;
-  mutex : Mutex.t;
+  reg : Obs.Metrics.registry;
+  solved : Obs.Metrics.Counter.t;
+  cache_served : Obs.Metrics.Counter.t;
+  latency : Obs.Metrics.Histogram.t;
+  states : Obs.Metrics.Histogram.t;
 }
 
 let create () =
+  let reg = Obs.Metrics.create_registry () in
+  let started = Unix.gettimeofday () in
+  let uptime =
+    Obs.Metrics.Gauge.create ~registry:reg ~help:"Seconds since the server started"
+      "service_uptime_seconds"
+  in
+  Obs.Metrics.register_collector ~registry:reg ~name:"service.uptime" (fun () ->
+      Obs.Metrics.Gauge.set uptime (Unix.gettimeofday () -. started));
   {
-    started = Unix.gettimeofday ();
-    requests = Hashtbl.create 8;
-    errors = Hashtbl.create 8;
-    provenance = Hashtbl.create 4;
-    solved = 0;
-    cache_served = 0;
-    latency = histogram latency_bounds;
-    states = histogram states_bounds;
-    mutex = Mutex.create ();
+    started;
+    reg;
+    solved =
+      Obs.Metrics.Counter.create ~registry:reg ~help:"Solve requests answered"
+        "service_solved_total";
+    cache_served =
+      Obs.Metrics.Counter.create ~registry:reg ~help:"Solve requests answered from the LRU cache"
+        "service_cache_served_total";
+    latency =
+      Obs.Metrics.Histogram.create ~registry:reg ~buckets:latency_bounds
+        ~help:"Solve wall latency in seconds" "service_latency_seconds";
+    states =
+      Obs.Metrics.Histogram.create ~registry:reg ~buckets:states_bounds
+        ~help:"Pattern state-space size of solved instances" "service_pattern_states";
   }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let registry t = t.reg
 
-let bump table key =
-  match Hashtbl.find_opt table key with
-  | Some r -> incr r
-  | None -> Hashtbl.replace table key (ref 1)
+let record_request t ~cmd =
+  Obs.Metrics.Counter.incr
+    (Obs.Metrics.Counter.create ~registry:t.reg
+       ~labels:[ ("cmd", cmd) ]
+       ~help:"Requests received, by command" "service_requests_total")
 
-let record_request t ~cmd = locked t (fun () -> bump t.requests cmd)
-let record_error t ~kind = locked t (fun () -> bump t.errors kind)
+let record_error t ~kind =
+  Obs.Metrics.Counter.incr
+    (Obs.Metrics.Counter.create ~registry:t.reg
+       ~labels:[ ("kind", kind) ]
+       ~help:"Error replies, by protocol error kind" "service_errors_total")
 
 let record_solve t ~cached ~quality ~latency ~states =
-  locked t (fun () ->
-      t.solved <- t.solved + 1;
-      if cached then t.cache_served <- t.cache_served + 1;
-      bump t.provenance quality;
-      observe t.latency latency;
-      observe t.states (float_of_int states))
+  Obs.Metrics.Counter.incr t.solved;
+  if cached then Obs.Metrics.Counter.incr t.cache_served;
+  Obs.Metrics.Counter.incr
+    (Obs.Metrics.Counter.create ~registry:t.reg
+       ~labels:[ ("quality", quality) ]
+       ~help:"Answered solves, by winning provenance quality" "service_provenance_total");
+  Obs.Metrics.Histogram.observe t.latency latency;
+  Obs.Metrics.Histogram.observe t.states (float_of_int states)
 
-let table_json table =
-  Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) table []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> fun fields -> Json.Obj fields
+(* ---- stats JSON (same shape as before, plus "summary") ---- *)
 
-let histogram_json h =
-  let buckets =
-    Array.to_list
-      (Array.mapi
-         (fun i count ->
-           let le =
-             if i < Array.length h.bounds then Json.Float h.bounds.(i) else Json.String "inf"
-           in
-           Json.Obj [ ("le", le); ("count", Json.Int count) ])
-         h.counts)
+let table_json samples name label =
+  let fields =
+    List.filter_map
+      (fun (s : Obs.Metrics.sample) ->
+        match s.s_value with
+        | Obs.Metrics.Counter_v v when s.s_name = name ->
+            Option.map (fun l -> (l, Json.Int v)) (List.assoc_opt label s.s_labels)
+        | _ -> None)
+      samples
   in
-  Json.Obj [ ("total", Json.Int h.total); ("buckets", Json.List buckets) ]
+  (* [samples] is already sorted by name then labels *)
+  Json.Obj fields
 
-let to_json t =
-  locked t (fun () ->
+let histogram_json samples name =
+  let view =
+    List.find_map
+      (fun (s : Obs.Metrics.sample) ->
+        match s.s_value with
+        | Obs.Metrics.Histogram_v h when s.s_name = name -> Some h
+        | _ -> None)
+      samples
+  in
+  match view with
+  | None -> Json.Obj [ ("total", Json.Int 0); ("buckets", Json.List []) ]
+  | Some h ->
+      let buckets =
+        Array.to_list
+          (Array.map
+             (fun (le, count) ->
+               let le = if le = infinity then Json.String "inf" else Json.Float le in
+               Json.Obj [ ("le", le); ("count", Json.Int count) ])
+             h.Obs.Metrics.h_buckets)
+      in
       Json.Obj
         [
-          ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
-          ("requests", table_json t.requests);
-          ("errors", table_json t.errors);
-          ("solved", Json.Int t.solved);
-          ("cache_served", Json.Int t.cache_served);
-          ("provenance", table_json t.provenance);
-          ("latency_s", histogram_json t.latency);
-          ("pattern_states", histogram_json t.states);
-        ])
+          ("total", Json.Int h.Obs.Metrics.h_count);
+          ("buckets", Json.List buckets);
+          (* exact nearest-rank quantiles; null while empty *)
+          ( "summary",
+            Json.Obj
+              [
+                ("p50", Json.Float h.Obs.Metrics.h_p50);
+                ("p90", Json.Float h.Obs.Metrics.h_p90);
+                ("p99", Json.Float h.Obs.Metrics.h_p99);
+              ] );
+        ]
+
+let to_json t =
+  let samples = Obs.Metrics.samples t.reg in
+  Json.Obj
+    [
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+      ("requests", table_json samples "service_requests_total" "cmd");
+      ("errors", table_json samples "service_errors_total" "kind");
+      ("solved", Json.Int (Obs.Metrics.Counter.value t.solved));
+      ("cache_served", Json.Int (Obs.Metrics.Counter.value t.cache_served));
+      ("provenance", table_json samples "service_provenance_total" "quality");
+      ("latency_s", histogram_json samples "service_latency_seconds");
+      ("pattern_states", histogram_json samples "service_pattern_states");
+    ]
+
+let prometheus t = Obs.Metrics.to_prometheus t.reg
 
 let dump t ppf =
   let j = to_json t in
@@ -107,6 +144,19 @@ let dump t ppf =
           fields
     | _ -> ()
   in
+  let summary title = function
+    | Some j -> (
+        match Json.member "summary" j with
+        | Some (Json.Obj qs) ->
+            List.iter
+              (fun (q, v) ->
+                match Json.to_float_opt v with
+                | Some f -> Format.fprintf ppf "%-24s %10.6f@." (title ^ "." ^ q) f
+                | None -> ())
+              qs
+        | _ -> ())
+    | None -> ()
+  in
   (match Json.member "uptime_s" j with
   | Some (Json.Float s) -> Format.fprintf ppf "%-24s %10.3f s@." "uptime" s
   | _ -> ());
@@ -117,4 +167,6 @@ let dump t ppf =
       Format.fprintf ppf "%-24s %8d@." "solved" s;
       Format.fprintf ppf "%-24s %8d@." "cache_served" c
   | _ -> ());
-  table "provenance" (Json.member "provenance" j)
+  table "provenance" (Json.member "provenance" j);
+  summary "latency_s" (Json.member "latency_s" j);
+  summary "pattern_states" (Json.member "pattern_states" j)

@@ -1,11 +1,17 @@
 (** Live daemon metrics: request/error/busy counters, a log-scale solve
     latency histogram, a state-space-size histogram and per-result
-    provenance counts.  Served by the [stats] command and dumped to
-    stderr during graceful drain.  Thread-safe. *)
+    provenance counts, all backed by a private {!Obs.Metrics} registry.
+    Served by the [stats] command (JSON), the [metrics] command
+    (Prometheus text) and dumped to stderr during graceful drain.
+    Thread-safe. *)
 
 type t
 
 val create : unit -> t
+
+val registry : t -> Obs.Metrics.registry
+(** The server's private registry, e.g. to attach collectors that mirror
+    the LRU cache statistics. *)
 
 val record_request : t -> cmd:string -> unit
 (** Counts one incoming request under its command name (including
@@ -22,7 +28,12 @@ val record_solve : t -> cached:bool -> quality:string -> latency:float -> states
 
 val to_json : t -> Json.t
 (** Everything above as one stable JSON object (histograms as
-    [{"le": bound, "count": n}] lists with a final catch-all bucket). *)
+    [{"le": bound, "count": n}] lists with a final catch-all bucket, plus
+    an exact p50/p90/p99 ["summary"] object). *)
+
+val prometheus : t -> string
+(** The registry in Prometheus text exposition format. *)
 
 val dump : t -> Format.formatter -> unit
-(** Human-oriented one-per-line rendering for the drain log. *)
+(** Human-oriented one-per-line rendering for the drain log, including
+    the exact latency/state-space quantiles. *)

@@ -118,6 +118,7 @@ let decode_query json =
 type request =
   | Ping
   | Stats
+  | Metrics
   | Shutdown
   | Solve of Engine.query
   | Batch of (Engine.query, error) result list
@@ -141,6 +142,7 @@ let parse_request json =
           | None -> Error (id, Bad_request "request needs a string field 'cmd'")
           | Some "ping" -> Ok (id, Ping)
           | Some "stats" -> Ok (id, Stats)
+          | Some "metrics" -> Ok (id, Metrics)
           | Some "shutdown" -> Ok (id, Shutdown)
           | Some "solve" -> (
               match decode_query json with

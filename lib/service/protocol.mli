@@ -3,10 +3,12 @@
     Version 1, newline-delimited JSON: each request is one JSON object on
     one line, each reply one object on one line, in request order.
 
-    Requests: [{"v":1, "id":..., "cmd":"solve"|"batch"|"stats"|"ping"|
-    "shutdown", ...}].  ["v"] defaults to 1 when absent; any other value
-    is a [version_mismatch].  ["id"] is an arbitrary JSON value echoed
-    verbatim in the reply (absent → omitted).
+    Requests: [{"v":1, "id":..., "cmd":"solve"|"batch"|"stats"|"metrics"|
+    "ping"|"shutdown", ...}].  ["v"] defaults to 1 when absent; any other
+    value is a [version_mismatch].  ["id"] is an arbitrary JSON value
+    echoed verbatim in the reply (absent → omitted).  [metrics] answers
+    with [{"format":"prometheus-text","text":...}] — the full metric
+    registry in the Prometheus text exposition format.
 
     [solve] fields: ["instance"] (string, {!Streaming.Instance_io}
     format, required), ["model"] ("overlap", default | "strict"),
@@ -43,6 +45,7 @@ val error_json : error -> Json.t
 type request =
   | Ping
   | Stats
+  | Metrics
   | Shutdown
   | Solve of Engine.query
   | Batch of (Engine.query, error) result list

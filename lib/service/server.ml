@@ -30,15 +30,48 @@ type t = {
 }
 
 let create config =
-  {
-    config;
-    metrics = Metrics.create ();
-    cache = Lru.create ~capacity:config.cache_capacity;
-    admit_mutex = Mutex.create ();
-    inflight = 0;
-    stop = Atomic.make false;
-    stop_pipe = None;
-  }
+  let t =
+    {
+      config;
+      metrics = Metrics.create ();
+      cache = Lru.create ~capacity:config.cache_capacity;
+      admit_mutex = Mutex.create ();
+      inflight = 0;
+      stop = Atomic.make false;
+      stop_pipe = None;
+    }
+  in
+  (* Mirror externally-owned statistics into the server's registry on
+     demand (stats/metrics requests).  Registration is idempotent by name,
+     and the registry is per-server, so concurrent servers stay isolated. *)
+  let reg = Metrics.registry t.metrics in
+  let lru_gauge name help =
+    Obs.Metrics.Gauge.create ~registry:reg ~help ("service_cache_" ^ name)
+  in
+  let g_hits = lru_gauge "hits" "LRU result-cache hits" in
+  let g_misses = lru_gauge "misses" "LRU result-cache misses" in
+  let g_entries = lru_gauge "entries" "LRU result-cache live entries" in
+  let g_evictions = lru_gauge "evictions" "LRU result-cache evictions" in
+  Obs.Metrics.register_collector ~registry:reg ~name:"service.lru" (fun () ->
+      let c = Lru.stats t.cache in
+      Obs.Metrics.Gauge.set g_hits (float_of_int c.Lru.hits);
+      Obs.Metrics.Gauge.set g_misses (float_of_int c.Lru.misses);
+      Obs.Metrics.Gauge.set g_entries (float_of_int c.Lru.entries);
+      Obs.Metrics.Gauge.set g_evictions (float_of_int c.Lru.evictions));
+  let pat_gauge name help =
+    Obs.Metrics.Gauge.create ~registry:reg ~help ("young_pattern_cache_" ^ name)
+  in
+  let g_phits = pat_gauge "hits" "Pattern-solve memo hits" in
+  let g_pmisses = pat_gauge "misses" "Pattern-solve memo misses" in
+  let g_pstructures = pat_gauge "structures" "Cached per-shape marking structures" in
+  let g_presults = pat_gauge "results" "Cached pattern throughput results" in
+  Obs.Metrics.register_collector ~registry:reg ~name:"young.pattern" (fun () ->
+      let c = Young.Pattern.cache_stats () in
+      Obs.Metrics.Gauge.set g_phits (float_of_int c.Young.Pattern.hits);
+      Obs.Metrics.Gauge.set g_pmisses (float_of_int c.Young.Pattern.misses);
+      Obs.Metrics.Gauge.set g_pstructures (float_of_int c.Young.Pattern.structures);
+      Obs.Metrics.Gauge.set g_presults (float_of_int c.Young.Pattern.results));
+  t
 
 let metrics t = t.metrics
 let cache t = t.cache
@@ -82,6 +115,15 @@ let stats_json t =
             ("entries", Json.Int c.Lru.entries);
             ("capacity", Json.Int c.Lru.capacity);
             ("evictions", Json.Int c.Lru.evictions);
+          ] );
+      ( "young_pattern_cache",
+        let c = Young.Pattern.cache_stats () in
+        Json.Obj
+          [
+            ("hits", Json.Int c.Young.Pattern.hits);
+            ("misses", Json.Int c.Young.Pattern.misses);
+            ("structures", Json.Int c.Young.Pattern.structures);
+            ("results", Json.Int c.Young.Pattern.results);
           ] );
       ("pool_domains", Json.Int (Parallel.Pool.size (Parallel.Pool.get ())));
       ("inflight", Json.Int inflight);
@@ -147,6 +189,7 @@ let respond t line =
             match request with
             | Protocol.Ping -> "ping"
             | Protocol.Stats -> "stats"
+            | Protocol.Metrics -> "metrics"
             | Protocol.Shutdown -> "shutdown"
             | Protocol.Solve _ -> "solve"
             | Protocol.Batch _ -> "batch"
@@ -160,6 +203,16 @@ let respond t line =
               (Protocol.ok_reply ~id ~result (), `Continue)
           | Protocol.Stats ->
               (Protocol.ok_reply ~id ~result:(Json.render (stats_json t)) (), `Continue)
+          | Protocol.Metrics ->
+              (* server-scoped metrics first, then the process-wide
+                 registry (pool, solver and cache counters) *)
+              let text = Metrics.prometheus t.metrics ^ Obs.Metrics.to_prometheus Obs.Metrics.default in
+              let result =
+                Json.render
+                  (Json.Obj
+                     [ ("format", Json.String "prometheus-text"); ("text", Json.String text) ])
+              in
+              (Protocol.ok_reply ~id ~result (), `Continue)
           | Protocol.Shutdown ->
               let result = Json.render (Json.Obj [ ("stopping", Json.Bool true) ]) in
               (Protocol.ok_reply ~id ~result (), `Shutdown)
@@ -168,7 +221,7 @@ let respond t line =
               | Error busy -> err id busy
               | Ok () -> (
                   Fun.protect ~finally:(release t) @@ fun () ->
-                  match solve_one t q with
+                  match Obs.Trace.span "service:solve" (fun () -> solve_one t q) with
                   | Ok (rendered, cached) ->
                       (Protocol.ok_reply ~id ~cached ~result:rendered (), `Continue)
                   | Error e -> err id e))
@@ -177,6 +230,7 @@ let respond t line =
               | Error busy -> err id busy
               | Ok () ->
                   Fun.protect ~finally:(release t) @@ fun () ->
+                  Obs.Trace.span "service:batch" @@ fun () ->
                   let item_error e =
                     Metrics.record_error t.metrics ~kind:(Protocol.error_kind e);
                     Printf.sprintf "{\"ok\":false,\"error\":%s}" (Json.render (Protocol.error_json e))

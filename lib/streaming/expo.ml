@@ -28,7 +28,13 @@ let strict_throughput ?cap mapping = markov_throughput ?cap (Tpn.build mapping M
    an escalation ladder; if the whole ladder fails (or the state space blows
    the cap) and a [simulate] rung is supplied, the result degrades to a
    simulation estimate instead of an exception. *)
+let m_des_fallback =
+  Obs.Metrics.Counter.create
+    ~help:"Supervised strict solves that degraded to the DES simulation rung"
+    "expo_des_fallback_total"
+
 let strict_throughput_supervised ?cap ?budget ?ladder ?simulate mapping =
+  Obs.Trace.span "expo:strict_supervised" @@ fun () ->
   let tpn = Tpn.build mapping Model.Strict in
   let teg = Tpn.teg tpn in
   let rates v = 1.0 /. Petrinet.Teg.time teg v in
@@ -44,7 +50,10 @@ let strict_throughput_supervised ?cap ?budget ?ladder ?simulate mapping =
         let prior =
           [ { Supervise.Provenance.rung = "general-method"; outcome = Error err } ]
         in
-        let value, ci = sim () in
+        Obs.Metrics.Counter.incr m_des_fallback;
+        let value, ci =
+          Obs.Trace.span "expo:des_fallback" (fun () -> sim ())
+        in
         (value, Supervise.Provenance.solved ~rung:"des" ~prior (Supervise.Provenance.Simulated { ci })))
 
 (* Bound every row-forward place of the Overlap TPN by a back-place with

@@ -1,5 +1,7 @@
 let completions mapping model ~laws ~seed ~data_sets =
   if data_sets < 1 then invalid_arg "Teg_sim.completions: need at least one data set";
+  Obs.Trace.span "streaming:eg_sim" @@ fun () ->
+  Obs.Trace.add_attr "data_sets" (string_of_int data_sets);
   let tpn = Tpn.build mapping model in
   let teg = Tpn.teg tpn in
   let m = Tpn.n_rows tpn in

@@ -6,6 +6,7 @@ type record = {
   status : status;
   detail : string;
   output : string;
+  elapsed : string;
 }
 
 let status_to_string = function Exact -> "exact" | Degraded -> "degraded" | Failed -> "failed"
@@ -49,6 +50,12 @@ let encode r =
   Buffer.add_char buf ',';
   field "detail" r.detail;
   Buffer.add_char buf ',';
+  (* wall-clock timing is advisory: omitted when unknown, and ignored by
+     the resume byte-identity check (which compares only the payload) *)
+  if r.elapsed <> "" then begin
+    field "elapsed_s" r.elapsed;
+    Buffer.add_char buf ','
+  end;
   field "output" r.output;
   Buffer.add_char buf '}';
   Buffer.contents buf
@@ -111,7 +118,9 @@ let decode line =
   if !pos <> n then raise Malformed;
   let get k = match List.assoc_opt k !fields with Some v -> v | None -> raise Malformed in
   let status = match status_of_string (get "status") with Some s -> s | None -> raise Malformed in
-  { exp = get "exp"; point = get "point"; status; detail = get "detail"; output = get "output" }
+  (* [elapsed_s] is optional: journals written before it existed load fine *)
+  let elapsed = Option.value (List.assoc_opt "elapsed_s" !fields) ~default:"" in
+  { exp = get "exp"; point = get "point"; status; detail = get "detail"; output = get "output"; elapsed }
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -22,6 +22,10 @@ type record = {
   status : status;
   detail : string;  (** provenance / error description *)
   output : string;  (** rendered fragment; empty for failed points *)
+  elapsed : string;
+      (** wall-clock duration of the solve in seconds (["%.6f"]), or [""]
+          when unknown (e.g. journals written before this field existed).
+          Advisory only: resume replays compare the payload, never this. *)
 }
 
 val status_to_string : status -> string

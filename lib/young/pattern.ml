@@ -243,6 +243,8 @@ let shape_of ~u ~v ~phases ~cap =
   match locked (fun () -> Hashtbl.find_opt shape_cache key) with
   | Some shape -> shape
   | None ->
+      Obs.Trace.span "young:structure" @@ fun () ->
+      Obs.Trace.add_attr "pattern" (Printf.sprintf "%dx%d ph%d" u v phases);
       (* built outside the lock: exploration can be slow, and a duplicate
          build by a racing domain yields an equal value *)
       let base = build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in

@@ -1,0 +1,431 @@
+(* The observability layer: metric registry semantics (idempotent
+   creation, exact quantiles, Prometheus rendering), race-free concurrent
+   span/counter recording across pool domains, Chrome trace_event export
+   validity, the zero-overhead disabled fast path (byte-identical
+   experiment output), profile-tree accounting, and the journal/runner
+   elapsed_s satellite. *)
+
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let with_tracing f =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_enabled false) f
+
+(* ---- metrics registry ---- *)
+
+let test_counter_gauge () =
+  let reg = Obs.Metrics.create_registry () in
+  let c = Obs.Metrics.Counter.create ~registry:reg "obs_test_total" in
+  Obs.Metrics.Counter.incr c;
+  Obs.Metrics.Counter.add c 4;
+  (* same (name, labels) -> same underlying cell *)
+  let c' = Obs.Metrics.Counter.create ~registry:reg "obs_test_total" in
+  Obs.Metrics.Counter.incr c';
+  Alcotest.(check int) "counter shared" 6 (Obs.Metrics.Counter.value c);
+  let g = Obs.Metrics.Gauge.create ~registry:reg ~labels:[ ("k", "v") ] "obs_test_gauge" in
+  Obs.Metrics.Gauge.set g 2.5;
+  Obs.Metrics.Gauge.add g 0.5;
+  Alcotest.(check (float 1e-9)) "gauge" 3.0 (Obs.Metrics.Gauge.value g);
+  (* label order must not matter for identity *)
+  let g1 =
+    Obs.Metrics.Gauge.create ~registry:reg ~labels:[ ("a", "1"); ("b", "2") ] "obs_test_multi"
+  in
+  let g2 =
+    Obs.Metrics.Gauge.create ~registry:reg ~labels:[ ("b", "2"); ("a", "1") ] "obs_test_multi"
+  in
+  Obs.Metrics.Gauge.set g1 7.0;
+  Alcotest.(check (float 1e-9)) "canonical labels" 7.0 (Obs.Metrics.Gauge.value g2);
+  (* kind clash is an error *)
+  (match Obs.Metrics.Gauge.create ~registry:reg "obs_test_total" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash accepted");
+  Obs.Metrics.reset reg;
+  Alcotest.(check int) "reset" 0 (Obs.Metrics.Counter.value c)
+
+let test_histogram_quantiles () =
+  let reg = Obs.Metrics.create_registry () in
+  let h =
+    Obs.Metrics.Histogram.create ~registry:reg ~buckets:[| 10.; 50.; 90. |] "obs_test_hist"
+  in
+  (* 1..100 observed in a scrambled order: nearest-rank quantiles are exact *)
+  let xs = Array.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1)) in
+  Array.iter (Obs.Metrics.Histogram.observe h) xs;
+  Alcotest.(check int) "count" 100 (Obs.Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5050.0 (Obs.Metrics.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Obs.Metrics.Histogram.quantile h 0.50);
+  Alcotest.(check (float 1e-9)) "p90" 90.0 (Obs.Metrics.Histogram.quantile h 0.90);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Obs.Metrics.Histogram.quantile h 0.99);
+  (* empty histogram: quantiles are NaN *)
+  let e = Obs.Metrics.Histogram.create ~registry:reg ~buckets:[| 1.0 |] "obs_test_empty" in
+  Alcotest.(check bool) "empty -> nan" true (Float.is_nan (Obs.Metrics.Histogram.quantile e 0.5))
+
+let test_prometheus_render () =
+  let reg = Obs.Metrics.create_registry () in
+  let c = Obs.Metrics.Counter.create ~registry:reg ~labels:[ ("cmd", "solve") ] "req_total" in
+  Obs.Metrics.Counter.add c 3;
+  let h = Obs.Metrics.Histogram.create ~registry:reg ~buckets:[| 1.0; 2.0 |] "lat_seconds" in
+  Obs.Metrics.Histogram.observe h 0.5;
+  Obs.Metrics.Histogram.observe h 1.5;
+  Obs.Metrics.Histogram.observe h 5.0;
+  let collected = Obs.Metrics.Gauge.create ~registry:reg "collected_gauge" in
+  Obs.Metrics.register_collector ~registry:reg ~name:"test" (fun () ->
+      Obs.Metrics.Gauge.set collected 42.0);
+  let text = Obs.Metrics.to_prometheus reg in
+  let has needle =
+    Alcotest.(check bool) ("contains " ^ needle) true
+      (let n = String.length needle and m = String.length text in
+       let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+       go 0)
+  in
+  has "# TYPE req_total counter";
+  has "req_total{cmd=\"solve\"} 3";
+  has "lat_seconds_bucket{le=\"1\"} 1";
+  has "lat_seconds_bucket{le=\"2\"} 2";
+  has "lat_seconds_bucket{le=\"+Inf\"} 3";
+  has "lat_seconds_count 3";
+  has "lat_seconds_p50 1.5";
+  has "collected_gauge 42"
+
+(* ---- concurrent recording from >= 4 domains ---- *)
+
+let test_concurrent_domains () =
+  let c = Obs.Metrics.Counter.create "obs_test_concurrent_total" in
+  let before = Obs.Metrics.Counter.value c in
+  let spans_per_task = 50 and tasks = 16 and incrs = 1000 in
+  with_tracing (fun () ->
+      Parallel.Pool.with_pool ~domains:4 (fun pool ->
+          ignore
+            (Parallel.Pool.init pool tasks (fun i ->
+                 for _ = 1 to incrs do
+                   Obs.Metrics.Counter.incr c
+                 done;
+                 for j = 1 to spans_per_task do
+                   Obs.Trace.span "work" (fun () ->
+                       Obs.Trace.add_attr "task" (string_of_int i);
+                       ignore (i * j))
+                 done;
+                 i))));
+  Alcotest.(check int) "no lost counter increments" (tasks * incrs)
+    (Obs.Metrics.Counter.value c - before);
+  let work = List.filter (fun e -> e.Obs.Trace.ev_name = "work") (Obs.Trace.events ()) in
+  Alcotest.(check int) "no lost span events" (2 * tasks * spans_per_task) (List.length work);
+  let begins = List.filter (fun e -> e.Obs.Trace.ev_ph = 'B') work in
+  Alcotest.(check int) "balanced B/E" (tasks * spans_per_task) (List.length begins)
+
+(* ---- Chrome trace export ---- *)
+
+let test_chrome_export () =
+  with_tracing (fun () ->
+      Obs.Trace.span "outer" (fun () ->
+          Obs.Trace.add_attr "k" "v\"quote";
+          Obs.Trace.span "inner" (fun () -> Obs.Trace.instant "tick");
+          Obs.Trace.span "inner" (fun () -> ())));
+  let text = Obs.Trace.to_chrome_json () in
+  match Service.Json.parse text with
+  | Error msg -> Alcotest.fail ("chrome export is not valid JSON: " ^ msg)
+  | Ok json -> (
+      match Service.Json.member "traceEvents" json with
+      | Some (Service.Json.List events) ->
+          Alcotest.(check bool) "has events" true (List.length events >= 7);
+          (* per-tid begin/end stacks must nest and balance *)
+          let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 4 in
+          List.iter
+            (fun ev ->
+              let str k = Option.bind (Service.Json.member k ev) Service.Json.to_string_opt in
+              let tid =
+                match Option.bind (Service.Json.member "tid" ev) Service.Json.to_int_opt with
+                | Some t -> t
+                | None -> Alcotest.fail "event without tid"
+              in
+              let stack =
+                match Hashtbl.find_opt stacks tid with
+                | Some s -> s
+                | None ->
+                    let s = ref [] in
+                    Hashtbl.add stacks tid s;
+                    s
+              in
+              let name = match str "name" with Some n -> n | None -> Alcotest.fail "no name" in
+              match str "ph" with
+              | Some "B" -> stack := name :: !stack
+              | Some "E" -> (
+                  match !stack with
+                  | top :: rest when top = name -> stack := rest
+                  | _ -> Alcotest.fail (Printf.sprintf "unbalanced E for %s" name))
+              | _ -> ())
+            events;
+          Hashtbl.iter
+            (fun tid s ->
+              Alcotest.(check (list string))
+                (Printf.sprintf "tid %d stack empty" tid)
+                [] !s)
+            stacks
+      | _ -> Alcotest.fail "no traceEvents list")
+
+(* ---- disabled fast path: byte-identical experiment output ---- *)
+
+let render_experiment id =
+  match Experiments.Registry.find id with
+  | None -> Alcotest.fail ("unknown experiment " ^ id)
+  | Some e ->
+      let buf = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer buf in
+      e.Experiments.Registry.run ~quick:true ppf;
+      Format.pp_print_flush ppf ();
+      Buffer.contents buf
+
+let test_disabled_identical () =
+  Obs.Trace.set_enabled false;
+  Obs.Trace.clear ();
+  Young.Pattern.clear_caches ();
+  let off = render_experiment "fig13" in
+  Alcotest.(check int) "disabled records nothing" 0 (List.length (Obs.Trace.events ()));
+  Young.Pattern.clear_caches ();
+  let on = with_tracing (fun () -> render_experiment "fig13") in
+  Young.Pattern.clear_caches ();
+  Alcotest.(check string) "byte-identical output" off on
+
+(* ---- profile tree ---- *)
+
+let spin ns =
+  let t0 = Obs.Clock.now_ns () in
+  while Obs.Clock.now_ns () - t0 < ns do
+    ()
+  done
+
+let test_profile_tree () =
+  with_tracing (fun () ->
+      Obs.Trace.span "root" (fun () ->
+          Obs.Trace.span "child" (fun () -> spin 2_000_000);
+          Obs.Trace.span "child" (fun () -> spin 1_000_000);
+          spin 1_000_000));
+  let evs = Obs.Trace.events () in
+  let forests = Obs.Profile.trees evs in
+  let roots = List.concat_map snd forests in
+  (match List.find_opt (fun n -> n.Obs.Profile.p_name = "root") roots with
+  | None -> Alcotest.fail "no root node"
+  | Some root ->
+      (* the (self) pseudo-leaf makes leaf sums equal the root total *)
+      Alcotest.(check int) "leaf sums = total" root.Obs.Profile.p_total_ns
+        (Obs.Profile.leaf_sum_ns root);
+      let child =
+        List.find_opt (fun n -> n.Obs.Profile.p_name = "child") root.Obs.Profile.p_children
+      in
+      (match child with
+      | Some c -> Alcotest.(check int) "merged call count" 2 c.Obs.Profile.p_count
+      | None -> Alcotest.fail "no child node");
+      Alcotest.(check bool) "has (self) leaf" true
+        (List.exists (fun n -> n.Obs.Profile.p_name = "(self)") root.Obs.Profile.p_children));
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Obs.Profile.print ~wall_ns:5_000_000 ppf evs;
+  Format.pp_print_flush ppf ();
+  let text = Buffer.contents buf in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("render contains " ^ needle) true
+        (let n = String.length needle and m = String.length text in
+         let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+         go 0))
+    [ "total"; "root"; "child"; "(self)" ]
+
+(* ---- journal elapsed_s satellite ---- *)
+
+let test_journal_elapsed () =
+  let r =
+    {
+      Supervise.Journal.exp = "e";
+      point = "p";
+      status = Supervise.Journal.Exact;
+      detail = "";
+      output = "out";
+      elapsed = "0.123456";
+    }
+  in
+  let line = Supervise.Journal.encode r in
+  Alcotest.(check bool) "elapsed_s on the wire" true
+    (let needle = "\"elapsed_s\":\"0.123456\"" in
+     let n = String.length needle and m = String.length line in
+     let rec go i = i + n <= m && (String.sub line i n = needle || go (i + 1)) in
+     go 0);
+  (* records without timing keep the legacy byte format *)
+  let bare = { r with elapsed = "" } in
+  Alcotest.(check string) "legacy byte format"
+    "{\"exp\":\"e\",\"point\":\"p\",\"status\":\"exact\",\"detail\":\"\",\"output\":\"out\"}"
+    (Supervise.Journal.encode bare);
+  (* a legacy line (no elapsed_s) still decodes *)
+  let path = Filename.temp_file "obs_journal" ".jsonl" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Supervise.Journal.encode bare ^ "\n");
+      Out_channel.output_string oc (Supervise.Journal.encode r ^ "\n"));
+  (match Supervise.Journal.load path with
+  | [ a; b ] ->
+      Alcotest.(check string) "legacy elapsed empty" "" a.Supervise.Journal.elapsed;
+      Alcotest.(check string) "elapsed roundtrip" "0.123456" b.Supervise.Journal.elapsed
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 records, got %d" (List.length l)));
+  Sys.remove path
+
+let test_runner_elapsed_and_resume () =
+  let solves = ref 0 in
+  let point key out =
+    {
+      Experiments.Runner.key;
+      solve =
+        (fun ?budget:_ () ->
+          incr solves;
+          Experiments.Runner.ok (out ^ "\n"));
+    }
+  in
+  let tasks = [ { Experiments.Runner.exp = "t1"; points = [ point "a" "A"; point "b" "B" ] } ] in
+  let journal = Filename.temp_file "obs_runner" ".jsonl" in
+  let render resume =
+    let buf = Buffer.create 64 in
+    let ppf = Format.formatter_of_buffer buf in
+    ignore (Experiments.Runner.run_tasks ~journal ~resume ~err:null_ppf tasks ppf);
+    Buffer.contents buf
+  in
+  let first = render false in
+  Alcotest.(check int) "solved twice" 2 !solves;
+  List.iter
+    (fun r ->
+      if r.Supervise.Journal.exp <> "@meta" then begin
+        Alcotest.(check bool)
+          ("elapsed_s recorded for " ^ r.Supervise.Journal.point)
+          true
+          (r.Supervise.Journal.elapsed <> "");
+        Alcotest.(check bool) "elapsed_s parses" true
+          (match float_of_string_opt r.Supervise.Journal.elapsed with
+          | Some f -> f >= 0.0
+          | None -> false)
+      end)
+    (Supervise.Journal.load journal);
+  (* resume replays from the journal: no re-solve, byte-identical output *)
+  let resumed = render true in
+  Alcotest.(check int) "no re-solve on resume" 2 !solves;
+  Alcotest.(check string) "byte-identical resume" first resumed;
+  Sys.remove journal
+
+(* ---- service integration: metrics command, stats satellites ---- *)
+
+let service_config () =
+  {
+    Service.Server.cache_capacity = 8;
+    max_inflight = 4;
+    max_frame = 1 lsl 20;
+    default_wall = None;
+    log = null_ppf;
+  }
+
+let instance =
+  "stages 2\nwork 1 1\nfiles 1\nprocessors 3\nspeeds 1 1 1\nbandwidth default 1\n\
+   team 0\nteam 1 2\n"
+
+let parse_reply line =
+  match Service.Json.parse line with
+  | Ok j -> j
+  | Error msg -> Alcotest.fail (Printf.sprintf "unparsable reply %S: %s" line msg)
+
+let contains text needle =
+  let n = String.length needle and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+let test_service_metrics_command () =
+  let server = Service.Server.create (service_config ()) in
+  let solve =
+    Service.Json.render
+      (Service.Json.Obj
+         [
+           ("cmd", Service.Json.String "solve");
+           ("instance", Service.Json.String instance);
+         ])
+  in
+  ignore (Service.Server.respond server solve);
+  let reply = parse_reply (fst (Service.Server.respond server "{\"cmd\":\"metrics\"}")) in
+  Alcotest.(check (option bool)) "ok" (Some true)
+    (Option.bind (Service.Json.member "ok" reply) Service.Json.to_bool_opt);
+  let result =
+    match Service.Json.member "result" reply with
+    | Some r -> r
+    | None -> Alcotest.fail "no result"
+  in
+  Alcotest.(check (option string)) "format" (Some "prometheus-text")
+    (Option.bind (Service.Json.member "format" result) Service.Json.to_string_opt);
+  let text =
+    match Option.bind (Service.Json.member "text" result) Service.Json.to_string_opt with
+    | Some t -> t
+    | None -> Alcotest.fail "no text"
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prometheus has " ^ needle) true (contains text needle))
+    [
+      "service_requests_total{cmd=\"solve\"} 1";
+      "service_latency_seconds_bucket";
+      "service_latency_seconds_p50";
+      "service_cache_misses";
+      "young_pattern_cache_hits";
+      "pool_domains";
+    ]
+
+let test_service_stats_summaries () =
+  let server = Service.Server.create (service_config ()) in
+  let solve =
+    Service.Json.render
+      (Service.Json.Obj
+         [
+           ("cmd", Service.Json.String "solve");
+           ("instance", Service.Json.String instance);
+         ])
+  in
+  ignore (Service.Server.respond server solve);
+  let reply = parse_reply (fst (Service.Server.respond server "{\"cmd\":\"stats\"}")) in
+  let path keys =
+    List.fold_left
+      (fun acc k -> Option.bind acc (Service.Json.member k))
+      (Some reply) keys
+  in
+  (match path [ "result"; "metrics"; "latency_s"; "summary"; "p50" ] with
+  | Some v -> (
+      match Service.Json.to_float_opt v with
+      | Some f -> Alcotest.(check bool) "p50 >= 0" true (f >= 0.0)
+      | None -> Alcotest.fail "p50 not a number")
+  | None -> Alcotest.fail "no latency summary in stats");
+  (match path [ "result"; "young_pattern_cache"; "misses" ] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no young_pattern_cache in stats");
+  (* drain-time dump carries the quantiles *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Service.Metrics.dump (Service.Server.metrics server) ppf;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "dump has p99" true (contains (Buffer.contents buf) "latency_s.p99")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counter_gauge;
+          Alcotest.test_case "exact quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_render;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "concurrent domains" `Quick test_concurrent_domains;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "disabled fast path" `Quick test_disabled_identical;
+          Alcotest.test_case "profile tree" `Quick test_profile_tree;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "elapsed_s codec" `Quick test_journal_elapsed;
+          Alcotest.test_case "runner elapsed + resume" `Quick test_runner_elapsed_and_resume;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "metrics command" `Quick test_service_metrics_command;
+          Alcotest.test_case "stats summaries" `Quick test_service_stats_summaries;
+        ] );
+    ]

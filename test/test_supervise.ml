@@ -207,16 +207,17 @@ let nasty =
 
 let sample_records =
   [
-    { Journal.exp = "@meta"; point = "quick"; status = Journal.Exact; detail = ""; output = "" };
-    { Journal.exp = "e1"; point = "p1"; status = Journal.Exact; detail = "d"; output = nasty };
+    { Journal.exp = "@meta"; point = "quick"; status = Journal.Exact; detail = ""; output = ""; elapsed = "" };
+    { Journal.exp = "e1"; point = "p1"; status = Journal.Exact; detail = "d"; output = nasty; elapsed = "0.125000" };
     {
       Journal.exp = "e1";
       point = "p2";
       status = Journal.Degraded;
       detail = "retried";
       output = "line\n";
+      elapsed = "";
     };
-    { Journal.exp = "e2"; point = "all"; status = Journal.Failed; detail = "boom"; output = "" };
+    { Journal.exp = "e2"; point = "all"; status = Journal.Failed; detail = "boom"; output = ""; elapsed = "" };
   ]
 
 let test_journal_roundtrip () =
@@ -230,7 +231,8 @@ let test_journal_roundtrip () =
       Alcotest.(check string) "point" a.Journal.point b.Journal.point;
       Alcotest.(check bool) "status" true (a.Journal.status = b.Journal.status);
       Alcotest.(check string) "detail" a.Journal.detail b.Journal.detail;
-      Alcotest.(check string) "output" a.Journal.output b.Journal.output)
+      Alcotest.(check string) "output" a.Journal.output b.Journal.output;
+      Alcotest.(check string) "elapsed" a.Journal.elapsed b.Journal.elapsed)
     sample_records loaded;
   Sys.remove path
 
