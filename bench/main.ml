@@ -480,6 +480,113 @@ let statespace_study () =
   Experiments.Statespace.write_json ~path:"BENCH_statespace.json" rungs;
   Format.printf "wrote BENCH_statespace.json@."
 
+(* ---- optimizer study: candidate throughput, prune and cache rates of
+   the mapping-optimization engine; emits BENCH_optimize.json ---- *)
+
+let optimize_ladder ~pool ~app ~platform ~seed =
+  let objective = Optimize.Objective.create Optimize.Objective.Exponential in
+  let settings =
+    {
+      (Optimize.Search.default_settings ~pool ~objective
+         ~procs:(List.init (Platform.n_processors platform) Fun.id))
+      with
+      Optimize.Search.seed;
+    }
+  in
+  Optimize.Engine.run
+    ~rungs:
+      [ Optimize.Engine.Greedy; Optimize.Engine.Local; Optimize.Engine.Anneal;
+        Optimize.Engine.Exhaustive ]
+    ~app ~platform settings
+
+let optimize_study ~domains =
+  Format.printf "@.== Mapping-optimization study ==@.";
+  let instances =
+    (* heterogeneous (5, 14) instances: C(13,4) = 715 compositions each,
+       plus the polynomial rungs — thousands of candidates per ladder *)
+    List.map
+      (fun seed ->
+        let g = Prng.create ~seed in
+        Workload.Gen.random_instance g
+          {
+            Workload.Gen.n_stages = 5;
+            n_procs = 14;
+            comp_range = (1.0, 10.0);
+            comm_range = (0.2, 2.0);
+            max_rows = max_int;
+          })
+      [ 101; 102; 103; 104 ]
+  in
+  Parallel.Pool.set_domains domains;
+  let pool = Parallel.Pool.get () in
+  Young.Pattern.clear_caches ();
+  let stats0 = Young.Pattern.cache_stats () in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    List.mapi
+      (fun i (app, platform) -> optimize_ladder ~pool ~app ~platform ~seed:(1 + i))
+      instances
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let stats1 = Young.Pattern.cache_stats () in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  let candidates = sum (fun r -> r.Optimize.Engine.candidates) in
+  let evaluated = sum (fun r -> r.Optimize.Engine.evaluated) in
+  let pruned = sum (fun r -> r.Optimize.Engine.pruned) in
+  let failed = sum (fun r -> r.Optimize.Engine.failed) in
+  let hits = stats1.Young.Pattern.hits - stats0.Young.Pattern.hits in
+  let misses = stats1.Young.Pattern.misses - stats0.Young.Pattern.misses in
+  let prune_rate = float_of_int pruned /. float_of_int (max 1 candidates) in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  let candidates_s = float_of_int candidates /. wall in
+  let evaluated_s = float_of_int evaluated /. wall in
+  (* determinism: the same ladder on 1 domain must render byte-identically *)
+  let app, platform = List.hd instances in
+  Parallel.Pool.set_domains 1;
+  let r1 = optimize_ladder ~pool:(Parallel.Pool.get ()) ~app ~platform ~seed:1 in
+  Parallel.Pool.set_domains domains;
+  let identical =
+    String.equal
+      (Optimize.Engine.report_to_string r1)
+      (Optimize.Engine.report_to_string (List.hd reports))
+  in
+  Format.printf "%-42s %12d over %d ladders@." "candidates considered" candidates
+    (List.length reports);
+  Format.printf "%-42s %12d (%.1f%% pruned by the bound)@." "pruned without a solve" pruned
+    (100.0 *. prune_rate);
+  Format.printf "%-42s %12d (%d failed)@." "solved" evaluated failed;
+  Format.printf "%-42s %12.0f / s@." "candidate throughput" candidates_s;
+  Format.printf "%-42s %12.0f / s@." "solve throughput" evaluated_s;
+  Format.printf "%-42s %6d hits %6d misses (%.1f%% hit rate)@." "pattern cache" hits misses
+    (100.0 *. hit_rate);
+  Format.printf "%-42s %12s@." "byte-identical report across pool sizes"
+    (if identical then "yes" else "NO");
+  let oc = open_out "BENCH_optimize.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"ladders\": %d,\n\
+    \  \"instance\": \"5 stages x 14 processors, heterogeneous\",\n\
+    \  \"rungs\": [\"greedy\", \"local\", \"anneal\", \"exhaustive\"],\n\
+    \  \"domains\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"candidates\": %d,\n\
+    \  \"evaluated\": %d,\n\
+    \  \"pruned\": %d,\n\
+    \  \"failed\": %d,\n\
+    \  \"candidates_per_s\": %.1f,\n\
+    \  \"evaluated_per_s\": %.1f,\n\
+    \  \"prune_rate\": %.4f,\n\
+    \  \"pattern_cache_hits\": %d,\n\
+    \  \"pattern_cache_misses\": %d,\n\
+    \  \"pattern_cache_hit_rate\": %.4f,\n\
+    \  \"identical_output\": %b\n\
+     }\n"
+    (List.length reports) domains wall candidates evaluated pruned failed candidates_s
+    evaluated_s prune_rate hits misses hit_rate identical;
+  close_out oc;
+  Format.printf "wrote BENCH_optimize.json@.";
+  if not identical then exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec split_domains acc = function
@@ -510,6 +617,10 @@ let () =
   end;
   if List.mem "--service" args then begin
     service_study ();
+    exit 0
+  end;
+  if List.mem "--optimize" args then begin
+    optimize_study ~domains:(match domains_opt with Some d -> d | None -> 4);
     exit 0
   end;
   let ids = List.filter (fun a -> a <> "--full" && a <> "--no-bench") args in

@@ -2,13 +2,18 @@ open Streaming
 
 type metric = Deterministic | Exponential
 
+(* Only typed, recoverable solver failures (state space over the cap, a
+   stalled iteration, an exhausted budget) may demote a candidate to a
+   zero score: they are information about the candidate, not about the
+   code.  Everything else — [Non_ergodic], [Numerical], [Invalid_argument]
+   — propagates, so a genuine programming error can never masquerade as a
+   "worthless mapping" that the climbs silently route around. *)
 let evaluate metric mapping =
   match metric with
   | Deterministic -> Streaming.Deterministic.overlap_throughput_decomposed mapping
   | Exponential -> (
       try Expo.overlap_throughput ~pattern_cap:200_000 mapping with
-      | Supervise.Error.Solver_error (Supervise.Error.State_space_exceeded _) -> 0.0
-      | Invalid_argument _ -> 0.0)
+      | Supervise.Error.Solver_error err when Supervise.Error.is_recoverable err -> 0.0)
 
 let default_pool platform = List.init (Platform.n_processors platform) Fun.id
 
@@ -24,11 +29,9 @@ let mapping_of_teams app platform teams = Mapping.create ~app ~platform ~teams
 let baseline_teams ~app ~platform pool =
   let n = Application.n_stages app in
   if List.length pool < n then invalid_arg "Mapper: pool smaller than the number of stages";
-  let sorted_pool = pool_by_speed platform pool in
+  let sorted_pool = Array.of_list (pool_by_speed platform pool) in
   let teams = Array.make n [||] in
-  List.iteri
-    (fun k stage -> if k < n then teams.(stage) <- [| List.nth sorted_pool k |])
-    (stages_by_work app);
+  List.iteri (fun k stage -> teams.(stage) <- [| sorted_pool.(k) |]) (stages_by_work app);
   teams
 
 let baseline_fastest ~app ~platform ?pool () =
@@ -71,13 +74,19 @@ let greedy ?(metric = Exponential) ~app ~platform ?pool () =
     remaining;
   !best
 
-(* all compositions of [total] into [parts] positive integers *)
-let rec compositions total parts =
-  if parts = 1 then [ [ total ] ]
-  else
-    List.concat_map
-      (fun first -> List.map (List.cons first) (compositions (total - first) (parts - 1)))
-      (List.init (total - parts + 1) (fun i -> i + 1))
+(* all compositions of [total] into [parts] positive integers; [] when
+   [total < parts] or [parts <= 0] — the recursion below keeps the
+   invariant [total >= parts >= 1], so [List.init] never sees a negative
+   length *)
+let compositions total parts =
+  let rec go total parts =
+    if parts = 1 then [ [ total ] ]
+    else
+      List.concat_map
+        (fun first -> List.map (List.cons first) (go (total - first) (parts - 1)))
+        (List.init (total - parts + 1) (fun i -> i + 1))
+  in
+  if parts <= 0 || total < parts then [] else go total parts
 
 let exhaustive ?(metric = Exponential) ~app ~platform ?pool () =
   let pool = Option.value pool ~default:(default_pool platform) in
@@ -112,4 +121,12 @@ let exhaustive ?(metric = Exponential) ~app ~platform ?pool () =
       | Some (_, s) when s >= score -> ()
       | _ -> best := Some (mapping, score))
     (compositions (List.length pool) n);
-  match !best with Some (m, _) -> m | None -> assert false
+  match !best with
+  | Some (m, _) -> m
+  | None ->
+      Supervise.Error.raise_
+        (Supervise.Error.Numerical
+           {
+             what = "empty search space: no composition of the pool into positive team sizes";
+             where = "Mapper.exhaustive";
+           })

@@ -27,7 +27,18 @@ type metric =
 
 val evaluate : metric -> Mapping.t -> float
 (** Throughput of a mapping under the metric (Overlap model).  Returns 0
-    if the probabilistic evaluation is intractable for this mapping. *)
+    when the probabilistic evaluation is intractable for this mapping —
+    precisely, when it fails with a {e recoverable} typed solver error
+    (see {!Supervise.Error.is_recoverable}): state space over the cap,
+    stalled iteration, exhausted budget.  Any other failure —
+    [Non_ergodic], [Numerical], [Invalid_argument] — propagates: a
+    programming error never scores as a worthless mapping. *)
+
+val compositions : int -> int -> int list list
+(** [compositions total parts] is every way of writing [total] as an
+    ordered sum of [parts] positive integers — the team-size search space
+    of {!exhaustive} — and [[]] when [total < parts] or [parts <= 0].
+    There are C(total-1, parts-1) of them. *)
 
 val baseline_fastest : app:Application.t -> platform:Platform.t -> ?pool:int list -> unit -> Mapping.t
 (** One processor per stage: sort the stages by work and the pool by
@@ -45,4 +56,5 @@ val exhaustive : ?metric:metric -> app:Application.t -> platform:Platform.t -> ?
 (** Best composition of the pool into positive team sizes under a fixed
     processor-assignment rule (heaviest per-processor stage load gets the
     fastest processors).  Cost grows as C(pool-1, stages-1); use on small
-    instances. *)
+    instances.  Raises [Supervise.Error.Solver_error (Numerical _)] if
+    the search space is empty (no composition at all). *)

@@ -1,0 +1,209 @@
+open Streaming
+
+type t = int array array
+
+let of_teams teams =
+  Array.map
+    (fun team ->
+      if Array.length team = 0 then invalid_arg "Candidate.of_teams: empty team";
+      let copy = Array.copy team in
+      Array.sort compare copy;
+      copy)
+    teams
+
+let teams t = Array.map Array.copy t
+
+let key t =
+  String.concat "|"
+    (Array.to_list
+       (Array.map (fun team -> String.concat "," (List.map string_of_int (Array.to_list team))) t))
+
+let sizes t = Array.map Array.length t
+
+let mapping ~app ~platform t = Mapping.create ~app ~platform ~teams:t
+
+(* Fastest processors to heaviest stages; [compare (speed q, q) (speed p, p)]
+   style tie-breaks keep the order total, hence deterministic. *)
+let pool_by_speed platform pool =
+  List.sort
+    (fun p q -> compare (Platform.speed platform q, p) (Platform.speed platform p, q))
+    pool
+
+let stages_by_work app =
+  List.init (Application.n_stages app) Fun.id
+  |> List.sort (fun i j -> compare (Application.work app j, i) (Application.work app i, j))
+
+let baseline ~app ~platform ~pool =
+  let n = Application.n_stages app in
+  if List.length pool < n then invalid_arg "Candidate.baseline: pool smaller than the number of stages";
+  let sorted = Array.of_list (pool_by_speed platform pool) in
+  let teams = Array.make n [||] in
+  List.iteri (fun k stage -> teams.(stage) <- [| sorted.(k) |]) (stages_by_work app);
+  of_teams teams
+
+let of_composition ~app ~platform ~pool comp =
+  let n = Application.n_stages app in
+  if List.length comp <> n then invalid_arg "Candidate.of_composition: wrong number of parts";
+  let comp = Array.of_list comp in
+  let sorted = Array.of_list (pool_by_speed platform pool) in
+  (* stages ranked by per-processor load work/size take the fastest
+     processors first — the assignment rule of [Mapper.exhaustive] *)
+  let order =
+    List.sort
+      (fun i j ->
+        compare
+          (Application.work app j /. float_of_int comp.(j), i)
+          (Application.work app i /. float_of_int comp.(i), j))
+      (List.init n Fun.id)
+  in
+  let teams = Array.make n [||] in
+  let next = ref 0 in
+  List.iter
+    (fun stage ->
+      teams.(stage) <- Array.sub sorted !next comp.(stage);
+      next := !next + comp.(stage))
+    order;
+  of_teams teams
+
+let unused ~pool t =
+  let used = Hashtbl.create 16 in
+  Array.iter (Array.iter (fun p -> Hashtbl.replace used p ())) t;
+  List.sort compare (List.filter (fun p -> not (Hashtbl.mem used p)) pool)
+
+type edit =
+  | Grow of { stage : int; proc : int }
+  | Shrink of { stage : int; proc : int }
+  | Move of { src : int; dst : int; proc : int }
+  | Swap of { s1 : int; p1 : int; s2 : int; p2 : int }
+
+let edit_to_string = function
+  | Grow { stage; proc } -> Printf.sprintf "grow(stage %d += p%d)" stage proc
+  | Shrink { stage; proc } -> Printf.sprintf "shrink(stage %d -= p%d)" stage proc
+  | Move { src; dst; proc } -> Printf.sprintf "move(p%d: stage %d -> %d)" proc src dst
+  | Swap { s1; p1; s2; p2 } -> Printf.sprintf "swap(p%d@%d <-> p%d@%d)" p1 s1 p2 s2
+
+let without team p =
+  let filtered = Array.of_list (List.filter (fun q -> q <> p) (Array.to_list team)) in
+  if Array.length filtered = Array.length team then None else Some filtered
+
+let with_proc team p =
+  let grown = Array.append team [| p |] in
+  Array.sort compare grown;
+  grown
+
+let apply t edit =
+  let n = Array.length t in
+  let in_range s = s >= 0 && s < n in
+  match edit with
+  | Grow { stage; proc } ->
+      if not (in_range stage) || Array.exists (fun team -> Array.mem proc team) t then None
+      else begin
+        let copy = Array.copy t in
+        copy.(stage) <- with_proc t.(stage) proc;
+        Some copy
+      end
+  | Shrink { stage; proc } ->
+      if not (in_range stage) || Array.length t.(stage) < 2 then None
+      else
+        Option.map
+          (fun team ->
+            let copy = Array.copy t in
+            copy.(stage) <- team;
+            copy)
+          (without t.(stage) proc)
+  | Move { src; dst; proc } ->
+      if (not (in_range src)) || (not (in_range dst)) || src = dst || Array.length t.(src) < 2
+      then None
+      else
+        Option.map
+          (fun team ->
+            let copy = Array.copy t in
+            copy.(src) <- team;
+            copy.(dst) <- with_proc t.(dst) proc;
+            copy)
+          (without t.(src) proc)
+  | Swap { s1; p1; s2; p2 } ->
+      if (not (in_range s1)) || (not (in_range s2)) || s1 = s2 then None
+      else (
+        match (without t.(s1) p1, without t.(s2) p2) with
+        | Some t1, Some t2 ->
+            let copy = Array.copy t in
+            copy.(s1) <- with_proc t1 p2;
+            copy.(s2) <- with_proc t2 p1;
+            Some copy
+        | _ -> None)
+
+(* Enumeration order is part of the determinism contract: stage-major,
+   then team members ascending, then the partner dimension ascending. *)
+let neighbors ~pool t =
+  let n = Array.length t in
+  let free = unused ~pool t in
+  let acc = ref [] in
+  let push edit = match apply t edit with None -> () | Some c -> acc := (edit, c) :: !acc in
+  for stage = 0 to n - 1 do
+    List.iter (fun proc -> push (Grow { stage; proc })) free
+  done;
+  for stage = 0 to n - 1 do
+    Array.iter (fun proc -> push (Shrink { stage; proc })) t.(stage)
+  done;
+  for src = 0 to n - 1 do
+    Array.iter
+      (fun proc ->
+        for dst = 0 to n - 1 do
+          if dst <> src then push (Move { src; dst; proc })
+        done)
+      t.(src)
+  done;
+  for s1 = 0 to n - 1 do
+    for s2 = s1 + 1 to n - 1 do
+      Array.iter (fun p1 -> Array.iter (fun p2 -> push (Swap { s1; p1; s2; p2 })) t.(s2)) t.(s1)
+    done
+  done;
+  List.rev !acc
+
+let random_edit g ~pool t =
+  let n = Array.length t in
+  let free = Array.of_list (unused ~pool t) in
+  let pick_stage () = Prng.int g n in
+  let pick_member team = team.(Prng.int g (Array.length team)) in
+  (* rejection-sample a feasible edit; the loop terminates whenever any
+     neighbour exists, and the candidate always has one when n >= 2 or a
+     free processor remains *)
+  let attempt () =
+    match Prng.int g 4 with
+    | 0 when Array.length free > 0 ->
+        let stage = pick_stage () in
+        let proc = free.(Prng.int g (Array.length free)) in
+        Some (Grow { stage; proc })
+    | 1 ->
+        let stage = pick_stage () in
+        if Array.length t.(stage) < 2 then None
+        else Some (Shrink { stage; proc = pick_member t.(stage) })
+    | 2 when n >= 2 ->
+        let src = pick_stage () in
+        if Array.length t.(src) < 2 then None
+        else
+          let dst = (src + 1 + Prng.int g (n - 1)) mod n in
+          Some (Move { src; dst; proc = pick_member t.(src) })
+    | 3 when n >= 2 ->
+        let s1 = pick_stage () in
+        let s2 = (s1 + 1 + Prng.int g (n - 1)) mod n in
+        let s1, s2 = (min s1 s2, max s1 s2) in
+        Some (Swap { s1; p1 = pick_member t.(s1); s2; p2 = pick_member t.(s2) })
+    | _ -> None
+  in
+  let has_any =
+    Array.length free > 0 || Array.exists (fun team -> Array.length team >= 2) t || n >= 2
+  in
+  if not has_any then None
+  else begin
+    let rec go budget =
+      if budget = 0 then None
+      else
+        match attempt () with
+        | None -> go (budget - 1)
+        | Some edit -> (
+            match apply t edit with None -> go (budget - 1) | Some c -> Some (edit, c))
+    in
+    go 256
+  end

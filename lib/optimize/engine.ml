@@ -1,0 +1,111 @@
+open Streaming
+module Json = Service.Json
+
+type rung = Greedy | Local | Anneal | Exhaustive
+
+let rung_to_string = function
+  | Greedy -> "greedy"
+  | Local -> "local"
+  | Anneal -> "anneal"
+  | Exhaustive -> "exhaustive"
+
+let rung_of_string = function
+  | "greedy" -> Ok Greedy
+  | "local" -> Ok Local
+  | "anneal" -> Ok Anneal
+  | "exhaustive" -> Ok Exhaustive
+  | s -> Error (Printf.sprintf "unknown rung %S (greedy|local|anneal|exhaustive)" s)
+
+let default_rungs = [ Greedy; Local ]
+
+type report = {
+  metric : string;
+  seed : int;
+  rungs : rung list;
+  n_stages : int;
+  n_procs : int;
+  best : (Candidate.t * float) option;
+  candidates : int;
+  evaluated : int;
+  pruned : int;
+  failed : int;
+  attempts : Search.attempt list;
+}
+
+let run ?(rungs = default_rungs) ~app ~platform (settings : Search.settings) =
+  let st = Search.init ~app ~platform settings in
+  List.iter
+    (fun rung ->
+      match rung with
+      | Greedy -> Search.run_greedy st
+      | Local -> Search.run_local st
+      | Anneal -> Search.run_anneal st
+      | Exhaustive -> Search.run_exhaustive st)
+    rungs;
+  {
+    metric = Objective.metric_name (Objective.metric settings.Search.objective);
+    seed = settings.Search.seed;
+    rungs;
+    n_stages = Application.n_stages app;
+    n_procs = List.length settings.Search.procs;
+    best = Search.best st;
+    candidates = Search.candidates st;
+    evaluated = Search.evaluated st;
+    pruned = Search.pruned st;
+    failed = Search.failed st;
+    attempts = Search.attempts st;
+  }
+
+let teams_json cand =
+  Json.List
+    (Array.to_list
+       (Array.map
+          (fun team -> Json.List (Array.to_list (Array.map (fun p -> Json.Int p) team)))
+          (Candidate.teams cand)))
+
+let attempt_json (a : Search.attempt) =
+  let outcome_fields =
+    match a.Search.outcome with
+    | Objective.Evaluated v -> [ ("outcome", Json.String "evaluated"); ("throughput", Json.Float v) ]
+    | Objective.Pruned b -> [ ("outcome", Json.String "pruned"); ("bound", Json.Float b) ]
+    | Objective.Failed err ->
+        [
+          ("outcome", Json.String "failed");
+          ("error", Json.String (Supervise.Error.to_string err));
+        ]
+  in
+  Json.Obj ([ ("rung", Json.String a.Search.rung); ("candidate", Json.String a.Search.candidate) ] @ outcome_fields)
+
+let report_json r =
+  let best_fields =
+    match r.best with
+    | None -> [ ("found", Json.Bool false) ]
+    | Some (cand, rho) ->
+        [
+          ("found", Json.Bool true);
+          ("teams", teams_json cand);
+          ("key", Json.String (Candidate.key cand));
+          ("throughput", Json.Float rho);
+        ]
+  in
+  Json.Obj
+    [
+      ("record", Json.String "optimize");
+      ("metric", Json.String r.metric);
+      ("seed", Json.Int r.seed);
+      ("rungs", Json.List (List.map (fun rung -> Json.String (rung_to_string rung)) r.rungs));
+      ("stages", Json.Int r.n_stages);
+      ("procs", Json.Int r.n_procs);
+      ("best", Json.Obj best_fields);
+      ( "search",
+        Json.Obj
+          [
+            ("candidates", Json.Int r.candidates);
+            ("evaluated", Json.Int r.evaluated);
+            ("pruned", Json.Int r.pruned);
+            ("failed", Json.Int r.failed);
+          ] );
+      ("attempts", Json.List (List.map attempt_json r.attempts));
+    ]
+
+let report_to_string r = Json.render (report_json r)

@@ -1,0 +1,47 @@
+(** Orchestration: run a ladder of search rungs over one shared state and
+    assemble a deterministic result record.
+
+    The report deliberately carries {e no} wall-clock times and no
+    [Young.Pattern] cache statistics — both depend on scheduling, and the
+    record (like its {!report_json} rendering) must be bit-identical for
+    any domain-pool size.  Throughput-per-second style numbers belong to
+    the bench harness, which measures around the engine. *)
+
+open Streaming
+
+type rung = Greedy | Local | Anneal | Exhaustive
+
+val rung_to_string : rung -> string
+val rung_of_string : string -> (rung, string) result
+
+val default_rungs : rung list
+(** [[Greedy; Local]] — the polynomial ladder. *)
+
+type report = {
+  metric : string;
+  seed : int;
+  rungs : rung list;
+  n_stages : int;
+  n_procs : int;
+  best : (Candidate.t * float) option;
+  candidates : int;
+  evaluated : int;
+  pruned : int;
+  failed : int;
+  attempts : Search.attempt list;
+}
+
+val run :
+  ?rungs:rung list -> app:Application.t -> platform:Platform.t -> Search.settings -> report
+(** Runs the rungs in order on one {!Search.state} (later rungs start
+    from the earlier rungs' incumbent, and the memo carries over), inside
+    an [Obs.Trace] span per rung. *)
+
+val report_json : report -> Service.Json.t
+(** Deterministic record: best mapping (teams, key, throughput, its
+    deterministic upper bound is {e not} re-derived), search counters,
+    and the attempt trail (new incumbents and typed failures, in
+    order). *)
+
+val report_to_string : report -> string
+(** [Service.Json.render (report_json r)] — one line, JSONL-ready. *)

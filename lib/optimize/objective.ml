@@ -1,0 +1,94 @@
+open Streaming
+
+type metric =
+  | Deterministic
+  | Exponential
+  | Strict
+  | Custom of {
+      name : string;
+      bound : Mapping.t -> float;
+      value : Mapping.t -> float;
+    }
+
+let metric_name = function
+  | Deterministic -> "deterministic"
+  | Exponential -> "exponential"
+  | Strict -> "strict"
+  | Custom { name; _ } -> name
+
+type t = {
+  m : metric;
+  cap : int;
+  sweeps : int option;
+  states : int option;
+  wall : float option;
+  seed : int;
+}
+
+let create ?(cap = 200_000) ?sweeps ?states ?wall ?(seed = 1) m =
+  { m; cap; sweeps; states; wall; seed }
+
+let metric t = t.m
+let cap t = t.cap
+let sweeps t = t.sweeps
+let states t = t.states
+let wall t = t.wall
+let seed t = t.seed
+
+(* Fresh budget per candidate: the wall clock (when any) restarts at the
+   candidate's own solve, so one slow candidate cannot starve the rest. *)
+let budget t =
+  match (t.wall, t.sweeps, t.states) with
+  | None, None, None -> None
+  | wall, sweeps, states -> Some (Supervise.Budget.create ?wall ?sweeps ?states ())
+
+let bound t mapping =
+  match t.m with
+  | Custom { bound; _ } -> bound mapping
+  | Deterministic | Exponential -> Deterministic.overlap_throughput_decomposed mapping
+  | Strict -> Deterministic.throughput mapping Model.Strict
+
+let value t mapping =
+  match t.m with
+  | Custom { value; _ } -> value mapping
+  | Deterministic -> Deterministic.overlap_throughput_decomposed mapping
+  | Exponential ->
+      (* the budget's state ceiling tightens the pattern cap; its wall
+         deadline is checked before the solve starts *)
+      let cap =
+        match budget t with
+        | None -> t.cap
+        | Some b ->
+            Supervise.Budget.check b;
+            Supervise.Budget.cap_allowed b t.cap
+      in
+      Expo.overlap_throughput ~pattern_cap:cap mapping
+  | Strict ->
+      let rho, (_ : Supervise.Provenance.t) =
+        Experiments.Solve.throughput ~cap:t.cap ?budget:(budget t) ~seed:t.seed mapping
+      in
+      rho
+
+type outcome =
+  | Evaluated of float
+  | Pruned of float
+  | Failed of Supervise.Error.t
+
+let outcome_to_string = function
+  | Evaluated v -> Printf.sprintf "evaluated %.6g" v
+  | Pruned b -> Printf.sprintf "pruned (upper bound %.6g)" b
+  | Failed e -> "failed: " ^ Supervise.Error.to_string e
+
+let evaluate t ~incumbent mapping =
+  match t.m with
+  | Deterministic ->
+      (* bound = value: one computation serves both roles *)
+      let v = Deterministic.overlap_throughput_decomposed mapping in
+      if v <= incumbent then Pruned v else Evaluated v
+  | _ -> (
+      let b = bound t mapping in
+      if b <= incumbent then Pruned b
+      else
+        match value t mapping with
+        | v -> Evaluated v
+        | exception Supervise.Error.Solver_error err -> Failed err)

@@ -1,0 +1,94 @@
+open Streaming
+module Json = Service.Json
+
+let error_of_json err =
+  let str k = Option.bind (Json.member k err) Json.to_string_opt in
+  let int k d = Option.value ~default:d (Option.bind (Json.member k err) Json.to_int_opt) in
+  let flt k d = Option.value ~default:d (Option.bind (Json.member k err) Json.to_float_opt) in
+  match str "kind" with
+  | Some "no_convergence" ->
+      Some
+        (Supervise.Error.No_convergence
+           { sweeps = int "sweeps" 0; residual = flt "residual" Float.nan })
+  | Some "state_space_exceeded" ->
+      Some
+        (Supervise.Error.State_space_exceeded { cap = int "cap" 0; explored = int "explored" 0 })
+  | Some "non_ergodic" ->
+      Some
+        (Supervise.Error.Non_ergodic { recurrent = int "recurrent" 0; transient = int "transient" 0 })
+  | Some "numerical" ->
+      Some
+        (Supervise.Error.Numerical
+           {
+             what = Option.value ~default:"(unreported)" (str "what");
+             where = Option.value ~default:"(daemon)" (str "where");
+           })
+  | Some "budget_exhausted" ->
+      Some (Supervise.Error.Budget_exhausted { elapsed = flt "elapsed_s" 0. })
+  | _ -> None
+
+let query_params objective =
+  match Objective.metric objective with
+  | Objective.Deterministic -> (Model.Overlap, Service.Engine.Deterministic, false)
+  | Objective.Exponential -> (Model.Overlap, Service.Engine.Exponential, false)
+  | Objective.Strict -> (Model.Strict, Service.Engine.Exponential, true)
+  | Objective.Custom { name; _ } ->
+      invalid_arg (Printf.sprintf "Remote.evaluator: custom objective %S is local-only" name)
+
+let chunks n xs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | rest ->
+        let head = List.filteri (fun i _ -> i < n) rest in
+        let tail = List.filteri (fun i _ -> i >= n) rest in
+        go (head :: acc) tail
+  in
+  go [] xs
+
+let decode_item item =
+  match Option.bind (Json.member "ok" item) Json.to_bool_opt with
+  | Some true -> (
+      match
+        Option.bind (Json.member "result" item) (fun r ->
+            Option.bind (Json.member "throughput" r) Json.to_float_opt)
+      with
+      | Some rho -> Objective.Evaluated rho
+      | None -> failwith "Remote.evaluator: batch item without a throughput field")
+  | _ -> (
+      match Json.member "error" item with
+      | Some err -> (
+          match error_of_json err with
+          | Some solver_err -> Objective.Failed solver_err
+          | None ->
+              let msg =
+                Option.value ~default:"(no message)"
+                  (Option.bind (Json.member "message" err) Json.to_string_opt)
+              in
+              failwith ("Remote.evaluator: daemon refused a batch item: " ^ msg))
+      | None -> failwith "Remote.evaluator: malformed batch item")
+
+let evaluator client ~objective mappings =
+  let model, law, simulate = query_params objective in
+  let request_of m =
+    Service.Client.solve_request ~model ~law ~cap:(Objective.cap objective)
+      ?wall:(Objective.wall objective) ?sweeps:(Objective.sweeps objective)
+      ?states:(Objective.states objective) ~simulate
+      ~instance:(Instance_io.to_string m) ()
+  in
+  List.concat_map
+    (fun chunk ->
+      let req = Service.Client.batch_request (List.map request_of chunk) in
+      match Service.Client.rpc client req with
+      | Error msg -> failwith ("Remote.evaluator: transport: " ^ msg)
+      | Ok reply -> (
+          if not (Service.Client.reply_ok reply) then
+            failwith
+              ("Remote.evaluator: daemon refused the batch: "
+              ^ Option.value ~default:"(no kind)" (Service.Client.reply_error_kind reply));
+          match
+            Option.bind (Service.Client.reply_result reply) (Json.member "results")
+          with
+          | Some (Json.List items) when List.length items = List.length chunk ->
+              List.map decode_item items
+          | _ -> failwith "Remote.evaluator: malformed batch reply"))
+    (chunks Service.Protocol.max_batch mappings)

@@ -1,0 +1,441 @@
+open Streaming
+
+type settings = {
+  pool : Parallel.Pool.t;
+  objective : Objective.t;
+  procs : int list;
+  seed : int;
+  local_max_iters : int;
+  first_improvement : bool;
+  anneal_rounds : int;
+  anneal_batch : int;
+  anneal_t0 : float;
+  anneal_alpha : float;
+  evaluator : (Mapping.t list -> Objective.outcome list) option;
+}
+
+let default_settings ~pool ~objective ~procs =
+  {
+    pool;
+    objective;
+    procs;
+    seed = 1;
+    local_max_iters = 64;
+    first_improvement = false;
+    anneal_rounds = 64;
+    anneal_batch = 8;
+    anneal_t0 = 0.10;
+    anneal_alpha = 0.92;
+    evaluator = None;
+  }
+
+type attempt = {
+  rung : string;
+  candidate : string;
+  outcome : Objective.outcome;
+}
+
+type state = {
+  app : Application.t;
+  platform : Platform.t;
+  s : settings;
+  memo : (string, Objective.outcome) Hashtbl.t;
+      (** [Evaluated]/[Failed] per candidate key: re-visits are free, and a
+          candidate that failed once is never solved again *)
+  mutable n_candidates : int;
+  mutable n_evaluated : int;
+  mutable n_pruned : int;
+  mutable n_failed : int;
+  mutable attempts_rev : attempt list;
+  mutable best : (Candidate.t * float) option;
+}
+
+(* ---- observability: process-wide counters + best-so-far gauge ---- *)
+
+let m_candidates =
+  Obs.Metrics.Counter.create ~help:"Mapping candidates considered by the optimizer"
+    "optimize_candidates_total"
+
+let m_evaluated =
+  Obs.Metrics.Counter.create ~help:"Candidates actually solved (throughput queries paid for)"
+    "optimize_evaluated_total"
+
+let m_pruned =
+  Obs.Metrics.Counter.create
+    ~help:"Candidates discarded by the deterministic critical-cycle upper bound"
+    "optimize_pruned_total"
+
+let m_failed =
+  Obs.Metrics.Counter.create ~help:"Candidates demoted by a typed solver failure"
+    "optimize_failed_total"
+
+let g_best =
+  Obs.Metrics.Gauge.create ~help:"Best throughput found so far by the optimizer"
+    "optimize_best_throughput"
+
+let init ~app ~platform s =
+  if List.length s.procs < Application.n_stages app then
+    invalid_arg "Search.init: processor pool smaller than the number of stages";
+  {
+    app;
+    platform;
+    s;
+    memo = Hashtbl.create 256;
+    n_candidates = 0;
+    n_evaluated = 0;
+    n_pruned = 0;
+    n_failed = 0;
+    attempts_rev = [];
+    best = None;
+  }
+
+let best st = st.best
+let candidates st = st.n_candidates
+let evaluated st = st.n_evaluated
+let pruned st = st.n_pruned
+let failed st = st.n_failed
+let attempts st = List.rev st.attempts_rev
+
+let best_score st = match st.best with None -> neg_infinity | Some (_, v) -> v
+
+let record st rung key outcome = st.attempts_rev <- { rung; candidate = key; outcome } :: st.attempts_rev
+
+let note_best st rung key cand v =
+  if v > best_score st then begin
+    st.best <- Some (cand, v);
+    Obs.Metrics.Gauge.set g_best v;
+    record st rung key (Objective.Evaluated v)
+  end
+
+let mapping_of st cand = Candidate.mapping ~app:st.app ~platform:st.platform cand
+
+(* ---- batch primitives ----
+   All fan-out goes through the pool with results at their input index;
+   counters and the memo are updated by the (single-threaded) caller, so
+   the state never needs a lock and the update order is deterministic. *)
+
+let bounds st cands =
+  Parallel.Pool.map_list st.s.pool
+    (fun c -> Objective.bound st.s.objective (mapping_of st c))
+    cands
+
+(* Solve every candidate (no pruning here), memo-aware.  Outcomes are
+   [Evaluated] or [Failed]; any non-typed exception from a solve is
+   re-raised — a programming error must not be routed around. *)
+let solve_batch st rung cands =
+  let keys = List.map Candidate.key cands in
+  let fresh =
+    List.filter_map
+      (fun (key, c) -> if Hashtbl.mem st.memo key then None else Some (key, c))
+      (List.combine keys cands)
+  in
+  (* dedup within the batch itself, keeping first occurrence order *)
+  let fresh =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun (key, _) ->
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      fresh
+  in
+  let outcomes =
+    match st.s.evaluator with
+    | Some remote -> remote (List.map (fun (_, c) -> mapping_of st c) fresh)
+    | None ->
+        List.map
+          (function
+            | Ok v -> Objective.Evaluated v
+            | Error (Supervise.Error.Solver_error err) -> Objective.Failed err
+            | Error exn -> raise exn)
+          (Parallel.Pool.map_list_result st.s.pool
+             (fun (_, c) -> Objective.value st.s.objective (mapping_of st c))
+             fresh)
+  in
+  List.iter2
+    (fun (key, _) outcome ->
+      Hashtbl.replace st.memo key outcome;
+      match outcome with
+      | Objective.Evaluated _ ->
+          st.n_evaluated <- st.n_evaluated + 1;
+          Obs.Metrics.Counter.incr m_evaluated
+      | Objective.Failed _ ->
+          st.n_failed <- st.n_failed + 1;
+          Obs.Metrics.Counter.incr m_failed;
+          record st rung key outcome
+      | Objective.Pruned _ -> ())
+    fresh outcomes;
+  List.map (fun key -> Hashtbl.find st.memo key) keys
+
+(* Bound-prune against [incumbent], then solve the survivors.  Returns one
+   outcome per candidate, in order. *)
+let eval_batch st rung ~incumbent cands =
+  st.n_candidates <- st.n_candidates + List.length cands;
+  Obs.Metrics.Counter.add m_candidates (List.length cands);
+  let keys = List.map Candidate.key cands in
+  let bs = bounds st cands in
+  let kept =
+    List.filter_map
+      (fun ((key, c), b) ->
+        match Hashtbl.find_opt st.memo key with
+        | Some _ -> Some c (* memo hit: no solve cost, keep the known outcome *)
+        | None ->
+            if b <= incumbent then begin
+              st.n_pruned <- st.n_pruned + 1;
+              Obs.Metrics.Counter.incr m_pruned;
+              None
+            end
+            else Some c)
+      (List.combine (List.combine keys cands) bs)
+  in
+  let solved = solve_batch st rung kept in
+  let tbl = Hashtbl.create 16 in
+  List.iter2 (fun c o -> Hashtbl.replace tbl (Candidate.key c) o) kept solved;
+  List.map2
+    (fun key b ->
+      match Hashtbl.find_opt tbl key with
+      | Some o -> o
+      | None -> (
+          match Hashtbl.find_opt st.memo key with
+          | Some o -> o
+          | None -> Objective.Pruned b))
+    keys bs
+
+(* ---- rung: repaired greedy ---- *)
+
+let pool_by_speed st procs =
+  List.sort
+    (fun p q ->
+      compare (Platform.speed st.platform q, p) (Platform.speed st.platform p, q))
+    procs
+
+let ensure_start st rung =
+  match st.best with
+  | Some (c, v) -> (c, v)
+  | None -> (
+      let base = Candidate.baseline ~app:st.app ~platform:st.platform ~pool:st.s.procs in
+      st.n_candidates <- st.n_candidates + 1;
+      Obs.Metrics.Counter.incr m_candidates;
+      match solve_batch st rung [ base ] with
+      | [ Objective.Evaluated v ] ->
+          note_best st rung (Candidate.key base) base v;
+          (base, v)
+      | [ Objective.Failed err ] -> Supervise.Error.raise_ err
+      | _ -> assert false)
+
+let run_greedy st =
+  Obs.Trace.span "optimize:greedy" @@ fun () ->
+  let rung = "greedy" in
+  let base = Candidate.baseline ~app:st.app ~platform:st.platform ~pool:st.s.procs in
+  st.n_candidates <- st.n_candidates + 1;
+  Obs.Metrics.Counter.incr m_candidates;
+  (match solve_batch st rung [ base ] with
+  | [ Objective.Evaluated v ] -> note_best st rung (Candidate.key base) base v
+  | [ Objective.Failed err ] ->
+      (* no usable starting point: the typed failure is already in the
+         attempt list; nothing to climb from *)
+      ignore err
+  | _ -> assert false);
+  let current = ref base in
+  let n = Application.n_stages st.app in
+  let free = pool_by_speed st (Candidate.unused ~pool:st.s.procs base) in
+  (* place every remaining processor (fastest first) on whichever stage
+     scores best at this point; neutral and even losing placements are
+     accepted so plateaus do not stop the climb — the best mapping seen is
+     tracked separately by [note_best] *)
+  List.iter
+    (fun proc ->
+      let placements =
+        List.filter_map
+          (fun stage ->
+            Option.map (fun c -> (stage, c)) (Candidate.apply !current (Candidate.Grow { stage; proc })))
+          (List.init n Fun.id)
+      in
+      if placements <> [] then begin
+        (* exact scores are needed to rank neutral moves, so greedy does
+           not bound-prune its placements *)
+        let outcomes = eval_batch st rung ~incumbent:neg_infinity (List.map snd placements) in
+        (* on a plateau (several placements with the same score — common
+           early, when another stage is still the bottleneck) prefer the
+           stage with the highest per-processor load after the placement:
+           stacking everything on the first stage would strand the climb *)
+        let load_after stage cand =
+          Application.work st.app stage /. float_of_int (Candidate.sizes cand).(stage)
+        in
+        let chosen =
+          List.fold_left
+            (fun acc ((stage, cand), outcome) ->
+              match outcome with
+              | Objective.Evaluated v -> (
+                  let l = load_after stage cand in
+                  match acc with
+                  | Some (_, _, best_v, best_l) when best_v > v || (best_v = v && best_l >= l)
+                    ->
+                      acc
+                  | _ -> Some (stage, cand, v, l))
+              | Objective.Pruned _ | Objective.Failed _ -> acc)
+            None
+            (List.combine placements outcomes)
+        in
+        match chosen with
+        | None -> () (* every placement failed: skip this processor *)
+        | Some (_, cand, v, _) ->
+            current := cand;
+            note_best st rung (Candidate.key cand) cand v
+      end)
+    free
+
+(* ---- rung: local search (steepest / first-improvement) ---- *)
+
+let run_local st =
+  Obs.Trace.span "optimize:local" @@ fun () ->
+  let rung = "local" in
+  let start = ensure_start st rung in
+  let current = ref start in
+  let improved = ref true in
+  let iters = ref 0 in
+  while !improved && !iters < st.s.local_max_iters do
+    incr iters;
+    improved := false;
+    let _, cur_v = !current in
+    let neighbors = Candidate.neighbors ~pool:st.s.procs (fst !current) in
+    let cands = List.map snd neighbors in
+    let better = ref None in
+    if st.s.first_improvement then begin
+      (* fixed-size chunks keep the scan order (and hence the chosen
+         neighbour) independent of the pool size *)
+      let chunk = 16 in
+      let rec scan = function
+        | [] -> ()
+        | rest ->
+            let head = List.filteri (fun i _ -> i < chunk) rest in
+            let tail = List.filteri (fun i _ -> i >= chunk) rest in
+            let outcomes = eval_batch st rung ~incumbent:cur_v head in
+            List.iter2
+              (fun c o ->
+                match (o, !better) with
+                | Objective.Evaluated v, None when v > cur_v -> better := Some (c, v)
+                | _ -> ())
+              head outcomes;
+            if !better = None then scan tail
+      in
+      scan cands
+    end
+    else begin
+      let outcomes = eval_batch st rung ~incumbent:cur_v cands in
+      List.iter2
+        (fun c o ->
+          match o with
+          | Objective.Evaluated v when v > cur_v -> (
+              match !better with
+              | Some (_, bv) when bv >= v -> ()
+              | _ -> better := Some (c, v))
+          | _ -> ())
+        cands outcomes
+    end;
+    match !better with
+    | Some (c, v) ->
+        current := (c, v);
+        note_best st rung (Candidate.key c) c v;
+        improved := true
+    | None -> ()
+  done
+
+(* ---- rung: simulated annealing, bound-gated Metropolis ---- *)
+
+let run_anneal st =
+  Obs.Trace.span "optimize:anneal" @@ fun () ->
+  let rung = "anneal" in
+  let start = ensure_start st rung in
+  let current = ref start in
+  let temp = ref st.s.anneal_t0 in
+  (* relative-delta acceptance: a move from v to v' passes the coin [u]
+     when u < exp(((v' - v)/v) / T); improving moves always pass *)
+  let accepts u ~from ~to_ =
+    to_ >= from || u < exp ((to_ -. from) /. Float.max from 1e-300 /. Float.max !temp 1e-12)
+  in
+  for round = 0 to st.s.anneal_rounds - 1 do
+    let cur_c, cur_v = !current in
+    let proposals =
+      List.filter_map
+        (fun slot ->
+          let g = Prng.stream ~seed:st.s.seed ((round * st.s.anneal_batch) + slot) in
+          match Candidate.random_edit g ~pool:st.s.procs cur_c with
+          | None -> None
+          | Some (_, cand) -> Some (cand, Prng.float g))
+        (List.init st.s.anneal_batch Fun.id)
+    in
+    if proposals <> [] then begin
+      st.n_candidates <- st.n_candidates + List.length proposals;
+      Obs.Metrics.Counter.add m_candidates (List.length proposals);
+      let bs = bounds st (List.map fst proposals) in
+      (* the bound is an upper bound on the true value, so a coin that
+         rejects the optimistic bound-delta rejects the true (smaller)
+         delta a fortiori: prune without paying for the solve *)
+      let gated =
+        List.map2
+          (fun (cand, coin) b ->
+            let known = Hashtbl.mem st.memo (Candidate.key cand) in
+            (cand, coin, b, known || accepts coin ~from:cur_v ~to_:b))
+          proposals bs
+      in
+      List.iter
+        (fun (_, _, _, keep) ->
+          if not keep then begin
+            st.n_pruned <- st.n_pruned + 1;
+            Obs.Metrics.Counter.incr m_pruned
+          end)
+        gated;
+      let to_solve = List.filter_map (fun (c, _, _, keep) -> if keep then Some c else None) gated in
+      let solved = solve_batch st rung to_solve in
+      let tbl = Hashtbl.create 16 in
+      List.iter2 (fun c o -> Hashtbl.replace tbl (Candidate.key c) o) to_solve solved;
+      (* accept the first proposal whose coin passes against its true
+         value; the rest of the round is discarded *)
+      let rec fold = function
+        | [] -> ()
+        | (cand, coin, _, keep) :: rest ->
+            let outcome = if keep then Hashtbl.find_opt tbl (Candidate.key cand) else None in
+            (match outcome with
+            | Some (Objective.Evaluated v) when accepts coin ~from:cur_v ~to_:v ->
+                current := (cand, v);
+                note_best st rung (Candidate.key cand) cand v
+            | _ -> fold rest)
+      in
+      fold gated
+    end;
+    temp := !temp *. st.s.anneal_alpha
+  done
+
+(* ---- rung: exhaustive composition sweep ---- *)
+
+let run_exhaustive st =
+  Obs.Trace.span "optimize:exhaustive" @@ fun () ->
+  let rung = "exhaustive" in
+  let n = Application.n_stages st.app in
+  let comps = Mapper.compositions (List.length st.s.procs) n in
+  let cands =
+    List.map
+      (fun comp -> Candidate.of_composition ~app:st.app ~platform:st.platform ~pool:st.s.procs comp)
+      comps
+  in
+  (* fixed-size chunks: the incumbent (and with it the prune) tightens
+     between chunks, deterministically *)
+  let chunk = 64 in
+  let rec go = function
+    | [] -> ()
+    | rest ->
+        let head = List.filteri (fun i _ -> i < chunk) rest in
+        let tail = List.filteri (fun i _ -> i >= chunk) rest in
+        let outcomes = eval_batch st rung ~incumbent:(best_score st) head in
+        List.iter2
+          (fun c o ->
+            match o with
+            | Objective.Evaluated v -> note_best st rung (Candidate.key c) c v
+            | _ -> ())
+          head outcomes;
+        go tail
+  in
+  go cands

@@ -216,6 +216,12 @@ let map_result pool f input =
 
 let map_list_result pool f input = Array.to_list (map_result pool f (Array.of_list input))
 
+let mapi_list_result pool f input =
+  Array.to_list
+    (map_result pool
+       (fun (i, x) -> f i x)
+       (Array.of_list (List.mapi (fun i x -> (i, x)) input)))
+
 let map_seeded pool ~seed f input =
   Array.to_list
     (mapi pool (fun i x -> f (Prng.stream ~seed i) x) (Array.of_list input))

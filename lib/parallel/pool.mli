@@ -52,6 +52,11 @@ val map_result : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
 
 val map_list_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 
+val mapi_list_result : t -> (int -> 'a -> 'b) -> 'a list -> ('b, exn) result list
+(** {!map_list_result} with the item's index — the optimizer hands each
+    candidate its list position for deterministic tie-breaking and
+    index-derived seeds, independent of the pool size. *)
+
 val map_seeded : t -> seed:int -> (Prng.t -> 'a -> 'b) -> 'a list -> 'b list
 (** [map_seeded pool ~seed f xs] runs [f g_i x_i] where [g_i] is the
     independent stream [Prng.stream ~seed i]: the i-th task always sees the

@@ -99,4 +99,10 @@ let clear t =
   locked t (fun () ->
       Hashtbl.reset t.table;
       t.head <- None;
-      t.tail <- None)
+      t.tail <- None;
+      (* a cleared cache starts a fresh life: stale hit/miss/eviction
+         counters would skew every post-clear hit-rate computation and the
+         daemon's stats reply *)
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)

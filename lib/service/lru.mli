@@ -28,4 +28,5 @@ type stats = { hits : int; misses : int; entries : int; capacity : int; eviction
 
 val stats : 'a t -> stats
 val clear : 'a t -> unit
-(** Drops every entry; the hit/miss/eviction counters survive. *)
+(** Drops every entry and zeroes the hit/miss/eviction counters, so
+    post-clear hit rates describe the cache's new life only. *)

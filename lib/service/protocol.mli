@@ -24,6 +24,10 @@
 
 val version : int
 
+val max_batch : int
+(** Largest [batch] request the daemon accepts (64 items); clients chunk
+    larger fan-outs. *)
+
 (** Typed reasons a request is answered with [ok:false]. *)
 type error =
   | Parse_error of string  (** the line is not a JSON object *)

@@ -21,6 +21,14 @@ let to_string = function
 
 let raise_ e = raise (Solver_error e)
 
+(* Recoverable failures are properties of the *instance/budget pair* — a
+   different candidate, cap or budget may succeed — so searches may demote
+   the candidate and move on.  The others flag a broken model or a numeric
+   invariant violation: routing around them would hide programming errors. *)
+let is_recoverable = function
+  | State_space_exceeded _ | No_convergence _ | Budget_exhausted _ -> true
+  | Non_ergodic _ | Numerical _ -> false
+
 let () =
   Printexc.register_printer (function
     | Solver_error e -> Some ("Solver_error: " ^ to_string e)

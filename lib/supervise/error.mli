@@ -34,3 +34,10 @@ val to_string : t -> string
 
 val raise_ : t -> 'a
 (** [raise_ e] is [raise (Solver_error e)]. *)
+
+val is_recoverable : t -> bool
+(** Whether a search may treat the failure as information about the
+    candidate/budget pair and move on ([State_space_exceeded],
+    [No_convergence], [Budget_exhausted]) rather than a broken model that
+    must propagate ([Non_ergodic], [Numerical]).  This is the demotion
+    contract of [Mapper.evaluate] and the [Optimize] objective layer. *)

@@ -49,6 +49,21 @@ let rec random_team_sizes g ~n_stages ~n_procs ~max_rows =
   let rows = Array.fold_left lcm 1 sizes in
   if rows > max_rows then random_team_sizes g ~n_stages ~n_procs ~max_rows else sizes
 
+let random_instance g params =
+  let clo, chi = params.comp_range in
+  let speeds = Array.init params.n_procs (fun _ -> 1.0 /. Prng.uniform g clo chi) in
+  let dlo, dhi = params.comm_range in
+  let bandwidth =
+    Array.init params.n_procs (fun _ ->
+        Array.init params.n_procs (fun _ -> 1.0 /. Prng.uniform g dlo dhi))
+  in
+  let app =
+    Application.create
+      ~work:(Array.make params.n_stages 1.0)
+      ~files:(Array.make (params.n_stages - 1) 1.0)
+  in
+  (app, Platform.create ~speeds ~bandwidth)
+
 let random_mapping g params =
   let sizes =
     random_team_sizes g ~n_stages:params.n_stages ~n_procs:params.n_procs

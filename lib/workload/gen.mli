@@ -17,6 +17,12 @@ type params = {
 val table1_sets : (string * params) list
 (** The six configurations of Table 1 (sizes and ranges). *)
 
+val random_instance : Prng.t -> params -> Streaming.Application.t * Streaming.Platform.t
+(** Draw only the application and the platform (unit works and file
+    sizes, speeds and bandwidths as the inverses of the drawn times) and
+    leave the mapping open — the input of the [Optimize] engine, which
+    searches the one-to-many mappings itself.  [max_rows] is ignored. *)
+
 val random_mapping : Prng.t -> params -> Streaming.Mapping.t
 (** Draw team sizes as a uniform random composition of [n_procs] into
     [n_stages] positive parts, then processor and link times; rejects and

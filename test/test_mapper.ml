@@ -87,6 +87,78 @@ let qcheck_exhaustive_beats_greedy_homogeneous =
       Mapper.evaluate Mapper.Deterministic exhaustive
       >= Mapper.evaluate Mapper.Deterministic greedy -. 1e-9)
 
+(* ---- edge cases and typed-error paths ---- *)
+
+let test_pool_exactly_n () =
+  (* a pool of exactly n processors leaves nothing to place: every
+     heuristic must return the baseline itself, not raise *)
+  let app, platform = random_instance 4 ~n_stages:3 ~n_procs:3 in
+  let baseline = Mapper.baseline_fastest ~app ~platform () in
+  List.iter
+    (fun mapping ->
+      Alcotest.(check (list int)) "replication [1;1;1]" [ 1; 1; 1 ]
+        (Array.to_list (Mapping.replication mapping));
+      check_float 1e-9 "same throughput as the baseline"
+        (Mapper.evaluate Mapper.Deterministic baseline)
+        (Mapper.evaluate Mapper.Deterministic mapping))
+    [
+      Mapper.greedy ~metric:Mapper.Deterministic ~app ~platform ();
+      Mapper.exhaustive ~metric:Mapper.Deterministic ~app ~platform ();
+    ]
+
+let test_single_stage_app () =
+  let app = Application.create ~work:[| 6.0 |] ~files:[||] in
+  let platform = Platform.fully_connected ~speeds:(Array.make 4 1.0) ~bw:1.0 in
+  let greedy = Mapper.greedy ~metric:Mapper.Deterministic ~app ~platform () in
+  let exhaustive = Mapper.exhaustive ~metric:Mapper.Deterministic ~app ~platform () in
+  (* no communications: replicating the only stage over the whole pool is
+     optimal, and both heuristics must find it *)
+  Alcotest.(check int) "greedy replicates the stage" 4 (Mapping.replication greedy).(0);
+  Alcotest.(check int) "exhaustive uses the full pool" 4 (Mapping.replication exhaustive).(0);
+  check_float 1e-9 "agree on the throughput"
+    (Mapper.evaluate Mapper.Deterministic greedy)
+    (Mapper.evaluate Mapper.Deterministic exhaustive)
+
+let test_tie_break_determinism () =
+  (* identical processors make every placement a tie: the result must
+     still be the same mapping on every run *)
+  let app = Application.create ~work:[| 4.0; 4.0; 4.0 |] ~files:[| 1.0; 1.0 |] in
+  let platform = Platform.fully_connected ~speeds:(Array.make 7 1.0) ~bw:1.0 in
+  let teams m = List.init 3 (fun i -> Array.to_list (Mapping.team m i)) in
+  let g1 = Mapper.greedy ~metric:Mapper.Deterministic ~app ~platform () in
+  let g2 = Mapper.greedy ~metric:Mapper.Deterministic ~app ~platform () in
+  Alcotest.(check (list (list int))) "greedy is deterministic" (teams g1) (teams g2);
+  let e1 = Mapper.exhaustive ~metric:Mapper.Deterministic ~app ~platform () in
+  let e2 = Mapper.exhaustive ~metric:Mapper.Deterministic ~app ~platform () in
+  Alcotest.(check (list (list int))) "exhaustive is deterministic" (teams e1) (teams e2)
+
+let test_compositions () =
+  Alcotest.(check (list (list int))) "total < parts is empty" [] (Mapper.compositions 2 5);
+  Alcotest.(check (list (list int))) "parts = 0 is empty" [] (Mapper.compositions 3 0);
+  Alcotest.(check (list (list int))) "parts < 0 is empty" [] (Mapper.compositions 3 (-1));
+  let c42 = Mapper.compositions 4 2 in
+  Alcotest.(check int) "C(3,1) compositions of 4 into 2" 3 (List.length c42);
+  List.iter
+    (fun comp ->
+      Alcotest.(check int) "parts sum to the total" 4 (List.fold_left ( + ) 0 comp);
+      Alcotest.(check bool) "all parts positive" true (List.for_all (fun k -> k > 0) comp))
+    c42
+
+let test_evaluate_demotes_recoverable () =
+  (* a 9x10 pattern over heterogeneous links blows the 200k-state cap
+     (homogeneous links take Theorem 4's closed form instead): the typed
+     State_space_exceeded is information about the candidate, and the
+     metric demotes it to a zero score instead of raising *)
+  let app = Application.create ~work:[| 5.0; 5.0 |] ~files:[| 1.0 |] in
+  let platform =
+    Platform.of_link_function ~n:19 ~speeds:(Array.make 19 1.0)
+      ~bw:(fun p q -> 1.0 +. (0.01 *. float_of_int (p + (2 * q))))
+  in
+  let teams = [| Array.init 9 Fun.id; Array.init 10 (fun i -> 9 + i) |] in
+  let mapping = Mapping.create ~app ~platform ~teams in
+  check_float 1e-9 "intractable candidate scores 0" 0.0
+    (Mapper.evaluate Mapper.Exponential mapping)
+
 let test_greedy_replicates_bottleneck () =
   (* one stage 10x heavier than the rest: greedy must replicate it *)
   let app = Application.create ~work:[| 1.0; 20.0; 1.0 |] ~files:[| 0.1; 0.1 |] in
@@ -115,5 +187,13 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_greedy_valid_mapping;
           QCheck_alcotest.to_alcotest qcheck_exhaustive_beats_greedy_homogeneous;
           Alcotest.test_case "bottleneck replication" `Quick test_greedy_replicates_bottleneck;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "pool exactly n" `Quick test_pool_exactly_n;
+          Alcotest.test_case "single-stage app" `Quick test_single_stage_app;
+          Alcotest.test_case "tie-break determinism" `Quick test_tie_break_determinism;
+          Alcotest.test_case "compositions" `Quick test_compositions;
+          Alcotest.test_case "recoverable failure demotes" `Quick test_evaluate_demotes_recoverable;
         ] );
     ]

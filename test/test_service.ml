@@ -134,7 +134,18 @@ let test_lru_counters () =
   Lru.clear lru;
   let s = Lru.stats lru in
   Alcotest.(check int) "cleared" 0 s.Lru.entries;
-  Alcotest.(check int) "counters survive clear" 2 s.Lru.hits
+  (* clear starts a fresh statistical life: stale counters would misreport
+     every post-clear hit rate (and the daemon's stats reply) *)
+  Alcotest.(check int) "hits reset by clear" 0 s.Lru.hits;
+  Alcotest.(check int) "misses reset by clear" 0 s.Lru.misses;
+  Alcotest.(check int) "evictions reset by clear" 0 s.Lru.evictions;
+  (* the cache still works, and counts from zero *)
+  Alcotest.(check (option int)) "post-clear miss" None (Lru.find lru "x");
+  Lru.add lru "x" 9;
+  Alcotest.(check (option int)) "post-clear hit" (Some 9) (Lru.find lru "x");
+  let s = Lru.stats lru in
+  Alcotest.(check int) "post-clear hits" 1 s.Lru.hits;
+  Alcotest.(check int) "post-clear misses" 1 s.Lru.misses
 
 (* ---- protocol semantics, no socket ---- *)
 
