@@ -473,11 +473,19 @@ let obs_study () =
 (* ---- state-space kernel study: per-stage cold/warm times over the
    pattern ladder; emits BENCH_statespace.json ---- *)
 
-let statespace_study () =
+let statespace_study ~big ~domains =
   Format.printf "@.== State-space kernel study ==@.";
   let rungs = Experiments.Statespace.study () in
   Experiments.Statespace.print Format.std_formatter rungs;
-  Experiments.Statespace.write_json ~path:"BENCH_statespace.json" rungs;
+  let big =
+    if big then begin
+      let b = Experiments.Statespace.big_study ~domains () in
+      Experiments.Statespace.print_big Format.std_formatter b;
+      Some b
+    end
+    else None
+  in
+  Experiments.Statespace.write_json ?big ~path:"BENCH_statespace.json" rungs;
   Format.printf "wrote BENCH_statespace.json@."
 
 (* ---- optimizer study: candidate throughput, prune and cache rates of
@@ -608,7 +616,8 @@ let () =
   Option.iter Parallel.Pool.set_domains domains_opt;
   let full = List.mem "--full" args in
   if List.mem "--statespace" args then begin
-    statespace_study ();
+    statespace_study ~big:(List.mem "--big" args)
+      ~domains:(match domains_opt with Some d -> d | None -> 2);
     exit 0
   end;
   if List.mem "--obs" args then begin

@@ -26,22 +26,30 @@ let stationary ?(solver = Auto) t =
 
 (* ---- supervised solving: the escalation ladder ---- *)
 
-type rung = Rung_gth | Rung_gauss_seidel of { tol : float } | Rung_power of { tol : float }
+type rung =
+  | Rung_gth
+  | Rung_gauss_seidel of { tol : float }
+  | Rung_power of { tol : float }
+  | Rung_arnoldi of { tol : float; restart : int }
 
 let rung_name = function
   | Rung_gth -> "gth"
   | Rung_gauss_seidel { tol } -> Printf.sprintf "gauss-seidel(tol=%g)" tol
   | Rung_power { tol } -> Printf.sprintf "power(tol=%g)" tol
+  | Rung_arnoldi { tol; restart } -> Printf.sprintf "arnoldi(tol=%g,m=%d)" tol restart
 
 (* GTH is exact but dense O(n³), so it only heads the ladder for chains it
    can actually chew through; the iterative rungs then relax the tolerance
-   before switching method entirely. *)
+   before switching method entirely.  The Krylov rung closes the ladder:
+   restarted Arnoldi converges on stiff chains where the one-dimensional
+   power recurrence stalls, at the price of the basis memory. *)
 let default_ladder n =
   let iterative =
     [
       Rung_gauss_seidel { tol = 1e-12 };
       Rung_gauss_seidel { tol = 1e-9 };
       Rung_power { tol = 1e-10 };
+      Rung_arnoldi { tol = 1e-10; restart = 30 };
     ]
   in
   if n <= gth_threshold then Rung_gth :: iterative else iterative
@@ -56,6 +64,7 @@ let m_sweeps method_ =
 
 let m_gs_sweeps = m_sweeps "gauss-seidel"
 let m_power_sweeps = m_sweeps "power"
+let m_arnoldi_sweeps = m_sweeps "arnoldi"
 
 let m_rung_reached rung =
   Obs.Metrics.Counter.create
@@ -79,6 +88,10 @@ let run_rung ?budget t = function
   | Rung_power { tol } ->
       let pi, stats = Linalg.Sparse.stationary_power_stats ?budget ~tol t.sparse in
       Obs.Metrics.Counter.add m_power_sweeps stats.Linalg.Sparse.sweeps;
+      (pi, Supervise.Provenance.Iterative { residual = stats.Linalg.Sparse.residual })
+  | Rung_arnoldi { tol; restart } ->
+      let pi, stats = Linalg.Sparse.stationary_arnoldi_stats ?budget ~tol ~restart t.sparse in
+      Obs.Metrics.Counter.add m_arnoldi_sweeps stats.Linalg.Sparse.sweeps;
       (pi, Supervise.Provenance.Iterative { residual = stats.Linalg.Sparse.residual })
 
 let stationary_supervised ?budget ?ladder t =
@@ -110,6 +123,115 @@ let stationary_supervised ?budget ?ladder t =
   Obs.Trace.span "ctmc:stationary_supervised" (fun () ->
       Obs.Trace.add_attr "states" (string_of_int t.n);
       climb [] ladder)
+
+(* ---- exact lumping ----
+
+   A partition is (strongly) lumpable when every state of a class has the
+   same aggregate rate into every OTHER class; the quotient chain over the
+   classes is then itself a CTMC whose stationary distribution carries the
+   class masses of the original.  The quotient rows are read off any class
+   representative (here: the lowest-numbered member, with targets in that
+   row's first-touch order, so the quotient build is deterministic). *)
+
+let m_lump_states =
+  Obs.Metrics.Counter.create ~help:"States entering exact-lumpability quotients"
+    "ctmc_lump_states_total"
+
+let m_lump_classes =
+  Obs.Metrics.Counter.create ~help:"Quotient classes produced by exact lumping"
+    "ctmc_lump_classes_total"
+
+(* aggregate row of state [i] over classes, written into the scratch pair
+   (values + touched-class list in first-touch order) *)
+let aggregate_row t ~classes ~acc ~touched i =
+  let n_touched = ref 0 in
+  Linalg.Sparse.iter_outgoing t.sparse i (fun j r ->
+      let c = classes.(j) in
+      if acc.(c) = 0.0 then begin
+        touched.(!n_touched) <- c;
+        incr n_touched
+      end;
+      acc.(c) <- acc.(c) +. r);
+  !n_touched
+
+let lump ?(verify = true) t ~classes ~n_classes =
+  Obs.Trace.span "ctmc:lump" (fun () ->
+      if Array.length classes <> t.n then invalid_arg "Ctmc.lump: classes length mismatch";
+      let reps = Array.make n_classes (-1) in
+      for i = 0 to t.n - 1 do
+        let c = classes.(i) in
+        if c < 0 || c >= n_classes then invalid_arg "Ctmc.lump: class id out of range";
+        if reps.(c) < 0 then reps.(c) <- i
+      done;
+      Array.iteri
+        (fun c r -> if r < 0 then invalid_arg (Printf.sprintf "Ctmc.lump: empty class %d" c))
+        reps;
+      let q = create n_classes in
+      let acc = Array.make n_classes 0.0 in
+      let touched = Array.make n_classes 0 in
+      for c = 0 to n_classes - 1 do
+        let k = aggregate_row t ~classes ~acc ~touched reps.(c) in
+        for s = 0 to k - 1 do
+          let c' = touched.(s) in
+          if c' <> c && acc.(c') > 0.0 then add_rate q c c' acc.(c');
+          acc.(c') <- 0.0
+        done
+      done;
+      if verify then begin
+        (* exactness: every member's aggregate row into other classes must
+           match its representative's, or the quotient is not a CTMC of the
+           original process *)
+        let ref_acc = Array.make n_classes 0.0 in
+        let ref_touched = Array.make n_classes 0 in
+        for i = 0 to t.n - 1 do
+          let c = classes.(i) in
+          let r = reps.(c) in
+          if i <> r then begin
+            let kr = aggregate_row t ~classes ~acc:ref_acc ~touched:ref_touched r in
+            let ki = aggregate_row t ~classes ~acc ~touched i in
+            let ok = ref true in
+            for s = 0 to kr - 1 do
+              let c' = ref_touched.(s) in
+              if c' <> c then begin
+                let a = ref_acc.(c') and b = acc.(c') in
+                let scale = max (abs_float a) (abs_float b) in
+                if abs_float (a -. b) > 1e-9 *. max scale 1e-300 then ok := false
+              end
+            done;
+            (* classes touched by i but not by the representative *)
+            for s = 0 to ki - 1 do
+              let c' = touched.(s) in
+              if c' <> c && ref_acc.(c') = 0.0 && acc.(c') > 0.0 then ok := false
+            done;
+            for s = 0 to kr - 1 do
+              ref_acc.(ref_touched.(s)) <- 0.0
+            done;
+            for s = 0 to ki - 1 do
+              acc.(touched.(s)) <- 0.0
+            done;
+            if not !ok then
+              Supervise.Error.raise_
+                (Supervise.Error.Numerical
+                   {
+                     what = Printf.sprintf "partition is not exactly lumpable at state %d" i;
+                     where = "Ctmc.lump";
+                   })
+          end
+        done
+      end;
+      Obs.Metrics.Counter.add m_lump_states t.n;
+      Obs.Metrics.Counter.add m_lump_classes n_classes;
+      Obs.Trace.add_attr "states" (string_of_int t.n);
+      Obs.Trace.add_attr "classes" (string_of_int n_classes);
+      q)
+
+let lift ~classes ~n_classes pi_hat =
+  let n = Array.length classes in
+  let sizes = Array.make n_classes 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) classes;
+  Array.init n (fun i ->
+      let c = classes.(i) in
+      pi_hat.(c) /. float_of_int sizes.(c))
 
 let flow t ~pi ~src ~dst = pi.(src) *. Linalg.Sparse.rate t.sparse src dst
 let outgoing t i = Linalg.Sparse.outgoing t.sparse i

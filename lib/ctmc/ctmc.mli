@@ -17,14 +17,22 @@ val stationary : ?solver:method_ -> t -> float array
     uses the numerically exact GTH elimination up to 1200 states and
     sparse Gauss–Seidel beyond. *)
 
-type rung = Rung_gth | Rung_gauss_seidel of { tol : float } | Rung_power of { tol : float }
+type rung =
+  | Rung_gth
+  | Rung_gauss_seidel of { tol : float }
+  | Rung_power of { tol : float }
+  | Rung_arnoldi of { tol : float; restart : int }
 (** One step of an escalation ladder: a solver paired with the tolerance
-    it is asked to reach. *)
+    it is asked to reach.  [Rung_arnoldi] is the Krylov rung — restarted
+    Arnoldi with an [restart]-dimensional basis (see
+    {!Linalg.Sparse.stationary_arnoldi}). *)
 
 val default_ladder : int -> rung list
 (** The standard ladder for an [n]-state chain: GTH (only when [n] is
     within the dense threshold), Gauss–Seidel at 1e-12, Gauss–Seidel
-    relaxed to 1e-9, power iteration at 1e-10. *)
+    relaxed to 1e-9, power iteration at 1e-10, and finally restarted
+    Arnoldi (tol 1e-10, basis 30) for stiff chains that defeat the
+    one-dimensional iterations. *)
 
 val stationary_supervised :
   ?budget:Supervise.Budget.t -> ?ladder:rung list -> t -> float array * Supervise.Provenance.t
@@ -35,6 +43,25 @@ val stationary_supervised :
     all rungs fail, and stops climbing immediately on [Budget_exhausted]
     (a spent wall clock fails every later rung too).  The [budget] is
     threaded into the iterative rungs' sweep loops. *)
+
+val lump : ?verify:bool -> t -> classes:int array -> n_classes:int -> t
+(** Exact-lumpability quotient: [classes.(i)] is the class of state [i]
+    (class ids [0 .. n_classes-1], every class non-empty).  The quotient
+    chain's row for a class is the aggregate row of its lowest-numbered
+    member, with intra-class rates dropped (they are quotient self-loops).
+    With [verify] (default [true]) every state's aggregate rates into
+    other classes are checked against its representative's, within
+    relative 1e-9 — a partition that fails the check is not lumpable and
+    raises [Supervise.Error.Solver_error (Numerical _)].  Cost: O(nnz)
+    with verification, O(classes + their rows) without. *)
+
+val lift : classes:int array -> n_classes:int -> float array -> float array
+(** [lift ~classes ~n_classes pi_hat] spreads each class's stationary mass
+    uniformly over its members: π(i) = π̂(classes i) / |class|.  Exact when
+    the partition is the orbit partition of a rate-preserving automorphism
+    of the generator (the Young-lattice rotation quotients built by
+    {!Young.Pattern}); for general lumpable partitions only the class sums
+    are meaningful. *)
 
 val flow : t -> pi:float array -> src:int -> dst:int -> float
 (** Stationary probability flow π(src)·q(src,dst). *)

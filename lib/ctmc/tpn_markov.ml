@@ -8,6 +8,9 @@ type t = {
   total_markings : int;
   chain : Ctmc.t;  (** generator restricted to the recurrent class *)
   initial_state : int option;  (** local index of the initial marking *)
+  rec_row : int array;  (** per recurrent state, slice of [rec_via] *)
+  rec_via : int array;  (** transitions enabled at each recurrent state *)
+  enab : float array;  (** per transition, stationary P(enabled) *)
 }
 
 (* The reachable marking graph and its recurrent class depend only on the
@@ -136,7 +139,8 @@ let structure_of_graph teg (g : Marking.graph) =
   Array.iteri (fun k s -> local.(s) <- k) s_recurrent;
   { s_teg = teg; markings; row_ptr; succ; via; s_recurrent; local }
 
-let structure ?cap ?budget teg = structure_of_graph teg (Marking.explore_graph ?cap ?budget teg)
+let structure ?cap ?budget ?pool teg =
+  structure_of_graph teg (Marking.explore_graph ?cap ?budget ?pool teg)
 
 let structure_states s = Array.length s.markings
 let structure_edges s = Array.length s.succ
@@ -164,7 +168,29 @@ let build_chain s ~rates =
   (rate_array, chain)
 
 let assemble s ~rate_array ~chain ~pi =
-  let { markings; s_recurrent = recurrent; local; _ } = s in
+  let { markings; row_ptr; via; s_recurrent = recurrent; local; _ } = s in
+  (* Per-recurrent-state enabled-transition slices, extracted from the CSR
+     rows (exactly one edge per enabled firing), so the throughput queries
+     below never rescan markings.  The per-transition stationary enabled
+     probability accumulates in recurrent-state order — the same float
+     summation order as a per-transition [Marking.is_enabled] scan. *)
+  let n_rec = Array.length recurrent in
+  let rec_row = Array.make (n_rec + 1) 0 in
+  for k = 0 to n_rec - 1 do
+    let st = recurrent.(k) in
+    rec_row.(k + 1) <- rec_row.(k) + row_ptr.(st + 1) - row_ptr.(st)
+  done;
+  let rec_via = Array.make rec_row.(n_rec) 0 in
+  for k = 0 to n_rec - 1 do
+    let st = recurrent.(k) in
+    Array.blit via row_ptr.(st) rec_via rec_row.(k) (row_ptr.(st + 1) - row_ptr.(st))
+  done;
+  let enab = Array.make (Teg.n_transitions s.s_teg) 0.0 in
+  for k = 0 to n_rec - 1 do
+    for e = rec_row.(k) to rec_row.(k + 1) - 1 do
+      enab.(rec_via.(e)) <- enab.(rec_via.(e)) +. pi.(k)
+    done
+  done;
   {
     teg = s.s_teg;
     rates = rate_array;
@@ -173,6 +199,9 @@ let assemble s ~rate_array ~chain ~pi =
     total_markings = Array.length markings;
     chain;
     initial_state = (if local.(0) >= 0 then Some local.(0) else None);
+    rec_row;
+    rec_via;
+    enab;
   }
 
 let analyse_with s ~rates =
@@ -185,6 +214,152 @@ let analyse_with_supervised ?budget ?ladder s ~rates =
   let pi, provenance = Ctmc.stationary_supervised ?budget ?ladder chain in
   (assemble s ~rate_array ~chain ~pi, provenance)
 
+(* ---- symmetry quotients ----
+
+   A place permutation σ_P that is an automorphism of the net induces a
+   permutation of the reachable markings (m ↦ m ∘ σ_P⁻¹); if a matching
+   transition permutation σ_T preserves rates, the orbit partition of the
+   marking permutation is exactly lumpable: σ maps the edges out of x
+   bijectively onto the edges out of σ(x) with equal rates, so aggregate
+   rates into every orbit agree across an orbit's members.  The quotient
+   chain solves at 1/|orbit| the size, and because the permuted chain is
+   the same chain, π ∘ σ = π: stationary mass is constant on each orbit,
+   which makes the uniform lift of [Ctmc.lift] exact, not just
+   class-sum-correct. *)
+
+module Mtable = Hashtbl.Make (struct
+  type t = Marking.t
+
+  let equal = Marking.equal
+  let hash = Marking.hash
+end)
+
+let state_permutation s ~place_perm =
+  let markings = s.markings in
+  let n = Array.length markings in
+  let np = Array.length place_perm in
+  let index = Mtable.create (2 * n) in
+  Array.iteri (fun i m -> Mtable.replace index m i) markings;
+  let perm = Array.make n (-1) in
+  let image = Array.make np 0 in
+  for i = 0 to n - 1 do
+    let m = markings.(i) in
+    for p = 0 to np - 1 do
+      image.(place_perm.(p)) <- m.(p)
+    done;
+    match Mtable.find_opt index image with
+    | Some j -> perm.(i) <- j
+    | None ->
+        Supervise.Error.raise_
+          (Supervise.Error.Numerical
+             {
+               what =
+                 Printf.sprintf "place permutation maps marking %d outside the reachable set" i;
+               where = "Tpn_markov.state_permutation";
+             })
+  done;
+  perm
+
+let orbit_partition s ~state_perm =
+  let { s_recurrent = recurrent; local; _ } = s in
+  let n_rec = Array.length recurrent in
+  let classes = Array.make n_rec (-1) in
+  let n_classes = ref 0 in
+  for k = 0 to n_rec - 1 do
+    if classes.(k) < 0 then begin
+      let c = !n_classes in
+      incr n_classes;
+      let g = ref recurrent.(k) in
+      let continue = ref true in
+      while !continue do
+        let l = local.(!g) in
+        if l < 0 then
+          Supervise.Error.raise_
+            (Supervise.Error.Numerical
+               {
+                 what = "automorphism does not preserve the recurrent class";
+                 where = "Tpn_markov.orbit_partition";
+               });
+        if classes.(l) >= 0 then continue := false
+        else begin
+          classes.(l) <- c;
+          g := state_perm.(!g)
+        end
+      done
+    end
+  done;
+  (classes, !n_classes)
+
+type lump_stats = { lump_states : int; lump_classes : int }
+
+let m_lumped_analyses =
+  Obs.Metrics.Counter.create ~help:"Stationary analyses solved on a symmetry quotient"
+    "tpn_lumped_analyses_total"
+
+let analyse_with_lumped ?budget ?ladder s ~rates ~place_perm ~trans_perm =
+  Obs.Trace.span "ctmc:analyse_lumped" (fun () ->
+      let teg = s.s_teg in
+      let n_trans = Teg.n_transitions teg in
+      let rate_array = Array.init n_trans rates in
+      Array.iteri
+        (fun v r ->
+          if r <= 0.0 then invalid_arg (Printf.sprintf "Tpn_markov: rate of t%d not positive" v))
+        rate_array;
+      (* lumpability needs the symmetry to preserve rates exactly *)
+      for v = 0 to n_trans - 1 do
+        if rate_array.(trans_perm.(v)) <> rate_array.(v) then
+          Supervise.Error.raise_
+            (Supervise.Error.Numerical
+               {
+                 what = Printf.sprintf "rates are not invariant under the symmetry at t%d" v;
+                 where = "Tpn_markov.analyse_with_lumped";
+               })
+      done;
+      let state_perm = state_permutation s ~place_perm in
+      let classes, n_classes = orbit_partition s ~state_perm in
+      let { row_ptr; succ; via; s_recurrent = recurrent; local; _ } = s in
+      let n_rec = Array.length recurrent in
+      (* quotient generator straight from class-representative CSR rows —
+         the full n_rec-state chain is never materialised *)
+      let q = Ctmc.create n_classes in
+      let reps = Array.make n_classes (-1) in
+      for k = 0 to n_rec - 1 do
+        let c = classes.(k) in
+        if reps.(c) < 0 then reps.(c) <- k
+      done;
+      let acc = Array.make n_classes 0.0 in
+      let touched = Array.make n_classes 0 in
+      for c = 0 to n_classes - 1 do
+        let st = recurrent.(reps.(c)) in
+        let nt = ref 0 in
+        for e = row_ptr.(st) to row_ptr.(st + 1) - 1 do
+          let lj = local.(succ.(e)) in
+          if lj >= 0 then begin
+            let c' = classes.(lj) in
+            if c' <> c then begin
+              if acc.(c') = 0.0 then begin
+                touched.(!nt) <- c';
+                incr nt
+              end;
+              acc.(c') <- acc.(c') +. rate_array.(via.(e))
+            end
+          end
+        done;
+        for i = 0 to !nt - 1 do
+          Ctmc.add_rate q c touched.(i) acc.(touched.(i));
+          acc.(touched.(i)) <- 0.0
+        done
+      done;
+      let pi_hat, provenance = Ctmc.stationary_supervised ?budget ?ladder q in
+      let pi = Ctmc.lift ~classes ~n_classes pi_hat in
+      Obs.Metrics.Counter.incr m_lumped_analyses;
+      Obs.Trace.add_attr "states" (string_of_int n_rec);
+      Obs.Trace.add_attr "classes" (string_of_int n_classes);
+      (* [initial_state] indexes [chain], which is now the quotient:
+         transient analysis is not preserved by lumping, so it is off *)
+      let t = { (assemble s ~rate_array ~chain:q ~pi) with initial_state = None } in
+      (t, provenance, { lump_states = n_rec; lump_classes = n_classes }))
+
 let analyse ?cap ~rates teg = analyse_with (structure ?cap teg) ~rates
 
 let analyse_supervised ?cap ?budget ?ladder ~rates teg =
@@ -192,16 +367,13 @@ let analyse_supervised ?cap ?budget ?ladder ~rates teg =
 
 let n_markings t = t.total_markings
 let n_recurrent t = Array.length t.recurrent
-
-let enabled_probability t v =
-  let acc = ref 0.0 in
-  Array.iteri (fun k m -> if Marking.is_enabled t.teg m v then acc := !acc +. t.pi.(k)) t.recurrent;
-  !acc
-
+let enabled_probability t v = t.enab.(v)
 let firing_rate t v = t.rates.(v) *. enabled_probability t v
 let throughput_of t vs = List.fold_left (fun acc v -> acc +. firing_rate t v) 0.0 vs
 
 let stationary_throughput = throughput_of
+
+let stationary_distribution t = Array.copy t.pi
 
 let expected_firings ?tol t ~horizon transitions =
   match t.initial_state with
@@ -212,8 +384,10 @@ let expected_firings ?tol t ~horizon transitions =
       List.fold_left
         (fun acc v ->
           let time_enabled = ref 0.0 in
-          Array.iteri
-            (fun k m -> if Marking.is_enabled t.teg m v then time_enabled := !time_enabled +. occupancy.(k))
-            t.recurrent;
+          for k = 0 to Array.length t.pi - 1 do
+            for e = t.rec_row.(k) to t.rec_row.(k + 1) - 1 do
+              if t.rec_via.(e) = v then time_enabled := !time_enabled +. occupancy.(k)
+            done
+          done;
           acc +. (t.rates.(v) *. !time_enabled))
         0.0 transitions

@@ -17,13 +17,16 @@ type structure
     rate assignments (and shared between domains — it is never mutated
     after construction). *)
 
-val structure : ?cap:int -> ?budget:Supervise.Budget.t -> Petrinet.Teg.t -> structure
+val structure :
+  ?cap:int -> ?budget:Supervise.Budget.t -> ?pool:Parallel.Pool.t -> Petrinet.Teg.t -> structure
 (** Explores the reachable markings (raising [Supervise.Error.Solver_error
     (State_space_exceeded _)] on a token-unbounded net) and isolates the
     recurrent class.  Raises [Supervise.Error.Solver_error (Non_ergodic _)]
     — carrying the recurrent/transient state counts — if the marking chain
     does not have a unique recurrent class.  The [budget] bounds the
-    exploration (state ceiling and wall deadline). *)
+    exploration (state ceiling and wall deadline).  A [pool] of size >= 2
+    runs the exploration sharded over its domains with byte-identical
+    output (see {!Petrinet.Marking.explore_graph}). *)
 
 val structure_of_graph : Petrinet.Teg.t -> Petrinet.Marking.graph -> structure
 (** Builds the rate-independent structure from an already-explored marking
@@ -50,6 +53,53 @@ val analyse_with_supervised :
 (** As {!analyse_with}, but solves the chain through
     {!Ctmc.stationary_supervised}'s escalation ladder and reports the
     provenance of the result. *)
+
+(** {1 Symmetry quotients (exact lumping)}
+
+    A net automorphism — a place permutation that maps the reachable
+    marking graph onto itself, together with a transition permutation that
+    preserves rates — makes the orbit partition of the recurrent class
+    exactly lumpable, and the stationary distribution constant on each
+    orbit.  The quotient chain is then solved instead of the full one and
+    the result lifted back exactly.  [Young.Pattern] supplies the rotation
+    automorphism of the u×v Overlap pattern. *)
+
+val state_permutation : structure -> place_perm:int array -> int array
+(** The permutation of global state ids induced by the place permutation
+    (marking [m] maps to [m ∘ place_perm⁻¹], i.e. place [p]'s tokens move
+    to place [place_perm.(p)]).  Raises [Supervise.Error.Solver_error
+    (Numerical _)] if some permuted marking is not itself reachable — the
+    given permutation is then not an automorphism of the marking graph. *)
+
+val orbit_partition : structure -> state_perm:int array -> int array * int
+(** Orbits of the recurrent class under the state permutation, as
+    [(classes, n_classes)] with [classes] indexed by recurrent-local state
+    id.  Classes are numbered in order of their lowest member.  Raises
+    [Numerical] if an orbit leaves the recurrent class (it cannot, for a
+    genuine automorphism). *)
+
+type lump_stats = { lump_states : int; lump_classes : int }
+(** Size of the lumped solve: recurrent states in, quotient classes out. *)
+
+val analyse_with_lumped :
+  ?budget:Supervise.Budget.t ->
+  ?ladder:Ctmc.rung list ->
+  structure ->
+  rates:(int -> float) ->
+  place_perm:int array ->
+  trans_perm:int array ->
+  t * Supervise.Provenance.t * lump_stats
+(** As {!analyse_with_supervised}, but solves the orbit quotient of the
+    automorphism [(place_perm, trans_perm)] and lifts the stationary
+    vector back (exactly — see the section preamble).  The quotient
+    generator is read off one representative CSR row per orbit, so the
+    full recurrent chain is never materialised.  Raises [Numerical] if the
+    rates are not invariant under [trans_perm] or [place_perm] is not an
+    automorphism of the marking graph.  The result's chain is the quotient:
+    {!expected_firings} (transient analysis) is unavailable on it, while
+    all stationary queries — {!enabled_probability}, {!firing_rate},
+    {!throughput_of}, {!stationary_distribution} — are over the full
+    recurrent class as usual. *)
 
 val analyse : ?cap:int -> rates:(int -> float) -> Petrinet.Teg.t -> t
 (** [analyse ?cap ~rates teg] is
@@ -85,6 +135,11 @@ val enabled_probability : t -> int -> float
 
 val stationary_throughput : t -> int list -> float
 (** Alias of {!throughput_of}. *)
+
+val stationary_distribution : t -> float array
+(** Copy of the stationary distribution over the recurrent class, indexed
+    like the recurrent states (increasing global state id).  For a lumped
+    analysis this is the exactly lifted vector. *)
 
 val expected_firings : ?tol:float -> t -> horizon:float -> int list -> float
 (** Expected number of firings of the listed transitions during

@@ -1,9 +1,11 @@
 (** Running-time study of the compact state-space kernel: per-stage cold
     timings (marking-graph construction, recurrent-class isolation,
-    stationary solve) and warm-path timings over a ladder of u×v patterns
-    and Erlang phase counts.  Run by [bench/main.exe -- --statespace],
-    which writes the results to BENCH_statespace.json; a two-rung smoke
-    version runs in the test suite. *)
+    stationary solve), the rotation-quotient solve (exact lumping over the
+    pattern's u·v-fold symmetry) and warm-path timings over a ladder of
+    u×v patterns and Erlang phase counts.  Run by
+    [bench/main.exe -- --statespace], which writes the results to
+    BENCH_statespace.json ([--big] adds the million-state rung); a
+    two-rung smoke version runs in the test suite. *)
 
 type rung = {
   r_u : int;
@@ -14,7 +16,10 @@ type rung = {
   r_recurrent : int;  (** states of the recurrent class *)
   r_explore_s : float;  (** marking-graph construction (lattice walk or BFS) *)
   r_structure_s : float;  (** SCC / recurrent-class isolation *)
-  r_solve_s : float;  (** CTMC build + stationary distribution *)
+  r_solve_s : float;  (** CTMC build + stationary distribution, unlumped *)
+  r_lump_classes : int;  (** orbits of the rotation quotient *)
+  r_lump_solve_s : float;  (** quotient build + supervised solve + lift *)
+  r_rung : string;  (** ladder rung that solved the quotient *)
   r_warm_s : float;  (** same query answered by the pattern-solve memo *)
   r_throughput : float;
 }
@@ -28,8 +33,44 @@ val phase_counts : int list
 val study : ?ladder:(int * int) list -> ?phases:int list -> unit -> rung list
 (** Measure every (rung, phase count) combination.  Clears the pattern
     caches before and after, so timings are cold-path and the process-wide
-    caches are left empty. *)
+    caches are left empty.  Raises [Supervise.Error.Solver_error
+    (Numerical _)] if a rung's lumped solve diverges from the full one. *)
 
 val print : Format.formatter -> rung list -> unit
 
-val write_json : path:string -> rung list -> unit
+type big = {
+  b_u : int;
+  b_v : int;
+  b_phases : int;
+  b_cap : int;  (** state-cap handed to the exploration *)
+  b_wall_budget_s : float;  (** cooperative wall deadline of the whole run *)
+  b_domains : int;  (** pool size of the sharded exploration *)
+  b_states : int;
+  b_edges : int;
+  b_explore_s : float;  (** sharded exploration + recurrent-class isolation *)
+  b_lumped_solve_s : float;  (** orbit partition, quotient build, ladder, lift *)
+  b_lump_classes : int;
+  b_rung : string;  (** ladder rung that solved the quotient *)
+  b_throughput : float;
+  b_total_s : float;
+}
+
+val big_study :
+  ?u:int ->
+  ?v:int ->
+  ?phases:int ->
+  ?cap:int ->
+  ?wall_budget_s:float ->
+  ?domains:int ->
+  unit ->
+  big
+(** One cold solve of a pattern in the millions of states — default
+    (11,12), whose 7 759 752 markings the Young-lattice walk cannot pack
+    into one machine int, so the pool-sharded BFS explores them — under a
+    wall budget, followed by the exact rotation-quotient solve.  Raises
+    [Supervise.Error.Solver_error (Budget_exhausted _)] if the budget
+    expires mid-run. *)
+
+val print_big : Format.formatter -> big -> unit
+
+val write_json : ?big:big -> path:string -> rung list -> unit

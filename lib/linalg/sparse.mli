@@ -68,4 +68,34 @@ val stationary_power :
 val stationary_power_stats :
   ?budget:Supervise.Budget.t -> ?tol:float -> ?max_iters:int -> t -> float array * stats
 (** As {!stationary_power}, also reporting the iteration count and the L1
-    residual of the final iterate (one extra residual pass). *)
+    residual of the final iterate (one extra residual pass).
+
+    Sweeps of chains larger than 2¹⁵ states run on a cache-blocked edge
+    ordering (edges grouped by 8192-column destination blocks, row-major
+    within a block) — bit-identical results, memory-bandwidth-bound
+    scatters. *)
+
+val stationary_arnoldi :
+  ?budget:Supervise.Budget.t -> ?tol:float -> ?restart:int -> ?max_matvecs:int -> t -> float array
+(** Restarted Arnoldi on the uniformised chain P = I + Q/λ: an [restart]-
+    dimensional (default 30) Krylov basis is built by modified
+    Gram–Schmidt, the stationary direction is approximated by the Ritz
+    vector of the dominant eigenpair of the small Hessenberg projection,
+    clamped to the nonnegative cone and L1-normalised, and the process
+    restarts from it until the L1 residual ‖πQ‖₁ meets [tol] (default
+    1e-10).  Each basis extension is one matvec, counted against
+    [max_matvecs] (default 100_000) and against the [budget]'s sweep
+    ceiling; its wall deadline is polled at the usual cadence.  Raises
+    [No_convergence] with matvecs spent and residual achieved, like the
+    other iterative solvers.  Sweeps share the blocked-CSR path of
+    {!stationary_power}. *)
+
+val stationary_arnoldi_stats :
+  ?budget:Supervise.Budget.t ->
+  ?tol:float ->
+  ?restart:int ->
+  ?max_matvecs:int ->
+  t ->
+  float array * stats
+(** As {!stationary_arnoldi}, also reporting matvecs spent and the achieved
+    residual. *)

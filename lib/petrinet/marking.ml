@@ -41,14 +41,18 @@ let fire_into teg m v ~into =
 let capacity_exceeded ~cap ~explored =
   Supervise.Error.raise_ (Supervise.Error.State_space_exceeded { cap; explored })
 
-(* the budget's wall deadline is polled once per [budget_stride] registered
-   states — BFS registration is the explorer's unit of progress *)
-let budget_stride = 1024
+(* The budget's wall deadline is polled once per [budget_poll_stride]
+   registered states — BFS registration is the explorer's unit of progress.
+   Serial and sharded exploration share this cadence (a power of two, so
+   the poll test is a mask), and the sharded explorer additionally polls
+   before allocating each frontier block so a spent wall clock cannot
+   overshoot by a whole level of work. *)
+let budget_poll_stride = 1024
 
 let budget_tick budget count =
   match budget with
   | None -> ()
-  | Some b -> if count land (budget_stride - 1) = 0 then Supervise.Budget.check b
+  | Some b -> if count land (budget_poll_stride - 1) = 0 then Supervise.Budget.check b
 
 module Table = Hashtbl.Make (struct
   type nonrec t = t
@@ -94,6 +98,21 @@ module Ibuf = struct
     b.len <- b.len + 1
 
   let to_array b = Array.sub b.a 0 b.len
+
+  (* grow by [n] zero-filled slots and return nothing; callers write the
+     reserved region through [b.a] directly (sharded CSR assembly) *)
+  let extend b n =
+    let need = b.len + n in
+    if need > Array.length b.a then begin
+      let cap = ref (max 16 (Array.length b.a)) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let a' = Array.make !cap 0 in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.len <- need
 end
 
 (* bits needed to store values 0..bound *)
@@ -313,6 +332,374 @@ let explore_auto ~cap ~budget ~record ~packed teg =
     try_codecs attempts
   end
 
+(* ---- sharded level-synchronous exploration ----
+
+   BFS sharded over the domain pool, with the CSR output byte-identical to
+   the serial explorers at any pool size.  The frontier is processed in
+   level-synchronous rounds of three parallel phases plus one serial merge:
+
+     phase 1  parents are split into contiguous chunks; each chunk worker
+              enumerates successors and resolves them against the marking
+              table READ-ONLY (the table only holds pre-level states, so no
+              synchronisation is needed).  Unknown successors are recorded
+              as (key, hash) pairs per chunk, in scan order.
+     phase 2  the hash space is statically split into [n_shards] shards and
+              each worker owns a subset exclusively, so insertion needs no
+              locks.  A worker walks every chunk's unknowns in (chunk,
+              position) order — i.e. global discovery order — and claims
+              the first occurrence of each key with a provisional entry.
+     merge    (serial) the claimed states from all shards are sorted by
+              (chunk, position), which is exactly the (parent id,
+              transition) order in which serial BFS would discover them,
+              and registered with the same cap test and budget cadence as
+              the serial path.  Ids therefore coincide with serial ids.
+     phase 3  chunk workers resolve every edge target against the now
+              complete table and write the succ/via slices at offsets fixed
+              by a serial prefix sum — the same edge order serial BFS
+              emits.
+
+   The number of chunks depends on the pool size, but chunks are contiguous
+   parent ranges, so (chunk, position) order never depends on it; neither do
+   shard ownership (fixed [n_shards]) or id assignment (serial merge). *)
+
+let n_shards = 64
+let shard_bits = 6 (* log2 n_shards; the probe sequence starts above them *)
+
+(* Exploration kernel over an abstract key type: a packed int code when the
+   codec fits, the marking array itself otherwise.  [k_scan] enumerates the
+   enabled firings of a parent in increasing transition order; the key it
+   passes is transient (scratch) and must be retained through [k_copy]. *)
+type 'k kernel = {
+  k_dummy : 'k;
+  k_initial : 'k;
+  k_hash : 'k -> int;
+  k_equal : 'k -> 'k -> bool;
+  k_scan : 'k -> (int -> 'k -> unit) -> unit;
+  k_copy : 'k -> 'k;
+  k_marking : 'k -> t;
+}
+
+module Kbuf = struct
+  type 'k t = { mutable a : 'k array; mutable len : int }
+
+  let create dummy n = { a = Array.make (max n 16) dummy; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.a then begin
+      let a' = Array.make (2 * b.len) b.a.(0) in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.a.(b.len) <- x;
+    b.len <- b.len + 1
+end
+
+(* Open-addressing shard: linear probing above the shard-selection bits.
+   [ids] holds -1 for empty, a state id >= 0, or -2 for a provisional
+   claim made during phase 2 (always finalised by the merge). *)
+module Shard = struct
+  type 'k t = {
+    mutable keys : 'k array;
+    mutable ids : int array;
+    mutable mask : int;
+    mutable used : int;
+    dummy : 'k;
+  }
+
+  let create dummy =
+    { keys = Array.make 64 dummy; ids = Array.make 64 (-1); mask = 63; used = 0; dummy }
+
+  let slot t equal h key =
+    let i = ref ((h lsr shard_bits) land t.mask) in
+    while
+      (let id = t.ids.(!i) in
+       id <> -1 && not (equal t.keys.(!i) key))
+    do
+      i := (!i + 1) land t.mask
+    done;
+    !i
+
+  let find t equal h key = t.ids.(slot t equal h key)
+
+  let grow t equal hash =
+    let okeys = t.keys and oids = t.ids in
+    let cap = 2 * (t.mask + 1) in
+    t.keys <- Array.make cap t.dummy;
+    t.ids <- Array.make cap (-1);
+    t.mask <- cap - 1;
+    for i = 0 to Array.length oids - 1 do
+      if oids.(i) <> -1 then begin
+        let j = slot t equal (hash okeys.(i)) okeys.(i) in
+        t.keys.(j) <- okeys.(i);
+        t.ids.(j) <- oids.(i)
+      end
+    done
+
+  let put t equal hash h key id =
+    let i = slot t equal h key in
+    if t.ids.(i) = -1 then begin
+      t.keys.(i) <- key;
+      t.used <- t.used + 1
+    end;
+    t.ids.(i) <- id;
+    if 2 * t.used > t.mask then grow t equal hash
+end
+
+(* per-chunk phase-1 output: successor edges in scan order, each either a
+   known id or a reference into the chunk's unknown-key list *)
+type 'k chunk_scan = {
+  c_deg : Ibuf.t;  (** edges per parent *)
+  c_via : Ibuf.t;
+  c_ref : Ibuf.t;  (** id [>= 0], or [-1 - u] with [u] an unknown index *)
+  c_ukeys : 'k Kbuf.t;
+  c_uhash : Ibuf.t;
+}
+
+let explore_sharded ~cap ~budget ~pool kernel =
+  let k_hash = kernel.k_hash and k_equal = kernel.k_equal in
+  let shards = Array.init n_shards (fun _ -> Shard.create kernel.k_dummy) in
+  let shard_of h = h land (n_shards - 1) in
+  let all = Kbuf.create kernel.k_dummy 1024 in
+  let row = Ibuf.create 1024 in
+  let succ = Ibuf.create 1024 in
+  let via = Ibuf.create 1024 in
+  (* replicates serial registration exactly: same cap test, same budget
+     poll cadence, ids assigned in discovery order *)
+  let register h key =
+    if all.Kbuf.len >= cap then capacity_exceeded ~cap ~explored:all.Kbuf.len;
+    budget_tick budget all.Kbuf.len;
+    let id = all.Kbuf.len in
+    Kbuf.push all key;
+    Shard.put shards.(shard_of h) k_equal k_hash h key id;
+    id
+  in
+  let k0 = kernel.k_initial in
+  ignore (register (k_hash k0) k0);
+  let lo = ref 0 in
+  while !lo < all.Kbuf.len do
+    let hi = all.Kbuf.len in
+    (* poll the wall deadline before allocating the next frontier block so
+       a spent budget cannot overshoot by a whole level of work *)
+    (match budget with None -> () | Some b -> Supervise.Budget.check b);
+    let width = hi - !lo in
+    let nchunks = min width (4 * Parallel.Pool.size pool) in
+    let lo0 = !lo in
+    let bounds =
+      Array.init nchunks (fun c ->
+          (lo0 + (c * width / nchunks), lo0 + ((c + 1) * width / nchunks)))
+    in
+    let scans =
+      Parallel.Pool.map pool
+        (fun (clo, chi) ->
+          let sc =
+            {
+              c_deg = Ibuf.create 64;
+              c_via = Ibuf.create 256;
+              c_ref = Ibuf.create 256;
+              c_ukeys = Kbuf.create kernel.k_dummy 64;
+              c_uhash = Ibuf.create 64;
+            }
+          in
+          for i = clo to chi - 1 do
+            let deg = ref 0 in
+            kernel.k_scan all.Kbuf.a.(i) (fun v key ->
+                incr deg;
+                let h = k_hash key in
+                let id = Shard.find shards.(shard_of h) k_equal h key in
+                Ibuf.push sc.c_via v;
+                if id >= 0 then Ibuf.push sc.c_ref id
+                else begin
+                  Ibuf.push sc.c_ref (-1 - sc.c_ukeys.Kbuf.len);
+                  Kbuf.push sc.c_ukeys (kernel.k_copy key);
+                  Ibuf.push sc.c_uhash h
+                end);
+            Ibuf.push sc.c_deg !deg
+          done;
+          sc)
+        bounds
+    in
+    let news =
+      Parallel.Pool.init pool n_shards (fun s ->
+          let shard = shards.(s) in
+          let n_chunk = Ibuf.create 16 and n_pos = Ibuf.create 16 in
+          Array.iteri
+            (fun ci sc ->
+              for u = 0 to sc.c_ukeys.Kbuf.len - 1 do
+                let h = sc.c_uhash.Ibuf.a.(u) in
+                if shard_of h = s then begin
+                  let key = sc.c_ukeys.Kbuf.a.(u) in
+                  if Shard.find shard k_equal h key = -1 then begin
+                    Shard.put shard k_equal k_hash h key (-2);
+                    Ibuf.push n_chunk ci;
+                    Ibuf.push n_pos u
+                  end
+                end
+              done)
+            scans;
+          (n_chunk, n_pos))
+    in
+    let entries = ref [] in
+    Array.iter
+      (fun (n_chunk, n_pos) ->
+        for j = n_chunk.Ibuf.len - 1 downto 0 do
+          entries := (n_chunk.Ibuf.a.(j), n_pos.Ibuf.a.(j)) :: !entries
+        done)
+      news;
+    let entries = Array.of_list !entries in
+    Array.sort
+      (fun (c1, p1) (c2, p2) -> if c1 <> c2 then compare c1 c2 else compare p1 p2)
+      entries;
+    Array.iter
+      (fun (ci, u) ->
+        let sc = scans.(ci) in
+        ignore (register sc.c_uhash.Ibuf.a.(u) sc.c_ukeys.Kbuf.a.(u)))
+      entries;
+    let base = Array.make (nchunks + 1) 0 in
+    Array.iteri (fun ci sc -> base.(ci + 1) <- base.(ci) + sc.c_via.Ibuf.len) scans;
+    let e0 = succ.Ibuf.len in
+    let off = ref e0 in
+    Array.iter
+      (fun sc ->
+        for j = 0 to sc.c_deg.Ibuf.len - 1 do
+          Ibuf.push row !off;
+          off := !off + sc.c_deg.Ibuf.a.(j)
+        done)
+      scans;
+    Ibuf.extend succ base.(nchunks);
+    Ibuf.extend via base.(nchunks);
+    Parallel.Pool.run_all pool
+      (Array.init nchunks (fun ci ->
+           fun () ->
+             let sc = scans.(ci) in
+             let o = e0 + base.(ci) in
+             Array.blit sc.c_via.Ibuf.a 0 via.Ibuf.a o sc.c_via.Ibuf.len;
+             for j = 0 to sc.c_ref.Ibuf.len - 1 do
+               let r = sc.c_ref.Ibuf.a.(j) in
+               succ.Ibuf.a.(o + j) <-
+                 (if r >= 0 then r
+                  else begin
+                    let u = -1 - r in
+                    let h = sc.c_uhash.Ibuf.a.(u) in
+                    Shard.find shards.(shard_of h) k_equal h sc.c_ukeys.Kbuf.a.(u)
+                  end)
+             done));
+    lo := hi
+  done;
+  Ibuf.push row succ.Ibuf.len;
+  let n = all.Kbuf.len in
+  let markings = Array.make n [||] in
+  let nchunks = min n (4 * Parallel.Pool.size pool) in
+  Parallel.Pool.run_all pool
+    (Array.init nchunks (fun c ->
+         let clo = c * n / nchunks and chi = (c + 1) * n / nchunks in
+         fun () ->
+           for i = clo to chi - 1 do
+             markings.(i) <- kernel.k_marking all.Kbuf.a.(i)
+           done));
+  { markings; row_ptr = Ibuf.to_array row; succ = Ibuf.to_array succ; via = Ibuf.to_array via }
+
+(* splitmix-style finaliser: the shard index consumes the low 6 bits and
+   linear probing the rest, so packed codes need both well mixed *)
+let mix_int code =
+  let h = code lxor (code lsr 33) in
+  let h = h * 0x27d4eb2f165667c5 land max_int in
+  h lxor (h lsr 29)
+
+let packed_kernel teg codec =
+  let eff = effects_of teg (Some codec) in
+  let nt = Teg.n_transitions teg in
+  let n_places = Teg.n_places teg in
+  {
+    k_dummy = 0;
+    k_initial = encode codec (initial teg);
+    k_hash = mix_int;
+    k_equal = Int.equal;
+    k_scan =
+      (fun code f ->
+        for v = 0 to nt - 1 do
+          let ins = eff.e_in.(v) in
+          let enabled =
+            let ok = ref true in
+            for k = 0 to Array.length ins - 1 do
+              let p = ins.(k) in
+              if (code lsr codec.c_shift.(p)) land codec.c_mask.(p) = 0 then ok := false
+            done;
+            !ok
+          in
+          if enabled then begin
+            let outs = eff.e_out_pure.(v) in
+            for k = 0 to Array.length outs - 1 do
+              let p = outs.(k) in
+              if (code lsr codec.c_shift.(p)) land codec.c_mask.(p) = codec.c_mask.(p) then
+                raise Field_overflow
+            done;
+            f v (code + eff.e_delta.(v))
+          end
+        done);
+    k_copy = Fun.id;
+    k_marking = decode codec ~n_places;
+  }
+
+let array_kernel teg =
+  let eff = effects_of teg None in
+  let nt = Teg.n_transitions teg in
+  let n_places = Teg.n_places teg in
+  {
+    k_dummy = [||];
+    k_initial = initial teg;
+    k_hash = hash;
+    k_equal = equal;
+    k_scan =
+      (fun m f ->
+        (* one scratch per parent scan: the callback copies only the
+           successors it has to retain (genuinely new states) *)
+        let s = Array.make n_places 0 in
+        for v = 0 to nt - 1 do
+          let ins = eff.e_in.(v) in
+          let enabled =
+            let ok = ref true in
+            for k = 0 to Array.length ins - 1 do
+              if m.(ins.(k)) = 0 then ok := false
+            done;
+            !ok
+          in
+          if enabled then begin
+            Array.blit m 0 s 0 n_places;
+            for k = 0 to Array.length ins - 1 do
+              s.(ins.(k)) <- s.(ins.(k)) - 1
+            done;
+            let outs = eff.e_out.(v) in
+            for k = 0 to Array.length outs - 1 do
+              s.(outs.(k)) <- s.(outs.(k)) + 1
+            done;
+            f v s
+          end
+        done);
+    k_copy = Array.copy;
+    k_marking = Fun.id;
+  }
+
+(* same codec ladder as [explore_auto], sharded kernels instead *)
+let explore_sharded_auto ~cap ~budget ~packed ~pool teg =
+  if not packed then explore_sharded ~cap ~budget ~pool (array_kernel teg)
+  else begin
+    let m0 = initial teg in
+    let total = Array.fold_left ( + ) 0 m0 in
+    let widths_initial = Array.map nbits m0 in
+    let widths_total = Array.map (fun _ -> nbits total) m0 in
+    let attempts =
+      (if widths_initial = widths_total then [ widths_initial ] else [ widths_initial; widths_total ])
+      |> List.filter_map codec_of_widths
+    in
+    let rec try_codecs = function
+      | [] -> explore_sharded ~cap ~budget ~pool (array_kernel teg)
+      | c :: rest -> (
+          try explore_sharded ~cap ~budget ~pool (packed_kernel teg c)
+          with Field_overflow -> try_codecs rest)
+    in
+    try_codecs attempts
+  end
+
 let effective_cap cap budget =
   match budget with None -> cap | Some b -> Supervise.Budget.cap_allowed b cap
 
@@ -324,9 +711,22 @@ let m_edges_explored =
   Obs.Metrics.Counter.create ~help:"Marking-graph edges discovered by reachability exploration"
     "marking_edges_total"
 
-let explore_graph ?(cap = 200_000) ?budget ?(packed = true) teg =
+let m_sharded_explorations =
+  Obs.Metrics.Counter.create
+    ~help:"Explorations that took the sharded level-synchronous path"
+    "marking_sharded_explorations_total"
+
+let explore_graph ?(cap = 200_000) ?budget ?(packed = true) ?pool teg =
   Obs.Trace.span "petrinet:explore_graph" (fun () ->
-      let g = explore_auto ~cap:(effective_cap cap budget) ~budget ~record:true ~packed teg in
+      let cap = effective_cap cap budget in
+      let g =
+        match pool with
+        | Some p when Parallel.Pool.size p > 1 ->
+            Obs.Metrics.Counter.incr m_sharded_explorations;
+            Obs.Trace.add_attr "mode" "sharded";
+            explore_sharded_auto ~cap ~budget ~packed ~pool:p teg
+        | _ -> explore_auto ~cap ~budget ~record:true ~packed teg
+      in
       (* counters bump once per exploration, not per state, so the
          disabled-tracing overhead stays negligible *)
       let states = Array.length g.markings and edges = Array.length g.succ in

@@ -39,6 +39,11 @@ type graph = {
     [k] in [row_ptr.(i) .. row_ptr.(i+1) - 1], listed in increasing
     transition order. *)
 
+val budget_poll_stride : int
+(** Registered-state interval (a power of two) at which exploration polls
+    the budget's wall deadline.  Shared by the serial and the sharded BFS
+    so both abort at the same registration counts. *)
+
 val explore : ?cap:int -> ?budget:Supervise.Budget.t -> Teg.t -> t array
 (** Breadth-first enumeration of the reachable markings, starting from the
     initial one (index 0 of the result).  [cap] (default 200_000) bounds
@@ -46,14 +51,24 @@ val explore : ?cap:int -> ?budget:Supervise.Budget.t -> Teg.t -> t array
     [Supervise.Error.Solver_error (State_space_exceeded _)] — which is
     the signature of a token-unbounded net such as the full Overlap TPN.
     A [budget] tightens the cap with its state ceiling, and its wall
-    deadline is polled every 1024 registered states
+    deadline is polled every {!budget_poll_stride} registered states
     ([Budget_exhausted]). *)
 
-val explore_graph : ?cap:int -> ?budget:Supervise.Budget.t -> ?packed:bool -> Teg.t -> graph
+val explore_graph :
+  ?cap:int -> ?budget:Supervise.Budget.t -> ?packed:bool -> ?pool:Parallel.Pool.t -> Teg.t -> graph
 (** Like {!explore} but also records the marking graph (one edge per
     enabled firing).  Markings are packed into single-int codes whenever
     the per-place bit fields fit one machine word — firing is then an
     integer addition — with an automatic fallback to the int-array
     representation.  [packed:false] forces the fallback path (the two
     paths return identical graphs; the flag exists for differential
-    testing and benchmarks). *)
+    testing and benchmarks).
+
+    With a [pool] of size >= 2 the BFS runs sharded over the pool in
+    level-synchronous rounds: parent chunks are scanned in parallel,
+    unknown successors are deduplicated in 64 exclusively-owned hash
+    shards, and a serial merge assigns state ids in the exact (parent id,
+    transition) discovery order of the serial BFS.  The resulting graph —
+    markings, row_ptr, succ, via — is byte-identical to the serial result
+    at every pool size, and the budget is additionally polled before each
+    frontier block so a spent wall clock cannot overshoot by a level. *)

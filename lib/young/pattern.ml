@@ -56,11 +56,24 @@ let nbits bound =
   let rec go b acc = if b = 0 then max acc 1 else go (b lsr 1) (acc + 1) in
   go bound 0
 
+(* The lattice walk can only decline for one reason today (position code
+   wider than a machine int), but the reason label keeps the Prometheus
+   series extensible — and the fallback visible, where it used to be a
+   silent [None]. *)
+let m_lattice_fallback =
+  Obs.Metrics.Counter.create
+    ~labels:[ ("reason", "code-width") ]
+    ~help:"Young-lattice direct enumerations that fell back to generic BFS"
+    "young_lattice_fallback_total"
+
 let young_graph ?(cap = 200_000) ~u ~v () =
   check u v;
   let n = u * v in
   let pw = nbits (v - 1) and qw = nbits (u - 1) in
-  if (u * pw) + (v * qw) > 62 then None
+  if (u * pw) + (v * qw) > 62 then begin
+    Obs.Metrics.Counter.incr m_lattice_fallback;
+    None
+  end
   else begin
     let p_shift = Array.init u (fun s -> s * pw) in
     let q_shift = Array.init v (fun r -> (u * pw) + (r * qw)) in
@@ -169,6 +182,95 @@ let young_graph ?(cap = 200_000) ~u ~v () =
       }
   end
 
+(* ---- rotation symmetry ----
+
+   Transition k of the pattern is performed by sender k mod u towards
+   receiver k mod v, so the shift k ↦ k+1 (mod uv) maps the pattern onto
+   itself: sender ring s becomes ring s+1 (and ring u-1 wraps onto ring 0
+   advanced by one slot), receivers likewise.  It is an automorphism of
+   the net — every place (a ring arc) maps to a place — and therefore
+   permutes the reachable markings.  When the transfer rates are invariant
+   under the shift (e.g. homogeneous rates, or rates depending only on
+   k mod d for a divisor d of uv), the orbit partition of σ^d is exactly
+   lumpable and the stationary vector is constant on orbits — the quotient
+   solve of [Tpn_markov.analyse_with_lumped] is exact, up to uv times
+   smaller. *)
+
+(* place and transition permutation of the 1-step shift on the base net *)
+let rotation_base ~u ~v =
+  let n = u * v in
+  let pp = Array.make (2 * n) 0 in
+  (* sender ring s, slot l is place s·v+l; the last ring wraps onto ring 0
+     advanced one slot *)
+  for s = 0 to u - 1 do
+    for l = 0 to v - 1 do
+      pp.((s * v) + l) <- (if s < u - 1 then ((s + 1) * v) + l else (l + 1) mod v)
+    done
+  done;
+  for r = 0 to v - 1 do
+    for l = 0 to u - 1 do
+      pp.(n + (r * u) + l) <-
+        (if r < v - 1 then n + ((r + 1) * u) + l else n + ((l + 1) mod u))
+    done
+  done;
+  let tp = Array.init n (fun k -> (k + 1) mod n) in
+  (pp, tp)
+
+let perm_power perm d =
+  let out = Array.init (Array.length perm) Fun.id in
+  for _ = 1 to d do
+    Array.iteri (fun i x -> out.(i) <- perm.(x)) (Array.copy out)
+  done;
+  out
+
+let rotation_perms ~u ~v ~phases ~shift =
+  check u v;
+  if phases < 1 then invalid_arg "Pattern.rotation_perms: phases must be at least 1";
+  let n = u * v in
+  if shift < 1 || shift > n then invalid_arg "Pattern.rotation_perms: shift out of range";
+  let pp1, tp1 = rotation_base ~u ~v in
+  let pp = perm_power pp1 shift and tp = perm_power tp1 shift in
+  if phases = 1 then (pp, tp)
+  else begin
+    (* Erlang expansion with uniform phase count p: transition (k, j) has
+       id k·p+j; intra-chain place (k, j) has id k·(p-1)+j, and the base
+       places follow at offset n·(p-1) in base order (see Expand.erlang) *)
+    let p = phases in
+    let tp' = Array.make (n * p) 0 in
+    for k = 0 to n - 1 do
+      for j = 0 to p - 1 do
+        tp'.((k * p) + j) <- (tp.(k) * p) + j
+      done
+    done;
+    let pp' = Array.make ((n * (p - 1)) + (2 * n)) 0 in
+    for k = 0 to n - 1 do
+      for j = 0 to p - 2 do
+        pp'.((k * (p - 1)) + j) <- (tp.(k) * (p - 1)) + j
+      done
+    done;
+    for b = 0 to (2 * n) - 1 do
+      pp'.((n * (p - 1)) + b) <- (n * (p - 1)) + pp.(b)
+    done;
+    (pp', tp')
+  end
+
+(* Minimal divisor d of u·v with rates invariant under the d-step shift
+   (exact float equality — lumpability tolerates no rate error); u·v means
+   "no usable symmetry" (the full shift is the identity). *)
+let invariant_shift ~u ~v rates =
+  check u v;
+  let n = u * v in
+  if Array.length rates <> n then invalid_arg "Pattern.invariant_shift: rates length mismatch";
+  let invariant d =
+    let ok = ref true in
+    for k = 0 to n - 1 do
+      if rates.((k + d) mod n) <> rates.(k) then ok := false
+    done;
+    !ok
+  in
+  let rec search d = if d >= n then n else if n mod d = 0 && invariant d then d else search (d + 1) in
+  search 1
+
 (* ---- pattern-solve caches ----
 
    The reachable marking graph of a [u x v] pattern (and of its Erlang
@@ -238,7 +340,7 @@ let find_result key =
 
 let store_result key rho = locked (fun () -> Hashtbl.replace result_cache key rho)
 
-let shape_of ~u ~v ~phases ~cap =
+let shape_of ?budget ?pool ~u ~v ~phases ~cap () =
   let key = (u, v, phases, cap_key cap) in
   match locked (fun () -> Hashtbl.find_opt shape_cache key) with
   | Some shape -> shape
@@ -246,23 +348,28 @@ let shape_of ~u ~v ~phases ~cap =
       Obs.Trace.span "young:structure" @@ fun () ->
       Obs.Trace.add_attr "pattern" (Printf.sprintf "%dx%d ph%d" u v phases);
       (* built outside the lock: exploration can be slow, and a duplicate
-         build by a racing domain yields an equal value *)
+         build by a racing domain yields an equal value.  A budget-aborted
+         exploration raises here, before anything reaches the cache.  The
+         key ignores [budget] and [pool]: both leave the cached value
+         byte-identical (the sharded exploration reproduces the serial
+         graph exactly, and a completed budgeted build is a full build). *)
       let base = build ~u ~v ~time:(fun ~sender:_ ~receiver:_ -> 1.0) in
       let shape =
         if phases = 1 then
           (* the direct lattice walk produces the same graph as the generic
-             BFS; fall back when the position code would not fit an int *)
+             BFS; fall back when the position code would not fit an int.
+             A wall budget forces the generic path, which polls it. *)
           let structure =
-            match young_graph ?cap ~u ~v () with
+            match (if Option.is_none budget then young_graph ?cap ~u ~v () else None) with
             | Some g -> Markov.Tpn_markov.structure_of_graph base g
-            | None -> Markov.Tpn_markov.structure ?cap base
+            | None -> Markov.Tpn_markov.structure ?cap ?budget ?pool base
           in
           { expansion = None; structure }
         else
           let expansion = Petrinet.Expand.erlang ~phases:(fun _ -> phases) base in
           {
             expansion = Some expansion;
-            structure = Markov.Tpn_markov.structure ?cap (Petrinet.Expand.teg expansion);
+            structure = Markov.Tpn_markov.structure ?cap ?budget ?pool (Petrinet.Expand.teg expansion);
           }
       in
       locked (fun () -> if not (Hashtbl.mem shape_cache key) then Hashtbl.add shape_cache key shape);
@@ -285,7 +392,7 @@ let exponential_inner_throughput ?cap ~u ~v ~rate () =
   match find_result key with
   | Some rho -> rho
   | None ->
-      let shape = shape_of ~u ~v ~phases:1 ~cap in
+      let shape = shape_of ~u ~v ~phases:1 ~cap () in
       let chain = Markov.Tpn_markov.analyse_with shape.structure ~rates:(fun id -> rates.(id)) in
       let rho = Markov.Tpn_markov.throughput_of chain (List.init (u * v) Fun.id) in
       store_result key rho;
@@ -312,7 +419,7 @@ let erlang_inner_throughput ?cap ~phases ~u ~v ~rate () =
   match find_result key with
   | Some rho -> rho
   | None ->
-      let shape = shape_of ~u ~v ~phases ~cap in
+      let shape = shape_of ~u ~v ~phases ~cap () in
       let expansion = Option.get shape.expansion in
       let rates id = Petrinet.Expand.phase_rates expansion ~original_rate:(fun k -> base_rates.(k)) id in
       let chain = Markov.Tpn_markov.analyse_with shape.structure ~rates in
@@ -324,6 +431,62 @@ let erlang_inner_throughput ?cap ~phases ~u ~v ~rate () =
       store_result key rho;
       rho
   end
+
+(* ---- supervised solve with the rotation quotient ---- *)
+
+type supervised_result = {
+  throughput : float;
+  provenance : Supervise.Provenance.t;
+  states : int;
+  edges : int;
+  lump : Markov.Tpn_markov.lump_stats option;
+}
+
+let supervised_inner_throughput ?cap ?budget ?pool ?(lump = true) ~phases ~u ~v ~rate () =
+  check u v;
+  if phases < 1 then
+    invalid_arg "Pattern.supervised_inner_throughput: phases must be at least 1";
+  let n = u * v in
+  let base_rates =
+    Array.init n (fun k ->
+        let s, r = transition_of ~u ~v k in
+        rate ~sender:s ~receiver:r)
+  in
+  (* never memoised: this entry point reports provenance and lump stats of
+     an actual solve, which a cache hit would have nothing to say about *)
+  let shape = shape_of ?budget ?pool ~u ~v ~phases ~cap () in
+  let rates, outputs =
+    match shape.expansion with
+    | None -> ((fun id -> base_rates.(id)), List.init n Fun.id)
+    | Some e ->
+        (* one data set completes per firing of a transfer's LAST phase *)
+        ( (fun id -> Petrinet.Expand.phase_rates e ~original_rate:(fun k -> base_rates.(k)) id),
+          List.init n (fun k -> Petrinet.Expand.last e k) )
+  in
+  let d = invariant_shift ~u ~v base_rates in
+  let chain, provenance, lstats =
+    if lump && d < n then begin
+      (* rate invariance under the d-step shift of the base transitions
+         carries to the Erlang expansion (phase j of transfer k maps to
+         phase j of transfer k+d, with the same rate p·λ(k)) *)
+      let place_perm, trans_perm = rotation_perms ~u ~v ~phases ~shift:d in
+      let t, prov, ls =
+        Markov.Tpn_markov.analyse_with_lumped ?budget shape.structure ~rates ~place_perm
+          ~trans_perm
+      in
+      (t, prov, Some ls)
+    end
+    else
+      let t, prov = Markov.Tpn_markov.analyse_with_supervised ?budget shape.structure ~rates in
+      (t, prov, None)
+  in
+  {
+    throughput = Markov.Tpn_markov.throughput_of chain outputs;
+    provenance;
+    states = Markov.Tpn_markov.structure_states shape.structure;
+    edges = Markov.Tpn_markov.structure_edges shape.structure;
+    lump = lstats;
+  }
 
 let ph_inner_throughput ?cap ~u ~v ~ph () =
   let laws =

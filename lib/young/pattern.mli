@@ -32,6 +32,34 @@ val young_graph : ?cap:int -> u:int -> v:int -> unit -> Petrinet.Marking.graph o
     [Supervise.Error.Solver_error (State_space_exceeded _)] beyond [cap]
     states. *)
 
+(** {1 Rotation symmetry}
+
+    The shift [k ↦ k+1 (mod u·v)] of the transition indices is an
+    automorphism of the pattern: sender ring [s] maps onto ring [s+1]
+    (ring [u-1] wraps onto ring [0] advanced one slot) and receiver rings
+    likewise.  When the transfer rates are invariant under the [d]-step
+    shift for a divisor [d] of [u·v], the orbit partition of the reachable
+    markings under that shift is exactly lumpable and the stationary
+    vector is constant on orbits, so the CTMC can be solved on a quotient
+    up to [u·v] times smaller with zero loss of accuracy
+    ({!Markov.Tpn_markov.analyse_with_lumped}). *)
+
+val rotation_perms : u:int -> v:int -> phases:int -> shift:int -> int array * int array
+(** [(place_perm, trans_perm)] of the [shift]-step rotation on the pattern
+    net — on {!build}'s net for [phases = 1], on its Erlang expansion
+    ([Petrinet.Expand.erlang] with uniform [phases]) otherwise.
+    [place_perm.(p)] / [trans_perm.(k)] are the images of place [p] and
+    transition [k].  Raises [Invalid_argument] unless
+    [1 <= shift <= u·v]. *)
+
+val invariant_shift : u:int -> v:int -> float array -> int
+(** The smallest divisor [d] of [u·v] such that the base rate vector
+    (length [u·v], indexed by transition) satisfies
+    [rates.((k+d) mod u·v) = rates.(k)] for all [k] — under {e exact}
+    float equality, because lumpability tolerates no rate error.  Returns
+    [u·v] (the identity shift) when no proper symmetry holds; homogeneous
+    rates give 1. *)
+
 val deterministic_inner_throughput : u:int -> v:int -> time:(sender:int -> receiver:int -> float) -> float
 (** [u * v / period] where the period is the critical cycle of the pattern:
     data sets per time unit with constant transfer times.  For homogeneous
@@ -79,6 +107,39 @@ val cache_stats : unit -> cache_stats
 val clear_caches : unit -> unit
 (** Drop both caches and reset the counters (used by tests and by the
     cold/warm benchmark). *)
+
+type supervised_result = {
+  throughput : float;  (** stationary data sets per time unit *)
+  provenance : Supervise.Provenance.t;  (** ladder attempts of the solve *)
+  states : int;  (** reachable markings explored *)
+  edges : int;  (** marking-graph edges *)
+  lump : Markov.Tpn_markov.lump_stats option;
+      (** quotient size when the rotation lumping was applied, [None] when
+          the chain was solved unlumped *)
+}
+
+val supervised_inner_throughput :
+  ?cap:int ->
+  ?budget:Supervise.Budget.t ->
+  ?pool:Parallel.Pool.t ->
+  ?lump:bool ->
+  phases:int ->
+  u:int ->
+  v:int ->
+  rate:(sender:int -> receiver:int -> float) ->
+  unit ->
+  supervised_result
+(** The million-state entry point: budgeted exploration (sharded over
+    [pool] when given), exact rotation lumping when the rates allow it
+    ([lump], default [true], applies the {!invariant_shift} quotient
+    whenever the shift is proper), and the
+    {!Markov.Tpn_markov.analyse_with_supervised} escalation ladder on
+    whichever chain — quotient or full — is solved.  [phases = 1] is the
+    exponential pattern; [phases >= 2] the Erlang expansion.  The
+    throughput equals {!exponential_inner_throughput} /
+    {!erlang_inner_throughput} on the same instance.  Results are never
+    memoised (the provenance describes an actual solve), but the explored
+    structure still lands in the shape cache. *)
 
 val ph_inner_throughput :
   ?cap:int -> u:int -> v:int -> ph:(sender:int -> receiver:int -> Markov.Ph.t) -> unit -> float
