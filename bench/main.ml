@@ -308,7 +308,7 @@ let service_request instance =
 
 let with_client addr f =
   match Service.Client.connect addr with
-  | Error msg -> failwith ("service bench: " ^ msg)
+  | Error e -> failwith ("service bench: " ^ Service.Client.error_message e)
   | Ok client -> Fun.protect ~finally:(fun () -> Service.Client.close client) (fun () -> f client)
 
 let timed_requests client lines =
@@ -317,7 +317,7 @@ let timed_requests client lines =
       let t0 = Unix.gettimeofday () in
       (match Service.Client.rpc_raw client line with
       | Ok _ -> ()
-      | Error msg -> failwith ("service bench: " ^ msg));
+      | Error e -> failwith ("service bench: " ^ Service.Client.error_message e));
       Unix.gettimeofday () -. t0)
     lines
 
@@ -361,7 +361,8 @@ let service_study () =
                         let line = List.nth lines ((k + r) mod List.length lines) in
                         match Service.Client.rpc_raw c line with
                         | Ok _ -> ()
-                        | Error msg -> failwith ("service bench: " ^ msg)
+                        | Error e ->
+                            failwith ("service bench: " ^ Service.Client.error_message e)
                       done))
                 ())
         in

@@ -282,9 +282,9 @@ let experiment_cmd =
 
 (* experiments: the supervised, journaled, resumable runner *)
 
-(* SUPERVISE_INJECT=fail=exp[:point],flaky=exp[:point],... — a test-only
-   fault hook: "fail" fails every attempt of the matching points, "flaky"
-   (alias "degrade") only the first, so the retry succeeds degraded. *)
+(* the experiments-layer SUPERVISE_INJECT rules (fail/flaky/degrade);
+   the full grammar, shared with the service and cluster layers, is
+   documented in EXPERIMENTS.md *)
 let inject_of_env () =
   match Sys.getenv_opt "SUPERVISE_INJECT" with
   | None | Some "" -> None
@@ -534,13 +534,17 @@ let query_run addr command instance model law cap wall simulate repeat =
     Format.eprintf "error: %s@." msg;
     exit 1
   in
-  let client = match Service.Client.connect addr with Ok c -> c | Error msg -> fail msg in
+  let client =
+    match Service.Client.connect addr with
+    | Ok c -> c
+    | Error e -> fail (Service.Client.error_message e)
+  in
   Fun.protect ~finally:(fun () -> Service.Client.close client) @@ fun () ->
   let print_reply = function
     | Ok line ->
         print_endline line;
         ()
-    | Error msg -> fail msg
+    | Error e -> fail (Service.Client.error_message e)
   in
   match command with
   | "ping" | "stats" | "shutdown" ->
@@ -556,7 +560,7 @@ let query_run addr command instance model law cap wall simulate repeat =
           [ ("v", Service.Json.Int Service.Protocol.version); ("cmd", Service.Json.String "metrics") ]
       in
       match Service.Client.rpc_raw client (Service.Json.render request) with
-      | Error msg -> fail msg
+      | Error e -> fail (Service.Client.error_message e)
       | Ok line -> (
           (* the reply wraps the exposition text in JSON; unwrap it so the
              output pipes straight into a Prometheus scrape file *)
@@ -707,8 +711,9 @@ let optimize_run instance_file random stages procs inst_seed homogeneous metric 
     | Some addr -> (
         match Service.Client.connect addr with
         | Ok c -> Some c
-        | Error msg ->
-            Format.eprintf "error: cannot reach the daemon: %s@." msg;
+        | Error e ->
+            Format.eprintf "error: cannot reach the daemon: %s@."
+              (Service.Client.error_message e);
             exit 2)
   in
   Fun.protect ~finally:(fun () -> Option.iter Service.Client.close client) @@ fun () ->
@@ -947,6 +952,323 @@ let template_cmd =
     (Cmd.info "template" ~doc:"Print a sample instance file (Example A) to stdout")
     Term.(const template_run $ const ())
 
+(* cluster: router + supervised worker fleet *)
+
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let cluster_run addr workers sock_dir injects cache max_inflight wall request_deadline heartbeat
+    restarts quiet =
+  let fail msg =
+    Format.eprintf "error: %s@." msg;
+    exit 1
+  in
+  if workers < 1 then fail "need at least one worker";
+  let log = if quiet then null_ppf else Format.err_formatter in
+  let dir = match sock_dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+  let inject_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match String.index_opt s ':' with
+      | Some i -> (
+          match int_of_string_opt (String.sub s 0 i) with
+          | Some idx when idx >= 0 && idx < workers ->
+              Hashtbl.replace inject_tbl idx (String.sub s (i + 1) (String.length s - i - 1))
+          | _ -> fail (Printf.sprintf "--inject %S: index out of range" s))
+      | None -> fail (Printf.sprintf "--inject %S: expected IDX:SPEC (see EXPERIMENTS.md)" s))
+    injects;
+  (* workers inherit our environment minus any inject spec aimed at the
+     experiments layer of this process; per-worker rules are appended *)
+  let base_env =
+    Unix.environment () |> Array.to_list
+    |> List.filter (fun kv -> not (String.length kv >= 16 && String.sub kv 0 16 = "SUPERVISE_INJECT"))
+    |> Array.of_list
+  in
+  let self = Sys.executable_name in
+  let specs =
+    Array.init workers (fun i ->
+        let path = Filename.concat dir (Printf.sprintf "cluster-w%d-%d.sock" (Unix.getpid ()) i) in
+        let argv =
+          List.concat
+            [
+              [ self; "serve"; "--socket"; "unix:" ^ path; "--cache"; string_of_int cache ];
+              (match max_inflight with Some m -> [ "--max-inflight"; string_of_int m ] | None -> []);
+              (match wall with Some w -> [ "--wall"; string_of_float w ] | None -> []);
+              (if quiet then [ "--quiet" ] else []);
+            ]
+          |> Array.of_list
+        in
+        let env =
+          match Hashtbl.find_opt inject_tbl i with
+          | Some spec -> Array.append base_env [| "SUPERVISE_INJECT=" ^ spec |]
+          | None -> base_env
+        in
+        { Cluster.Supervisor.argv; env; addr = Service.Protocol.Unix_domain path })
+  in
+  let backoff = { Supervise.Backoff.default_restart with max_attempts = restarts } in
+  let sup = Cluster.Supervisor.start ~backoff ~heartbeat_period:heartbeat ~log specs in
+  if not (Cluster.Supervisor.wait_up ~deadline:(Unix.gettimeofday () +. 15.0) sup) then
+    Format.fprintf log "cluster: warning: not every worker is up yet; serving anyway@.";
+  let config = { (Cluster.Router.default_config ()) with request_deadline; log } in
+  let router = Cluster.Router.create config sup in
+  match Cluster.Router.serve router addr with
+  | () -> 0
+  | exception Unix.Unix_error (err, fn, arg) ->
+      Cluster.Supervisor.shutdown sup;
+      Format.eprintf "error: cannot serve on %s: %s (%s %s)@."
+        (Service.Protocol.addr_to_string addr) (Unix.error_message err) fn arg;
+      2
+
+let cluster_cmd =
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers"; "w" ] ~docv:"N" ~doc:"Worker processes to run.")
+  in
+  let sock_dir =
+    Arg.(value & opt (some dir) None & info [ "socket-dir" ] ~docv:"DIR"
+           ~doc:"Directory for the workers' Unix-domain sockets (default: \\$TMPDIR).")
+  in
+  let injects =
+    Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"IDX:SPEC"
+           ~doc:"Set SUPERVISE_INJECT=SPEC for worker IDX (repeatable; grammar in \
+                 EXPERIMENTS.md), e.g. 0:kill-after=25.")
+  in
+  let cache =
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc:"Per-worker LRU cache capacity.")
+  in
+  let max_inflight =
+    Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Per-worker concurrent-solve admission limit.")
+  in
+  let wall =
+    Arg.(value & opt (some float) None & info [ "wall" ] ~docv:"SECONDS"
+           ~doc:"Per-worker server-side wall budget for requests that carry none.")
+  in
+  let request_deadline =
+    Arg.(value & opt float 30.0 & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Router per-request budget: retries stop and the request is shed once it passes.")
+  in
+  let heartbeat =
+    Arg.(value & opt float 1.0 & info [ "heartbeat" ] ~docv:"SECONDS"
+           ~doc:"Worker health-check period.")
+  in
+  let restarts =
+    Arg.(value & opt int 5 & info [ "max-restarts" ] ~docv:"N"
+           ~doc:"Restart attempts before a crash-looping worker is marked dead.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No supervision log on stderr.") in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run a sharded fleet of query daemons behind one consistent-hashing router \
+             (supervision, retries, circuit breaking; SIGTERM drains the whole fleet)")
+    Term.(const cluster_run $ addr_arg $ workers $ sock_dir $ injects $ cache $ max_inflight
+          $ wall $ request_deadline $ heartbeat $ restarts $ quiet)
+
+(* loadgen: concurrent load against a daemon or cluster *)
+
+let loadgen_run addr instance_files connections duration stages law cap window out quiet =
+  let fail msg =
+    Format.eprintf "error: %s@." msg;
+    exit 1
+  in
+  if connections < 1 then fail "need at least one connection";
+  if duration <= 0.0 then fail "duration must be positive";
+  let stages = max 1 (min stages connections) in
+  let log = if quiet then null_ppf else Format.err_formatter in
+  let instances =
+    match instance_files with
+    | [] ->
+        [
+          Instance_io.to_string Workload.Scenarios.example_a;
+          Instance_io.to_string Workload.Scenarios.fig10_system;
+          Instance_io.to_string (Workload.Scenarios.pattern_chain ~stages:3 ());
+          Instance_io.to_string (Workload.Scenarios.pattern_chain ~stages:5 ());
+        ]
+    | files ->
+        List.map
+          (fun path ->
+            match In_channel.with_open_text path In_channel.input_all with
+            | text -> text
+            | exception Sys_error msg -> fail msg)
+          files
+  in
+  let request_lines =
+    instances
+    |> List.map (fun text ->
+           Service.Json.render (Service.Client.solve_request ~law ?cap ~instance:text ()))
+    |> Array.of_list
+  in
+  let registry = Obs.Metrics.create_registry () in
+  let latency =
+    Obs.Metrics.Histogram.create ~registry ~help:"client-observed request latency, seconds"
+      ~buckets:[| 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0 |]
+      "loadgen_request_seconds"
+  in
+  let win = Obs.Window.create ~seconds:window () in
+  let ok = Atomic.make 0
+  and errors = Atomic.make 0
+  and transport = Atomic.make 0
+  and retried = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let t_end = t0 +. duration in
+  let stage_len = duration /. float_of_int stages in
+  let stop = Atomic.make false in
+  let worker i () =
+    (* staged ramp: thread i joins at the start of its stage *)
+    let stage = i * stages / connections in
+    let start_at = t0 +. (float_of_int stage *. stage_len) in
+    let now = Unix.gettimeofday () in
+    if start_at > now then Thread.delay (start_at -. now);
+    let conn = ref None in
+    let rec get_conn attempt =
+      if Atomic.get stop || Unix.gettimeofday () >= t_end then None
+      else
+        match !conn with
+        | Some c -> Some c
+        | None -> (
+            match Service.Client.connect ~deadline:(Unix.gettimeofday () +. 2.0) addr with
+            | Ok c ->
+                conn := Some c;
+                Some c
+            | Error _ ->
+                Atomic.incr transport;
+                Thread.delay
+                  (Supervise.Backoff.delay Supervise.Backoff.default_retry ~seed:i ~attempt:(min attempt 3));
+                get_conn (attempt + 1))
+    in
+    let k = ref (i mod Array.length request_lines) in
+    while (not (Atomic.get stop)) && Unix.gettimeofday () < t_end do
+      match get_conn 0 with
+      | None -> ()
+      | Some c -> (
+          let line = request_lines.(!k mod Array.length request_lines) in
+          incr k;
+          let before = Unix.gettimeofday () in
+          match Service.Client.rpc_raw ~deadline:(before +. 5.0) c line with
+          | Ok reply ->
+              Obs.Metrics.Histogram.observe latency (Unix.gettimeofday () -. before);
+              Obs.Window.add win ~now:(Unix.gettimeofday ());
+              if
+                String.length reply >= 1
+                && Service.Client.reply_ok
+                     (match Service.Json.parse reply with Ok j -> j | Error _ -> Service.Json.Null)
+              then Atomic.incr ok
+              else begin
+                Atomic.incr errors;
+                Atomic.incr retried
+              end
+          | Error _ ->
+              Atomic.incr transport;
+              (match !conn with Some c -> Service.Client.close c | None -> ());
+              conn := None)
+    done;
+    match !conn with Some c -> Service.Client.close c | None -> ()
+  in
+  let threads = List.init connections (fun i -> Thread.create (worker i) ()) in
+  let peak = ref 0.0 in
+  let rec report () =
+    let now = Unix.gettimeofday () in
+    if now < t_end then begin
+      Thread.delay (Float.min 1.0 (t_end -. now));
+      let now = Unix.gettimeofday () in
+      let rate = Obs.Window.rate win ~now in
+      if rate > !peak then peak := rate;
+      let stage = min (stages - 1) (int_of_float ((now -. t0) /. stage_len)) in
+      let active = (stage + 1) * connections / stages in
+      Format.fprintf log
+        "loadgen: t=%5.1fs stage %d/%d conns=%d rate=%8.1f req/s ok=%d err=%d transport=%d@."
+        (now -. t0) (stage + 1) stages (max 1 active) rate (Atomic.get ok) (Atomic.get errors)
+        (Atomic.get transport);
+      report ()
+    end
+  in
+  report ();
+  Atomic.set stop true;
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total = Obs.Metrics.Histogram.count latency in
+  let q p = Obs.Metrics.Histogram.quantile latency p in
+  let num f = if Float.is_nan f then Service.Json.Null else Service.Json.Float f in
+  let json =
+    Service.Json.Obj
+      [
+        ("bench", Service.Json.String "cluster-loadgen");
+        ("addr", Service.Json.String (Service.Protocol.addr_to_string addr));
+        ("connections", Service.Json.Int connections);
+        ("stages", Service.Json.Int stages);
+        ("duration_s", Service.Json.Float elapsed);
+        ("instances", Service.Json.Int (Array.length request_lines));
+        ("requests", Service.Json.Int total);
+        ("ok", Service.Json.Int (Atomic.get ok));
+        ("errors", Service.Json.Int (Atomic.get errors));
+        ("transport_failures", Service.Json.Int (Atomic.get transport));
+        ("throughput_rps", num (float_of_int total /. elapsed));
+        ("window_rps_peak", num !peak);
+        ( "latency_s",
+          Service.Json.Obj
+            [
+              ( "mean",
+                num
+                  (if total = 0 then Float.nan
+                   else Obs.Metrics.Histogram.sum latency /. float_of_int total) );
+              ("p50", num (q 0.50));
+              ("p90", num (q 0.90));
+              ("p99", num (q 0.99));
+            ] );
+      ]
+  in
+  let rendered = Service.Json.render json in
+  (match out with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc rendered;
+          Out_channel.output_char oc '\n')
+  | None -> ());
+  print_endline rendered;
+  Format.fprintf log "loadgen: %d requests in %.1f s (%.1f req/s), p50=%.4fs p99=%.4fs@." total
+    elapsed
+    (float_of_int total /. elapsed)
+    (q 0.50) (q 0.99);
+  if Atomic.get ok = 0 then 1 else 0
+
+let loadgen_cmd =
+  let instances =
+    Arg.(value & opt_all file [] & info [ "instance"; "i" ] ~docv:"FILE"
+           ~doc:"Instance file(s) to cycle through (repeatable; default: four built-in \
+                 scenarios of increasing size).")
+  in
+  let connections =
+    Arg.(value & opt int 8 & info [ "connections"; "c" ] ~docv:"N"
+           ~doc:"Concurrent client connections at full ramp.")
+  in
+  let duration =
+    Arg.(value & opt float 10.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc:"Total run time.")
+  in
+  let stages =
+    Arg.(value & opt int 4 & info [ "stages" ] ~docv:"K"
+           ~doc:"Ramp stages: connection K/N of the fleet joins at stage K.")
+  in
+  let law =
+    Arg.(value & opt service_law_conv Service.Engine.Exponential & info [ "law"; "l" ] ~docv:"LAW"
+           ~doc:"Law for the generated solve requests.")
+  in
+  let cap =
+    Arg.(value & opt (some int) None & info [ "cap" ] ~doc:"Marking exploration bound (strict).")
+  in
+  let window =
+    Arg.(value & opt int 5 & info [ "window" ] ~docv:"SECONDS"
+           ~doc:"Sliding window of the live throughput readout.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the result JSON here as well as stdout (e.g. BENCH_cluster.json).")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No live readout on stderr.") in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Generate staged concurrent load against a daemon or cluster; report live \
+             sliding-window throughput and exact latency quantiles")
+    Term.(const loadgen_run $ addr_arg $ instances $ connections $ duration $ stages $ law $ cap
+          $ window $ out $ quiet)
+
 let main =
   Cmd.group
     (Cmd.info "streaming_cli" ~version:"1.0.0"
@@ -965,6 +1287,8 @@ let main =
       template_cmd;
       serve_cmd;
       query_cmd;
+      cluster_cmd;
+      loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,92 @@
+(* Per-worker circuit breaker.
+
+   Closed counts consecutive failures; at the threshold it opens and the
+   router stops offering the worker requests for [cooldown] seconds.
+   The first call after the cooldown becomes the half-open probe: it is
+   allowed through alone, and its outcome decides between closing again
+   and another full cooldown.  Time is an explicit argument everywhere
+   so tests drive the clock. *)
+
+type config = { failures : int; cooldown : float }
+
+let default_config = { failures = 5; cooldown = 1.0 }
+
+let validate c =
+  if c.failures < 1 then invalid_arg "Breaker: failure threshold must be at least 1";
+  if c.cooldown < 0.0 then invalid_arg "Breaker: cooldown must be non-negative";
+  c
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type t = {
+  config : config;
+  lock : Mutex.t;
+  mutable st : state;
+  mutable consecutive : int;  (* failures since the last success *)
+  mutable until : float;  (* when Open stops refusing *)
+  mutable probing : bool;  (* a half-open probe is in flight *)
+  mutable opened : int;  (* times the breaker tripped, for stats *)
+}
+
+let create ?(config = default_config) () =
+  let config = validate config in
+  {
+    config;
+    lock = Mutex.create ();
+    st = Closed;
+    consecutive = 0;
+    until = 0.0;
+    probing = false;
+    opened = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let state t ~now =
+  locked t @@ fun () ->
+  match t.st with Open when now >= t.until -> Half_open | s -> s
+
+let allow t ~now =
+  locked t @@ fun () ->
+  match t.st with
+  | Closed -> true
+  | Open when now >= t.until ->
+      t.st <- Half_open;
+      t.probing <- true;
+      true
+  | Open -> false
+  | Half_open ->
+      if t.probing then false
+      else begin
+        t.probing <- true;
+        true
+      end
+
+let success t =
+  locked t @@ fun () ->
+  t.st <- Closed;
+  t.consecutive <- 0;
+  t.probing <- false
+
+let trip t ~now =
+  t.st <- Open;
+  t.until <- now +. t.config.cooldown;
+  t.probing <- false;
+  t.opened <- t.opened + 1
+
+let failure t ~now =
+  locked t @@ fun () ->
+  t.consecutive <- t.consecutive + 1;
+  match t.st with
+  | Half_open -> trip t ~now
+  | Closed when t.consecutive >= t.config.failures -> trip t ~now
+  | Closed | Open -> ()
+
+let opened_total t = locked t @@ fun () -> t.opened

@@ -1,0 +1,443 @@
+(* The cluster front door.
+
+   Speaks the same NDJSON protocol as a single daemon, so clients need
+   not know they are talking to a fleet.  Solves are routed by their
+   canonical cache key ([Engine.prepare]) through the consistent-hash
+   ring, which concentrates each key on one worker's LRU; batches go
+   round-robin.  Ping/stats/metrics/shutdown are answered locally.
+
+   The request path is hardened end to end: every request gets an
+   absolute deadline on arrival; transport failures walk down the key's
+   preference list (solves are idempotent — deterministic rendering,
+   canonical key — so re-sending to another worker after a torn reply is
+   safe); a pass that finds no worker is retried on the Backoff policy
+   with deterministic jitter until the deadline; per-worker circuit
+   breakers shed a failing worker before it eats the whole budget; and
+   when everything is down the client gets a typed, retriable
+   [unavailable] reply instead of a hang. *)
+
+module Protocol = Service.Protocol
+module Json = Service.Json
+module Sockets = Service.Sockets
+module Frames = Service.Frames
+module Client = Service.Client
+module Engine = Service.Engine
+module Metrics = Obs.Metrics
+
+type config = {
+  max_frame : int;  (** request line byte limit (default 1 MiB) *)
+  request_deadline : float;  (** per-request budget, seconds *)
+  retry : Supervise.Backoff.policy;
+  breaker : Breaker.config;
+  vnodes : int;  (** ring points per worker *)
+  drain_grace : float;  (** SIGTERM→SIGKILL grace on fleet shutdown *)
+  log : Format.formatter;
+}
+
+let default_config () =
+  {
+    max_frame = 1 lsl 20;
+    request_deadline = 30.0;
+    retry = Supervise.Backoff.default_retry;
+    breaker = Breaker.default_config;
+    vnodes = 64;
+    drain_grace = 5.0;
+    log = Format.err_formatter;
+  }
+
+type t = {
+  config : config;
+  sup : Supervisor.t;
+  ring : Ring.t;
+  breakers : Breaker.t array;
+  registry : Metrics.registry;
+  forwarded : Metrics.Counter.t array;
+  transport_failures : Metrics.Counter.t array;
+  retries : Metrics.Counter.t;
+  shed : Metrics.Counter.t;
+  latency : Metrics.Histogram.t;
+  rr : int Atomic.t;
+  stop : bool Atomic.t;
+  mutable stop_pipe : (Unix.file_descr * Unix.file_descr) option;
+}
+
+let latency_buckets =
+  [| 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0 |]
+
+let create config sup =
+  let registry = Metrics.create_registry () in
+  let n = Supervisor.size sup in
+  let per_worker name help =
+    Array.init n (fun i ->
+        Metrics.Counter.create ~registry ~labels:[ ("worker", string_of_int i) ] ~help name)
+  in
+  let t =
+    {
+      config;
+      sup;
+      ring = Ring.create ~vnodes:config.vnodes n;
+      breakers = Array.init n (fun _ -> Breaker.create ~config:config.breaker ());
+      registry;
+      forwarded = per_worker "cluster_forwarded_total" "requests answered by this worker";
+      transport_failures =
+        per_worker "cluster_transport_failures_total" "transport-level forward failures";
+      retries =
+        Metrics.Counter.create ~registry ~help:"request passes retried after backoff"
+          "cluster_retries_total";
+      shed =
+        Metrics.Counter.create ~registry ~help:"requests answered unavailable"
+          "cluster_shed_total";
+      latency =
+        Metrics.Histogram.create ~registry ~help:"routed request latency, seconds"
+          ~buckets:latency_buckets "cluster_request_seconds";
+      rr = Atomic.make 0;
+      stop = Atomic.make false;
+      stop_pipe = None;
+    }
+  in
+  Metrics.register_collector ~registry ~name:"cluster_fleet" (fun () ->
+      let now = Unix.gettimeofday () in
+      for i = 0 to n - 1 do
+        let labels = [ ("worker", string_of_int i) ] in
+        Metrics.Gauge.set
+          (Metrics.Gauge.create ~registry ~labels ~help:"1 when the worker is up"
+             "cluster_worker_up")
+          (if Supervisor.alive sup i then 1.0 else 0.0);
+        Metrics.Gauge.set
+          (Metrics.Gauge.create ~registry ~labels ~help:"lifetime restarts"
+             "cluster_worker_restarts")
+          (float_of_int (Supervisor.restarts sup i));
+        Metrics.Gauge.set
+          (Metrics.Gauge.create ~registry ~labels ~help:"1 when the breaker is open"
+             "cluster_breaker_open")
+          (match Breaker.state t.breakers.(i) ~now with
+          | Breaker.Open -> 1.0
+          | Breaker.Closed | Breaker.Half_open -> 0.0)
+      done);
+  t
+
+let metrics_registry t = t.registry
+
+let record_cmd t cmd =
+  Metrics.Counter.incr
+    (Metrics.Counter.create ~registry:t.registry ~labels:[ ("cmd", cmd) ]
+       ~help:"requests seen by the router" "cluster_requests_total")
+
+let requests_total t cmd =
+  Metrics.Counter.value
+    (Metrics.Counter.create ~registry:t.registry ~labels:[ ("cmd", cmd) ]
+       "cluster_requests_total")
+
+(* ---- forwarding ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A worker reply that is itself a retriable refusal (busy admission):
+   the worker is healthy but shedding, so the router tries the next one.
+   The substring test keeps JSON parsing off the fast path — [ok:true]
+   replies almost never contain the literal. *)
+let reply_is_retriable_refusal line =
+  contains line "\"ok\":false"
+  &&
+  match Json.parse line with Ok j -> Client.reply_retriable j | Error _ -> false
+
+(* One RPC to worker [w] over the per-connection cache.  A cached
+   connection may be stale — the worker restarted since we last used
+   it — so its failure earns one fresh reconnect before counting as a
+   worker failure. *)
+let worker_rpc t conns w line ~deadline =
+  let fresh () =
+    match Client.connect ~deadline (Supervisor.addr t.sup w) with
+    | Error e -> Error e
+    | Ok c -> (
+        conns.(w) <- Some c;
+        match Client.rpc_raw ~deadline c line with
+        | Ok r -> Ok r
+        | Error e ->
+            Client.close c;
+            conns.(w) <- None;
+            Error e)
+  in
+  match conns.(w) with
+  | None -> fresh ()
+  | Some c -> (
+      match Client.rpc_raw ~deadline c line with
+      | Ok r -> Ok r
+      | Error _ ->
+          Client.close c;
+          conns.(w) <- None;
+          fresh ())
+
+let route t conns ~id ~pref line =
+  let deadline = Unix.gettimeofday () +. t.config.request_deadline in
+  let seed = Ring.hash_string line land 0xffff in
+  let shed reason =
+    Metrics.Counter.incr t.shed;
+    Protocol.error_reply ~id (Protocol.Unavailable { reason })
+  in
+  let rec pass attempt last_reason =
+    if Unix.gettimeofday () >= deadline then
+      shed (Printf.sprintf "deadline exceeded (%s)" last_reason)
+    else begin
+      let reason = ref last_reason in
+      (* one walk down the preference list; [busy] keeps the last
+         shedding reply so it can be forwarded verbatim if every worker
+         is alive but refusing *)
+      let rec walk busy = function
+        | [] -> `Exhausted busy
+        | w :: rest ->
+            if not (Supervisor.alive t.sup w) then begin
+              reason := Printf.sprintf "worker %d %s" w
+                  (Supervisor.state_to_string (Supervisor.state t.sup w));
+              walk busy rest
+            end
+            else if not (Breaker.allow t.breakers.(w) ~now:(Unix.gettimeofday ())) then begin
+              reason := Printf.sprintf "worker %d breaker open" w;
+              walk busy rest
+            end
+            else begin
+              match worker_rpc t conns w line ~deadline with
+              | Ok reply ->
+                  Breaker.success t.breakers.(w);
+                  if reply_is_retriable_refusal reply then begin
+                    reason := Printf.sprintf "worker %d busy" w;
+                    walk (Some reply) rest
+                  end
+                  else begin
+                    Metrics.Counter.incr t.forwarded.(w);
+                    `Reply reply
+                  end
+              | Error e ->
+                  Breaker.failure t.breakers.(w) ~now:(Unix.gettimeofday ());
+                  Metrics.Counter.incr t.transport_failures.(w);
+                  reason := Printf.sprintf "worker %d: %s" w (Client.error_message e);
+                  walk busy rest
+            end
+      in
+      match walk None pref with
+      | `Reply reply -> reply
+      | `Exhausted busy ->
+          if Supervise.Backoff.exhausted t.config.retry ~attempt then
+            match busy with Some reply -> reply | None -> shed !reason
+          else begin
+            Metrics.Counter.incr t.retries;
+            let wait = Supervise.Backoff.delay t.config.retry ~seed ~attempt in
+            let slack = deadline -. Unix.gettimeofday () in
+            if slack <= 0.0 then shed !reason
+            else begin
+              Thread.delay (Float.min wait slack);
+              pass (attempt + 1) !reason
+            end
+          end
+    end
+  in
+  pass 0 "no worker tried"
+
+(* ---- the protocol surface ---- *)
+
+let stats_json t =
+  let now = Unix.gettimeofday () in
+  let n = Supervisor.size t.sup in
+  Json.Obj
+    [
+      ("role", Json.String "router");
+      ( "workers",
+        Json.List
+          (List.init n (fun i ->
+               Json.Obj
+                 [
+                   ("index", Json.Int i);
+                   ("addr", Json.String (Protocol.addr_to_string (Supervisor.addr t.sup i)));
+                   ("state", Json.String (Supervisor.state_to_string (Supervisor.state t.sup i)));
+                   ( "breaker",
+                     Json.String (Breaker.state_to_string (Breaker.state t.breakers.(i) ~now)) );
+                   ("restarts", Json.Int (Supervisor.restarts t.sup i));
+                   ("forwarded", Json.Int (Metrics.Counter.value t.forwarded.(i)));
+                   ( "transport_failures",
+                     Json.Int (Metrics.Counter.value t.transport_failures.(i)) );
+                 ])) );
+      ("retries", Json.Int (Metrics.Counter.value t.retries));
+      ("shed", Json.Int (Metrics.Counter.value t.shed));
+      ("routed", Json.Int (Metrics.Histogram.count t.latency));
+    ]
+
+let respond t conns line =
+  let err id e = (Protocol.error_reply ~id e, `Continue) in
+  match Json.parse line with
+  | Error msg ->
+      record_cmd t "invalid";
+      err None (Protocol.Parse_error msg)
+  | Ok json -> (
+      match Protocol.parse_request json with
+      | Error (id, e) ->
+          record_cmd t "invalid";
+          err id e
+      | Ok (id, request) -> (
+          match request with
+          | Protocol.Ping ->
+              record_cmd t "ping";
+              let result =
+                Json.render
+                  (Json.Obj
+                     [
+                       ("pong", Json.Bool true);
+                       ("version", Json.Int Protocol.version);
+                       ("role", Json.String "router");
+                       ("workers", Json.Int (Supervisor.size t.sup));
+                     ])
+              in
+              (Protocol.ok_reply ~id ~result (), `Continue)
+          | Protocol.Stats ->
+              record_cmd t "stats";
+              (Protocol.ok_reply ~id ~result:(Json.render (stats_json t)) (), `Continue)
+          | Protocol.Metrics ->
+              record_cmd t "metrics";
+              let text = Metrics.to_prometheus t.registry in
+              let result =
+                Json.render
+                  (Json.Obj
+                     [ ("format", Json.String "prometheus-text"); ("text", Json.String text) ])
+              in
+              (Protocol.ok_reply ~id ~result (), `Continue)
+          | Protocol.Shutdown ->
+              record_cmd t "shutdown";
+              let result = Json.render (Json.Obj [ ("stopping", Json.Bool true) ]) in
+              (Protocol.ok_reply ~id ~result (), `Shutdown)
+          | Protocol.Solve q -> (
+              record_cmd t "solve";
+              match Engine.prepare q with
+              | Error msg -> err id (Protocol.Bad_request msg)
+              | Ok prepared ->
+                  let pref = Ring.preference t.ring prepared.Engine.key in
+                  let t0 = Unix.gettimeofday () in
+                  let reply = route t conns ~id ~pref line in
+                  Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
+                  (reply, `Continue))
+          | Protocol.Batch _ ->
+              record_cmd t "batch";
+              let n = Supervisor.size t.sup in
+              let start = Atomic.fetch_and_add t.rr 1 mod n in
+              let pref = List.init n (fun k -> (start + k) mod n) in
+              let t0 = Unix.gettimeofday () in
+              let reply = route t conns ~id ~pref line in
+              Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
+              (reply, `Continue)))
+
+(* ---- the socket loop (mirrors Server.serve) ---- *)
+
+let request_stop t =
+  if not (Atomic.exchange t.stop true) then
+    match t.stop_pipe with
+    | Some (_, wr) -> ( try ignore (Unix.write_substring wr "x" 0 1) with Unix.Unix_error _ -> ())
+    | None -> ()
+
+let rec wait_readable fd stop_rd =
+  match Unix.select [ fd; stop_rd ] [] [] (-1.0) with
+  | readable, _, _ -> List.mem fd readable
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd stop_rd
+
+let send fd line = match Sockets.send_line fd line with Ok () -> true | Error _ -> false
+
+let conn_loop t stop_rd fd =
+  let chunk_len = 4096 in
+  let chunk = Bytes.create chunk_len in
+  let frames = Frames.create ~max_frame:t.config.max_frame in
+  let conns = Array.make (Supervisor.size t.sup) None in
+  let alive = ref true in
+  let on_event = function
+    | Frames.Oversized ->
+        if
+          not
+            (send fd
+               (Protocol.error_reply ~id:None
+                  (Protocol.Oversized_frame { limit = t.config.max_frame })))
+        then alive := false
+    | Frames.Line line ->
+        (if String.trim line <> "" then begin
+           let reply, k = respond t conns line in
+           if not (send fd reply) then alive := false;
+           match k with
+           | `Shutdown ->
+               request_stop t;
+               alive := false
+           | `Continue -> ()
+         end);
+        if Atomic.get t.stop then alive := false
+  in
+  while !alive do
+    if not (wait_readable fd stop_rd) then alive := false
+    else
+      match Unix.read fd chunk 0 chunk_len with
+      | 0 ->
+          if Frames.pending frames then
+            ignore
+              (send fd
+                 (Protocol.error_reply ~id:None
+                    (Protocol.Parse_error "truncated line: no newline before end of stream")));
+          alive := false
+      | n -> Frames.feed frames chunk n on_event
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> alive := false
+  done;
+  Array.iter (function Some c -> Client.close c | None -> ()) conns;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve t addr =
+  Sockets.ignore_sigpipe ();
+  let stop_rd, stop_wr = Unix.pipe () in
+  t.stop_pipe <- Some (stop_rd, stop_wr);
+  if Atomic.get t.stop then ignore (Unix.write_substring stop_wr "x" 0 1);
+  let on_signal = Sys.Signal_handle (fun _ -> request_stop t) in
+  let old_term = Sys.signal Sys.sigterm on_signal in
+  let old_int = Sys.signal Sys.sigint on_signal in
+  let domain =
+    match addr with Protocol.Unix_domain _ -> Unix.PF_UNIX | Protocol.Tcp _ -> Unix.PF_INET
+  in
+  let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let cleanup_path () =
+    match addr with
+    | Protocol.Unix_domain path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Protocol.Tcp _ -> ()
+  in
+  let finally () =
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    cleanup_path ();
+    t.stop_pipe <- None;
+    (try Unix.close stop_rd with Unix.Unix_error _ -> ());
+    (try Unix.close stop_wr with Unix.Unix_error _ -> ());
+    ignore (Sys.signal Sys.sigterm old_term);
+    ignore (Sys.signal Sys.sigint old_int)
+  in
+  Fun.protect ~finally @@ fun () ->
+  (match addr with Protocol.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true | _ -> ());
+  cleanup_path ();
+  Unix.bind listen_fd (Protocol.sockaddr_of addr);
+  Unix.listen listen_fd 64;
+  Format.fprintf t.config.log "cluster: router listening on %s (%d workers)@."
+    (Protocol.addr_to_string addr) (Supervisor.size t.sup);
+  let conns_mutex = Mutex.create () in
+  let conns = ref [] in
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then
+      if wait_readable listen_fd stop_rd then begin
+        (match Sockets.accept listen_fd with
+        | Ok (fd, _) ->
+            let th = Thread.create (fun () -> conn_loop t stop_rd fd) () in
+            Mutex.lock conns_mutex;
+            conns := th :: !conns;
+            Mutex.unlock conns_mutex
+        | Error _ -> ());
+        accept_loop ()
+      end
+  in
+  accept_loop ();
+  Mutex.lock conns_mutex;
+  let threads = !conns in
+  Mutex.unlock conns_mutex;
+  Format.fprintf t.config.log "cluster: draining %d connection(s)@." (List.length threads);
+  List.iter Thread.join threads;
+  Format.fprintf t.config.log "cluster: stopping the fleet@.";
+  Supervisor.shutdown ~grace:t.config.drain_grace t.sup

@@ -1,0 +1,58 @@
+(** Worker fleet supervision: spawn N query daemons as child processes,
+    reap and restart crashes on a {!Supervise.Backoff} schedule, probe
+    health with deadline-bounded pings, mark crash-looping workers dead,
+    and drain the fleet with SIGTERM (escalating to SIGKILL after a
+    grace period) on shutdown. *)
+
+type spec = { argv : string array; env : string array; addr : Service.Protocol.addr }
+(** How to run one worker: the command (typically this very binary's
+    [serve] subcommand), its environment (where per-worker
+    [SUPERVISE_INJECT] rules live), and the socket it will serve. *)
+
+type state =
+  | Starting  (** spawned, not yet answering pings *)
+  | Up
+  | Restarting of { attempt : int; until : float }
+      (** crashed; next spawn at [until] *)
+  | Dead  (** restart attempts exhausted; the router routes around it *)
+
+val state_to_string : state -> string
+
+type t
+
+val start :
+  ?backoff:Supervise.Backoff.policy ->
+  ?heartbeat_period:float ->
+  ?heartbeat_deadline:float ->
+  ?start_deadline:float ->
+  ?log:Format.formatter ->
+  spec array ->
+  t
+(** Spawns every worker and the monitor thread.  Defaults:
+    {!Supervise.Backoff.default_restart}, heartbeat every 1 s with a 1 s
+    reply deadline, 10 s to come up, logging to stderr.  Restart
+    attempts reset once an [Up] worker survives a full heartbeat period,
+    so occasional chaos does not accumulate toward [Dead] but a crash
+    loop does. *)
+
+val size : t -> int
+val addr : t -> int -> Service.Protocol.addr
+val state : t -> int -> state
+
+val alive : t -> int -> bool
+(** [state t i = Up]. *)
+
+val restarts : t -> int -> int
+(** Lifetime restarts of worker [i]. *)
+
+val restarts_total : t -> int
+
+val wait_up : ?deadline:float -> t -> bool
+(** Blocks until every worker is [Up] (true) or the absolute deadline
+    passes (false).  Test and startup convenience. *)
+
+val shutdown : ?grace:float -> t -> unit
+(** Graceful drain: stop the monitor (no more restarts), SIGTERM every
+    live worker — the daemon finishes in-flight requests on SIGTERM —
+    wait up to [grace] seconds (default 5), SIGKILL stragglers, reap
+    everything.  Idempotent. *)

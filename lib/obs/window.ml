@@ -1,0 +1,64 @@
+(* Sliding-window rate meter: a ring of one-second buckets.
+
+   The load generator reports "live" throughput as events per second
+   over the last W seconds; a plain total/elapsed average would smear a
+   worker crash or a ramp stage into invisibility.  Time is always
+   passed in by the caller, so tests drive the window with a synthetic
+   clock and the production path uses the monotonic clock's seconds. *)
+
+type t = {
+  seconds : int;  (* window width = ring size *)
+  counts : int array;  (* one bucket per whole second *)
+  stamps : float array;  (* the second each bucket last belonged to *)
+  mutable total : int;  (* events ever added (not windowed) *)
+  mutex : Mutex.t;
+}
+
+let create ?(seconds = 5) () =
+  if seconds < 1 then invalid_arg "Window.create: seconds must be at least 1";
+  {
+    seconds;
+    counts = Array.make seconds 0;
+    stamps = Array.make seconds neg_infinity;
+    total = 0;
+    mutex = Mutex.create ();
+  }
+
+let slot t now = int_of_float (Float.of_int t.seconds +. Float.rem now (float_of_int t.seconds))
+                 mod t.seconds
+
+(* a bucket is live when it was last written within the window *)
+let bucket_live t ~now i = now -. t.stamps.(i) < float_of_int t.seconds
+
+let add ?(n = 1) t ~now =
+  let now = Float.floor now in
+  Mutex.lock t.mutex;
+  let i = slot t now in
+  if t.stamps.(i) <> now then begin
+    t.counts.(i) <- 0;
+    t.stamps.(i) <- now
+  end;
+  t.counts.(i) <- t.counts.(i) + n;
+  t.total <- t.total + n;
+  Mutex.unlock t.mutex
+
+let rate t ~now =
+  let floor_now = Float.floor now in
+  Mutex.lock t.mutex;
+  let events = ref 0 and covered = ref 0 in
+  for i = 0 to t.seconds - 1 do
+    (* the bucket for the current (partial) second is excluded: counting
+       a half-filled second would bias the rate downward *)
+    if t.stamps.(i) < floor_now && bucket_live t ~now:floor_now i then begin
+      events := !events + t.counts.(i);
+      incr covered
+    end
+  done;
+  Mutex.unlock t.mutex;
+  if !covered = 0 then 0.0 else float_of_int !events /. float_of_int !covered
+
+let total t =
+  Mutex.lock t.mutex;
+  let n = t.total in
+  Mutex.unlock t.mutex;
+  n

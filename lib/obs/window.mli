@@ -1,0 +1,23 @@
+(** Sliding-window rate meter: a ring of one-second buckets.
+
+    Reports events per second over the last W {e complete} seconds — the
+    current partial second is excluded so the live rate is not biased
+    downward.  The caller supplies the clock ([now], in seconds), so
+    tests can drive a synthetic timeline; production code passes
+    [Clock.ns_to_s (Clock.now_ns ())] or [Unix.gettimeofday ()].
+    Thread-safe. *)
+
+type t
+
+val create : ?seconds:int -> unit -> t
+(** A window of [seconds] one-second buckets (default 5). *)
+
+val add : ?n:int -> t -> now:float -> unit
+(** Record [n] events (default 1) at time [now]. *)
+
+val rate : t -> now:float -> float
+(** Events per second averaged over the complete seconds still inside
+    the window; [0.0] before the first complete second. *)
+
+val total : t -> int
+(** Events ever added, regardless of the window. *)

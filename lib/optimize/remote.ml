@@ -79,7 +79,7 @@ let evaluator client ~objective mappings =
     (fun chunk ->
       let req = Service.Client.batch_request (List.map request_of chunk) in
       match Service.Client.rpc client req with
-      | Error msg -> failwith ("Remote.evaluator: transport: " ^ msg)
+      | Error e -> failwith ("Remote.evaluator: transport: " ^ Service.Client.error_message e)
       | Ok reply -> (
           if not (Service.Client.reply_ok reply) then
             failwith

@@ -1,49 +1,34 @@
-type t = { fd : Unix.file_descr; ic : in_channel }
+type t = { fd : Unix.file_descr; pending : Buffer.t }
 
-let connect addr =
-  match
-    let domain =
-      match addr with Protocol.Unix_domain _ -> Unix.PF_UNIX | Protocol.Tcp _ -> Unix.PF_INET
-    in
-    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Protocol.sockaddr_of addr) with
-    | () -> { fd; ic = Unix.in_channel_of_descr fd }
-    | exception e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        raise e
-  with
-  | t -> Ok t
-  | exception Unix.Unix_error (err, _, _) ->
-      Error
-        (Printf.sprintf "cannot connect to %s: %s" (Protocol.addr_to_string addr)
-           (Unix.error_message err))
-  | exception Failure msg -> Error msg
+type error = Sockets.error =
+  | Refused of string
+  | Timeout of string
+  | Closed of string
+  | Transport of string
+  | Bad_reply of string
 
-let close t = try close_in t.ic (* closes the shared fd *) with Sys_error _ -> ()
+let error_message = Sockets.error_message
+let retriable = Sockets.retriable
 
-let rec write_all fd s off len =
-  if len > 0 then begin
-    let n = Unix.write_substring fd s off len in
-    write_all fd s (off + n) (len - n)
-  end
+let connect ?deadline addr =
+  match Sockets.connect ?deadline addr with
+  | Ok fd -> Ok { fd; pending = Buffer.create 512 }
+  | Error _ as e -> e
 
-let rpc_raw t line =
-  match
-    write_all t.fd (line ^ "\n") 0 (String.length line + 1);
-    input_line t.ic
-  with
-  | reply -> Ok reply
-  | exception End_of_file -> Error "connection closed by the daemon"
-  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
-  | exception Sys_error msg -> Error msg
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let rpc t request =
-  match rpc_raw t (Json.render request) with
+let rpc_raw ?deadline t line =
+  match Sockets.send_line ?deadline t.fd line with
+  | Error _ as e -> e
+  | Ok () -> Sockets.recv_line ?deadline t.fd t.pending
+
+let rpc ?deadline t request =
+  match rpc_raw ?deadline t (Json.render request) with
   | Error _ as e -> e
   | Ok line -> (
       match Json.parse line with
       | Ok reply -> Ok reply
-      | Error msg -> Error ("unparsable reply: " ^ msg))
+      | Error msg -> Error (Bad_reply (Printf.sprintf "unparsable reply: %s" msg)))
 
 let reply_ok reply =
   match Option.bind (Json.member "ok" reply) Json.to_bool_opt with Some b -> b | None -> false
@@ -52,12 +37,22 @@ let reply_error_kind reply =
   Option.bind (Json.member "error" reply) (fun e ->
       Option.bind (Json.member "kind" e) Json.to_string_opt)
 
+(* a reply is worth retrying when it says so itself: ok:false with
+   error.retriable:true (busy, unavailable) *)
+let reply_retriable reply =
+  (not (reply_ok reply))
+  && Option.bind (Json.member "error" reply) (fun e ->
+         Option.bind (Json.member "retriable" e) Json.to_bool_opt)
+     = Some true
+
 let reply_result reply = Json.member "result" reply
 
-let command cmd t = rpc t (Json.Obj [ ("v", Json.Int Protocol.version); ("cmd", Json.String cmd) ])
-let ping = command "ping"
-let stats = command "stats"
-let shutdown = command "shutdown"
+let command cmd ?deadline t =
+  rpc ?deadline t (Json.Obj [ ("v", Json.Int Protocol.version); ("cmd", Json.String cmd) ])
+
+let ping ?deadline t = command "ping" ?deadline t
+let stats ?deadline t = command "stats" ?deadline t
+let shutdown ?deadline t = command "shutdown" ?deadline t
 
 let solve_fields ?model ?law ?cap ?wall ?sweeps ?states ?simulate ~instance () =
   let opt name conv v = Option.map (fun v -> (name, conv v)) v in

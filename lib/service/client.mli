@@ -1,19 +1,39 @@
-(** Blocking NDJSON client for the query daemon: one connection, one
-    request line out, one reply line back, in order.  Used by
-    [streaming_cli query] and the service load bench. *)
+(** Blocking NDJSON client for the query daemon and the cluster router:
+    one connection, one request line out, one reply line back, in order.
+
+    Every operation takes an optional [?deadline] — an absolute
+    [Unix.gettimeofday] instant — so a hung peer can never block the
+    caller forever: connect, write and read all give up with [Timeout]
+    once it passes.  Transport failures are typed ({!error}); SIGPIPE is
+    ignored process-wide on first use, so a peer closing mid-reply is a
+    [Closed] error, not a dead process. *)
 
 type t
 
-val connect : Protocol.addr -> (t, string) result
+type error = Sockets.error =
+  | Refused of string  (** connect refused / socket absent *)
+  | Timeout of string  (** deadline exceeded *)
+  | Closed of string  (** peer EOF, reset, or torn frame *)
+  | Transport of string  (** any other socket-level failure *)
+  | Bad_reply of string  (** reply line that does not parse *)
+
+val error_message : error -> string
+
+val retriable : error -> bool
+(** Everything but [Bad_reply]: solve requests are idempotent (keyed by
+    their canonical cache key, rendered deterministically), so a fresh
+    attempt is always safe. *)
+
+val connect : ?deadline:float -> Protocol.addr -> (t, error) result
 val close : t -> unit
 
-val rpc : t -> Json.t -> (Json.t, string) result
+val rpc : ?deadline:float -> t -> Json.t -> (Json.t, error) result
 (** Sends one request object, reads one reply line.  [Error] means a
-    transport problem (connection refused/reset, unparsable reply) —
-    protocol-level failures come back as [Ok] replies with [ok:false]. *)
+    transport problem — protocol-level failures come back as [Ok]
+    replies with [ok:false]. *)
 
-val rpc_raw : t -> string -> (string, string) result
-(** Same, without encoding/decoding — the load bench uses this to keep
+val rpc_raw : ?deadline:float -> t -> string -> (string, error) result
+(** Same, without encoding/decoding — the load paths use this to keep
     client-side JSON cost out of the measured latency. *)
 
 (* ---- reply helpers ---- *)
@@ -24,13 +44,17 @@ val reply_ok : Json.t -> bool
 val reply_error_kind : Json.t -> string option
 (** [error.kind] of an [ok:false] reply. *)
 
+val reply_retriable : Json.t -> bool
+(** [ok:false] with [error.retriable:true] — the daemon itself invites a
+    retry (busy admission, router shedding). *)
+
 val reply_result : Json.t -> Json.t option
 
 (* ---- canned requests ---- *)
 
-val ping : t -> (Json.t, string) result
-val stats : t -> (Json.t, string) result
-val shutdown : t -> (Json.t, string) result
+val ping : ?deadline:float -> t -> (Json.t, error) result
+val stats : ?deadline:float -> t -> (Json.t, error) result
+val shutdown : ?deadline:float -> t -> (Json.t, error) result
 
 val solve_request :
   ?id:Json.t ->

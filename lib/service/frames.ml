@@ -1,0 +1,45 @@
+(* NDJSON framing: byte stream in, frame events out.
+
+   One instance per connection.  A frame growing past [max_frame] fires
+   [`Oversized] exactly once (at the crossing, so the peer hears about
+   it immediately) and the rest of the line is discarded; the newline
+   ends the skip and the connection keeps working.  Shared by the
+   daemon's connection loop and the cluster router so both ends of a
+   forwarded connection frame identically. *)
+
+type t = {
+  max_frame : int;
+  acc : Buffer.t;
+  mutable skipping : bool;
+}
+
+type event = Line of string | Oversized
+
+let create ~max_frame =
+  if max_frame < 1 then invalid_arg "Frames.create: max_frame must be positive";
+  { max_frame; acc = Buffer.create 512; skipping = false }
+
+let feed_char t c emit =
+  if c = '\n' then begin
+    if t.skipping then t.skipping <- false
+    else begin
+      let line = Buffer.contents t.acc in
+      Buffer.clear t.acc;
+      emit (Line line)
+    end
+  end
+  else if not t.skipping then begin
+    Buffer.add_char t.acc c;
+    if Buffer.length t.acc > t.max_frame then begin
+      Buffer.clear t.acc;
+      t.skipping <- true;
+      emit Oversized
+    end
+  end
+
+let feed t bytes n emit =
+  for i = 0 to n - 1 do
+    feed_char t (Bytes.get bytes i) emit
+  done
+
+let pending t = (not t.skipping) && Buffer.length t.acc > 0

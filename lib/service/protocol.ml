@@ -7,6 +7,7 @@ type error =
   | Bad_request of string
   | Oversized_frame of { limit : int }
   | Busy of { inflight : int; limit : int }
+  | Unavailable of { reason : string }
   | Solver of Supervise.Error.t
   | Internal of string
 
@@ -17,6 +18,7 @@ let error_kind = function
   | Bad_request _ -> "bad_request"
   | Oversized_frame _ -> "oversized_frame"
   | Busy _ -> "busy"
+  | Unavailable _ -> "unavailable"
   | Internal _ -> "internal"
   | Solver err -> (
       match err with
@@ -35,6 +37,7 @@ let error_message = function
   | Oversized_frame { limit } -> Printf.sprintf "frame exceeds the %d-byte limit" limit
   | Busy { inflight; limit } ->
       Printf.sprintf "daemon busy: %d request(s) in flight (limit %d); retry later" inflight limit
+  | Unavailable { reason } -> Printf.sprintf "no worker available: %s; retry later" reason
   | Solver err -> Supervise.Error.to_string err
   | Internal msg -> "internal error: " ^ msg
 
@@ -52,10 +55,13 @@ let error_extras = function
   | Solver (Supervise.Error.Budget_exhausted { elapsed }) ->
       [ ("elapsed_s", Json.Float elapsed) ]
   | Busy { inflight; limit } -> [ ("inflight", Json.Int inflight); ("limit", Json.Int limit) ]
+  | Unavailable { reason } -> [ ("reason", Json.String reason) ]
   | Oversized_frame { limit } -> [ ("limit", Json.Int limit) ]
   | _ -> []
 
-let retriable = function Busy _ -> true | _ -> false
+(* [Unavailable] is the router shedding while every candidate worker is
+   down or breaker-open — the sibling of a worker's own [Busy] *)
+let retriable = function Busy _ | Unavailable _ -> true | _ -> false
 
 let error_json e =
   Json.Obj

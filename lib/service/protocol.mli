@@ -36,6 +36,9 @@ type error =
   | Bad_request of string  (** well-formed JSON, invalid fields/instance *)
   | Oversized_frame of { limit : int }
   | Busy of { inflight : int; limit : int }  (** backpressure; retriable *)
+  | Unavailable of { reason : string }
+      (** the cluster router shedding: every candidate worker is down or
+          breaker-open; retriable *)
   | Solver of Supervise.Error.t
   | Internal of string
 

@@ -6,6 +6,53 @@ type config = {
   log : Format.formatter;
 }
 
+(* Deterministic fault injection, driven by the SUPERVISE_INJECT
+   environment variable (grammar in EXPERIMENTS.md).  The cluster chaos
+   harness uses these to crash, slow down and corrupt individual workers
+   at exact request counts; rule kinds belonging to the experiment
+   runner's grammar (fail/flaky/degrade) are ignored here, and vice
+   versa, so one variable drives both layers. *)
+type inject = {
+  kill_after : int option;  (* kill-after=K: die, unacknowledged, on solve K+1 *)
+  delay_ms : float option;  (* delay-ms=D: sleep D ms before every solve reply *)
+  torn_every : int option;  (* torn-reply=N: truncate every Nth reply, close *)
+  refuse_s : float option;  (* refuse-accept=S: bind only after S seconds *)
+}
+
+let no_inject = { kill_after = None; delay_ms = None; torn_every = None; refuse_s = None }
+
+let inject_of_env () =
+  match Sys.getenv_opt "SUPERVISE_INJECT" with
+  | None | Some "" -> no_inject
+  | Some spec ->
+      List.fold_left
+        (fun acc rule ->
+          match String.index_opt rule '=' with
+          | None -> acc
+          | Some i -> (
+              let kind = String.sub rule 0 i in
+              let arg = String.sub rule (i + 1) (String.length rule - i - 1) in
+              match kind with
+              | "kill-after" -> (
+                  match int_of_string_opt arg with
+                  | Some k when k >= 0 -> { acc with kill_after = Some k }
+                  | _ -> acc)
+              | "delay-ms" -> (
+                  match float_of_string_opt arg with
+                  | Some d when d >= 0.0 -> { acc with delay_ms = Some d }
+                  | _ -> acc)
+              | "torn-reply" -> (
+                  match int_of_string_opt arg with
+                  | Some n when n >= 1 -> { acc with torn_every = Some n }
+                  | _ -> acc)
+              | "refuse-accept" -> (
+                  match float_of_string_opt arg with
+                  | Some s when s >= 0.0 -> { acc with refuse_s = Some s }
+                  | _ -> acc)
+              | _ -> acc))
+        no_inject
+        (String.split_on_char ',' spec)
+
 let default_config () =
   {
     cache_capacity = 256;
@@ -27,6 +74,9 @@ type t = {
   mutable inflight : int;
   stop : bool Atomic.t;
   mutable stop_pipe : (Unix.file_descr * Unix.file_descr) option;
+  inject : inject;
+  solve_seen : int Atomic.t;  (* solves accepted, for kill-after *)
+  replies_sent : int Atomic.t;  (* replies written, for torn-reply *)
 }
 
 let create config =
@@ -39,6 +89,9 @@ let create config =
       inflight = 0;
       stop = Atomic.make false;
       stop_pipe = None;
+      inject = inject_of_env ();
+      solve_seen = Atomic.make 0;
+      replies_sent = Atomic.make 0;
     }
   in
   (* Mirror externally-owned statistics into the server's registry on
@@ -170,6 +223,16 @@ let solve_one t q =
 
 (* ---- request dispatch ---- *)
 
+(* Injected faults on the solve path.  [kill-after=K] acknowledges the
+   first K solves and dies — abruptly, skipping at_exit — on the next
+   one, leaving it unacknowledged: the harshest spot for the cluster's
+   zero-lost-acks invariant.  [delay-ms] stretches every solve. *)
+let inject_solve t =
+  (match t.inject.kill_after with
+  | Some k -> if Atomic.fetch_and_add t.solve_seen 1 >= k then Unix._exit 9
+  | None -> ());
+  match t.inject.delay_ms with Some d -> Thread.delay (d /. 1000.0) | None -> ()
+
 let respond t line =
   let err id e =
     Metrics.record_error t.metrics ~kind:(Protocol.error_kind e);
@@ -217,6 +280,7 @@ let respond t line =
               let result = Json.render (Json.Obj [ ("stopping", Json.Bool true) ]) in
               (Protocol.ok_reply ~id ~result (), `Shutdown)
           | Protocol.Solve q -> (
+              inject_solve t;
               match try_admit t with
               | Error busy -> err id busy
               | Ok () -> (
@@ -226,6 +290,7 @@ let respond t line =
                       (Protocol.ok_reply ~id ~cached ~result:rendered (), `Continue)
                   | Error e -> err id e))
           | Protocol.Batch items -> (
+              inject_solve t;
               match try_admit t with
               | Error busy -> err id busy
               | Ok () ->
@@ -256,15 +321,17 @@ let respond t line =
 
 (* ---- the socket loop ---- *)
 
-let rec write_all fd s off len =
-  if len > 0 then begin
-    let n = Unix.write_substring fd s off len in
-    write_all fd s (off + n) (len - n)
-  end
-
-let send fd line = match write_all fd (line ^ "\n") 0 (String.length line + 1) with
-  | () -> true
-  | exception Unix.Unix_error _ -> false
+(* One reply line out; [torn-reply=N] injection truncates every Nth
+   reply mid-line and reports failure so the connection closes — the
+   peer sees a torn frame, exactly what a worker dying mid-write
+   produces. *)
+let send t fd line =
+  let nth = Atomic.fetch_and_add t.replies_sent 1 + 1 in
+  match t.inject.torn_every with
+  | Some k when nth mod k = 0 ->
+      ignore (Sockets.write_all fd (String.sub line 0 (String.length line / 2)));
+      false
+  | _ -> ( match Sockets.send_line fd line with Ok () -> true | Error _ -> false)
 
 (* Wait until [fd] has data or the stop pipe fires; the stop byte is never
    consumed, so one write wakes every waiter, now and later. *)
@@ -276,46 +343,30 @@ let rec wait_readable fd stop_rd =
 let conn_loop t stop_rd fd =
   let chunk_len = 4096 in
   let chunk = Bytes.create chunk_len in
-  let acc = Buffer.create 512 in
-  let skipping = ref false in
+  let frames = Frames.create ~max_frame:t.config.max_frame in
   let alive = ref true in
-  let process_line line =
-    if String.trim line <> "" then begin
-      let reply, k = respond t line in
-      if not (send fd reply) then alive := false;
-      match k with
-      | `Shutdown ->
-          request_stop t;
-          alive := false
-      | `Continue -> ()
-    end
-  in
-  let feed_char c =
-    if c = '\n' then begin
-      if !skipping then skipping := false
-      else begin
-        let line = Buffer.contents acc in
-        Buffer.clear acc;
-        process_line line
-      end;
-      (* a drain lets the request that is already being served finish,
-         then closes the connection instead of reading the next frame *)
-      if Atomic.get t.stop then alive := false
-    end
-    else if not !skipping then begin
-      Buffer.add_char acc c;
-      if Buffer.length acc > t.config.max_frame then begin
-        Buffer.clear acc;
-        skipping := true;
+  let on_event = function
+    | Frames.Oversized ->
         Metrics.record_error t.metrics ~kind:"oversized_frame";
         if
           not
-            (send fd
+            (send t fd
                (Protocol.error_reply ~id:None
                   (Protocol.Oversized_frame { limit = t.config.max_frame })))
         then alive := false
-      end
-    end
+    | Frames.Line line ->
+        (if String.trim line <> "" then begin
+           let reply, k = respond t line in
+           if not (send t fd reply) then alive := false;
+           match k with
+           | `Shutdown ->
+               request_stop t;
+               alive := false
+           | `Continue -> ()
+         end);
+        (* a drain lets the request that is already being served finish,
+           then closes the connection instead of reading the next frame *)
+        if Atomic.get t.stop then alive := false
   in
   while !alive do
     if not (wait_readable fd stop_rd) then alive := false
@@ -324,25 +375,30 @@ let conn_loop t stop_rd fd =
       | 0 ->
           (* EOF: an unterminated tail is a truncated frame — answer it
              (best effort; the peer may be gone) and close *)
-          if Buffer.length acc > 0 && not !skipping then begin
+          if Frames.pending frames then begin
             Metrics.record_error t.metrics ~kind:"parse_error";
             ignore
-              (send fd
+              (send t fd
                  (Protocol.error_reply ~id:None
                     (Protocol.Parse_error "truncated line: no newline before end of stream")))
           end;
           alive := false
-      | n ->
-          for i = 0 to n - 1 do
-            feed_char (Bytes.get chunk i)
-          done
+      | n -> Frames.feed frames chunk n on_event
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | exception Unix.Unix_error _ -> alive := false
   done;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let serve t addr =
-  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Sockets.ignore_sigpipe ();
+  (* refuse-accept=S injection: the listener does not exist for the
+     first S seconds, so connects are refused — a wedged or slow-booting
+     worker from the router's point of view *)
+  (match t.inject.refuse_s with
+  | Some s when s > 0.0 ->
+      Format.fprintf t.config.log "service: injected refuse-accept for %.3g s@." s;
+      Thread.delay s
+  | _ -> ());
   let stop_rd, stop_wr = Unix.pipe () in
   t.stop_pipe <- Some (stop_rd, stop_wr);
   if Atomic.get t.stop then ignore (Unix.write_substring stop_wr "x" 0 1);
@@ -365,8 +421,7 @@ let serve t addr =
     (try Unix.close stop_rd with Unix.Unix_error _ -> ());
     (try Unix.close stop_wr with Unix.Unix_error _ -> ());
     ignore (Sys.signal Sys.sigterm old_term);
-    ignore (Sys.signal Sys.sigint old_int);
-    ignore (Sys.signal Sys.sigpipe old_pipe)
+    ignore (Sys.signal Sys.sigint old_int)
   in
   Fun.protect ~finally @@ fun () ->
   (match addr with Protocol.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true | _ -> ());
@@ -380,13 +435,13 @@ let serve t addr =
   let rec accept_loop () =
     if not (Atomic.get t.stop) then
       if wait_readable listen_fd stop_rd then begin
-        (match Unix.accept listen_fd with
-        | fd, _ ->
+        (match Sockets.accept listen_fd with
+        | Ok (fd, _) ->
             let th = Thread.create (fun () -> conn_loop t stop_rd fd) () in
             Mutex.lock conns_mutex;
             conns := th :: !conns;
             Mutex.unlock conns_mutex
-        | exception Unix.Unix_error _ -> ());
+        | Error _ -> ());
         accept_loop ()
       end
   in

@@ -1,0 +1,176 @@
+(* Deadline-aware, signal-safe socket plumbing shared by the client, the
+   daemon and the cluster router.
+
+   Every path retries [EINTR]; a peer closing mid-frame surfaces as a
+   typed [Closed] error instead of an exception (or, without the
+   process-wide SIGPIPE ignore, a killed thread).  Deadlines are
+   absolute [Unix.gettimeofday] instants so one request budget threads
+   through connect, write and read without re-arithmetic. *)
+
+type error =
+  | Refused of string  (* connect refused / socket absent *)
+  | Timeout of string  (* deadline exceeded *)
+  | Closed of string  (* peer EOF, reset, or torn frame *)
+  | Transport of string  (* any other socket-level failure *)
+  | Bad_reply of string  (* reply line that does not parse *)
+
+let error_message = function
+  | Refused msg -> "connection refused: " ^ msg
+  | Timeout msg -> "deadline exceeded: " ^ msg
+  | Closed msg -> "connection closed: " ^ msg
+  | Transport msg -> "transport failure: " ^ msg
+  | Bad_reply msg -> "bad reply: " ^ msg
+
+(* a broken transport can heal on a fresh attempt; a reply that does not
+   parse will not parse twice *)
+let retriable = function
+  | Refused _ | Timeout _ | Closed _ | Transport _ -> true
+  | Bad_reply _ -> false
+
+(* SIGPIPE would kill the whole process when a peer closes mid-reply;
+   ignoring it turns the write into an [EPIPE] we map to [Closed].
+   Idempotent and cheap, so every entry point just calls it. *)
+let sigpipe_ignored = ref false
+
+let ignore_sigpipe () =
+  if not !sigpipe_ignored then begin
+    (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+     with Invalid_argument _ | Sys_error _ -> ());
+    sigpipe_ignored := true
+  end
+
+let closing_error err msg =
+  match err with
+  | Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN | Unix.EBADF ->
+      Closed (msg ^ ": " ^ Unix.error_message err)
+  | _ -> Transport (msg ^ ": " ^ Unix.error_message err)
+
+(* select on one fd, honouring the deadline; [EINTR] restarts with the
+   remaining time *)
+let rec wait_fd ~for_read fd deadline =
+  let timeout =
+    match deadline with
+    | None -> -1.0
+    | Some d ->
+        let left = d -. Unix.gettimeofday () in
+        if left <= 0.0 then 0.0 else left
+  in
+  let expired = match deadline with Some _ when timeout = 0.0 -> true | _ -> false in
+  if expired then Error (Timeout "socket not ready before the deadline")
+  else
+    let r, w = if for_read then ([ fd ], []) else ([], [ fd ]) in
+    match Unix.select r w [] timeout with
+    | [], [], [] -> Error (Timeout "socket not ready before the deadline")
+    | _ -> Ok ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_fd ~for_read fd deadline
+
+(* ---- connect ---- *)
+
+let connect ?deadline addr =
+  ignore_sigpipe ();
+  let domain =
+    match addr with Protocol.Unix_domain _ -> Unix.PF_UNIX | Protocol.Tcp _ -> Unix.PF_INET
+  in
+  let sockaddr =
+    try Ok (Protocol.sockaddr_of addr)
+    with Failure msg -> Error (Refused msg)
+  in
+  match sockaddr with
+  | Error _ as e -> e
+  | Ok sockaddr -> (
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      let fail e =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error e
+      in
+      Unix.set_nonblock fd;
+      let rec attempt () =
+        match Unix.connect fd sockaddr with
+        | () -> Ok fd
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> attempt ()
+        | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+          -> (
+            (* non-blocking connect: writability signals the verdict *)
+            match wait_fd ~for_read:false fd deadline with
+            | Error e -> fail e
+            | Ok () -> (
+                match Unix.getsockopt_error fd with
+                | None -> Ok fd
+                | Some (Unix.ECONNREFUSED | Unix.ENOENT) ->
+                    fail (Refused (Protocol.addr_to_string addr))
+                | Some err -> fail (closing_error err "connect")))
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+            fail (Refused (Protocol.addr_to_string addr))
+        | exception Unix.Unix_error (err, _, _) -> fail (closing_error err "connect")
+      in
+      attempt ())
+
+(* ---- writes ---- *)
+
+(* Works on blocking and non-blocking fds alike: [EAGAIN] waits for
+   writability (bounded by the deadline), [EINTR] retries, [EPIPE]
+   becomes [Closed]. *)
+let write_all ?deadline fd s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+          match wait_fd ~for_read:false fd deadline with
+          | Ok () -> go off
+          | Error _ as e -> e)
+      | exception Unix.Unix_error (err, _, _) -> Error (closing_error err "write")
+  in
+  go 0
+
+let send_line ?deadline fd line = write_all ?deadline fd (line ^ "\n")
+
+(* ---- line reads ---- *)
+
+(* [pending] buffers bytes already read past the previous newline, so
+   pipelined replies survive across calls. *)
+let recv_line ?deadline fd pending =
+  let take_line () =
+    let s = Buffer.contents pending in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+        Buffer.clear pending;
+        Buffer.add_substring pending s (i + 1) (String.length s - i - 1);
+        Some (String.sub s 0 i)
+  in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match take_line () with
+    | Some line -> Ok line
+    | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+            if Buffer.length pending > 0 then
+              Error
+                (Closed
+                   (Printf.sprintf "torn frame: peer closed after %d byte(s) of an unterminated reply"
+                      (Buffer.length pending)))
+            else Error (Closed "peer closed the connection")
+        | n ->
+            Buffer.add_subbytes pending chunk 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+            match wait_fd ~for_read:true fd deadline with
+            | Ok () -> go ()
+            | Error _ as e -> e)
+        | exception Unix.Unix_error (err, _, _) -> Error (closing_error err "read"))
+  in
+  go ()
+
+(* ---- accept ---- *)
+
+let rec accept fd =
+  match Unix.accept fd with
+  | conn -> Ok conn
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept fd
+  | exception Unix.Unix_error (err, _, _) -> Error (closing_error err "accept")

@@ -1,0 +1,44 @@
+(** Deadline-aware, signal-safe socket plumbing shared by {!Client},
+    {!Server} and the cluster router.
+
+    Deadlines are absolute [Unix.gettimeofday] instants: one per-request
+    budget threads unchanged through connect, write and read.  Every
+    path retries [EINTR]; a peer closing mid-frame is a typed [Closed]
+    error, never an exception or a SIGPIPE-killed process. *)
+
+type error =
+  | Refused of string  (** connect refused / socket absent *)
+  | Timeout of string  (** deadline exceeded *)
+  | Closed of string  (** peer EOF, reset, or torn frame *)
+  | Transport of string  (** any other socket-level failure *)
+  | Bad_reply of string  (** reply line that does not parse *)
+
+val error_message : error -> string
+
+val retriable : error -> bool
+(** Whether a fresh attempt can plausibly succeed: everything but
+    [Bad_reply] (for idempotent requests — which all solve requests are,
+    being keyed by their canonical cache key). *)
+
+val ignore_sigpipe : unit -> unit
+(** Ignore SIGPIPE process-wide (idempotent, safe where the signal does
+    not exist) so writes to a dead peer surface as [EPIPE] → [Closed]. *)
+
+val connect : ?deadline:float -> Protocol.addr -> (Unix.file_descr, error) result
+(** Non-blocking connect bounded by [deadline]; the returned fd is left
+    in non-blocking mode. *)
+
+val write_all : ?deadline:float -> Unix.file_descr -> string -> (unit, error) result
+(** Write the whole string, waiting for writability (bounded by
+    [deadline]) on non-blocking fds, retrying [EINTR] on all. *)
+
+val send_line : ?deadline:float -> Unix.file_descr -> string -> (unit, error) result
+(** [write_all] of [line ^ "\n"]. *)
+
+val recv_line : ?deadline:float -> Unix.file_descr -> Buffer.t -> (string, error) result
+(** One newline-terminated line (without the newline); bytes past it
+    stay in the caller-owned [pending] buffer for the next call.  EOF
+    mid-line is a [Closed] torn-frame error. *)
+
+val accept : Unix.file_descr -> (Unix.file_descr * Unix.sockaddr, error) result
+(** [EINTR]-retrying accept. *)

@@ -1,0 +1,66 @@
+(* Exponential backoff with deterministic jitter.
+
+   One policy type serves both sides of the cluster: the supervisor's
+   worker-restart schedule and the client/router per-request retry
+   schedule.  Delays are a pure function of (policy, seed, attempt) — the
+   jitter comes from an FNV-1a hash of the pair, not from a PRNG or the
+   clock — so tests can assert exact schedules and two processes with the
+   same seed replay the same decisions. *)
+
+type policy = {
+  base : float;  (** delay before the first retry, seconds *)
+  multiplier : float;  (** growth factor per attempt *)
+  max_delay : float;  (** ceiling on the un-jittered delay *)
+  jitter : float;  (** fraction of the delay randomized, in [0,1] *)
+  max_attempts : int;  (** retries allowed; 0 means never retry *)
+}
+
+let validate p =
+  if p.base < 0.0 then invalid_arg "Backoff: base must be non-negative";
+  if p.multiplier < 1.0 then invalid_arg "Backoff: multiplier must be at least 1";
+  if p.max_delay < p.base then invalid_arg "Backoff: max_delay must be at least base";
+  if p.jitter < 0.0 || p.jitter > 1.0 then invalid_arg "Backoff: jitter must be in [0,1]";
+  if p.max_attempts < 0 then invalid_arg "Backoff: max_attempts must be non-negative";
+  p
+
+(* worker restarts: quick first retry, then settle down; a crash loop
+   reaches the 2 s ceiling after four attempts *)
+let default_restart =
+  validate { base = 0.1; multiplier = 2.0; max_delay = 2.0; jitter = 0.25; max_attempts = 5 }
+
+(* request retries: tight enough that a retried solve still lands well
+   inside an interactive deadline *)
+let default_retry =
+  validate { base = 0.02; multiplier = 2.0; max_delay = 0.5; jitter = 0.5; max_attempts = 4 }
+
+let exhausted p ~attempt = attempt >= p.max_attempts
+
+(* splitmix-style avalanche of the (seed, attempt) pair, folded to a
+   unit float; constants fit OCaml's 63-bit int *)
+let unit_hash ~seed ~attempt =
+  let mix h =
+    let h = h lxor (h lsr 30) in
+    let h = h * 0x4be98134a5976fd3 in
+    let h = h lxor (h lsr 29) in
+    let h = h * 0x3bd6e995bd9d65 in
+    h lxor (h lsr 32)
+  in
+  let h = mix ((seed * 0x2545f4914f6cdd1d) + attempt + 0x9e3779b9) in
+  float_of_int (h land max_int) /. float_of_int max_int
+
+let delay p ~seed ~attempt =
+  if attempt < 0 then invalid_arg "Backoff.delay: attempt must be non-negative";
+  let raw = p.base *. (p.multiplier ** float_of_int attempt) in
+  let capped = Float.min raw p.max_delay in
+  (* jitter shifts the delay inside [(1-j)·d, d]: never longer than the
+     cap, never a thundering herd of identical schedules *)
+  capped *. (1.0 -. (p.jitter *. unit_hash ~seed ~attempt))
+
+(* the longest the whole schedule can take: an upper bound a test (or the
+   chaos harness) can hold a restart against *)
+let worst_case_total p =
+  let total = ref 0.0 in
+  for attempt = 0 to p.max_attempts - 1 do
+    total := !total +. Float.min (p.base *. (p.multiplier ** float_of_int attempt)) p.max_delay
+  done;
+  !total

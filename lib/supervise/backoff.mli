@@ -1,0 +1,40 @@
+(** Exponential backoff with deterministic jitter.
+
+    Shared by the cluster supervisor (worker-restart schedule) and the
+    request path (client/router retry schedule).  A delay is a pure
+    function of (policy, seed, attempt): the jitter derives from an
+    FNV-1a hash of the pair, so schedules are reproducible — tests
+    assert them exactly and byte-identity across runs is preserved. *)
+
+type policy = {
+  base : float;  (** delay before the first retry, seconds *)
+  multiplier : float;  (** growth factor per attempt (>= 1) *)
+  max_delay : float;  (** ceiling on the un-jittered delay *)
+  jitter : float;  (** fraction of the delay randomized, in [0,1] *)
+  max_attempts : int;  (** retries allowed; 0 means never retry *)
+}
+
+val validate : policy -> policy
+(** Identity on well-formed policies; [Invalid_argument] otherwise. *)
+
+val default_restart : policy
+(** Worker restarts: 0.1 s base, doubling to a 2 s ceiling, 25% jitter,
+    5 attempts. *)
+
+val default_retry : policy
+(** Request retries: 20 ms base, doubling to a 0.5 s ceiling, 50%
+    jitter, 4 attempts. *)
+
+val exhausted : policy -> attempt:int -> bool
+(** [attempt] is 0-based: [exhausted p ~attempt] is true once [attempt]
+    reaches [p.max_attempts]. *)
+
+val delay : policy -> seed:int -> attempt:int -> float
+(** The pause before retry [attempt] (0-based), in seconds: the capped
+    exponential delay shifted into [(1-jitter)·d, d] by the hash of
+    (seed, attempt).  Deterministic. *)
+
+val worst_case_total : policy -> float
+(** Sum of the un-jittered delays of the full schedule — an upper bound
+    on how long a supervised restart can take before success or
+    mark-dead. *)

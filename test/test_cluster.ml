@@ -1,0 +1,343 @@
+(* The fault-tolerant cluster: consistent-hash ring determinism and
+   balance, circuit-breaker state machine on a synthetic clock, and the
+   supervisor + router against real worker processes — including the
+   chaos case: a worker killed mid-request must cost no acknowledged
+   request and no byte of result fidelity, and must come back within the
+   restart schedule's worst-case bound. *)
+
+open Cluster
+module Json = Service.Json
+module Client = Service.Client
+module Protocol = Service.Protocol
+
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* ---- ring ---- *)
+
+let test_ring_deterministic () =
+  let r = Ring.create 4 in
+  let keys = List.init 50 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter
+    (fun key ->
+      Alcotest.(check int) ("lookup stable for " ^ key) (Ring.lookup r key) (Ring.lookup r key);
+      let pref = Ring.preference r key in
+      Alcotest.(check int) "preference head is the owner" (Ring.lookup r key) (List.hd pref);
+      Alcotest.(check (list int)) "preference is a permutation" [ 0; 1; 2; 3 ]
+        (List.sort compare pref))
+    keys;
+  (* a second ring of the same size places identically: the layout is a
+     pure function, shared across processes *)
+  let r' = Ring.create 4 in
+  List.iter
+    (fun key -> Alcotest.(check int) "cross-instance agreement" (Ring.lookup r key) (Ring.lookup r' key))
+    keys
+
+let test_ring_balance () =
+  let workers = 4 in
+  let r = Ring.create workers in
+  let counts = Array.make workers 0 in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    let w = Ring.lookup r (Printf.sprintf "instance-%d" i) in
+    counts.(w) <- counts.(w) + 1
+  done;
+  Array.iteri
+    (fun w c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "worker %d owns a fair share (%d/%d)" w c n)
+        true
+        (float_of_int c /. float_of_int n > 0.05))
+    counts
+
+(* ---- breaker ---- *)
+
+let test_breaker_state_machine () =
+  let b = Breaker.create ~config:{ Breaker.failures = 3; cooldown = 10.0 } () in
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b ~now:0.0);
+  Breaker.failure b ~now:0.0;
+  Breaker.failure b ~now:1.0;
+  Alcotest.(check bool) "still closed under the threshold" true (Breaker.allow b ~now:1.5);
+  Breaker.failure b ~now:2.0;
+  Alcotest.(check bool) "opens at the threshold" true (Breaker.state b ~now:3.0 = Breaker.Open);
+  Alcotest.(check bool) "open refuses" false (Breaker.allow b ~now:5.0);
+  (* cooldown over: exactly one half-open probe gets through *)
+  Alcotest.(check bool) "probe allowed" true (Breaker.allow b ~now:12.1);
+  Alcotest.(check bool) "second probe refused" false (Breaker.allow b ~now:12.2);
+  Breaker.failure b ~now:12.3;
+  Alcotest.(check bool) "failed probe reopens" false (Breaker.allow b ~now:13.0);
+  Alcotest.(check bool) "second cooldown over" true (Breaker.allow b ~now:22.4);
+  Breaker.success b;
+  Alcotest.(check bool) "successful probe closes" true (Breaker.state b ~now:22.5 = Breaker.Closed);
+  Alcotest.(check int) "tripped twice" 2 (Breaker.opened_total b)
+
+(* ---- supervisor and router against real workers ---- *)
+
+let cli = Filename.concat (Filename.dirname Sys.executable_name) "../bin/streaming_cli.exe"
+
+let temp_socket () =
+  let path = Filename.temp_file "test_cluster" ".sock" in
+  Sys.remove path;
+  path
+
+let base_env () =
+  Unix.environment () |> Array.to_list
+  |> List.filter (fun kv ->
+         not (String.length kv >= 16 && String.sub kv 0 16 = "SUPERVISE_INJECT"))
+  |> Array.of_list
+
+let worker_spec ?inject () =
+  let path = temp_socket () in
+  let env =
+    match inject with
+    | Some spec -> Array.append (base_env ()) [| "SUPERVISE_INJECT=" ^ spec |]
+    | None -> base_env ()
+  in
+  {
+    Supervisor.argv = [| cli; "serve"; "--socket"; "unix:" ^ path; "--quiet"; "--cache"; "32" |];
+    env;
+    addr = Protocol.Unix_domain path;
+  }
+
+let parse_reply line =
+  match Json.parse line with
+  | Ok j -> j
+  | Error msg -> Alcotest.fail (Printf.sprintf "unparsable reply %S: %s" line msg)
+
+let instance_w w =
+  Printf.sprintf
+    "stages 2\nwork %d 1\nfiles 1\nprocessors 3\nspeeds 1 1 1\nbandwidth default 1\nteam 0\nteam 1 2\n"
+    w
+
+let solve_line w = Json.render (Client.solve_request ~instance:(instance_w w) ())
+
+(* the rendered "result" object of a reply — the [cached] flag
+   legitimately differs between a fresh worker and a warm one, the
+   result bytes never may *)
+let result_bytes line =
+  let marker = "\"result\":" in
+  let ml = String.length marker and ll = String.length line in
+  let rec find i =
+    if i + ml > ll then Alcotest.fail ("reply has no result field: " ^ line)
+    else if String.sub line i ml = marker then i + ml
+    else find (i + 1)
+  in
+  let start = find 0 in
+  String.sub line start (ll - start - 1)
+
+let test_fleet_up_router_drain () =
+  let specs = Array.init 2 (fun _ -> worker_spec ()) in
+  let sup = Supervisor.start ~log:null_ppf specs in
+  let finally () = Supervisor.shutdown ~grace:3.0 sup in
+  Fun.protect ~finally @@ fun () ->
+  Alcotest.(check bool) "fleet comes up" true
+    (Supervisor.wait_up ~deadline:(Unix.gettimeofday () +. 20.0) sup);
+  let router = Router.create { (Router.default_config ()) with log = null_ppf } sup in
+  let conns = Array.make (Supervisor.size sup) None in
+  (* local commands *)
+  let reply, k = Router.respond router conns {|{"v":1,"cmd":"ping"}|} in
+  Alcotest.(check bool) "router pong" true (Client.reply_ok (parse_reply reply));
+  Alcotest.(check bool) "ping continues" true (k = `Continue);
+  (* a forwarded solve, twice: the second must come from the owner's
+     warm cache *)
+  let line = solve_line 1 in
+  let r1, _ = Router.respond router conns line in
+  let r2, _ = Router.respond router conns line in
+  Alcotest.(check bool) "solve ok" true (Client.reply_ok (parse_reply r1));
+  Alcotest.(check bool) "repeat solve cached" true
+    (Json.member "cached" (parse_reply r2) = Some (Json.Bool true));
+  Alcotest.(check string) "cache replay byte-identical" (result_bytes r1) (result_bytes r2);
+  (* stats sees the fleet *)
+  let stats_reply, _ = Router.respond router conns {|{"v":1,"cmd":"stats"}|} in
+  let stats = parse_reply stats_reply in
+  (match Option.bind (Client.reply_result stats) (Json.member "workers") with
+  | Some (Json.List ws) -> Alcotest.(check int) "stats lists every worker" 2 (List.length ws)
+  | _ -> Alcotest.fail "no workers in router stats");
+  (* shutdown verdict drains *)
+  let reply, verdict = Router.respond router conns {|{"v":1,"cmd":"shutdown"}|} in
+  Alcotest.(check bool) "shutdown acknowledged" true (Client.reply_ok (parse_reply reply));
+  Alcotest.(check bool) "shutdown verdict" true (verdict = `Shutdown);
+  Array.iter (function Some c -> Client.close c | None -> ()) conns;
+  Supervisor.shutdown ~grace:3.0 sup;
+  for i = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "worker %d dead after drain" i)
+      true
+      (Supervisor.state sup i = Supervisor.Dead)
+  done;
+  Alcotest.(check int) "no restarts in a healthy run" 0 (Supervisor.restarts_total sup)
+
+(* a worker that can never start: the supervisor burns the restart
+   budget, marks it dead, and the router sheds with a typed retriable
+   reply instead of hanging *)
+let test_crash_loop_marked_dead_and_shed () =
+  let spec =
+    {
+      Supervisor.argv = [| "/bin/sh"; "-c"; "exit 7" |];
+      env = base_env ();
+      addr = Protocol.Unix_domain (temp_socket ());
+    }
+  in
+  let backoff =
+    {
+      Supervise.Backoff.base = 0.01;
+      multiplier = 2.0;
+      max_delay = 0.05;
+      jitter = 0.0;
+      max_attempts = 2;
+    }
+  in
+  let sup = Supervisor.start ~backoff ~log:null_ppf [| spec |] in
+  Fun.protect ~finally:(fun () -> Supervisor.shutdown ~grace:1.0 sup) @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_dead () =
+    if Supervisor.state sup 0 = Supervisor.Dead then ()
+    else if Unix.gettimeofday () >= deadline then Alcotest.fail "crash loop never marked dead"
+    else begin
+      Thread.delay 0.02;
+      wait_dead ()
+    end
+  in
+  wait_dead ();
+  Alcotest.(check int) "restart budget consumed" 2 (Supervisor.restarts sup 0);
+  let router =
+    Router.create
+      {
+        (Router.default_config ()) with
+        request_deadline = 2.0;
+        retry = { Supervise.Backoff.default_retry with max_attempts = 1 };
+        log = null_ppf;
+      }
+      sup
+  in
+  let conns = Array.make 1 None in
+  let reply, _ = Router.respond router conns (solve_line 1) in
+  let json = parse_reply reply in
+  Alcotest.(check bool) "shed, not hung" false (Client.reply_ok json);
+  Alcotest.(check (option string)) "typed unavailable" (Some "unavailable")
+    (Client.reply_error_kind json);
+  Alcotest.(check bool) "shed reply invites a retry" true (Client.reply_retriable json)
+
+(* the chaos harness: worker 0 dies, unacknowledged, on its 4th solve.
+   Every request routed through the cluster must still be acknowledged
+   exactly once (re-routed to a live worker), every result must be
+   byte-identical to a single unfaulted daemon, and the dead worker must
+   be restarted within the schedule's worst-case bound. *)
+let test_chaos_kill_worker_zero_lost_acks () =
+  let specs =
+    Array.init 3 (fun i -> if i = 0 then worker_spec ~inject:"kill-after=3" () else worker_spec ())
+  in
+  let sup = Supervisor.start ~heartbeat_period:0.5 ~log:null_ppf specs in
+  Fun.protect ~finally:(fun () -> Supervisor.shutdown ~grace:3.0 sup) @@ fun () ->
+  Alcotest.(check bool) "fleet comes up" true
+    (Supervisor.wait_up ~deadline:(Unix.gettimeofday () +. 20.0) sup);
+  let router =
+    Router.create { (Router.default_config ()) with request_deadline = 15.0; log = null_ppf } sup
+  in
+  let conns = Array.make (Supervisor.size sup) None in
+  (* an unfaulted single daemon as the fidelity reference *)
+  let reference =
+    Service.Server.create
+      {
+        (Service.Server.default_config ()) with
+        Service.Server.cache_capacity = 64;
+        log = null_ppf;
+      }
+  in
+  (* pick instances whose canonical keys the ring demonstrably places on
+     worker 0 (the faulted one) and on the others — the router's ring is
+     the same pure function, so ≥ 6 worker-0 solves guarantee the
+     kill-after=3 rule fires mid-run *)
+  let ring = Ring.create 3 in
+  let owner w =
+    let query =
+      {
+        Service.Engine.instance = instance_w w;
+        model = Streaming.Model.Overlap;
+        law = Service.Engine.Exponential;
+        cap = Service.Engine.default_cap;
+        wall = None;
+        sweeps = None;
+        states = None;
+        simulate = false;
+      }
+    in
+    match Service.Engine.prepare query with
+    | Ok p -> Ring.lookup ring p.Service.Engine.key
+    | Error msg -> Alcotest.fail msg
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let ws = List.init 100 (fun i -> i + 1) in
+  let on_zero = take 6 (List.filter (fun w -> owner w = 0) ws) in
+  let on_others = take 10 (List.filter (fun w -> owner w <> 0) ws) in
+  Alcotest.(check int) "found keys owned by the faulted worker" 6 (List.length on_zero);
+  let workload = on_zero @ on_others in
+  let lost = ref 0 and mismatched = ref 0 and sent = ref 0 in
+  for round = 1 to 2 do
+    ignore round;
+    List.iter
+      (fun w ->
+        let line = solve_line w in
+        incr sent;
+        let reply, _ = Router.respond router conns line in
+        let json = parse_reply reply in
+        if not (Client.reply_ok json) then incr lost
+        else begin
+          let expected, _ = Service.Server.respond reference line in
+          if result_bytes reply <> result_bytes expected then incr mismatched
+        end)
+      workload
+  done;
+  Alcotest.(check int) "every acknowledged request survived the kill" 0 !lost;
+  Alcotest.(check int) "every result byte-identical to the reference" 0 !mismatched;
+  Alcotest.(check int) "all requests sent" 32 !sent;
+  (* the reap runs on the monitor's tick: give it a moment to register
+     the death before asserting it happened *)
+  let reap_deadline = Unix.gettimeofday () +. 5.0 in
+  let rec wait_reaped () =
+    if Supervisor.restarts sup 0 >= 1 then ()
+    else if Unix.gettimeofday () >= reap_deadline then
+      Alcotest.fail "the injected kill never fired"
+    else begin
+      Thread.delay 0.02;
+      wait_reaped ()
+    end
+  in
+  wait_reaped ();
+  (* the dead worker comes back within the restart schedule's bound
+     (plus heartbeat/ping slack) *)
+  let bound = Supervise.Backoff.worst_case_total Supervise.Backoff.default_restart +. 5.0 in
+  let deadline = Unix.gettimeofday () +. bound in
+  let rec wait_back () =
+    if Supervisor.alive sup 0 then ()
+    else if Unix.gettimeofday () >= deadline then
+      Alcotest.fail "killed worker not restarted within the backoff bound"
+    else begin
+      Thread.delay 0.05;
+      wait_back ()
+    end
+  in
+  wait_back ();
+  Array.iter (function Some c -> Client.close c | None -> ()) conns
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "deterministic placement" `Quick test_ring_deterministic;
+          Alcotest.test_case "balance" `Quick test_ring_balance;
+        ] );
+      ("breaker", [ Alcotest.test_case "state machine" `Quick test_breaker_state_machine ]);
+      ( "fleet",
+        [
+          Alcotest.test_case "up, route, cache, drain" `Quick test_fleet_up_router_drain;
+          Alcotest.test_case "crash loop -> dead -> shed" `Quick
+            test_crash_loop_marked_dead_and_shed;
+          Alcotest.test_case "chaos: kill-after, zero lost acks" `Quick
+            test_chaos_kill_worker_zero_lost_acks;
+        ] );
+    ]

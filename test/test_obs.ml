@@ -402,9 +402,28 @@ let test_service_stats_summaries () =
   Format.pp_print_flush ppf ();
   Alcotest.(check bool) "dump has p99" true (contains (Buffer.contents buf) "latency_s.p99")
 
+(* ---- sliding-window rate meter ---- *)
+
+let test_window_rate () =
+  let w = Obs.Window.create ~seconds:3 () in
+  Obs.Window.add ~n:10 w ~now:100.2;
+  Obs.Window.add ~n:20 w ~now:101.5;
+  Obs.Window.add ~n:30 w ~now:102.9;
+  (* the current (partial) second is excluded from the rate *)
+  Obs.Window.add ~n:999 w ~now:103.1;
+  Alcotest.(check (float 1e-9)) "average over live complete seconds" 25.0
+    (Obs.Window.rate w ~now:103.4);
+  Alcotest.(check int) "total counts everything" 1059 (Obs.Window.total w);
+  (* a long quiet gap rotates stale buckets out *)
+  Obs.Window.add ~n:6 w ~now:200.0;
+  Alcotest.(check (float 1e-9)) "stale buckets dropped" 6.0 (Obs.Window.rate w ~now:201.0);
+  Alcotest.(check (float 1e-9)) "empty window is zero" 0.0 (Obs.Window.rate w ~now:300.0)
+
 let () =
   Alcotest.run "obs"
     [
+      ( "window",
+        [ Alcotest.test_case "synthetic clock rates" `Quick test_window_rate ] );
       ( "metrics",
         [
           Alcotest.test_case "counters and gauges" `Quick test_counter_gauge;

@@ -343,10 +343,14 @@ let with_daemon ?(config = config ()) f =
           f addr)
 
 let connect_exn addr =
-  match Client.connect addr with Ok c -> c | Error msg -> Alcotest.fail msg
+  match Client.connect addr with
+  | Ok c -> c
+  | Error e -> Alcotest.fail (Client.error_message e)
 
 let rpc_exn client request =
-  match Client.rpc client request with Ok reply -> reply | Error msg -> Alcotest.fail msg
+  match Client.rpc client request with
+  | Ok reply -> reply
+  | Error e -> Alcotest.fail (Client.error_message e)
 
 let test_socket_smoke () =
   with_daemon (fun addr ->
@@ -354,7 +358,7 @@ let test_socket_smoke () =
       Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
       (match Client.ping client with
       | Ok reply -> Alcotest.(check bool) "pong" true (Client.reply_ok reply)
-      | Error msg -> Alcotest.fail msg);
+      | Error e -> Alcotest.fail (Client.error_message e));
       let request = Client.solve_request ~instance () in
       let reply = rpc_exn client request in
       Alcotest.(check bool) "solve over socket" true (Client.reply_ok reply);
@@ -362,7 +366,7 @@ let test_socket_smoke () =
       Alcotest.(check bool) "second solve cached" true
         (Json.member "cached" reply = Some (Json.Bool true));
       match Client.stats client with
-      | Error msg -> Alcotest.fail msg
+      | Error e -> Alcotest.fail (Client.error_message e)
       | Ok stats_reply -> (
           match Client.reply_result stats_reply with
           | None -> Alcotest.fail "no stats"
@@ -377,14 +381,14 @@ let test_socket_oversized_frame () =
       Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
       let huge = Printf.sprintf {|{"v":1,"cmd":"ping","pad":"%s"}|} (String.make 600 'x') in
       (match Client.rpc_raw client huge with
-      | Error msg -> Alcotest.fail msg
+      | Error e -> Alcotest.fail (Client.error_message e)
       | Ok reply ->
           Alcotest.(check (option string)) "oversized_frame" (Some "oversized_frame")
             (Client.reply_error_kind (parse_reply reply)));
       (* the connection survives: the daemon skipped to the newline *)
       match Client.ping client with
       | Ok reply -> Alcotest.(check bool) "ping after oversize" true (Client.reply_ok reply)
-      | Error msg -> Alcotest.fail msg)
+      | Error e -> Alcotest.fail (Client.error_message e))
 
 let test_socket_truncated_line () =
   with_daemon (fun addr ->
@@ -404,6 +408,154 @@ let test_socket_truncated_line () =
           Alcotest.(check (option string)) "truncated line" (Some "parse_error")
             (Client.reply_error_kind (parse_reply reply))
       | exception End_of_file -> Alcotest.fail "no reply to a truncated line")
+
+(* a listener that accepts and then never replies: the per-request
+   deadline, not the peer, must bound the wait *)
+let test_client_deadline () =
+  let path = temp_socket () in
+  let listen_fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  let accepted = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match !accepted with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 4;
+  let acceptor =
+    Thread.create
+      (fun () ->
+        match Unix.accept listen_fd with
+        | fd, _ -> accepted := Some fd
+        | exception Unix.Unix_error _ -> ())
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. 0.3 in
+  (match Client.connect ~deadline (Protocol.Unix_domain path) with
+  | Error e -> Alcotest.fail (Client.error_message e)
+  | Ok client -> (
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      match Client.ping ~deadline client with
+      | Ok _ -> Alcotest.fail "ping against a mute peer should time out"
+      | Error (Client.Timeout _) ->
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool) "timed out near the deadline" true
+            (elapsed >= 0.25 && elapsed < 2.0)
+      | Error e -> Alcotest.fail ("expected a timeout, got " ^ Client.error_message e)));
+  Thread.join acceptor
+
+(* several clients at once, each interleaving valid requests (with unique
+   ids) on a clean connection with oversized and torn frames on a dirty
+   one: every valid request gets its exact reply back, every fault gets
+   its typed error, and the daemon's request accounting balances *)
+let test_socket_interleaved_chaos () =
+  with_daemon ~config:(config ~cache:64 ~max_inflight:8 ~max_frame:512 ()) (fun addr ->
+      let clients = 5 and rounds = 6 in
+      let path = match addr with Protocol.Unix_domain p -> p | _ -> assert false in
+      let failures = ref [] in
+      let failures_mutex = Mutex.create () in
+      let record_failure msg =
+        Mutex.lock failures_mutex;
+        failures := msg :: !failures;
+        Mutex.unlock failures_mutex
+      in
+      let run i () =
+        let clean = connect_exn addr in
+        Fun.protect ~finally:(fun () -> Client.close clean) @@ fun () ->
+        for r = 1 to rounds do
+          let id = Printf.sprintf "t%d-r%d" i r in
+          (* valid ping, unique id *)
+          let ping_req =
+            Json.Obj
+              [
+                ("v", Json.Int Protocol.version);
+                ("cmd", Json.String "ping");
+                ("id", Json.String id);
+              ]
+          in
+          (match Client.rpc clean ping_req with
+          | Error e -> record_failure (id ^ ": ping: " ^ Client.error_message e)
+          | Ok reply ->
+              if not (Client.reply_ok reply) then record_failure (id ^ ": ping not ok");
+              if Json.member "id" reply <> Some (Json.String id) then
+                record_failure (id ^ ": ping id not echoed"));
+          (* valid solve, unique id *)
+          let solve_req =
+            match Client.solve_request ~instance () with
+            | Json.Obj fields -> Json.Obj (("id", Json.String id) :: fields)
+            | _ -> assert false
+          in
+          (match Client.rpc clean solve_req with
+          | Error e -> record_failure (id ^ ": solve: " ^ Client.error_message e)
+          | Ok reply ->
+              if not (Client.reply_ok reply) then record_failure (id ^ ": solve not ok");
+              if Json.member "id" reply <> Some (Json.String id) then
+                record_failure (id ^ ": solve id not echoed"));
+          (* dirty connection: one oversized frame, then a torn one *)
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          @@ fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          let huge =
+            Printf.sprintf {|{"v":1,"cmd":"ping","pad":"%s"}|} (String.make 600 'x') ^ "\n"
+          in
+          ignore (Unix.write_substring fd huge 0 (String.length huge));
+          let torn = {|{"v":1,"cmd":"pi|} in
+          ignore (Unix.write_substring fd torn 0 (String.length torn));
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          let ic = Unix.in_channel_of_descr fd in
+          (match input_line ic with
+          | reply ->
+              if Client.reply_error_kind (parse_reply reply) <> Some "oversized_frame" then
+                record_failure (id ^ ": expected oversized_frame, got " ^ reply)
+          | exception End_of_file -> record_failure (id ^ ": no oversized_frame reply"));
+          match input_line ic with
+          | reply ->
+              if Client.reply_error_kind (parse_reply reply) <> Some "parse_error" then
+                record_failure (id ^ ": expected parse_error, got " ^ reply)
+          | exception End_of_file -> record_failure (id ^ ": no parse_error reply")
+        done
+      in
+      let threads = List.init clients (fun i -> Thread.create (run i) ()) in
+      List.iter Thread.join threads;
+      Alcotest.(check (list string)) "no per-request failures" [] !failures;
+      (* accounting balances: every valid request counted once, every
+         fault typed once *)
+      let client = connect_exn addr in
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      match Client.stats client with
+      | Error e -> Alcotest.fail (Client.error_message e)
+      | Ok reply -> (
+          match Client.reply_result reply with
+          | None -> Alcotest.fail "no stats"
+          | Some stats ->
+              let metric path_ key =
+                Option.bind (Json.member path_ stats) (fun m ->
+                    Option.bind (Json.member key m) Json.to_int_opt)
+                |> Option.value ~default:0
+              in
+              let deep path_ =
+                List.fold_left
+                  (fun acc key -> Option.bind acc (Json.member key))
+                  (Some stats) path_
+                |> Fun.flip Option.bind Json.to_int_opt
+                |> Option.value ~default:0
+              in
+              let total = clients * rounds in
+              Alcotest.(check int) "every valid solve counted" total
+                (deep [ "metrics"; "requests"; "solve" ]);
+              Alcotest.(check int) "every solve answered" total (deep [ "metrics"; "solved" ]);
+              let errors kind = deep [ "metrics"; "errors"; kind ] in
+              Alcotest.(check int) "every oversized frame typed" total (errors "oversized_frame");
+              Alcotest.(check int) "every torn frame typed" total (errors "parse_error");
+              (* all solves shared one canonical key: exactly one miss *)
+              let hits = metric "cache" "hits" and misses = metric "cache" "misses" in
+              Alcotest.(check int) "cache accounting balances" total (hits + misses);
+              Alcotest.(check int) "one canonical miss" 1 misses))
 
 (* ---- CLI end to end: serve, query, SIGTERM drain, exit 0 ---- *)
 
@@ -484,6 +636,8 @@ let () =
           Alcotest.test_case "smoke" `Quick test_socket_smoke;
           Alcotest.test_case "oversized frame" `Quick test_socket_oversized_frame;
           Alcotest.test_case "truncated line" `Quick test_socket_truncated_line;
+          Alcotest.test_case "client deadline on a mute peer" `Quick test_client_deadline;
+          Alcotest.test_case "interleaved chaos" `Quick test_socket_interleaved_chaos;
         ] );
       ("cli", [ Alcotest.test_case "serve/query/SIGTERM" `Quick test_cli_serve_query_sigterm ]);
     ]

@@ -423,9 +423,60 @@ let test_cli_degraded_exit_0_failed_exit_1 () =
   Unix.putenv "SUPERVISE_INJECT" "";
   Sys.remove journal
 
+(* ---- backoff: deterministic jittered schedules ---- *)
+
+let test_backoff_deterministic () =
+  let p = Backoff.default_retry in
+  for attempt = 0 to p.Backoff.max_attempts - 1 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "attempt %d replays" attempt)
+      (Backoff.delay p ~seed:42 ~attempt)
+      (Backoff.delay p ~seed:42 ~attempt)
+  done;
+  let differs =
+    List.exists
+      (fun attempt -> Backoff.delay p ~seed:1 ~attempt <> Backoff.delay p ~seed:2 ~attempt)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "different seeds jitter differently" true differs
+
+let test_backoff_envelope () =
+  let p =
+    { Backoff.base = 0.1; multiplier = 2.0; max_delay = 2.0; jitter = 0.25; max_attempts = 8 }
+  in
+  for attempt = 0 to 7 do
+    let capped = Float.min (0.1 *. (2.0 ** float_of_int attempt)) 2.0 in
+    let d = Backoff.delay p ~seed:7 ~attempt in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d inside [(1-j)d, d]" attempt)
+      true
+      (d <= capped +. 1e-12 && d >= (0.75 *. capped) -. 1e-12)
+  done;
+  Alcotest.(check bool) "exhausted at max_attempts" true (Backoff.exhausted p ~attempt:8);
+  Alcotest.(check bool) "not exhausted before" false (Backoff.exhausted p ~attempt:7);
+  (* 0.1+0.2+0.4+0.8+1.6+2+2+2 *)
+  Alcotest.(check (float 1e-9)) "worst case total" 9.1 (Backoff.worst_case_total p)
+
+let test_backoff_validate () =
+  let base = Backoff.default_restart in
+  let invalid p = match Backoff.validate p with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative base" true (invalid { base with Backoff.base = -1.0 });
+  Alcotest.(check bool) "shrinking multiplier" true (invalid { base with Backoff.multiplier = 0.5 });
+  Alcotest.(check bool) "cap under base" true (invalid { base with Backoff.max_delay = 0.01 });
+  Alcotest.(check bool) "jitter out of range" true (invalid { base with Backoff.jitter = 1.5 })
+
 let () =
   Alcotest.run "supervise"
     [
+      ( "backoff",
+        [
+          Alcotest.test_case "deterministic replay" `Quick test_backoff_deterministic;
+          Alcotest.test_case "jitter envelope and totals" `Quick test_backoff_envelope;
+          Alcotest.test_case "policy validation" `Quick test_backoff_validate;
+        ] );
       ( "typed failures",
         [
           Alcotest.test_case "gs no convergence" `Quick test_gs_no_convergence;
