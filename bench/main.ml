@@ -518,11 +518,10 @@ let optimize_study ~domains =
         let g = Prng.create ~seed in
         Workload.Gen.random_instance g
           {
-            Workload.Gen.n_stages = 5;
-            n_procs = 14;
-            comp_range = (1.0, 10.0);
-            comm_range = (0.2, 2.0);
-            max_rows = max_int;
+            Workload.Gen.i_stages = 5;
+            i_procs = 14;
+            i_comp_range = (1.0, 10.0);
+            i_comm_range = (0.2, 2.0);
           })
       [ 101; 102; 103; 104 ]
   in
@@ -596,6 +595,103 @@ let optimize_study ~domains =
   Format.printf "wrote BENCH_optimize.json@.";
   if not identical then exit 1
 
+(* ---- multi-tenant tier study: admission-audit latency, per-tenant
+   throughput as the tenant count grows on one fixed platform, and the
+   gap between the cheap admission bound and the exact exponential
+   throughput; emits BENCH_tenancy.json ---- *)
+
+let tenancy_study () =
+  Format.printf "@.== Multi-tenant tier study ==@.";
+  (* strict model: under overlap the exponential throughput coincides
+     with the deterministic critical-cycle value (renewal argument), so
+     the bound-vs-exact gap is only informative here *)
+  let model = Model.Strict in
+  let tenant_counts = [ 1; 2; 3; 4 ] in
+  let admission_reps = 200 in
+  let rows =
+    List.map
+      (fun k ->
+        (* one seed per mix size, so the numbers are reproducible and the
+           platforms differ across rows only through the draw *)
+        let seed = 900 + k in
+        let g = Prng.create ~seed in
+        let decls =
+          Workload.Gen.random_tenant_mix ~model g
+            { Workload.Gen.default_mix with Workload.Gen.mix_tenants = k }
+        in
+        let ps =
+          match Tenancy.Platform_share.create ~tenants:decls with
+          | Ok ps -> ps
+          | Error msg -> failwith msg
+        in
+        (* admission latency over the audit that includes a guaranteed
+           rejection — the expensive end of the decision *)
+        let audit = Workload.Gen.with_over_budget ~model decls in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to admission_reps do
+          ignore (Tenancy.Admission.sequence ~model audit)
+        done;
+        let admission_us =
+          1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int admission_reps
+        in
+        let per_tenant =
+          List.mapi
+            (fun i d ->
+              let bound = Tenancy.Platform_share.bound ps ~tenant:i model in
+              let expo = Tenancy.Platform_share.exponential_throughput ps ~tenant:i model in
+              (d.Instance_io.tenant_id, d.Instance_io.weight, bound, expo,
+               (bound -. expo) /. expo))
+            decls
+        in
+        let aggregate = List.fold_left (fun acc (_, _, _, e, _) -> acc +. e) 0.0 per_tenant in
+        let worst_gap = List.fold_left (fun acc (_, _, _, _, g) -> Float.max acc g) 0.0 per_tenant in
+        let admissible = List.for_all (fun (_, _, b, e, _) -> b >= e) per_tenant in
+        Format.printf "%-42s %12.1f us  (%d+1 tenants, %d reps)@."
+          (Printf.sprintf "admission audit, %d-tenant mix" k)
+          admission_us k admission_reps;
+        Format.printf "%-42s %12.6g data sets / time unit@." "  aggregate exact throughput"
+          aggregate;
+        Format.printf "%-42s %11.1f%%  (bound admissible: %s)@." "  worst bound-vs-exact gap"
+          (100.0 *. worst_gap)
+          (if admissible then "yes" else "NO");
+        (seed, k, admission_us, aggregate, worst_gap, admissible, per_tenant))
+      tenant_counts
+  in
+  let all_admissible = List.for_all (fun (_, _, _, _, _, a, _) -> a) rows in
+  let oc = open_out "BENCH_tenancy.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"tenancy\",\n\
+    \  \"version\": 1,\n\
+    \  \"model\": \"strict\",\n\
+    \  \"workload\": \"random tenant mixes on one shared 8-processor platform (default_mix)\",\n\
+    \  \"admission_reps\": %d,\n\
+    \  \"bound_admissible\": %b,\n\
+    \  \"mixes\": [%s]\n\
+     }\n"
+    admission_reps all_admissible
+    (String.concat ", "
+       (List.map
+          (fun (seed, k, admission_us, aggregate, worst_gap, _, per_tenant) ->
+            Printf.sprintf
+              "{\"tenants\": %d, \"seed\": %d, \"admission_latency_us\": %.2f, \
+               \"aggregate_throughput\": %.6g, \"worst_bound_gap\": %.6g, \"per_tenant\": [%s]}"
+              k seed admission_us aggregate worst_gap
+              (String.concat ", "
+                 (List.map
+                    (fun (id, w, b, e, gap) ->
+                      Printf.sprintf
+                        "{\"id\": \"%s\", \"weight\": %.6g, \"bound\": %.6g, \
+                         \"exponential\": %.6g, \"gap\": %.6g}"
+                        id w b e gap)
+                    per_tenant)))
+          rows));
+  close_out oc;
+  Format.printf "wrote BENCH_tenancy.json@.";
+  (* the Theorem 7 sandwich is a correctness property, not a tuning
+     knob: a bench run that sees bound < exact must fail loudly *)
+  if not all_admissible then exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec split_domains acc = function
@@ -631,6 +727,10 @@ let () =
   end;
   if List.mem "--optimize" args then begin
     optimize_study ~domains:(match domains_opt with Some d -> d | None -> 4);
+    exit 0
+  end;
+  if List.mem "--tenancy" args then begin
+    tenancy_study ();
     exit 0
   end;
   let ids = List.filter (fun a -> a <> "--full" && a <> "--no-bench") args in

@@ -683,11 +683,10 @@ let optimize_run instance_file random stages procs inst_seed homogeneous metric 
     | None, true ->
         let params =
           {
-            Workload.Gen.n_stages = stages;
-            n_procs = procs;
-            comp_range = (1.0, 10.0);
-            comm_range = (0.2, 2.0);
-            max_rows = max_int;
+            Workload.Gen.i_stages = stages;
+            i_procs = procs;
+            i_comp_range = (1.0, 10.0);
+            i_comm_range = (0.2, 2.0);
           }
         in
         Workload.Gen.random_instance (Prng.create ~seed:inst_seed) params
@@ -1269,6 +1268,298 @@ let loadgen_cmd =
     Term.(const loadgen_run $ addr_arg $ instances $ connections $ duration $ stages $ law $ cap
           $ window $ out $ quiet)
 
+(* tenants: the multi-tenant shared-platform tier *)
+
+let load_multi path =
+  match Instance_io.parse_multi_file path with
+  | Ok decls -> decls
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 2
+
+let multi_request ~cmd ~instance ~model ~law ~cap ~wall =
+  Service.Json.Obj
+    ([
+       ("v", Service.Json.Int Service.Protocol.version);
+       ("cmd", Service.Json.String cmd);
+       ("instance", Service.Json.String instance);
+       ("model", Service.Json.String (Model.to_string model));
+       ("law", Service.Json.String (Service.Engine.law_to_string law));
+     ]
+    @ (match cap with Some c -> [ ("cap", Service.Json.Int c) ] | None -> [])
+    @ match wall with Some w -> [ ("wall", Service.Json.Float w) ] | None -> [])
+
+(* one multi-tenant RPC: prints the raw reply line, returns the parsed
+   JSON so callers can turn typed outcomes into exit codes *)
+let multi_rpc addr request =
+  let fail msg =
+    Format.eprintf "error: %s@." msg;
+    exit 1
+  in
+  let client =
+    match Service.Client.connect addr with
+    | Ok c -> c
+    | Error e -> fail (Service.Client.error_message e)
+  in
+  Fun.protect ~finally:(fun () -> Service.Client.close client) @@ fun () ->
+  match Service.Client.rpc_raw client (Service.Json.render request) with
+  | Error e -> fail (Service.Client.error_message e)
+  | Ok line -> (
+      print_endline line;
+      match Service.Json.parse line with Ok j -> j | Error msg -> fail msg)
+
+let tenants_generate_run tenants procs stage_range team_range floor_frac seed over_budget model
+    out =
+  if tenants < 1 then begin
+    Format.eprintf "error: need at least one tenant@.";
+    exit 1
+  end;
+  let p =
+    {
+      Workload.Gen.default_mix with
+      Workload.Gen.mix_tenants = tenants;
+      mix_procs = procs;
+      mix_stage_range = stage_range;
+      mix_team_range = team_range;
+      mix_floor_frac = floor_frac;
+    }
+  in
+  let g = Prng.create ~seed in
+  let decls = Workload.Gen.random_tenant_mix ~model g p in
+  let decls = if over_budget then Workload.Gen.with_over_budget ~model decls else decls in
+  let text = Instance_io.multi_to_string decls in
+  (match out with
+  | Some path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text)
+  | None -> print_string text);
+  0
+
+let tenants_solve_run path model law cap wall socket check_des seed data_sets =
+  match socket with
+  | Some addr ->
+      let instance =
+        match In_channel.with_open_text path In_channel.input_all with
+        | text -> text
+        | exception Sys_error msg ->
+            Format.eprintf "error: %s@." msg;
+            exit 1
+      in
+      let reply =
+        multi_rpc addr
+          (multi_request ~cmd:"solve_multi" ~instance ~model ~law ~cap ~wall)
+      in
+      if Service.Client.reply_ok reply then 0
+      else if Service.Client.reply_error_kind reply = Some "admission_rejected" then 5
+      else 1
+  | None -> (
+      let decls = load_multi path in
+      match Tenancy.Platform_share.create ~tenants:decls with
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 2
+      | Ok ps ->
+          let k = Tenancy.Platform_share.n_tenants ps in
+          let cap = Option.value cap ~default:Service.Engine.default_cap in
+          Format.printf "%-10s %8s %10s %12s %12s@." "tenant" "weight" "floor" "bound"
+            "exponential";
+          let violated = ref [] in
+          for i = 0 to k - 1 do
+            let d = Tenancy.Platform_share.decl ps i in
+            let bound = Tenancy.Platform_share.bound ps ~tenant:i model in
+            let expo = Tenancy.Platform_share.exponential_throughput ~cap ps ~tenant:i model in
+            if bound < d.Instance_io.floor then
+              violated := d.Instance_io.tenant_id :: !violated;
+            Format.printf "%-10s %8.4f %10.6g %12.6g %12.6g%s@." d.Instance_io.tenant_id
+              d.Instance_io.weight d.Instance_io.floor bound expo
+              (if bound < d.Instance_io.floor then "  (floor violated)" else "")
+          done;
+          (match !violated with
+          | [] -> ()
+          | ids ->
+              Format.printf "floor violations      : %s@." (String.concat ", " (List.rev ids)));
+          (match check_des with
+          | None -> if !violated = [] then () else exit 5
+          | Some tol ->
+              let estimates =
+                Tenancy.Sim.cross_check ~cap ps model ~seed ~data_sets
+              in
+              Format.printf "-- DES cross-check (seed %d, %d data sets per tenant) --@." seed
+                data_sets;
+              let worst = ref 0.0 in
+              List.iter
+                (fun e ->
+                  if e.Tenancy.Sim.rel_err > !worst then worst := e.Tenancy.Sim.rel_err;
+                  Format.printf "%-10s des %12.6g exact %12.6g rel.err %6.2f%%@."
+                    e.Tenancy.Sim.id e.Tenancy.Sim.des e.Tenancy.Sim.exact
+                    (100.0 *. e.Tenancy.Sim.rel_err))
+                estimates;
+              if !worst > tol then begin
+                Format.eprintf
+                  "error: DES and exact per-tenant throughput diverge: %.2f%% > %.2f%%@."
+                  (100.0 *. !worst) (100.0 *. tol);
+                exit 6
+              end;
+              if !violated <> [] then exit 5);
+          0)
+
+let tenants_admit_run path model law socket expect_reject =
+  let finish ~rejected =
+    if expect_reject && not rejected then begin
+      Format.eprintf "error: expected at least one rejection; every tenant was admitted@.";
+      4
+    end
+    else 0
+  in
+  match socket with
+  | Some addr ->
+      let instance =
+        match In_channel.with_open_text path In_channel.input_all with
+        | text -> text
+        | exception Sys_error msg ->
+            Format.eprintf "error: %s@." msg;
+            exit 1
+      in
+      let reply =
+        multi_rpc addr (multi_request ~cmd:"admit" ~instance ~model ~law ~cap:None ~wall:None)
+      in
+      if not (Service.Client.reply_ok reply) then 1
+      else
+        let rejected =
+          match
+            Option.bind (Service.Client.reply_result reply) (Service.Json.member "steps")
+          with
+          | Some (Service.Json.List steps) ->
+              List.exists
+                (fun s ->
+                  match Service.Json.member "admitted" s with
+                  | Some (Service.Json.Bool b) -> not b
+                  | _ -> false)
+                steps
+          | _ -> false
+        in
+        finish ~rejected
+  | None -> (
+      let decls = load_multi path in
+      match Tenancy.Admission.sequence ~model decls with
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 2
+      | Ok steps ->
+          List.iter
+            (fun (s : Tenancy.Admission.step) ->
+              let id = s.Tenancy.Admission.decl.Instance_io.tenant_id in
+              match s.Tenancy.Admission.rejection with
+              | None ->
+                  Format.printf "%-10s admitted  (bounds: %s)@." id
+                    (String.concat ", "
+                       (List.map
+                          (fun (t, b) -> Printf.sprintf "%s=%.6g" t b)
+                          s.Tenancy.Admission.bounds))
+              | Some r ->
+                  Format.printf "%-10s REJECTED  victim %s: bound %.6g < floor %.6g@." id
+                    r.Tenancy.Admission.victim r.Tenancy.Admission.bound
+                    r.Tenancy.Admission.floor)
+            steps;
+          let admitted = Tenancy.Admission.admitted steps in
+          Format.printf "admitted              : %s@."
+            (String.concat ", "
+               (List.map (fun d -> d.Instance_io.tenant_id) admitted));
+          finish
+            ~rejected:(List.exists (fun (s : Tenancy.Admission.step) -> not s.Tenancy.Admission.admitted) steps))
+
+let tenants_cmd =
+  let multi_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MIX"
+           ~doc:"Multi-tenant instance file ([tenancy 1] block).")
+  in
+  let socket_opt =
+    Arg.(value & opt (some addr_conv) None & info [ "socket"; "s" ] ~docv:"ADDR"
+           ~doc:"Send the request to a running daemon or cluster instead of solving locally.")
+  in
+  let law =
+    Arg.(value & opt service_law_conv Service.Engine.Exponential & info [ "law"; "l" ] ~docv:"LAW"
+           ~doc:"Law for the daemon-side solve: deterministic, exponential or erlang:K.")
+  in
+  let generate =
+    let tenants =
+      Arg.(value & opt int 3 & info [ "tenants"; "k" ] ~docv:"K" ~doc:"Number of tenants.")
+    in
+    let procs =
+      Arg.(value & opt int 8 & info [ "procs"; "p" ] ~docv:"M" ~doc:"Shared processor count.")
+    in
+    let stage_range =
+      Arg.(value & opt (pair int int) (2, 3) & info [ "stages" ] ~docv:"LO,HI"
+             ~doc:"Stage count per tenant, drawn uniformly in this inclusive range.")
+    in
+    let team_range =
+      Arg.(value & opt (pair int int) (3, 5) & info [ "team" ] ~docv:"LO,HI"
+             ~doc:"Processors per tenant, drawn uniformly in this inclusive range.")
+    in
+    let floor_frac =
+      Arg.(value & opt float 0.5 & info [ "floor-frac" ] ~docv:"F"
+             ~doc:"Floors as a fraction of each tenant's contended admission bound; below 1.0 \
+                   the whole mix is admissible by construction.")
+    in
+    let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+    let over_budget =
+      Arg.(value & flag & info [ "over-budget" ]
+             ~doc:"Append a \"greedy\" clone of the last tenant whose floor is set to twice its \
+                   own bound — a tenant the admission sequence must reject.")
+    in
+    let out =
+      Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Write the mix here instead of stdout.")
+    in
+    Cmd.v
+      (Cmd.info "generate" ~doc:"Generate a random tenant mix on one shared platform")
+      Term.(const tenants_generate_run $ tenants $ procs $ stage_range $ team_range $ floor_frac
+            $ seed $ over_budget $ model_arg $ out)
+  in
+  let solve =
+    let cap =
+      Arg.(value & opt (some int) None & info [ "cap" ]
+             ~doc:"Marking exploration bound (strict exponential solves).")
+    in
+    let wall =
+      Arg.(value & opt (some float) None & info [ "wall" ] ~docv:"SECONDS"
+             ~doc:"Whole-request wall budget for the daemon-side solve (split across tenants \
+                   by weight).")
+    in
+    let check_des =
+      Arg.(value & opt (some float) None & info [ "check-des" ] ~docv:"TOL"
+             ~doc:"Cross-check every tenant's exact throughput against an interleaved-tenant \
+                   discrete-event simulation; exit 6 if any relative error exceeds $(docv).")
+    in
+    let seed =
+      Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"DES cross-check seed.")
+    in
+    let data_sets =
+      Arg.(value & opt int 4000 & info [ "data-sets" ] ~docv:"N"
+             ~doc:"Data sets per tenant in the DES cross-check.")
+    in
+    Cmd.v
+      (Cmd.info "solve"
+         ~doc:"Per-tenant throughput of a mix under contention (local table, or solve_multi \
+               against a daemon)")
+      Term.(const tenants_solve_run $ multi_file $ model_arg $ law $ cap $ wall $ socket_opt
+            $ check_des $ seed $ data_sets)
+  in
+  let admit =
+    let expect_reject =
+      Arg.(value & flag & info [ "expect-reject" ]
+             ~doc:"Fail (exit 4) unless the audit rejects at least one tenant.")
+    in
+    Cmd.v
+      (Cmd.info "admit"
+         ~doc:"Sequential admission audit of a mix in declaration order (local, or the \
+               daemon's admit command)")
+      Term.(const tenants_admit_run $ multi_file $ model_arg $ law $ socket_opt $ expect_reject)
+  in
+  Cmd.group
+    (Cmd.info "tenants"
+       ~doc:"Multi-tenant tier: generate tenant mixes, solve per-tenant throughput under \
+             contention, audit admission control")
+    [ generate; solve; admit ]
+
 let main =
   Cmd.group
     (Cmd.info "streaming_cli" ~version:"1.0.0"
@@ -1289,6 +1580,7 @@ let main =
       query_cmd;
       cluster_cmd;
       loadgen_cmd;
+      tenants_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -236,6 +236,105 @@ let route t conns ~id ~pref line =
   in
   pass 0 "no worker tried"
 
+(* ---- shard-aware batch splitting ----
+
+   A batch is not one routing decision: each item has its own canonical
+   key and therefore its own ring owner.  Splitting the batch into
+   per-owner sub-batches sends every item to the worker whose LRU either
+   already holds it or should hold it next — the same placement the
+   single-solve path uses — instead of warming a random worker's cache.
+   Items are reassembled in their original order, so the reply is
+   byte-identical to what one daemon would produce (item replies are
+   re-rendered through [Json], whose rendering is stable on its own
+   output). *)
+
+let error_part e =
+  Printf.sprintf "{\"ok\":false,\"error\":%s}" (Json.render (Protocol.error_json e))
+
+(* every item of a failed sub-forward inherits the forward's error
+   object, so the client sees the same typed, retriable refusal it would
+   see for a single solve *)
+let failed_forward_part reply_line =
+  match Json.parse reply_line with
+  | Ok json -> (
+      match Json.member "error" json with
+      | Some e -> Printf.sprintf "{\"ok\":false,\"error\":%s}" (Json.render e)
+      | None -> error_part (Protocol.Internal "sub-batch forward produced no error object"))
+  | Error _ -> error_part (Protocol.Internal "sub-batch forward produced an unparsable reply")
+
+let route_batch t conns ~id items =
+  let n = List.length items in
+  let parts = Array.make n "" in
+  (* group decodable items by ring owner, remembering original slots *)
+  let groups = Hashtbl.create 8 in
+  List.iteri
+    (fun i item ->
+      match item with
+      | Error e -> parts.(i) <- error_part e
+      | Ok q -> (
+          match Engine.prepare q with
+          | Error msg -> parts.(i) <- error_part (Protocol.Bad_request msg)
+          | Ok prepared ->
+              let key = prepared.Engine.key in
+              let owner = Ring.lookup t.ring key in
+              let tail = try Hashtbl.find groups owner with Not_found -> [] in
+              Hashtbl.replace groups owner ((i, q, key) :: tail)))
+    items;
+  Hashtbl.iter
+    (fun _owner rev_group ->
+      let group = List.rev rev_group in
+      let sub_line =
+        Json.render
+          (Json.Obj
+             [
+               ("v", Json.Int Protocol.version);
+               ("cmd", Json.String "batch");
+               ( "requests",
+                 Json.List (List.map (fun (_, q, _) -> Protocol.query_json q) group) );
+             ])
+      in
+      (* the owner's full fallback order: first key's preference list
+         starts at the shared owner by construction *)
+      let _, _, first_key = List.hd group in
+      let pref = Ring.preference t.ring first_key in
+      let reply = route t conns ~id:None ~pref sub_line in
+      let sub_results =
+        match Json.parse reply with
+        | Ok json when Client.reply_ok json -> (
+            match Option.bind (Client.reply_result json) (Json.member "results") with
+            | Some (Json.List rs) when List.length rs = List.length group -> Some rs
+            | _ -> None)
+        | Ok _ -> (
+            (* typed refusal from the worker or the shed path *)
+            List.iter (fun (i, _, _) -> parts.(i) <- failed_forward_part reply) group;
+            None)
+        | Error _ ->
+            List.iter
+              (fun (i, _, _) ->
+                parts.(i) <- error_part (Protocol.Internal "unparsable sub-batch reply"))
+              group;
+            None
+      in
+      match sub_results with
+      | Some rs ->
+          List.iter2 (fun (i, _, _) r -> parts.(i) <- Json.render r) group rs
+      | None -> (
+          (* count mismatch on an ok reply: per-item internal errors *)
+          match Json.parse reply with
+          | Ok json when Client.reply_ok json ->
+              List.iter
+                (fun (i, _, _) ->
+                  if parts.(i) = "" then
+                    parts.(i) <- error_part (Protocol.Internal "sub-batch result count mismatch"))
+                group
+          | _ -> ()))
+    groups;
+  let result =
+    Printf.sprintf "{\"count\":%d,\"results\":[%s]}" n
+      (String.concat "," (Array.to_list parts))
+  in
+  Protocol.ok_reply ~id ~result ()
+
 (* ---- the protocol surface ---- *)
 
 let stats_json t =
@@ -316,13 +415,30 @@ let respond t conns line =
                   let reply = route t conns ~id ~pref line in
                   Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
                   (reply, `Continue))
-          | Protocol.Batch _ ->
+          | Protocol.Solve_multi q -> (
+              record_cmd t "solve_multi";
+              match Engine.prepare_multi q with
+              | Error msg -> err id (Protocol.Bad_request msg)
+              | Ok prepared ->
+                  let pref = Ring.preference t.ring prepared.Engine.m_key in
+                  let t0 = Unix.gettimeofday () in
+                  let reply = route t conns ~id ~pref line in
+                  Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
+                  (reply, `Continue))
+          | Protocol.Admit q -> (
+              record_cmd t "admit";
+              match Engine.prepare_multi q with
+              | Error msg -> err id (Protocol.Bad_request msg)
+              | Ok prepared ->
+                  let pref = Ring.preference t.ring prepared.Engine.m_key in
+                  let t0 = Unix.gettimeofday () in
+                  let reply = route t conns ~id ~pref line in
+                  Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
+                  (reply, `Continue))
+          | Protocol.Batch items ->
               record_cmd t "batch";
-              let n = Supervisor.size t.sup in
-              let start = Atomic.fetch_and_add t.rr 1 mod n in
-              let pref = List.init n (fun k -> (start + k) mod n) in
               let t0 = Unix.gettimeofday () in
-              let reply = route t conns ~id ~pref line in
+              let reply = route_batch t conns ~id items in
               Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
               (reply, `Continue)))
 

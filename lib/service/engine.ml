@@ -115,3 +115,146 @@ let outcome_json o =
       ("provenance", Json.String o.provenance);
       ("pattern_states", Json.Int o.pattern_states);
     ]
+
+(* ---- multi-tenant queries ---- *)
+
+type multi_query = {
+  m_instance : string;
+  m_model : Model.t;
+  m_law : law;
+  m_cap : int;
+  m_wall : float option;
+}
+
+type prepared_multi = { m_key : string; m_canonical : string; m_share : Tenancy.Platform_share.t }
+
+let prepare_multi q =
+  match Instance_io.parse_multi q.m_instance with
+  | Error msg -> Error msg
+  | Ok decls -> (
+      match Tenancy.Platform_share.create ~tenants:decls with
+      | Error msg -> Error msg
+      | Ok share ->
+          let canonical = Instance_io.multi_to_string decls in
+          let key =
+            Printf.sprintf "v1|multi|model=%s|law=%s|cap=%d\n%s" (Model.to_string q.m_model)
+              (law_to_string q.m_law) q.m_cap canonical
+          in
+          Ok { m_key = key; m_canonical = canonical; m_share = share })
+
+type tenant_outcome = {
+  t_id : string;
+  t_weight : float;
+  t_floor : float;
+  t_bound : float;
+  t_wall : float option;
+  t_outcome : outcome;
+}
+
+type multi_error =
+  | Rejected of { tenant : string; victim : string; floor : float; bound : float }
+  | Solver_failed of Supervise.Error.t
+
+(* admission first — the cheap deterministic bounds decide before any
+   exact solve is paid for; then each tenant solves on its scaled
+   mapping under a weighted-fair split of the request's wall budget *)
+let solve_multi prepared q =
+  let share = prepared.m_share in
+  let k = Tenancy.Platform_share.n_tenants share in
+  let bounds = Array.init k (fun i -> Tenancy.Platform_share.bound share ~tenant:i q.m_model) in
+  let rejection =
+    let rec go i =
+      if i >= k then None
+      else
+        let d = Tenancy.Platform_share.decl share i in
+        if bounds.(i) < d.Instance_io.floor then
+          Some
+            (Rejected
+               {
+                 tenant = d.Instance_io.tenant_id;
+                 victim = d.Instance_io.tenant_id;
+                 floor = d.Instance_io.floor;
+                 bound = bounds.(i);
+               })
+        else go (i + 1)
+    in
+    go 0
+  in
+  match rejection with
+  | Some r -> Error r
+  | None -> (
+      let total_weight =
+        List.fold_left
+          (fun acc d -> acc +. d.Instance_io.weight)
+          0.0
+          (Tenancy.Platform_share.decls share)
+      in
+      let rec go i acc =
+        if i >= k then Ok (List.rev acc)
+        else
+          let d = Tenancy.Platform_share.decl share i in
+          (* weighted-fair budget accounting: tenant i's slice of the
+             request's wall budget is proportional to its weight *)
+          let wall =
+            Option.map (fun w -> w *. d.Instance_io.weight /. total_weight) q.m_wall
+          in
+          let tq =
+            {
+              instance = "";
+              model = q.m_model;
+              law = q.m_law;
+              cap = q.m_cap;
+              wall;
+              sweeps = None;
+              states = None;
+              simulate = false;
+            }
+          in
+          let tprepared =
+            {
+              key = "";
+              canonical = "";
+              mapping = Tenancy.Platform_share.scaled_mapping share ~tenant:i;
+            }
+          in
+          match solve tprepared tq with
+          | Error err -> Error (Solver_failed err)
+          | Ok outcome ->
+              go (i + 1)
+                ({
+                   t_id = d.Instance_io.tenant_id;
+                   t_weight = d.Instance_io.weight;
+                   t_floor = d.Instance_io.floor;
+                   t_bound = bounds.(i);
+                   t_wall = wall;
+                   t_outcome = outcome;
+                 }
+                :: acc)
+      in
+      go 0 [])
+
+let multi_result_json q outcomes =
+  Json.Obj
+    [
+      ("model", Json.String (Model.to_string q.m_model));
+      ("law", Json.String (law_to_string q.m_law));
+      ( "tenants",
+        Json.List
+          (List.map
+             (fun t ->
+               Json.Obj
+                 ([
+                    ("tenant", Json.String t.t_id);
+                    ("weight", Json.Float t.t_weight);
+                    ("floor", Json.Float t.t_floor);
+                    ("bound", Json.Float t.t_bound);
+                  ]
+                 @ (match t.t_wall with
+                   | Some w -> [ ("wall", Json.Float w) ]
+                   | None -> [])
+                 @ [ ("result", outcome_json t.t_outcome) ]))
+             outcomes) );
+    ]
+
+let admit prepared q =
+  Tenancy.Admission.sequence ~model:q.m_model (Tenancy.Platform_share.decls prepared.m_share)

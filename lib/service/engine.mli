@@ -69,3 +69,58 @@ val outcome_json : outcome -> Json.t
     cache stores and replays byte-identically. *)
 
 val pattern_state_count : Streaming.Mapping.t -> int
+
+(** {1 Multi-tenant queries}
+
+    A multi query names a whole tenant mix (the versioned
+    [Instance_io.parse_multi] block) instead of a single mapping.
+    Admission runs {e first} on the cheap deterministic bounds of the
+    scaled mappings (Theorem 7 makes them admissible upper bounds for
+    the exponential throughput); only an all-clear pays for the exact
+    per-tenant solves. *)
+
+type multi_query = {
+  m_instance : string;  (** multi-tenant text, [Instance_io.parse_multi] format *)
+  m_model : Streaming.Model.t;
+  m_law : law;
+  m_cap : int;
+  m_wall : float option;
+      (** whole-request wall budget; split across tenants by weight *)
+}
+
+type prepared_multi = {
+  m_key : string;
+  m_canonical : string;
+  m_share : Tenancy.Platform_share.t;
+}
+
+val prepare_multi : multi_query -> (prepared_multi, string) result
+(** Parse, build the contention structure, canonicalize.  Like
+    {!prepare}, the key contains every value-relevant parameter plus the
+    canonical mix rendering, so equivalent texts share a cache entry. *)
+
+type tenant_outcome = {
+  t_id : string;
+  t_weight : float;
+  t_floor : float;
+  t_bound : float;  (** admission bound of the scaled mapping *)
+  t_wall : float option;  (** the weighted-fair slice this tenant got *)
+  t_outcome : outcome;
+}
+
+type multi_error =
+  | Rejected of { tenant : string; victim : string; floor : float; bound : float }
+      (** static admission failure: [victim]'s bound under the full mix
+          fell below its [floor] (here [tenant = victim]) *)
+  | Solver_failed of Supervise.Error.t
+
+val solve_multi : prepared_multi -> multi_query -> (tenant_outcome list, multi_error) result
+(** Admission first, then one exact solve per tenant on its scaled
+    mapping.  [m_wall] (when present) is divided between tenants in
+    proportion to their weights — the weighted-fair budget accounting. *)
+
+val multi_result_json : multi_query -> tenant_outcome list -> Json.t
+(** The [result] object of a [solve_multi] reply. *)
+
+val admit : prepared_multi -> multi_query -> (Tenancy.Admission.step list, string) result
+(** The sequential admission audit (declaration order), no solves. *)

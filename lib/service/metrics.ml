@@ -67,6 +67,27 @@ let record_solve t ~cached ~quality ~latency ~states =
   Obs.Metrics.Histogram.observe t.latency latency;
   Obs.Metrics.Histogram.observe t.states (float_of_int states)
 
+(* per-tenant fairness accounting: label cardinality is bounded by the
+   number of distinct tenant ids the daemon has seen, which admission
+   control keeps small *)
+let record_tenant_solve t ~tenant ~latency =
+  Obs.Metrics.Counter.incr
+    (Obs.Metrics.Counter.create ~registry:t.reg
+       ~labels:[ ("tenant", tenant) ]
+       ~help:"Per-tenant solves answered (multi-tenant requests)" "service_tenant_solves_total");
+  Obs.Metrics.Histogram.observe
+    (Obs.Metrics.Histogram.create ~registry:t.reg ~buckets:latency_bounds
+       ~labels:[ ("tenant", tenant) ]
+       ~help:"Per-tenant share of multi-tenant solve latency in seconds"
+       "service_tenant_solve_seconds")
+    latency
+
+let record_admission t ~decision =
+  Obs.Metrics.Counter.incr
+    (Obs.Metrics.Counter.create ~registry:t.reg
+       ~labels:[ ("decision", decision) ]
+       ~help:"Admission-control decisions, by outcome" "service_admission_total")
+
 (* ---- stats JSON (same shape as before, plus "summary") ---- *)
 
 let table_json samples name label =
@@ -126,6 +147,8 @@ let to_json t =
       ("solved", Json.Int (Obs.Metrics.Counter.value t.solved));
       ("cache_served", Json.Int (Obs.Metrics.Counter.value t.cache_served));
       ("provenance", table_json samples "service_provenance_total" "quality");
+      ("admission", table_json samples "service_admission_total" "decision");
+      ("tenant_solves", table_json samples "service_tenant_solves_total" "tenant");
       ("latency_s", histogram_json samples "service_latency_seconds");
       ("pattern_states", histogram_json samples "service_pattern_states");
     ]
@@ -168,5 +191,7 @@ let dump t ppf =
       Format.fprintf ppf "%-24s %8d@." "cache_served" c
   | _ -> ());
   table "provenance" (Json.member "provenance" j);
+  table "admission" (Json.member "admission" j);
+  table "tenant_solves" (Json.member "tenant_solves" j);
   summary "latency_s" (Json.member "latency_s" j);
   summary "pattern_states" (Json.member "pattern_states" j)

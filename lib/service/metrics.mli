@@ -26,6 +26,14 @@ val record_solve : t -> cached:bool -> quality:string -> latency:float -> states
     winning quality ([exact]/[iterative]/[simulated]), wall latency in
     seconds and the pattern-state-space size proxy of the instance. *)
 
+val record_tenant_solve : t -> tenant:string -> latency:float -> unit
+(** Fairness accounting for multi-tenant solves: one counter increment
+    and one latency observation under the [tenant] label
+    ([service_tenant_solves_total], [service_tenant_solve_seconds]). *)
+
+val record_admission : t -> decision:string -> unit
+(** Counts one admission-control decision ([admitted] | [rejected]). *)
+
 val to_json : t -> Json.t
 (** Everything above as one stable JSON object (histograms as
     [{"le": bound, "count": n}] lists with a final catch-all bucket, plus

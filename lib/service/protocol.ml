@@ -8,6 +8,7 @@ type error =
   | Oversized_frame of { limit : int }
   | Busy of { inflight : int; limit : int }
   | Unavailable of { reason : string }
+  | Admission_rejected of { tenant : string; victim : string; floor : float; bound : float }
   | Solver of Supervise.Error.t
   | Internal of string
 
@@ -19,6 +20,7 @@ let error_kind = function
   | Oversized_frame _ -> "oversized_frame"
   | Busy _ -> "busy"
   | Unavailable _ -> "unavailable"
+  | Admission_rejected _ -> "admission_rejected"
   | Internal _ -> "internal"
   | Solver err -> (
       match err with
@@ -38,6 +40,10 @@ let error_message = function
   | Busy { inflight; limit } ->
       Printf.sprintf "daemon busy: %d request(s) in flight (limit %d); retry later" inflight limit
   | Unavailable { reason } -> Printf.sprintf "no worker available: %s; retry later" reason
+  | Admission_rejected { tenant; victim; floor; bound } ->
+      Printf.sprintf
+        "admission rejected for tenant %S: tenant %S's bound %g falls below its floor %g" tenant
+        victim bound floor
   | Solver err -> Supervise.Error.to_string err
   | Internal msg -> "internal error: " ^ msg
 
@@ -56,6 +62,13 @@ let error_extras = function
       [ ("elapsed_s", Json.Float elapsed) ]
   | Busy { inflight; limit } -> [ ("inflight", Json.Int inflight); ("limit", Json.Int limit) ]
   | Unavailable { reason } -> [ ("reason", Json.String reason) ]
+  | Admission_rejected { tenant; victim; floor; bound } ->
+      [
+        ("tenant", Json.String tenant);
+        ("victim", Json.String victim);
+        ("floor", Json.Float floor);
+        ("bound", Json.Float bound);
+      ]
   | Oversized_frame { limit } -> [ ("limit", Json.Int limit) ]
   | _ -> []
 
@@ -121,12 +134,74 @@ let decode_query json =
             else if bad_opt (fun s -> s > 0) states then Error (Bad_request "states must be positive")
             else Ok { Engine.instance; model; law; cap; wall; sweeps; states; simulate })
 
+let decode_multi_query json =
+  let str k = Option.bind (Json.member k json) Json.to_string_opt in
+  let int k = Option.bind (Json.member k json) Json.to_int_opt in
+  let flt k = Option.bind (Json.member k json) Json.to_float_opt in
+  let field_type_ok k conv =
+    match Json.member k json with None -> true | Some v -> conv v <> None
+  in
+  if not (field_type_ok "instance" Json.to_string_opt) then
+    Error (Bad_request "field 'instance' must be a string")
+  else
+    match str "instance" with
+    | None -> Error (Bad_request "solve_multi needs a string field 'instance'")
+    | Some instance -> (
+        let model_result =
+          match str "model" with
+          | None when field_type_ok "model" Json.to_string_opt -> Ok Streaming.Model.Overlap
+          | Some "overlap" -> Ok Streaming.Model.Overlap
+          | Some "strict" -> Ok Streaming.Model.Strict
+          | Some m -> Error (Bad_request (Printf.sprintf "unknown model %S (overlap|strict)" m))
+          | None -> Error (Bad_request "field 'model' must be a string")
+        in
+        let law_result =
+          match str "law" with
+          | None when field_type_ok "law" Json.to_string_opt -> Ok Engine.Exponential
+          | Some l -> (
+              match Engine.law_of_string l with
+              | Ok law -> Ok law
+              | Error msg -> Error (Bad_request msg))
+          | None -> Error (Bad_request "field 'law' must be a string")
+        in
+        match (model_result, law_result) with
+        | Error e, _ | _, Error e -> Error e
+        | Ok m_model, Ok m_law ->
+            let m_cap = Option.value (int "cap") ~default:Engine.default_cap in
+            let m_wall = flt "wall" in
+            if m_cap <= 0 then Error (Bad_request "cap must be positive")
+            else if
+              match m_wall with
+              | Some w -> not (w > 0.0 && Float.is_finite w)
+              | None -> false
+            then Error (Bad_request "wall must be positive and finite")
+            else Ok { Engine.m_instance = instance; m_model; m_law; m_cap; m_wall })
+
+(* re-render a decoded query as a request object: [decode_query (query_json q) = Ok q],
+   which is what lets the router re-issue split batches without touching
+   the original bytes of each item *)
+let query_json (q : Engine.query) =
+  let opt k f = function Some v -> [ (k, f v) ] | None -> [] in
+  Json.Obj
+    ([
+       ("instance", Json.String q.Engine.instance);
+       ("model", Json.String (Streaming.Model.to_string q.Engine.model));
+       ("law", Json.String (Engine.law_to_string q.Engine.law));
+       ("cap", Json.Int q.Engine.cap);
+     ]
+    @ opt "wall" (fun w -> Json.Float w) q.Engine.wall
+    @ opt "sweeps" (fun s -> Json.Int s) q.Engine.sweeps
+    @ opt "states" (fun s -> Json.Int s) q.Engine.states
+    @ [ ("simulate", Json.Bool q.Engine.simulate) ])
+
 type request =
   | Ping
   | Stats
   | Metrics
   | Shutdown
   | Solve of Engine.query
+  | Solve_multi of Engine.multi_query
+  | Admit of Engine.multi_query
   | Batch of (Engine.query, error) result list
 
 let max_batch = 64
@@ -153,6 +228,14 @@ let parse_request json =
           | Some "solve" -> (
               match decode_query json with
               | Ok q -> Ok (id, Solve q)
+              | Error e -> Error (id, e))
+          | Some "solve_multi" -> (
+              match decode_multi_query json with
+              | Ok q -> Ok (id, Solve_multi q)
+              | Error e -> Error (id, e))
+          | Some "admit" -> (
+              match decode_multi_query json with
+              | Ok q -> Ok (id, Admit q)
               | Error e -> Error (id, e))
           | Some "batch" -> (
               match Json.member "requests" json with

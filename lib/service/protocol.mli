@@ -39,6 +39,13 @@ type error =
   | Unavailable of { reason : string }
       (** the cluster router shedding: every candidate worker is down or
           breaker-open; retriable *)
+  | Admission_rejected of { tenant : string; victim : string; floor : float; bound : float }
+      (** per-tenant admission control said no: [victim]'s admission
+          [bound] under the proposed mix falls below its declared
+          [floor].  For the static [solve_multi] check [tenant = victim];
+          in a sequential [admit] audit [tenant] is the newcomer whose
+          arrival hurt [victim].  Not retriable — the mix itself is
+          infeasible. *)
   | Solver of Supervise.Error.t
   | Internal of string
 
@@ -55,12 +62,26 @@ type request =
   | Metrics
   | Shutdown
   | Solve of Engine.query
+  | Solve_multi of Engine.multi_query
+      (** ["cmd":"solve_multi"]: instance is a multi-tenant block
+          ([tenancy 1] header); fields model/law/cap/wall as for solve *)
+  | Admit of Engine.multi_query
+      (** ["cmd":"admit"]: sequential admission audit over the same
+          multi-tenant block, no exact solves *)
   | Batch of (Engine.query, error) result list
 
 val parse_request : Json.t -> (Json.t option * request, Json.t option * error) result
 (** Decodes one request object; the first component is the echoed [id].
     A [Batch] keeps per-item decode errors in place so one bad item does
     not poison its siblings. *)
+
+val query_json : Engine.query -> Json.t
+(** Re-render a decoded solve query as a request object (sans [v]/[cmd]/
+    [id]); [decode_query] of the result round-trips.  The router uses it
+    to re-issue batch items split by shard owner. *)
+
+val decode_query : Json.t -> (Engine.query, error) result
+val decode_multi_query : Json.t -> (Engine.multi_query, error) result
 
 val ok_reply : id:Json.t option -> ?cached:bool -> result:string -> unit -> string
 (** Assembles an [ok:true] reply line around an already-rendered

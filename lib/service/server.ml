@@ -221,6 +221,121 @@ let solve_one t q =
               Ok (rendered, false)
           | Error err -> Error (Protocol.Solver err)))
 
+(* ---- one multi-tenant solve, cache-first ---- *)
+
+(* latency attribution follows the weighted-fair shares: tenant i is
+   charged latency * w_i / sum(w) of the whole multi solve *)
+let record_tenants t share ~latency =
+  let decls = Tenancy.Platform_share.decls share in
+  let total = List.fold_left (fun acc d -> acc +. d.Streaming.Instance_io.weight) 0.0 decls in
+  List.iter
+    (fun d ->
+      Metrics.record_tenant_solve t.metrics ~tenant:d.Streaming.Instance_io.tenant_id
+        ~latency:(latency *. d.Streaming.Instance_io.weight /. total))
+    decls
+
+let multi_quality outcomes =
+  let rank = function "exact" -> 0 | "iterative" -> 1 | _ -> 2 in
+  List.fold_left
+    (fun worst o ->
+      let q = o.Engine.t_outcome.Engine.quality in
+      if rank q > rank worst then q else worst)
+    "exact" outcomes
+
+let solve_multi_one t q =
+  match Engine.prepare_multi q with
+  | Error msg -> Error (Protocol.Bad_request msg)
+  | Ok prepared -> (
+      let t0 = Unix.gettimeofday () in
+      match Lru.find t.cache prepared.Engine.m_key with
+      | Some entry ->
+          let latency = Unix.gettimeofday () -. t0 in
+          Metrics.record_solve t.metrics ~cached:true ~quality:entry.quality ~latency
+            ~states:entry.states;
+          Metrics.record_admission t.metrics ~decision:"admitted";
+          record_tenants t prepared.Engine.m_share ~latency;
+          Ok (entry.rendered, true)
+      | None -> (
+          let q =
+            match (q.Engine.m_wall, t.config.default_wall) with
+            | None, Some _ -> { q with Engine.m_wall = t.config.default_wall }
+            | _ -> q
+          in
+          match Engine.solve_multi prepared q with
+          | Ok outcomes ->
+              let rendered = Json.render (Engine.multi_result_json q outcomes) in
+              let states =
+                List.fold_left
+                  (fun acc o -> acc + o.Engine.t_outcome.Engine.pattern_states)
+                  0 outcomes
+              in
+              let quality = multi_quality outcomes in
+              Lru.add t.cache prepared.Engine.m_key { rendered; quality; states };
+              let latency = Unix.gettimeofday () -. t0 in
+              Metrics.record_solve t.metrics ~cached:false ~quality ~latency ~states;
+              Metrics.record_admission t.metrics ~decision:"admitted";
+              record_tenants t prepared.Engine.m_share ~latency;
+              Ok (rendered, false)
+          | Error (Engine.Rejected { tenant; victim; floor; bound }) ->
+              Metrics.record_admission t.metrics ~decision:"rejected";
+              Error (Protocol.Admission_rejected { tenant; victim; floor; bound })
+          | Error (Engine.Solver_failed err) -> Error (Protocol.Solver err)))
+
+(* the [admit] audit: the sequential decision trail, never cached (it is
+   already cheap — bounds only, no exact solves) *)
+let admit_one t q =
+  match Engine.prepare_multi q with
+  | Error msg -> Error (Protocol.Bad_request msg)
+  | Ok prepared -> (
+      match Engine.admit prepared q with
+      | Error msg -> Error (Protocol.Internal msg)
+      | Ok steps ->
+          let step_json (s : Tenancy.Admission.step) =
+            Metrics.record_admission t.metrics
+              ~decision:(if s.Tenancy.Admission.admitted then "admitted" else "rejected");
+            Json.Obj
+              ([
+                 ("tenant", Json.String s.Tenancy.Admission.decl.Streaming.Instance_io.tenant_id);
+                 ("admitted", Json.Bool s.Tenancy.Admission.admitted);
+                 ( "bounds",
+                   Json.Obj
+                     (List.map (fun (id, b) -> (id, Json.Float b)) s.Tenancy.Admission.bounds) );
+               ]
+              @
+              match s.Tenancy.Admission.rejection with
+              | None -> []
+              | Some r ->
+                  [
+                    ( "error",
+                      Protocol.error_json
+                        (Protocol.Admission_rejected
+                           {
+                             tenant = r.Tenancy.Admission.newcomer;
+                             victim = r.Tenancy.Admission.victim;
+                             floor = r.Tenancy.Admission.floor;
+                             bound = r.Tenancy.Admission.bound;
+                           }) );
+                  ])
+          in
+          let rendered_steps = List.map step_json steps in
+          let admitted_ids =
+            List.filter_map
+              (fun (s : Tenancy.Admission.step) ->
+                if s.Tenancy.Admission.admitted then
+                  Some
+                    (Json.String s.Tenancy.Admission.decl.Streaming.Instance_io.tenant_id)
+                else None)
+              steps
+          in
+          Ok
+            (Json.render
+               (Json.Obj
+                  [
+                    ("model", Json.String (Streaming.Model.to_string q.Engine.m_model));
+                    ("admitted", Json.List admitted_ids);
+                    ("steps", Json.List rendered_steps);
+                  ])))
+
 (* ---- request dispatch ---- *)
 
 (* Injected faults on the solve path.  [kill-after=K] acknowledges the
@@ -255,6 +370,8 @@ let respond t line =
             | Protocol.Metrics -> "metrics"
             | Protocol.Shutdown -> "shutdown"
             | Protocol.Solve _ -> "solve"
+            | Protocol.Solve_multi _ -> "solve_multi"
+            | Protocol.Admit _ -> "admit"
             | Protocol.Batch _ -> "batch"
           in
           Metrics.record_request t.metrics ~cmd;
@@ -288,6 +405,24 @@ let respond t line =
                   match Obs.Trace.span "service:solve" (fun () -> solve_one t q) with
                   | Ok (rendered, cached) ->
                       (Protocol.ok_reply ~id ~cached ~result:rendered (), `Continue)
+                  | Error e -> err id e))
+          | Protocol.Solve_multi q -> (
+              inject_solve t;
+              match try_admit t with
+              | Error busy -> err id busy
+              | Ok () -> (
+                  Fun.protect ~finally:(release t) @@ fun () ->
+                  match Obs.Trace.span "service:solve_multi" (fun () -> solve_multi_one t q) with
+                  | Ok (rendered, cached) ->
+                      (Protocol.ok_reply ~id ~cached ~result:rendered (), `Continue)
+                  | Error e -> err id e))
+          | Protocol.Admit q -> (
+              match try_admit t with
+              | Error busy -> err id busy
+              | Ok () -> (
+                  Fun.protect ~finally:(release t) @@ fun () ->
+                  match Obs.Trace.span "service:admit" (fun () -> admit_one t q) with
+                  | Ok rendered -> (Protocol.ok_reply ~id ~result:rendered (), `Continue)
                   | Error e -> err id e))
           | Protocol.Batch items -> (
               inject_solve t;

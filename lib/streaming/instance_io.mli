@@ -38,3 +38,56 @@ val to_string : Mapping.t -> string
     the rendering parses back to the same mapping — [parse ∘ to_string =
     id].  The query service's cache keys and the experiment journals both
     key on this rendering. *)
+
+(** {1 Multi-tenant instances}
+
+    Version 1 of the multi-tenant block: one shared platform, then [K]
+    tenant declarations, each a pipeline mapped onto the shared
+    processors.  Declaration order is significant — it is the admission
+    order of the tenancy tier.
+
+    {v
+    tenancy 1
+    processors 4
+    speeds    2 1 1 1.5
+    bandwidth default 0.5
+    bandwidth 0 1 0.35
+    tenant a weight 2 floor 0.05
+    stages 2
+    work   3 4
+    files  2
+    team 0
+    team 1 2
+    tenant b weight 1 floor 0.01
+    stages 1
+    work   5
+    team 3
+    v}
+
+    Different tenants may (and, for contention to matter, should) map
+    teams onto the same processors; within one tenant the usual
+    one-team-per-processor rule of {!Mapping.create} holds. *)
+
+type tenant_decl = {
+  tenant_id : string;  (** non-empty, no whitespace, unique in a block *)
+  weight : float;  (** relative share weight; finite and positive *)
+  floor : float;
+      (** declared throughput floor for admission; finite, non-negative *)
+  tenant_mapping : Mapping.t;  (** the tenant's pipeline on the shared platform *)
+}
+
+val parse_multi : string -> (tenant_decl list, string) result
+(** Parse a versioned [tenancy] block.  The shared platform lines must
+    precede the first [tenant] line; every tenant's mapping is built on
+    the one shared {!Platform.t} (physically shared, so downstream code
+    may compare platforms with [==]).  Validations mirror {!parse} and
+    add: a leading [tenancy 1] version line, unique tenant ids, finite
+    positive weights, finite non-negative floors, at least one tenant. *)
+
+val parse_multi_file : string -> (tenant_decl list, string) result
+
+val multi_to_string : tenant_decl list -> string
+(** Canonical rendering of a tenant block; [parse_multi ∘ multi_to_string
+    = id], and the tenancy service tier keys its cache on this rendering.
+    Raises [Invalid_argument] if the declarations do not share one
+    platform. *)

@@ -1,0 +1,63 @@
+open Streaming
+
+type rejection = { newcomer : string; victim : string; floor : float; bound : float }
+
+type step = {
+  decl : Instance_io.tenant_decl;
+  admitted : bool;
+  rejection : rejection option;
+  bounds : (string * float) list;
+}
+
+let trial_bounds model trial =
+  match Platform_share.create ~tenants:trial with
+  | Error msg -> Error msg
+  | Ok ps ->
+      Ok
+        (List.mapi
+           (fun i d -> (d.Instance_io.tenant_id, d.Instance_io.floor, Platform_share.bound ps ~tenant:i model))
+           trial)
+
+let first_violation bounds =
+  List.find_map
+    (fun (id, floor, bound) -> if bound < floor then Some (id, floor, bound) else None)
+    bounds
+
+let sequence ?(model = Model.Overlap) tenants =
+  let rec go admitted_rev steps_rev = function
+    | [] -> Ok (List.rev steps_rev)
+    | cand :: rest -> (
+        let trial = List.rev (cand :: admitted_rev) in
+        match trial_bounds model trial with
+        | Error msg -> Error msg
+        | Ok bounds ->
+            let audit = List.map (fun (id, _, b) -> (id, b)) bounds in
+            let step, admitted_rev =
+              match first_violation bounds with
+              | Some (victim, floor, bound) ->
+                  ( {
+                      decl = cand;
+                      admitted = false;
+                      rejection =
+                        Some { newcomer = cand.Instance_io.tenant_id; victim; floor; bound };
+                      bounds = audit;
+                    },
+                    admitted_rev )
+              | None ->
+                  ({ decl = cand; admitted = true; rejection = None; bounds = audit }, cand :: admitted_rev)
+            in
+            go admitted_rev (step :: steps_rev) rest)
+  in
+  go [] [] tenants
+
+let admitted steps = List.filter_map (fun s -> if s.admitted then Some s.decl else None) steps
+
+let check ?(model = Model.Overlap) tenants =
+  match trial_bounds model tenants with
+  | Error msg -> Error msg
+  | Ok bounds ->
+      Ok
+        (match first_violation bounds with
+        | Some (victim, floor, bound) ->
+            Error { newcomer = victim; victim; floor; bound }
+        | None -> Ok ())

@@ -1,0 +1,45 @@
+(** Sequential admission control over a tenant declaration list.
+
+    Tenants arrive in declaration order.  A newcomer is admitted iff,
+    with the newcomer's weight added to the contention, {e every} tenant
+    of the trial set (the already-admitted ones and the newcomer itself)
+    keeps its cheap deterministic bound at or above its declared floor.
+    The bound ({!Platform_share.bound}) is a Theorem 7 upper bound on the
+    exponential throughput, so a rejection decided on bounds is safe to
+    issue before paying for an exact solve; the decision sequence is a
+    pure function of the declarations and therefore deterministic. *)
+
+type rejection = {
+  newcomer : string;  (** the tenant whose admission was refused *)
+  victim : string;  (** whose floor the trial set would violate (may be the newcomer) *)
+  floor : float;  (** the violated floor *)
+  bound : float;  (** the bound the victim would be left with *)
+}
+
+type step = {
+  decl : Streaming.Instance_io.tenant_decl;
+  admitted : bool;
+  rejection : rejection option;  (** [Some _] iff not admitted *)
+  bounds : (string * float) list;
+      (** per-tenant bound in the trial set (admitted set + newcomer),
+          in admission order — the audit trail *)
+}
+
+val sequence :
+  ?model:Streaming.Model.t ->
+  Streaming.Instance_io.tenant_decl list ->
+  (step list, string) result
+(** Replay the whole admission sequence (default model: Overlap).
+    [Error] only for structurally invalid input (mismatched platforms,
+    duplicate ids, …) — a floor violation is a rejected {!step}, not an
+    error. *)
+
+val admitted : step list -> Streaming.Instance_io.tenant_decl list
+
+val check :
+  ?model:Streaming.Model.t ->
+  Streaming.Instance_io.tenant_decl list ->
+  ((unit, rejection) result, string) result
+(** The static variant used by [solve_multi]: all tenants at once, no
+    sequencing.  [Ok (Error r)] names the first tenant whose bound under
+    full contention sits below its own floor ([newcomer = victim]). *)

@@ -1,5 +1,12 @@
 open Streaming
 
+type instance_params = {
+  i_stages : int;
+  i_procs : int;
+  i_comp_range : float * float;
+  i_comm_range : float * float;
+}
+
 type params = {
   n_stages : int;
   n_procs : int;
@@ -7,6 +14,9 @@ type params = {
   comm_range : float * float;
   max_rows : int;
 }
+
+let instance_params_of p =
+  { i_stages = p.n_stages; i_procs = p.n_procs; i_comp_range = p.comp_range; i_comm_range = p.comm_range }
 
 let table1_sets =
   [
@@ -50,19 +60,122 @@ let rec random_team_sizes g ~n_stages ~n_procs ~max_rows =
   if rows > max_rows then random_team_sizes g ~n_stages ~n_procs ~max_rows else sizes
 
 let random_instance g params =
-  let clo, chi = params.comp_range in
-  let speeds = Array.init params.n_procs (fun _ -> 1.0 /. Prng.uniform g clo chi) in
-  let dlo, dhi = params.comm_range in
+  let clo, chi = params.i_comp_range in
+  let speeds = Array.init params.i_procs (fun _ -> 1.0 /. Prng.uniform g clo chi) in
+  let dlo, dhi = params.i_comm_range in
   let bandwidth =
-    Array.init params.n_procs (fun _ ->
-        Array.init params.n_procs (fun _ -> 1.0 /. Prng.uniform g dlo dhi))
+    Array.init params.i_procs (fun _ ->
+        Array.init params.i_procs (fun _ -> 1.0 /. Prng.uniform g dlo dhi))
   in
   let app =
     Application.create
-      ~work:(Array.make params.n_stages 1.0)
-      ~files:(Array.make (params.n_stages - 1) 1.0)
+      ~work:(Array.make params.i_stages 1.0)
+      ~files:(Array.make (params.i_stages - 1) 1.0)
   in
   (app, Platform.create ~speeds ~bandwidth)
+
+(* ---- tenant mixes ---- *)
+
+type mix_params = {
+  mix_tenants : int;
+  mix_procs : int;
+  mix_stage_range : int * int;
+  mix_team_range : int * int;
+  mix_comp_range : float * float;
+  mix_comm_range : float * float;
+  mix_weight_range : float * float;
+  mix_floor_frac : float;
+  mix_max_rows : int;
+}
+
+let default_mix =
+  {
+    mix_tenants = 3;
+    mix_procs = 8;
+    mix_stage_range = (2, 3);
+    mix_team_range = (3, 5);
+    mix_comp_range = (5., 15.);
+    mix_comm_range = (5., 15.);
+    mix_weight_range = (1., 4.);
+    mix_floor_frac = 0.5;
+    mix_max_rows = 60;
+  }
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let int_in g (lo, hi) = if hi <= lo then lo else lo + Prng.int g (hi - lo + 1)
+
+let random_tenant_mix ?(model = Model.Overlap) g p =
+  if p.mix_tenants < 1 then invalid_arg "Gen.random_tenant_mix: need at least one tenant";
+  let slo, _ = p.mix_stage_range in
+  if slo < 1 then invalid_arg "Gen.random_tenant_mix: stage range must start at 1";
+  (* one shared platform, Table 1 style: speeds and bandwidths as the
+     inverses of uniformly drawn times *)
+  let clo, chi = p.mix_comp_range in
+  let speeds = Array.init p.mix_procs (fun _ -> 1.0 /. Prng.uniform g clo chi) in
+  let dlo, dhi = p.mix_comm_range in
+  let bandwidth =
+    Array.init p.mix_procs (fun _ ->
+        Array.init p.mix_procs (fun _ -> 1.0 /. Prng.uniform g dlo dhi))
+  in
+  let platform = Platform.create ~speeds ~bandwidth in
+  let draw_tenant i =
+    let n_stages = int_in g p.mix_stage_range in
+    let n_procs = min p.mix_procs (max n_stages (int_in g p.mix_team_range)) in
+    let sizes = random_team_sizes g ~n_stages ~n_procs ~max_rows:p.mix_max_rows in
+    (* teams are drawn over the *shared* pool: a random subset of the
+       physical processors, so different tenants overlap and contend *)
+    let perm = Array.init p.mix_procs Fun.id in
+    shuffle g perm;
+    let next = ref 0 in
+    let teams =
+      Array.map
+        (fun size ->
+          let team = Array.init size (fun k -> perm.(!next + k)) in
+          next := !next + size;
+          team)
+        sizes
+    in
+    let app =
+      Application.create
+        ~work:(Array.init n_stages (fun _ -> Prng.uniform g 0.5 2.0))
+        ~files:(Array.init (n_stages - 1) (fun _ -> Prng.uniform g 0.5 2.0))
+    in
+    {
+      Instance_io.tenant_id = Printf.sprintf "t%d" i;
+      weight = Prng.uniform g (fst p.mix_weight_range) (snd p.mix_weight_range);
+      floor = 0.0;
+      tenant_mapping = Mapping.create ~app ~platform ~teams;
+    }
+  in
+  let decls = List.init p.mix_tenants draw_tenant in
+  (* calibrate floors against the bound *under the generated contention*
+     (shares do not depend on floors, so the bounds stay valid) *)
+  match Tenancy.Platform_share.create ~tenants:decls with
+  | Error msg -> invalid_arg ("Gen.random_tenant_mix: " ^ msg)
+  | Ok ps ->
+      List.mapi
+        (fun i d ->
+          { d with Instance_io.floor = p.mix_floor_frac *. Tenancy.Platform_share.bound ps ~tenant:i model })
+        decls
+
+let with_over_budget ?(model = Model.Overlap) ?(factor = 2.0) decls =
+  match List.rev decls with
+  | [] -> invalid_arg "Gen.with_over_budget: empty mix"
+  | last :: _ -> (
+      let greedy = { last with Instance_io.tenant_id = "greedy"; floor = 0.0 } in
+      let extended = decls @ [ greedy ] in
+      match Tenancy.Platform_share.create ~tenants:extended with
+      | Error msg -> invalid_arg ("Gen.with_over_budget: " ^ msg)
+      | Ok ps ->
+          let bound = Tenancy.Platform_share.bound ps ~tenant:(List.length decls) model in
+          decls @ [ { greedy with Instance_io.floor = factor *. bound } ])
 
 let random_mapping g params =
   let sizes =

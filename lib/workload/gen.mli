@@ -6,6 +6,15 @@
     size, processor speeds are the inverses of the drawn computation times
     and bandwidths the inverses of the drawn communication times. *)
 
+type instance_params = {
+  i_stages : int;
+  i_procs : int;  (** must be >= i_stages *)
+  i_comp_range : float * float;  (** computation time per data set, seconds *)
+  i_comm_range : float * float;  (** communication time per file, seconds *)
+}
+(** What {!random_instance} needs: no mapping is drawn, so there is no
+    rejection bound to give. *)
+
 type params = {
   n_stages : int;
   n_procs : int;  (** all processors are used; must be >= n_stages *)
@@ -17,11 +26,14 @@ type params = {
 val table1_sets : (string * params) list
 (** The six configurations of Table 1 (sizes and ranges). *)
 
-val random_instance : Prng.t -> params -> Streaming.Application.t * Streaming.Platform.t
+val instance_params_of : params -> instance_params
+(** Drop the mapping-only [max_rows] field. *)
+
+val random_instance : Prng.t -> instance_params -> Streaming.Application.t * Streaming.Platform.t
 (** Draw only the application and the platform (unit works and file
     sizes, speeds and bandwidths as the inverses of the drawn times) and
     leave the mapping open — the input of the [Optimize] engine, which
-    searches the one-to-many mappings itself.  [max_rows] is ignored. *)
+    searches the one-to-many mappings itself. *)
 
 val random_mapping : Prng.t -> params -> Streaming.Mapping.t
 (** Draw team sizes as a uniform random composition of [n_procs] into
@@ -29,3 +41,53 @@ val random_mapping : Prng.t -> params -> Streaming.Mapping.t
     redraws while [lcm] of the team sizes exceeds [max_rows]. *)
 
 val random_team_sizes : Prng.t -> n_stages:int -> n_procs:int -> max_rows:int -> int array
+
+(** {1 Tenant mixes}
+
+    Random multi-tenant scenarios for the tenancy tier: one shared
+    platform, [K] tenants whose teams are drawn over the {e same}
+    processor pool (so tenants overlap and contention is real), weights
+    uniform in [weight_range], and floors calibrated against each
+    tenant's deterministic bound {e under the generated contention} —
+    [floor = floor_frac * bound] admits everybody for [floor_frac < 1]
+    and produces guaranteed rejections above it. *)
+
+type mix_params = {
+  mix_tenants : int;  (** K >= 1 *)
+  mix_procs : int;  (** shared processor count *)
+  mix_stage_range : int * int;  (** stages per tenant, inclusive *)
+  mix_team_range : int * int;
+      (** processors per tenant, inclusive; capped at [mix_procs] *)
+  mix_comp_range : float * float;
+  mix_comm_range : float * float;
+  mix_weight_range : float * float;
+  mix_floor_frac : float;  (** floor as a fraction of the contended bound *)
+  mix_max_rows : int;  (** per-tenant lcm rejection bound *)
+}
+
+val default_mix : mix_params
+(** 3 tenants, 8 processors, 2–3 stages on 3–5 processors each, Table 1
+    "short" time ranges, weights in [1, 4], floors at half the contended
+    bound. *)
+
+val random_tenant_mix :
+  ?model:Streaming.Model.t ->
+  Prng.t ->
+  mix_params ->
+  Streaming.Instance_io.tenant_decl list
+(** Draw a mix.  Tenant ids are ["t0"], ["t1"], …; every tenant's mapping
+    shares one physical {!Streaming.Platform.t}, so the result feeds
+    {!Tenancy.Platform_share.create} (and renders through
+    [Instance_io.multi_to_string]) directly.  The default model for floor
+    calibration is Overlap. *)
+
+val with_over_budget :
+  ?model:Streaming.Model.t ->
+  ?factor:float ->
+  Streaming.Instance_io.tenant_decl list ->
+  Streaming.Instance_io.tenant_decl list
+(** Append a copy of the last tenant re-declared as ["greedy"] with its
+    floor set to [factor] (default 2.0) times the bound it would get
+    under the extended contention — a tenant the admission sequence is
+    guaranteed to reject. *)
+

@@ -110,6 +110,37 @@ let instance_w w =
 
 let solve_line w = Json.render (Client.solve_request ~instance:(instance_w w) ())
 
+(* the canonical cache key the router shards on — the same pure
+   function, so tests can predict placement *)
+let canonical_key w =
+  let query =
+    {
+      Service.Engine.instance = instance_w w;
+      model = Streaming.Model.Overlap;
+      law = Service.Engine.Exponential;
+      cap = Service.Engine.default_cap;
+      wall = None;
+      sweeps = None;
+      states = None;
+      simulate = false;
+    }
+  in
+  match Service.Engine.prepare query with
+  | Ok p -> p.Service.Engine.key
+  | Error msg -> Alcotest.fail msg
+
+let forwarded_counts router workers =
+  match Json.member "workers" (Router.stats_json router) with
+  | Some (Json.List ws) when List.length ws = workers ->
+      Array.of_list
+        (List.map
+           (fun w ->
+             match Option.bind (Json.member "forwarded" w) Json.to_int_opt with
+             | Some n -> n
+             | None -> Alcotest.fail "worker stats entry has no forwarded counter")
+           ws)
+  | _ -> Alcotest.fail "router stats has no workers list"
+
 (* the rendered "result" object of a reply — the [cached] flag
    legitimately differs between a fresh worker and a warm one, the
    result bytes never may *)
@@ -165,6 +196,78 @@ let test_fleet_up_router_drain () =
       (Supervisor.state sup i = Supervisor.Dead)
   done;
   Alcotest.(check int) "no restarts in a healthy run" 0 (Supervisor.restarts_total sup)
+
+(* shard-aware batch splitting: a heterogeneous batch must fan out to
+   each item's ring owner (one sub-batch per owner, results reassembled
+   in request order), not go wholesale to one round-robin worker.  The
+   per-worker forwarded counters are the witness: every owner with items
+   answers exactly one sub-batch, idle workers answer nothing. *)
+let test_batch_splits_by_ring_owner () =
+  let workers = 3 in
+  let specs = Array.init workers (fun _ -> worker_spec ()) in
+  let sup = Supervisor.start ~log:null_ppf specs in
+  Fun.protect ~finally:(fun () -> Supervisor.shutdown ~grace:3.0 sup) @@ fun () ->
+  Alcotest.(check bool) "fleet comes up" true
+    (Supervisor.wait_up ~deadline:(Unix.gettimeofday () +. 20.0) sup);
+  let router = Router.create { (Router.default_config ()) with log = null_ppf } sup in
+  let conns = Array.make (Supervisor.size sup) None in
+  let ring = Ring.create workers in
+  let ws = List.init 12 (fun i -> i + 1) in
+  let expected_items = Array.make workers 0 in
+  List.iter
+    (fun w ->
+      let o = Ring.lookup ring (canonical_key w) in
+      expected_items.(o) <- expected_items.(o) + 1)
+    ws;
+  let owners_hit = Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 expected_items in
+  Alcotest.(check bool) "workload spans several owners" true (owners_hit >= 2);
+  let before = forwarded_counts router workers in
+  let line =
+    Json.render
+      (Client.batch_request (List.map (fun w -> Client.solve_request ~instance:(instance_w w) ()) ws))
+  in
+  let reply, _ = Router.respond router conns line in
+  let json = parse_reply reply in
+  Alcotest.(check bool) "batch ok" true (Client.reply_ok json);
+  let after = forwarded_counts router workers in
+  for i = 0 to workers - 1 do
+    let want = if expected_items.(i) > 0 then 1 else 0 in
+    Alcotest.(check int)
+      (Printf.sprintf "worker %d answered %d sub-batch(es) for %d item(s)" i want
+         expected_items.(i))
+      want
+      (after.(i) - before.(i))
+  done;
+  (* reassembly: in request order, every item ok, every result
+     byte-identical to a single unfaulted daemon *)
+  let reference =
+    Service.Server.create
+      {
+        (Service.Server.default_config ()) with
+        Service.Server.cache_capacity = 64;
+        log = null_ppf;
+      }
+  in
+  (match Option.bind (Client.reply_result json) (Json.member "results") with
+  | Some (Json.List items) ->
+      Alcotest.(check int) "one result per item" (List.length ws) (List.length items);
+      List.iteri
+        (fun i item ->
+          let w = List.nth ws i in
+          Alcotest.(check (option bool))
+            (Printf.sprintf "item %d ok" i)
+            (Some true)
+            (Option.bind (Json.member "ok" item) Json.to_bool_opt);
+          match Json.member "result" item with
+          | None -> Alcotest.fail (Printf.sprintf "item %d has no result" i)
+          | Some r ->
+              let expected_reply, _ = Service.Server.respond reference (solve_line w) in
+              Alcotest.(check string)
+                (Printf.sprintf "item %d byte-identical to reference" i)
+                (result_bytes expected_reply) (Json.render r))
+        items
+  | _ -> Alcotest.fail "batch reply has no results list");
+  Array.iter (function Some c -> Client.close c | None -> ()) conns
 
 (* a worker that can never start: the supervisor burns the restart
    budget, marks it dead, and the router sheds with a typed retriable
@@ -248,23 +351,7 @@ let test_chaos_kill_worker_zero_lost_acks () =
      the same pure function, so ≥ 6 worker-0 solves guarantee the
      kill-after=3 rule fires mid-run *)
   let ring = Ring.create 3 in
-  let owner w =
-    let query =
-      {
-        Service.Engine.instance = instance_w w;
-        model = Streaming.Model.Overlap;
-        law = Service.Engine.Exponential;
-        cap = Service.Engine.default_cap;
-        wall = None;
-        sweeps = None;
-        states = None;
-        simulate = false;
-      }
-    in
-    match Service.Engine.prepare query with
-    | Ok p -> Ring.lookup ring p.Service.Engine.key
-    | Error msg -> Alcotest.fail msg
-  in
+  let owner w = Ring.lookup ring (canonical_key w) in
   let rec take n = function
     | [] -> []
     | _ when n = 0 -> []
@@ -335,6 +422,7 @@ let () =
       ( "fleet",
         [
           Alcotest.test_case "up, route, cache, drain" `Quick test_fleet_up_router_drain;
+          Alcotest.test_case "batch splits by ring owner" `Quick test_batch_splits_by_ring_owner;
           Alcotest.test_case "crash loop -> dead -> shed" `Quick
             test_crash_loop_marked_dead_and_shed;
           Alcotest.test_case "chaos: kill-after, zero lost acks" `Quick

@@ -87,6 +87,59 @@ let test_prometheus_render () =
   has "lat_seconds_p50 1.5";
   has "collected_gauge 42"
 
+(* high label cardinality — the multi-tenant service mints one counter
+   and one histogram series per tenant id, so the registry must stay
+   correct and deterministic under hundreds of distinct label values:
+   creation idempotent per (name, labels), no cross-talk between
+   series, and a sorted, stable Prometheus exposition *)
+let test_label_cardinality () =
+  let reg = Obs.Metrics.create_registry () in
+  let tenants = List.init 300 (fun i -> Printf.sprintf "tenant-%03d" i) in
+  let counter t =
+    Obs.Metrics.Counter.create ~registry:reg ~labels:[ ("tenant", t) ] "obs_card_total"
+  in
+  let histogram t =
+    Obs.Metrics.Histogram.create ~registry:reg ~buckets:[| 1.0 |]
+      ~labels:[ ("tenant", t) ] "obs_card_seconds"
+  in
+  List.iteri
+    (fun i t ->
+      Obs.Metrics.Counter.add (counter t) (i + 1);
+      Obs.Metrics.Histogram.observe (histogram t) (float_of_int i))
+    tenants;
+  (* a second create round resolves to the same cells: values double,
+     series count does not *)
+  List.iteri (fun i t -> Obs.Metrics.Counter.add (counter t) (i + 1)) tenants;
+  List.iteri
+    (fun i t ->
+      Alcotest.(check int)
+        ("series isolated for " ^ t)
+        (2 * (i + 1))
+        (Obs.Metrics.Counter.value (counter t)))
+    tenants;
+  let text = Obs.Metrics.to_prometheus reg in
+  Alcotest.(check string) "exposition deterministic" text (Obs.Metrics.to_prometheus reg);
+  let count_lines needle =
+    String.split_on_char '\n' text
+    |> List.filter (fun line ->
+           String.length line >= String.length needle
+           && String.sub line 0 (String.length needle) = needle)
+    |> List.length
+  in
+  Alcotest.(check int) "one sample line per tenant" 300 (count_lines "obs_card_total{tenant=");
+  Alcotest.(check int) "one histogram count line per tenant" 300
+    (count_lines "obs_card_seconds_count{tenant=");
+  (* sorted by label value: tenant-000 appears before tenant-299 *)
+  let index needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = if i + n > m then -1 else if String.sub text i n = needle then i else go (i + 1) in
+    go 0
+  in
+  let first = index "obs_card_total{tenant=\"tenant-000\"}" in
+  let last = index "obs_card_total{tenant=\"tenant-299\"}" in
+  Alcotest.(check bool) "both series exposed" true (first >= 0 && last >= 0);
+  Alcotest.(check bool) "series sorted by label" true (first < last)
+
 (* ---- concurrent recording from >= 4 domains ---- *)
 
 let test_concurrent_domains () =
@@ -429,6 +482,7 @@ let () =
           Alcotest.test_case "counters and gauges" `Quick test_counter_gauge;
           Alcotest.test_case "exact quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "prometheus text" `Quick test_prometheus_render;
+          Alcotest.test_case "label cardinality" `Quick test_label_cardinality;
         ] );
       ( "tracing",
         [

@@ -304,6 +304,156 @@ let test_shutdown_command () =
   Alcotest.(check bool) "shutdown acknowledged" true (Client.reply_ok (parse_reply reply));
   Alcotest.(check bool) "loop told to stop" true (verdict = `Shutdown)
 
+(* ---- multi-tenant requests ---- *)
+
+(* two tenants sharing processor 1: contention is real, floors are low
+   enough that both are admitted *)
+let multi_instance ?(floor_b = 0.01) () =
+  Printf.sprintf
+    "tenancy 1\nprocessors 3\nspeeds 1 1 1\nbandwidth default 1\n\
+     tenant a weight 1 floor 0.01\nstages 2\nwork 1 1\nfiles 1\nteam 0\nteam 1\n\
+     tenant b weight 3 floor %g\nstages 2\nwork 1 1\nfiles 1\nteam 1\nteam 2\n"
+    floor_b
+
+let multi_line ?floor_b ?(cmd = "solve_multi") () =
+  Json.render
+    (Json.Obj
+       [
+         ("v", Json.Int Protocol.version);
+         ("cmd", Json.String cmd);
+         ("instance", Json.String (multi_instance ?floor_b ()));
+         ("model", Json.String "overlap");
+         ("law", Json.String "exponential");
+       ])
+
+let test_solve_multi_ok_and_cached () =
+  let server = Server.create (config ()) in
+  let line = multi_line () in
+  let first = respond server line in
+  let reply = parse_reply first in
+  Alcotest.(check bool) "ok" true (Client.reply_ok reply);
+  (match Client.reply_result reply with
+  | None -> Alcotest.fail "no result"
+  | Some result -> (
+      match Json.member "tenants" result with
+      | Some (Json.List [ a; b ]) ->
+          let id j = Option.bind (Json.member "tenant" j) Json.to_string_opt in
+          Alcotest.(check (option string)) "tenant a first" (Some "a") (id a);
+          Alcotest.(check (option string)) "tenant b second" (Some "b") (id b);
+          let rho j =
+            Option.bind (Json.member "result" j) (fun r ->
+                Option.bind (Json.member "throughput" r) Json.to_float_opt)
+          in
+          let bound j = Option.bind (Json.member "bound" j) Json.to_float_opt in
+          List.iter
+            (fun t ->
+              match (rho t, bound t) with
+              | Some rho, Some bound ->
+                  Alcotest.(check bool) "throughput positive" true (rho > 0.0);
+                  Alcotest.(check bool) "bound admissible" true (bound >= rho *. (1.0 -. 1e-9))
+              | _ -> Alcotest.fail "tenant entry incomplete")
+            [ a; b ]
+      | _ -> Alcotest.fail "expected two tenant entries"));
+  (* replay: same canonical mix, byte-identical cached result *)
+  let second = respond server line in
+  let result_of r =
+    match Client.reply_result (parse_reply r) with
+    | Some j -> Json.render j
+    | None -> Alcotest.fail "no result"
+  in
+  Alcotest.(check string) "byte-identical replay" (result_of first) (result_of second);
+  Alcotest.(check bool) "first not cached" true
+    (Json.member "cached" (parse_reply first) = Some (Json.Bool false));
+  Alcotest.(check bool) "second cached" true
+    (Json.member "cached" (parse_reply second) = Some (Json.Bool true))
+
+let test_solve_multi_admission_rejected () =
+  let server = Server.create (config ()) in
+  (* tenant b demands more than its contended bound can give *)
+  let reply = parse_reply (respond server (multi_line ~floor_b:1000.0 ())) in
+  Alcotest.(check bool) "ok:false" false (Client.reply_ok reply);
+  Alcotest.(check (option string)) "admission_rejected" (Some "admission_rejected")
+    (Client.reply_error_kind reply);
+  (match Json.member "error" reply with
+  | None -> Alcotest.fail "no error object"
+  | Some err ->
+      let str k = Option.bind (Json.member k err) Json.to_string_opt in
+      Alcotest.(check (option string)) "victim b" (Some "b") (str "victim");
+      Alcotest.(check (option string)) "tenant b" (Some "b") (str "tenant");
+      (match Json.member "floor" err with
+      | Some (Json.Float f) -> Alcotest.(check (float 1e-9)) "violated floor" 1000.0 f
+      | _ -> Alcotest.fail "no floor");
+      (match Json.member "bound" err with
+      | Some (Json.Float b) -> Alcotest.(check bool) "bound below floor" true (b < 1000.0)
+      | _ -> Alcotest.fail "no bound");
+      Alcotest.(check (option bool)) "not retriable" (Some false)
+        (Option.bind (Json.member "retriable" err) Json.to_bool_opt));
+  (* rejection is the request's failure, not the daemon's *)
+  let reply = parse_reply (respond server (multi_line ())) in
+  Alcotest.(check bool) "admissible mix still solves" true (Client.reply_ok reply)
+
+let test_solve_multi_bad_instance () =
+  let server = Server.create (config ()) in
+  (* a single-tenant instance is not a tenancy block *)
+  expect_error_kind server
+    (Json.render
+       (Json.Obj
+          [
+            ("v", Json.Int 1);
+            ("cmd", Json.String "solve_multi");
+            ("instance", Json.String instance);
+          ]))
+    "bad_request";
+  expect_error_kind server {|{"v":1,"cmd":"solve_multi"}|} "bad_request"
+
+let test_admit_audit () =
+  let server = Server.create (config ()) in
+  let reply = parse_reply (respond server (multi_line ~floor_b:1000.0 ~cmd:"admit" ())) in
+  (* the audit itself succeeds: rejection is data, not an error *)
+  Alcotest.(check bool) "audit ok" true (Client.reply_ok reply);
+  match Client.reply_result reply with
+  | None -> Alcotest.fail "no result"
+  | Some result -> (
+      (match Json.member "admitted" result with
+      | Some (Json.List [ Json.String "a" ]) -> ()
+      | other ->
+          Alcotest.fail
+            (Printf.sprintf "expected admitted [a], got %s"
+               (match other with Some j -> Json.render j | None -> "nothing")));
+      match Json.member "steps" result with
+      | Some (Json.List [ step_a; step_b ]) -> (
+          Alcotest.(check (option bool)) "a admitted" (Some true)
+            (Option.bind (Json.member "admitted" step_a) Json.to_bool_opt);
+          Alcotest.(check (option bool)) "b rejected" (Some false)
+            (Option.bind (Json.member "admitted" step_b) Json.to_bool_opt);
+          match Json.member "error" step_b with
+          | None -> Alcotest.fail "rejected step carries no error"
+          | Some err ->
+              Alcotest.(check (option string)) "typed rejection" (Some "admission_rejected")
+                (Option.bind (Json.member "kind" err) Json.to_string_opt))
+      | _ -> Alcotest.fail "expected two steps")
+
+let test_multi_metrics_labels () =
+  let server = Server.create (config ()) in
+  ignore (respond server (multi_line ()));
+  ignore (respond server (multi_line ~floor_b:1000.0 ()));
+  let text = Service.Metrics.prometheus (Server.metrics server) in
+  let has needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "tenant a counter" true
+    (has {|service_tenant_solves_total{tenant="a"} 1|});
+  Alcotest.(check bool) "tenant b counter" true
+    (has {|service_tenant_solves_total{tenant="b"} 1|});
+  Alcotest.(check bool) "tenant latency histogram" true
+    (has {|service_tenant_solve_seconds_count{tenant="a"}|});
+  Alcotest.(check bool) "admitted decision" true
+    (has {|service_admission_total{decision="admitted"} 1|});
+  Alcotest.(check bool) "rejected decision" true
+    (has {|service_admission_total{decision="rejected"} 1|})
+
 (* ---- socket behaviour ---- *)
 
 let temp_socket () =
@@ -630,6 +780,16 @@ let () =
           Alcotest.test_case "busy backpressure" `Quick test_busy_backpressure;
           Alcotest.test_case "batch isolates bad items" `Quick test_batch_isolates_bad_items;
           Alcotest.test_case "shutdown command" `Quick test_shutdown_command;
+        ] );
+      ( "multi",
+        [
+          Alcotest.test_case "solve_multi ok and cached replay" `Quick
+            test_solve_multi_ok_and_cached;
+          Alcotest.test_case "admission rejected typed" `Quick
+            test_solve_multi_admission_rejected;
+          Alcotest.test_case "bad multi instance" `Quick test_solve_multi_bad_instance;
+          Alcotest.test_case "admit audit" `Quick test_admit_audit;
+          Alcotest.test_case "per-tenant metric labels" `Quick test_multi_metrics_labels;
         ] );
       ( "socket",
         [
