@@ -446,14 +446,19 @@ let obs_study () =
   done;
   let disabled_s = !disabled_s and enabled_s = !enabled_s in
   Obs.Trace.clear ();
-  let overhead = (enabled_s /. disabled_s) -. 1.0 in
+  (* when the enabled run happens to beat the disabled one the raw ratio
+     goes negative — that is measurement noise, not a speedup, so the
+     reported overhead is floored at zero (both walls and the raw ratio
+     stay in the JSON for anyone studying the noise itself) *)
+  let overhead_raw = (enabled_s /. disabled_s) -. 1.0 in
+  let overhead = Float.max 0.0 overhead_raw in
   let threshold = 0.05 in
   let pass = overhead <= threshold in
   Format.printf "%-42s %12.3f s@." "state-space ladder, tracing disabled" disabled_s;
   Format.printf "%-42s %12.3f s@." "state-space ladder, tracing enabled" enabled_s;
   Format.printf "%-42s %12d@." "events recorded per enabled pass" !events;
-  Format.printf "%-42s %11.2f%%  (threshold %.0f%%)@." "tracing overhead" (100.0 *. overhead)
-    (100.0 *. threshold);
+  Format.printf "%-42s %11.2f%%  (raw %.2f%%, threshold %.0f%%)@." "tracing overhead"
+    (100.0 *. overhead) (100.0 *. overhead_raw) (100.0 *. threshold);
   Format.printf "%-42s %12s@." "within threshold" (if pass then "yes" else "NO");
   let oc = open_out "BENCH_obs.json" in
   Printf.fprintf oc
@@ -462,11 +467,12 @@ let obs_study () =
     \  \"wall_disabled_s\": %.6f,\n\
     \  \"wall_enabled_s\": %.6f,\n\
     \  \"overhead_frac\": %.6f,\n\
+    \  \"overhead_raw_frac\": %.6f,\n\
     \  \"events_per_pass\": %d,\n\
     \  \"threshold_frac\": %.2f,\n\
     \  \"pass\": %b\n\
      }\n"
-    disabled_s enabled_s overhead !events threshold pass;
+    disabled_s enabled_s overhead overhead_raw !events threshold pass;
   close_out oc;
   Format.printf "wrote BENCH_obs.json@.";
   if not pass then exit 1

@@ -478,7 +478,7 @@ let addr_arg =
     & info [ "socket"; "s" ] ~docv:"ADDR"
         ~doc:"Service address: unix:PATH, tcp:HOST:PORT, or a bare socket path.")
 
-let serve_run addr cache_capacity max_inflight max_frame wall quiet =
+let serve_run addr cache_capacity max_inflight max_frame wall quiet flight trace =
   let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
   let default = Service.Server.default_config () in
   let config =
@@ -488,15 +488,35 @@ let serve_run addr cache_capacity max_inflight max_frame wall quiet =
       max_frame;
       default_wall = wall;
       log = (if quiet then null_ppf else Format.err_formatter);
+      flight;
     }
   in
   let server = Service.Server.create config in
-  match Service.Server.serve server addr with
-  | () -> 0
-  | exception Unix.Unix_error (err, fn, arg) ->
-      Format.eprintf "error: cannot serve on %s: %s (%s %s)@."
-        (Service.Protocol.addr_to_string addr) (Unix.error_message err) fn arg;
-      2
+  let run () =
+    match Service.Server.serve server addr with
+    | () -> 0
+    | exception Unix.Unix_error (err, fn, arg) ->
+        Format.eprintf "error: cannot serve on %s: %s (%s %s)@."
+          (Service.Protocol.addr_to_string addr) (Unix.error_message err) fn arg;
+        2
+  in
+  match trace with
+  | None -> run ()
+  | Some path ->
+      (* per-process export with our pid and a human name, so a cluster's
+         worker exports merge into one multi-process timeline *)
+      Obs.Trace.clear ();
+      Obs.Trace.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Trace.set_enabled false;
+          let name =
+            match Sys.getenv_opt "OBS_PROCESS_NAME" with
+            | Some n -> n
+            | None -> Printf.sprintf "serve pid %d" (Unix.getpid ())
+          in
+          Obs.Trace.write_chrome ~pid:(Unix.getpid ()) ~process_name:name path)
+        run
 
 let serve_cmd =
   let cache =
@@ -516,10 +536,16 @@ let serve_cmd =
            ~doc:"Server-side wall-clock budget applied to requests that carry none.")
   in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No connection/drain log on stderr.") in
+  let flight =
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Arm the crash flight recorder: recent spans and events are dumped to $(docv) \
+                 atomically on exit, on a typed-error burst, and on an injected crash.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent throughput-query daemon (NDJSON over a socket; SIGTERM drains)")
-    Term.(const serve_run $ addr_arg $ cache $ max_inflight $ max_frame $ wall $ quiet)
+    Term.(const serve_run $ addr_arg $ cache $ max_inflight $ max_frame $ wall $ quiet $ flight
+          $ trace_arg)
 
 (* query: the matching client *)
 
@@ -529,7 +555,7 @@ let service_law_conv =
         match Service.Engine.law_of_string s with Ok l -> Ok l | Error msg -> Error (`Msg msg)),
       fun ppf l -> Format.pp_print_string ppf (Service.Engine.law_to_string l) )
 
-let query_run addr command instance model law cap wall simulate repeat =
+let query_run addr command instance model law cap wall simulate repeat fleet =
   let fail msg =
     Format.eprintf "error: %s@." msg;
     exit 1
@@ -557,7 +583,9 @@ let query_run addr command instance model law cap wall simulate repeat =
   | "metrics" -> (
       let request =
         Service.Json.Obj
-          [ ("v", Service.Json.Int Service.Protocol.version); ("cmd", Service.Json.String "metrics") ]
+          ([ ("v", Service.Json.Int Service.Protocol.version);
+             ("cmd", Service.Json.String "metrics") ]
+          @ if fleet then [ ("fleet", Service.Json.Bool true) ] else [])
       in
       match Service.Client.rpc_raw client (Service.Json.render request) with
       | Error e -> fail (Service.Client.error_message e)
@@ -624,10 +652,15 @@ let query_cmd =
     Arg.(value & opt int 1 & info [ "repeat"; "n" ] ~docv:"N"
            ~doc:"Send the solve N times on one connection (cache/load study).")
   in
+  let fleet =
+    Arg.(value & flag & info [ "fleet" ]
+           ~doc:"With metrics against a cluster router: federate every Up worker's registry \
+                 behind the router's own, each worker's series relabeled with worker=\"i\".")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Query a running throughput daemon (NDJSON replies on stdout)")
     Term.(const query_run $ addr_arg $ command $ instance $ model_arg $ law $ cap $ wall
-          $ simulate $ repeat)
+          $ simulate $ repeat $ fleet)
 
 (* optimize: search for a high-throughput mapping *)
 
@@ -956,7 +989,7 @@ let template_cmd =
 let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 let cluster_run addr workers sock_dir injects cache max_inflight wall request_deadline heartbeat
-    restarts quiet =
+    restarts quiet trace flight_dir =
   let fail msg =
     Format.eprintf "error: %s@." msg;
     exit 1
@@ -964,6 +997,18 @@ let cluster_run addr workers sock_dir injects cache max_inflight wall request_de
   if workers < 1 then fail "need at least one worker";
   let log = if quiet then null_ppf else Format.err_formatter in
   let dir = match sock_dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+  (match flight_dir with
+  | Some d when not (Sys.file_exists d) -> (
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | _ -> ());
+  (* with --trace, each worker writes its own Chrome export on drain; the
+     router merges them with its own after the fleet shuts down *)
+  let worker_trace i =
+    match trace with
+    | None -> None
+    | Some _ ->
+        Some (Filename.concat dir (Printf.sprintf "cluster-w%d-%d.trace.json" (Unix.getpid ()) i))
+  in
   let inject_tbl = Hashtbl.create 8 in
   List.iter
     (fun s ->
@@ -992,14 +1037,22 @@ let cluster_run addr workers sock_dir injects cache max_inflight wall request_de
               [ self; "serve"; "--socket"; "unix:" ^ path; "--cache"; string_of_int cache ];
               (match max_inflight with Some m -> [ "--max-inflight"; string_of_int m ] | None -> []);
               (match wall with Some w -> [ "--wall"; string_of_float w ] | None -> []);
+              (match worker_trace i with Some p -> [ "--trace"; p ] | None -> []);
+              (match flight_dir with
+              | Some d -> [ "--flight"; Filename.concat d (Printf.sprintf "worker-%d.flight.json" i) ]
+              | None -> []);
               (if quiet then [ "--quiet" ] else []);
             ]
           |> Array.of_list
         in
         let env =
-          match Hashtbl.find_opt inject_tbl i with
-          | Some spec -> Array.append base_env [| "SUPERVISE_INJECT=" ^ spec |]
-          | None -> base_env
+          let env =
+            match Hashtbl.find_opt inject_tbl i with
+            | Some spec -> Array.append base_env [| "SUPERVISE_INJECT=" ^ spec |]
+            | None -> base_env
+          in
+          if trace = None then env
+          else Array.append env [| Printf.sprintf "OBS_PROCESS_NAME=worker %d" i |]
         in
         { Cluster.Supervisor.argv; env; addr = Service.Protocol.Unix_domain path })
   in
@@ -1009,10 +1062,42 @@ let cluster_run addr workers sock_dir injects cache max_inflight wall request_de
     Format.fprintf log "cluster: warning: not every worker is up yet; serving anyway@.";
   let config = { (Cluster.Router.default_config ()) with request_deadline; log } in
   let router = Cluster.Router.create config sup in
+  if trace <> None then begin
+    Obs.Trace.clear ();
+    Obs.Trace.set_enabled true
+  end;
+  (* serve drains the fleet before returning, so the workers' per-process
+     trace exports exist by the time we merge them with our own *)
+  let merge_traces () =
+    match trace with
+    | None -> ()
+    | Some path ->
+        Obs.Trace.set_enabled false;
+        let own = Obs.Trace.to_chrome_json ~pid:(Unix.getpid ()) ~process_name:"router" () in
+        let worker_docs =
+          List.init workers (fun i ->
+              match worker_trace i with
+              | None -> None
+              | Some p -> (
+                  match In_channel.with_open_text p In_channel.input_all with
+                  | doc ->
+                      (try Sys.remove p with Sys_error _ -> ());
+                      Some doc
+                  | exception Sys_error _ -> None))
+          |> List.filter_map Fun.id
+        in
+        let merged = Obs.Trace.merge_chrome (own :: worker_docs) in
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc merged);
+        Format.fprintf log "cluster: wrote merged trace (%d process(es)) to %s@."
+          (1 + List.length worker_docs) path
+  in
   match Cluster.Router.serve router addr with
-  | () -> 0
+  | () ->
+      merge_traces ();
+      0
   | exception Unix.Unix_error (err, fn, arg) ->
       Cluster.Supervisor.shutdown sup;
+      merge_traces ();
       Format.eprintf "error: cannot serve on %s: %s (%s %s)@."
         (Service.Protocol.addr_to_string addr) (Unix.error_message err) fn arg;
       2
@@ -1054,12 +1139,185 @@ let cluster_cmd =
            ~doc:"Restart attempts before a crash-looping worker is marked dead.")
   in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No supervision log on stderr.") in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Trace the whole fleet: the router records router:* spans, every request is \
+                 forwarded with a trace context so worker spans share its trace id, and on \
+                 drain the per-worker exports are merged with the router's into one \
+                 Chrome-loadable $(docv).")
+  in
+  let flight_dir =
+    Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR"
+           ~doc:"Arm each worker's crash flight recorder, dumping to \
+                 $(docv)/worker-N.flight.json on death, exit or a typed-error burst.")
+  in
   Cmd.v
     (Cmd.info "cluster"
        ~doc:"Run a sharded fleet of query daemons behind one consistent-hashing router \
              (supervision, retries, circuit breaking; SIGTERM drains the whole fleet)")
     Term.(const cluster_run $ addr_arg $ workers $ sock_dir $ injects $ cache $ max_inflight
-          $ wall $ request_deadline $ heartbeat $ restarts $ quiet)
+          $ wall $ request_deadline $ heartbeat $ restarts $ quiet $ trace $ flight_dir)
+
+(* top: a live fleet view over the federated metrics endpoint *)
+
+let top_run addr interval count window plain =
+  let metrics_req =
+    Service.Json.render
+      (Service.Json.Obj
+         [
+           ("v", Service.Json.Int Service.Protocol.version);
+           ("cmd", Service.Json.String "metrics");
+           ("fleet", Service.Json.Bool true);
+         ])
+  in
+  let scrape () =
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    match Service.Client.connect ~deadline addr with
+    | Error e -> Error (Service.Client.error_message e)
+    | Ok client -> (
+        Fun.protect ~finally:(fun () -> Service.Client.close client) @@ fun () ->
+        match Service.Client.rpc_raw ~deadline client metrics_req with
+        | Error e -> Error (Service.Client.error_message e)
+        | Ok line -> (
+            match
+              Result.to_option (Service.Json.parse line)
+              |> Fun.flip Option.bind (Service.Json.member "result")
+              |> Fun.flip Option.bind (Service.Json.member "text")
+              |> Fun.flip Option.bind Service.Json.to_string_opt
+            with
+            | Some text -> Ok text
+            | None -> Error ("unexpected reply: " ^ line)))
+  in
+  let find samples name lbls =
+    List.find_map
+      (fun (n, ls, v) ->
+        if n = name && List.for_all (fun (k, x) -> List.assoc_opt k ls = Some x) lbls then
+          Some v
+        else None)
+      samples
+  in
+  let sum samples name =
+    List.fold_left
+      (fun acc (n, _, v) -> if n = name then acc +. v else acc)
+      0.0 samples
+  in
+  (* one sliding window for the fleet, one per worker, fed with counter
+     deltas between scrapes so the rate reflects the last W seconds *)
+  let fleet_win = Obs.Window.create ~seconds:window () in
+  let fleet_last = ref nan in
+  let worker_wins : (string, Obs.Window.t * float ref) Hashtbl.t = Hashtbl.create 8 in
+  let bump win last now total =
+    if Float.is_nan !last then last := total
+    else begin
+      let d = int_of_float (Float.max 0.0 (total -. !last)) in
+      last := total;
+      Obs.Window.add ~n:d win ~now
+    end;
+    Obs.Window.rate win ~now
+  in
+  let ms v = match v with Some x when not (Float.is_nan x) -> Printf.sprintf "%8.2f" (1000.0 *. x) | _ -> "       -" in
+  let failures = ref 0 and ticks = ref 0 in
+  let tick () =
+    incr ticks;
+    let now = Unix.gettimeofday () in
+    match scrape () with
+    | Error msg ->
+        incr failures;
+        Printf.printf "top: scrape failed: %s\n%!" msg
+    | Ok text ->
+        let samples =
+          String.split_on_char '\n' text |> List.filter_map Obs.Exposition.parse_line
+        in
+        let workers =
+          List.filter_map
+            (fun (n, ls, _) ->
+              if n = "cluster_worker_up" then List.assoc_opt "worker" ls else None)
+            samples
+          |> List.sort_uniq (fun a b ->
+                 compare (int_of_string_opt a) (int_of_string_opt b))
+        in
+        if not plain then print_string "\027[2J\027[H";
+        let clock = Unix.localtime now in
+        if workers = [] then begin
+          (* single daemon: no fleet series, report its own registry *)
+          let total = sum samples "service_requests_total" in
+          let rate = bump fleet_win fleet_last now total in
+          Printf.printf "daemon %s @ %02d:%02d:%02d   req/s %.1f (last %ds)   p50 %s ms   p99 %s ms\n%!"
+            (Service.Protocol.addr_to_string addr) clock.Unix.tm_hour clock.Unix.tm_min
+            clock.Unix.tm_sec rate window
+            (String.trim (ms (find samples "service_latency_seconds_p50" [])))
+            (String.trim (ms (find samples "service_latency_seconds_p99" [])))
+        end
+        else begin
+          let total = sum samples "cluster_forwarded_total" in
+          let rate = bump fleet_win fleet_last now total in
+          Printf.printf "fleet %s @ %02d:%02d:%02d   %d worker(s)   fwd/s %.1f (last %ds)   shed %.0f\n"
+            (Service.Protocol.addr_to_string addr) clock.Unix.tm_hour clock.Unix.tm_min
+            clock.Unix.tm_sec (List.length workers) rate window
+            (sum samples "cluster_shed_total");
+          Printf.printf "%-8s %-5s %-8s %8s %8s %8s %9s\n" "worker" "up" "breaker" "fwd/s"
+            "p50(ms)" "p99(ms)" "restarts";
+          List.iter
+            (fun w ->
+              let lbl = [ ("worker", w) ] in
+              let win, last =
+                match Hashtbl.find_opt worker_wins w with
+                | Some p -> p
+                | None ->
+                    let p = (Obs.Window.create ~seconds:window (), ref nan) in
+                    Hashtbl.add worker_wins w p;
+                    p
+              in
+              let fwd = Option.value ~default:0.0 (find samples "cluster_forwarded_total" lbl) in
+              let wrate = bump win last now fwd in
+              Printf.printf "%-8s %-5s %-8s %8.1f %s %s %9.0f\n" w
+                (match find samples "cluster_worker_up" lbl with
+                | Some 1.0 -> "up"
+                | _ -> "DOWN")
+                (match find samples "cluster_breaker_open" lbl with
+                | Some 1.0 -> "open"
+                | _ -> "closed")
+                wrate
+                (ms (find samples "service_latency_seconds_p50" lbl))
+                (ms (find samples "service_latency_seconds_p99" lbl))
+                (Option.value ~default:0.0 (find samples "cluster_worker_restarts" lbl)))
+            workers;
+          flush stdout
+        end
+  in
+  let rec loop i =
+    tick ();
+    if count = 0 || i < count then begin
+      Unix.sleepf interval;
+      loop (i + 1)
+    end
+  in
+  loop 1;
+  if !failures = !ticks then 1 else 0
+
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 2.0 & info [ "interval"; "i" ] ~docv:"SECONDS"
+           ~doc:"Seconds between scrapes.")
+  in
+  let count =
+    Arg.(value & opt int 0 & info [ "count"; "n" ] ~docv:"N"
+           ~doc:"Stop after N scrapes (0 = run until interrupted).")
+  in
+  let window =
+    Arg.(value & opt int 10 & info [ "window" ] ~docv:"SECONDS"
+           ~doc:"Sliding window, in seconds, for the req/s rates.")
+  in
+  let plain =
+    Arg.(value & flag & info [ "plain" ]
+           ~doc:"Append each refresh instead of redrawing the screen (for logs and CI).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live view of a cluster (or single daemon): per-worker request rates over a \
+             sliding window, latency quantiles, breaker and supervision state, refreshed \
+             from the federated metrics endpoint")
+    Term.(const top_run $ addr_arg $ interval $ count $ window $ plain)
 
 (* loadgen: concurrent load against a daemon or cluster *)
 
@@ -1579,6 +1837,7 @@ let main =
       serve_cmd;
       query_cmd;
       cluster_cmd;
+      top_cmd;
       loadgen_cmd;
       tenants_cmd;
     ]

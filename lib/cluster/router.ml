@@ -59,6 +59,7 @@ type t = {
   rr : int Atomic.t;
   stop : bool Atomic.t;
   mutable stop_pipe : (Unix.file_descr * Unix.file_descr) option;
+  slog : Obs.Log.t;  (* structured events, routed through config.log *)
 }
 
 let latency_buckets =
@@ -93,6 +94,9 @@ let create config sup =
       rr = Atomic.make 0;
       stop = Atomic.make false;
       stop_pipe = None;
+      slog =
+        Obs.Log.create ~sink:(Obs.Log.formatter_sink config.log)
+          ~comp:"router" ();
     }
   in
   Metrics.register_collector ~registry ~name:"cluster_fleet" (fun () ->
@@ -176,6 +180,7 @@ let route t conns ~id ~pref line =
   let seed = Ring.hash_string line land 0xffff in
   let shed reason =
     Metrics.Counter.incr t.shed;
+    Obs.Log.warn t.slog ~attrs:[ ("reason", reason) ] "request_shed";
     Protocol.error_reply ~id (Protocol.Unavailable { reason })
   in
   let rec pass attempt last_reason =
@@ -262,7 +267,7 @@ let failed_forward_part reply_line =
       | None -> error_part (Protocol.Internal "sub-batch forward produced no error object"))
   | Error _ -> error_part (Protocol.Internal "sub-batch forward produced an unparsable reply")
 
-let route_batch t conns ~id items =
+let route_batch t conns ~id ?trace items =
   let n = List.length items in
   let parts = Array.make n "" in
   (* group decodable items by ring owner, remembering original slots *)
@@ -286,12 +291,20 @@ let route_batch t conns ~id items =
       let sub_line =
         Json.render
           (Json.Obj
-             [
-               ("v", Json.Int Protocol.version);
-               ("cmd", Json.String "batch");
-               ( "requests",
-                 Json.List (List.map (fun (_, q, _) -> Protocol.query_json q) group) );
-             ])
+             ([
+                ("v", Json.Int Protocol.version);
+                ("cmd", Json.String "batch");
+              ]
+             (* each sub-batch is a child of the incoming trace: same
+                trace id, its own span id *)
+             @ (match trace with
+               | Some tr ->
+                   [ Protocol.obs_field ~trace:tr ~span:(Obs.Trace.fresh_id ()) ]
+               | None -> [])
+             @ [
+                 ( "requests",
+                   Json.List (List.map (fun (_, q, _) -> Protocol.query_json q) group) );
+               ]))
       in
       (* the owner's full fallback order: first key's preference list
          starts at the shared owner by construction *)
@@ -363,6 +376,48 @@ let stats_json t =
       ("routed", Json.Int (Metrics.Histogram.count t.latency));
     ]
 
+(* ---- fleet metrics federation ----
+
+   The router answers [metrics fleet:true] by scraping every Up worker's
+   own exposition over the wire (the same [metrics] command a client
+   would send) and merging the texts under a [worker="i"] label after its
+   own registries.  Down or unresponsive workers become comment lines,
+   so a partial fleet still yields a well-formed exposition. *)
+
+let fleet_metrics t conns =
+  let head =
+    Metrics.to_prometheus t.registry ^ Metrics.to_prometheus Metrics.default
+  in
+  let deadline =
+    Unix.gettimeofday () +. Float.min 2.0 t.config.request_deadline
+  in
+  let n = Supervisor.size t.sup in
+  let sections = ref [] in
+  let skipped = Buffer.create 64 in
+  let skip w why =
+    Buffer.add_string skipped (Printf.sprintf "# worker %d skipped: %s\n" w why)
+  in
+  for w = 0 to n - 1 do
+    if not (Supervisor.alive t.sup w) then
+      skip w (Supervisor.state_to_string (Supervisor.state t.sup w))
+    else
+      match worker_rpc t conns w "{\"v\":1,\"cmd\":\"metrics\"}" ~deadline with
+      | Error e -> skip w (Client.error_message e)
+      | Ok reply -> (
+          match Json.parse reply with
+          | Ok json when Client.reply_ok json -> (
+              match
+                Option.bind (Client.reply_result json) (fun r ->
+                    Option.bind (Json.member "text" r) Json.to_string_opt)
+              with
+              | Some text -> sections := (string_of_int w, text) :: !sections
+              | None -> skip w "reply carried no text field")
+          | Ok _ -> skip w "worker refused the scrape"
+          | Error _ -> skip w "unparsable reply")
+  done;
+  Obs.Exposition.merge ~head ~label:"worker" (List.rev !sections)
+  ^ Buffer.contents skipped
+
 let respond t conns line =
   let err id e = (Protocol.error_reply ~id e, `Continue) in
   match Json.parse line with
@@ -375,6 +430,30 @@ let respond t conns line =
           record_cmd t "invalid";
           err id e
       | Ok (id, request) -> (
+          (* Trace-context propagation: when tracing is on, adopt the
+             client's envelope or mint a fresh one and splice it into the
+             forwarded bytes; when tracing is off the line is forwarded
+             verbatim, untouched. *)
+          let traced line =
+            if not (Obs.Trace.enabled ()) then (line, None)
+            else
+              match Protocol.obs_context json with
+              | Some (trace, _) -> (line, Some trace)
+              | None ->
+                  let trace = Obs.Trace.fresh_id () in
+                  ( Protocol.with_obs line ~trace ~span:(Obs.Trace.fresh_id ()),
+                    Some trace )
+          in
+          let route_traced ~name ~pref line =
+            let line, trace = traced line in
+            let run () = route t conns ~id ~pref line in
+            match trace with
+            | None -> run ()
+            | Some tr ->
+                Obs.Trace.span name (fun () ->
+                    Obs.Trace.add_attr "trace_id" tr;
+                    run ())
+          in
           match request with
           | Protocol.Ping ->
               record_cmd t "ping";
@@ -392,9 +471,12 @@ let respond t conns line =
           | Protocol.Stats ->
               record_cmd t "stats";
               (Protocol.ok_reply ~id ~result:(Json.render (stats_json t)) (), `Continue)
-          | Protocol.Metrics ->
+          | Protocol.Metrics { fleet } ->
               record_cmd t "metrics";
-              let text = Metrics.to_prometheus t.registry in
+              let text =
+                if fleet then fleet_metrics t conns
+                else Metrics.to_prometheus t.registry
+              in
               let result =
                 Json.render
                   (Json.Obj
@@ -412,7 +494,7 @@ let respond t conns line =
               | Ok prepared ->
                   let pref = Ring.preference t.ring prepared.Engine.key in
                   let t0 = Unix.gettimeofday () in
-                  let reply = route t conns ~id ~pref line in
+                  let reply = route_traced ~name:"router:solve" ~pref line in
                   Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
                   (reply, `Continue))
           | Protocol.Solve_multi q -> (
@@ -422,7 +504,7 @@ let respond t conns line =
               | Ok prepared ->
                   let pref = Ring.preference t.ring prepared.Engine.m_key in
                   let t0 = Unix.gettimeofday () in
-                  let reply = route t conns ~id ~pref line in
+                  let reply = route_traced ~name:"router:solve_multi" ~pref line in
                   Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
                   (reply, `Continue))
           | Protocol.Admit q -> (
@@ -432,13 +514,27 @@ let respond t conns line =
               | Ok prepared ->
                   let pref = Ring.preference t.ring prepared.Engine.m_key in
                   let t0 = Unix.gettimeofday () in
-                  let reply = route t conns ~id ~pref line in
+                  let reply = route_traced ~name:"router:admit" ~pref line in
                   Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
                   (reply, `Continue))
           | Protocol.Batch items ->
               record_cmd t "batch";
+              let trace =
+                if not (Obs.Trace.enabled ()) then None
+                else
+                  match Protocol.obs_context json with
+                  | Some (tr, _) -> Some tr
+                  | None -> Some (Obs.Trace.fresh_id ())
+              in
               let t0 = Unix.gettimeofday () in
-              let reply = route_batch t conns ~id items in
+              let reply =
+                match trace with
+                | None -> route_batch t conns ~id items
+                | Some tr ->
+                    Obs.Trace.span "router:batch" (fun () ->
+                        Obs.Trace.add_attr "trace_id" tr;
+                        route_batch t conns ~id ~trace:tr items)
+              in
               Metrics.Histogram.observe t.latency (Unix.gettimeofday () -. t0);
               (reply, `Continue)))
 
@@ -532,8 +628,13 @@ let serve t addr =
   cleanup_path ();
   Unix.bind listen_fd (Protocol.sockaddr_of addr);
   Unix.listen listen_fd 64;
-  Format.fprintf t.config.log "cluster: router listening on %s (%d workers)@."
-    (Protocol.addr_to_string addr) (Supervisor.size t.sup);
+  Obs.Log.info t.slog
+    ~attrs:
+      [
+        ("addr", Protocol.addr_to_string addr);
+        ("workers", string_of_int (Supervisor.size t.sup));
+      ]
+    "router_listening";
   let conns_mutex = Mutex.create () in
   let conns = ref [] in
   let rec accept_loop () =
@@ -553,7 +654,9 @@ let serve t addr =
   Mutex.lock conns_mutex;
   let threads = !conns in
   Mutex.unlock conns_mutex;
-  Format.fprintf t.config.log "cluster: draining %d connection(s)@." (List.length threads);
+  Obs.Log.info t.slog
+    ~attrs:[ ("connections", string_of_int (List.length threads)) ]
+    "draining";
   List.iter Thread.join threads;
-  Format.fprintf t.config.log "cluster: stopping the fleet@.";
+  Obs.Log.info t.slog "fleet_stopping";
   Supervisor.shutdown ~grace:t.config.drain_grace t.sup

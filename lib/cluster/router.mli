@@ -8,7 +8,15 @@
     reply is safe), whole passes retry on the Backoff policy until the
     per-request deadline, per-worker circuit breakers shed failing
     workers, and when no worker can answer the client gets a typed
-    retriable [unavailable] reply, never a hang. *)
+    retriable [unavailable] reply, never a hang.
+
+    Observability: [metrics] with ["fleet":true] federates every Up
+    worker's exposition under a [worker="i"] label behind the router's
+    own; when {!Obs.Trace} is enabled the router adopts (or mints) a
+    trace context per request, records a [router:*] span tagged with the
+    trace id, and splices the context into the forwarded bytes so worker
+    spans join the same trace — with tracing off, client bytes are
+    forwarded verbatim, untouched. *)
 
 type config = {
   max_frame : int;  (** request line byte limit (default 1 MiB) *)

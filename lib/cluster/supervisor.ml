@@ -43,7 +43,7 @@ type t = {
   heartbeat_period : float;
   heartbeat_deadline : float;
   start_deadline : float;
-  log : Format.formatter;
+  slog : Obs.Log.t;  (* structured events, routed through the ?log formatter *)
   lock : Mutex.t;
   stopping : bool Atomic.t;
   mutable monitor : Thread.t option;
@@ -52,8 +52,6 @@ type t = {
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
-
-let logf t fmt = Format.fprintf t.log fmt
 
 let spawn t i slot =
   let now = Unix.gettimeofday () in
@@ -68,8 +66,14 @@ let spawn t i slot =
   slot.pid <- Some pid;
   slot.st <- Starting;
   slot.spawned_at <- now;
-  logf t "cluster: worker %d spawned (pid %d) on %s@." i pid
-    (Service.Protocol.addr_to_string slot.spec.addr)
+  Obs.Log.info t.slog
+    ~attrs:
+      [
+        ("worker", string_of_int i);
+        ("pid", string_of_int pid);
+        ("addr", Service.Protocol.addr_to_string slot.spec.addr);
+      ]
+    "worker_spawn"
 
 let ping addr ~deadline =
   match Service.Client.connect ~deadline addr with
@@ -108,19 +112,29 @@ let tick t =
                     let attempt = slot.attempts in
                     if Supervise.Backoff.exhausted t.backoff ~attempt then begin
                       slot.st <- Dead;
-                      logf t "cluster: worker %d dead after %d restart attempts@." i attempt
+                      Obs.Log.error t.slog
+                        ~attrs:
+                          [ ("worker", string_of_int i); ("attempts", string_of_int attempt) ]
+                        "worker_dead"
                     end
                     else begin
                       let wait = Supervise.Backoff.delay t.backoff ~seed:i ~attempt in
                       slot.st <- Restarting { attempt; until = now +. wait };
                       slot.attempts <- attempt + 1;
                       slot.restarts <- slot.restarts + 1;
-                      logf t "cluster: worker %d exited (%s); restart %d in %.3f s@." i
-                        (match status with
-                        | Unix.WEXITED c -> Printf.sprintf "exit %d" c
-                        | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
-                        | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s)
-                        (attempt + 1) wait
+                      Obs.Log.warn t.slog
+                        ~attrs:
+                          [
+                            ("worker", string_of_int i);
+                            ( "status",
+                              match status with
+                              | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+                              | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+                              | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s );
+                            ("attempt", string_of_int (attempt + 1));
+                            ("wait_s", Printf.sprintf "%.3f" wait);
+                          ]
+                        "worker_exit"
                     end
                   end)
           | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
@@ -147,11 +161,16 @@ let tick t =
                   slot.st <- Up;
                   slot.last_beat <- Unix.gettimeofday ()
                 end);
-            logf t "cluster: worker %d up@." i
+            Obs.Log.info t.slog ~attrs:[ ("worker", string_of_int i) ] "worker_up"
           end
           else if now -. slot.spawned_at > t.start_deadline then begin
-            logf t "cluster: worker %d failed to come up within %.3g s; killing@." i
-              t.start_deadline;
+            Obs.Log.warn t.slog
+              ~attrs:
+                [
+                  ("worker", string_of_int i);
+                  ("deadline_s", Printf.sprintf "%.3g" t.start_deadline);
+                ]
+              "worker_start_timeout";
             kill_slot slot Sys.sigkill
           end
       | Up when now -. slot.last_beat >= t.heartbeat_period ->
@@ -160,7 +179,9 @@ let tick t =
                 slot.last_beat <- Unix.gettimeofday ();
                 slot.attempts <- 0)
           else begin
-            logf t "cluster: worker %d missed its heartbeat; killing@." i;
+            Obs.Log.warn t.slog
+              ~attrs:[ ("worker", string_of_int i) ]
+              "worker_heartbeat_missed";
             kill_slot slot Sys.sigkill
           end
       | _ -> ())
@@ -195,7 +216,7 @@ let start ?(backoff = Supervise.Backoff.default_restart) ?(heartbeat_period = 1.
       heartbeat_period;
       heartbeat_deadline;
       start_deadline;
-      log;
+      slog = Obs.Log.create ~sink:(Obs.Log.formatter_sink log) ~comp:"supervisor" ();
       lock = Mutex.create ();
       stopping = Atomic.make false;
       monitor = None;
@@ -260,10 +281,14 @@ let shutdown ?(grace = 5.0) t =
       match slot.pid with
       | None -> ()
       | Some pid ->
-          logf t "cluster: worker %d ignored SIGTERM; killing@." i;
+          Obs.Log.warn t.slog
+            ~attrs:[ ("worker", string_of_int i) ]
+            "sigterm_ignored";
           kill_slot slot Sys.sigkill;
           (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
           slot.pid <- None;
           slot.st <- Dead)
     t.slots;
-  logf t "cluster: fleet stopped (%d lifetime restarts)@." (restarts_total t)
+  Obs.Log.info t.slog
+    ~attrs:[ ("restarts", string_of_int (restarts_total t)) ]
+    "fleet_stop"

@@ -1,0 +1,181 @@
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+(* Split a sample line into (name, label block without braces or None,
+   rest after the labels — value and optional timestamp, leading space
+   included). The label scan is quote-aware so a '}' inside a quoted
+   label value does not terminate the block. *)
+let split_line line =
+  let len = String.length line in
+  let rec name_end i = if i < len && is_name_char line.[i] then name_end (i + 1) else i in
+  let ne = name_end 0 in
+  if ne = 0 then None
+  else
+    let name = String.sub line 0 ne in
+    if ne < len && line.[ne] = '{' then begin
+      let rec close i in_q esc =
+        if i >= len then None
+        else if esc then close (i + 1) in_q false
+        else
+          match line.[i] with
+          | '\\' when in_q -> close (i + 1) in_q true
+          | '"' -> close (i + 1) (not in_q) false
+          | '}' when not in_q -> Some i
+          | _ -> close (i + 1) in_q false
+      in
+      match close (ne + 1) false false with
+      | None -> None
+      | Some ce ->
+          Some
+            ( name,
+              Some (String.sub line (ne + 1) (ce - ne - 1)),
+              String.sub line (ce + 1) (len - ce - 1) )
+    end
+    else Some (name, None, String.sub line ne (len - ne))
+
+let unescape_label v =
+  let b = Buffer.create (String.length v) in
+  let i = ref 0 in
+  let n = String.length v in
+  while !i < n do
+    (if v.[!i] = '\\' && !i + 1 < n then begin
+       (match v.[!i + 1] with
+       | 'n' -> Buffer.add_char b '\n'
+       | '\\' -> Buffer.add_char b '\\'
+       | '"' -> Buffer.add_char b '"'
+       | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char b v.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* Parse the inside of a label block: k="v",k2="v2". *)
+let parse_labels raw =
+  let len = String.length raw in
+  let rec skip_ws i = if i < len && raw.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec pairs acc i =
+    let i = skip_ws i in
+    if i >= len then Some (List.rev acc)
+    else
+      let rec key_end j = if j < len && is_name_char raw.[j] then key_end (j + 1) else j in
+      let ke = key_end i in
+      if ke = i || ke >= len || raw.[ke] <> '=' || ke + 1 >= len || raw.[ke + 1] <> '"'
+      then None
+      else
+        let key = String.sub raw i (ke - i) in
+        let rec value_end j esc =
+          if j >= len then None
+          else if esc then value_end (j + 1) false
+          else
+            match raw.[j] with
+            | '\\' -> value_end (j + 1) true
+            | '"' -> Some j
+            | _ -> value_end (j + 1) false
+        in
+        match value_end (ke + 2) false with
+        | None -> None
+        | Some ve ->
+            let v = unescape_label (String.sub raw (ke + 2) (ve - ke - 2)) in
+            let i = skip_ws (ve + 1) in
+            if i < len && raw.[i] = ',' then pairs ((key, v) :: acc) (i + 1)
+            else if i >= len then Some (List.rev ((key, v) :: acc))
+            else None
+  in
+  pairs [] 0
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match split_line line with
+    | None -> None
+    | Some (name, labels_raw, rest) -> (
+        let labels =
+          match labels_raw with None -> Some [] | Some raw -> parse_labels raw
+        in
+        match labels with
+        | None -> None
+        | Some labels -> (
+            let rest = String.trim rest in
+            let value_tok =
+              match String.index_opt rest ' ' with
+              | Some i -> String.sub rest 0 i
+              | None -> rest
+            in
+            match float_of_string_opt value_tok with
+            | Some v -> Some (name, labels, v)
+            | None -> None))
+
+let relabel_line ~key ~value line =
+  if line = "" || line.[0] = '#' then line
+  else
+    match split_line line with
+    | None -> line
+    | Some (name, labels_raw, rest) -> (
+        let ins = Printf.sprintf "%s=\"%s\"" key (escape_label value) in
+        match labels_raw with
+        | None | Some "" -> Printf.sprintf "%s{%s}%s" name ins rest
+        | Some raw -> Printf.sprintf "%s{%s,%s}%s" name ins raw rest)
+
+let split_lines text = String.split_on_char '\n' text
+
+let relabel ~key ~value text =
+  split_lines text
+  |> List.map (relabel_line ~key ~value)
+  |> String.concat "\n"
+
+(* "# HELP name …" / "# TYPE name …" → (kind, name). *)
+let header_of line =
+  let parts =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | "#" :: (("HELP" | "TYPE") as kind) :: name :: _ -> Some (kind, name)
+  | _ -> None
+
+let merge ?(head = "") ~label sections =
+  let buf = Buffer.create 4096 in
+  let seen = Hashtbl.create 32 in
+  let emit_line line =
+    match header_of line with
+    | Some key ->
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n'
+        end
+    | None ->
+        if line <> "" then begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n'
+        end
+  in
+  List.iter emit_line (split_lines head);
+  List.iter
+    (fun (value, text) ->
+      List.iter
+        (fun line -> emit_line (relabel_line ~key:label ~value line))
+        (split_lines text))
+    sections;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Manipulate Prometheus text expositions (version 0.0.4) as text.
+
+    The router federates worker registries by scraping each worker's
+    exposition over the wire and merging the texts, so this module works
+    on the rendered format directly: inject a distinguishing label into
+    every sample line, deduplicate [# HELP]/[# TYPE] headers across
+    sections, and parse individual sample lines back out (for the [top]
+    live view). *)
+
+val parse_line : string -> (string * (string * string) list * float) option
+(** [parse_line line] decodes one sample line into
+    [(metric_name, labels, value)]. Comments, blank lines and malformed
+    lines yield [None]. Label values are unescaped; an optional trailing
+    timestamp is ignored. *)
+
+val relabel : key:string -> value:string -> string -> string
+(** [relabel ~key ~value text] injects [key="value"] as the first label of
+    every sample line of [text]; comment and blank lines pass through
+    unchanged. *)
+
+val merge : ?head:string -> label:string -> (string * string) list -> string
+(** [merge ~head ~label sections] builds one exposition: [head] (a local
+    exposition, typically the router's own registries) is emitted
+    verbatim, then each [(value, text)] section is relabeled with
+    [label="value"] and appended. [# HELP]/[# TYPE] headers are emitted at
+    most once per metric name across the whole output. *)

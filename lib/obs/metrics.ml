@@ -1,15 +1,22 @@
 type labels = (string * string) list
 
-(* Histogram: fixed non-cumulative bucket counters plus every sample, so
-   quantiles are exact (nearest rank) instead of bucket-interpolated.
-   A mutex guards the whole record; histograms are observed once per
-   request/solve, never per state, so contention is negligible. *)
+(* Histogram: fixed non-cumulative bucket counters plus retained samples.
+   Up to [retain] observations every sample is kept, so quantiles are
+   exact (nearest rank) instead of bucket-interpolated; past the cap a
+   uniform reservoir (Algorithm R, deterministic per-metric PRNG) bounds
+   memory while keeping the quantiles an unbiased estimate over the whole
+   stream. A mutex guards the whole record; histograms are observed once
+   per request/solve, never per state, so contention is negligible. *)
 type hist = {
   bounds : float array; (* strictly increasing, finite *)
   counts : int array; (* length = Array.length bounds + 1; last = +Inf *)
   mutable hsum : float;
   mutable samples : floatarray;
-  mutable n : int;
+  mutable n : int; (* retained samples *)
+  mutable seen : int; (* total observations ever *)
+  retain : int; (* reservoir capacity *)
+  mutable rng : int64; (* splitmix64 state, seeded from the metric name *)
+  rng0 : int64;
   hm : Mutex.t;
 }
 
@@ -119,10 +126,26 @@ module Gauge = struct
   let value t = Atomic.get t
 end
 
+(* splitmix64 — deterministic reservoir decisions, seeded per metric. *)
+let splitmix64 seed =
+  let z = Int64.add seed 0x9E3779B97F4A7C15L in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
 module Histogram = struct
   type t = hist
 
-  let create ?(registry = default) ?(labels = []) ?(help = "") ~buckets name =
+  let default_retain = 8192
+
+  let create ?(registry = default) ?(labels = []) ?(help = "")
+      ?(retain = default_retain) ~buckets name =
     Array.iteri
       (fun i b ->
         if not (Float.is_finite b) then
@@ -130,16 +153,23 @@ module Histogram = struct
         if i > 0 && b <= buckets.(i - 1) then
           invalid_arg "Obs.Metrics.Histogram: bounds must be increasing")
       buckets;
+    if retain < 1 then
+      invalid_arg "Obs.Metrics.Histogram: retain must be >= 1";
     let m =
       intern registry name labels help
         (fun () ->
+          let seed = Int64.of_int (Hashtbl.hash (name, labels)) in
           Hist_c
             {
               bounds = Array.copy buckets;
               counts = Array.make (Array.length buckets + 1) 0;
               hsum = 0.;
-              samples = Float.Array.create 64;
+              samples = Float.Array.create (min 64 retain);
               n = 0;
+              seen = 0;
+              retain;
+              rng = seed;
+              rng0 = seed;
               hm = Mutex.create ();
             })
         (function Hist_c _ -> true | _ -> false)
@@ -151,22 +181,44 @@ module Histogram = struct
     let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
     go 0
 
+  (* Uniform draw in [0, bound) off the histogram's own PRNG; caller holds
+     the mutex. *)
+  let rand_below h bound =
+    h.rng <- splitmix64 h.rng;
+    Int64.to_int (Int64.rem (Int64.shift_right_logical h.rng 1)
+                    (Int64.of_int bound))
+
   let observe h v =
     Mutex.lock h.hm;
     let i = bucket_index h.bounds v in
     h.counts.(i) <- h.counts.(i) + 1;
     h.hsum <- h.hsum +. v;
-    let cap = Float.Array.length h.samples in
-    if h.n = cap then begin
-      let bigger = Float.Array.create (2 * cap) in
-      Float.Array.blit h.samples 0 bigger 0 cap;
-      h.samples <- bigger
+    h.seen <- h.seen + 1;
+    if h.n < h.retain then begin
+      let cap = Float.Array.length h.samples in
+      if h.n = cap then begin
+        let bigger = Float.Array.create (min h.retain (2 * cap)) in
+        Float.Array.blit h.samples 0 bigger 0 cap;
+        h.samples <- bigger
+      end;
+      Float.Array.set h.samples h.n v;
+      h.n <- h.n + 1
+    end
+    else begin
+      (* Algorithm R: the new sample replaces a retained one with
+         probability retain/seen, keeping the reservoir uniform. *)
+      let j = rand_below h h.seen in
+      if j < h.retain then Float.Array.set h.samples j v
     end;
-    Float.Array.set h.samples h.n v;
-    h.n <- h.n + 1;
     Mutex.unlock h.hm
 
   let count h =
+    Mutex.lock h.hm;
+    let n = h.seen in
+    Mutex.unlock h.hm;
+    n
+
+  let retained h =
     Mutex.lock h.hm;
     let n = h.n in
     Mutex.unlock h.hm;
@@ -227,6 +279,7 @@ let register_collector ?(registry = default) ~name fn =
 let view_hist h =
   Mutex.lock h.hm;
   let n = h.n in
+  let seen = h.seen in
   let s = h.hsum in
   let counts = Array.copy h.counts in
   let copy = Float.Array.create (max n 1) in
@@ -241,7 +294,7 @@ let view_hist h =
   Float.Array.sort compare sorted;
   let q p = Histogram.quantile_sorted sorted n p in
   {
-    h_count = n;
+    h_count = seen;
     h_sum = s;
     h_buckets = buckets;
     h_p50 = q 0.50;
@@ -371,5 +424,31 @@ let reset registry =
           Array.fill h.counts 0 (Array.length h.counts) 0;
           h.hsum <- 0.;
           h.n <- 0;
+          h.seen <- 0;
+          h.rng <- h.rng0;
           Mutex.unlock h.hm)
     metrics
+
+(* ------------------------------------------------------------------ *)
+(* Process identity: every default registry carries an uptime gauge and
+   a build-info gauge so federated expositions (router scraping worker
+   registries) can tell the processes apart. The values are refreshed by
+   a collector, so [reset] does not leave them stuck at zero. *)
+
+let build_version = "1.0.0"
+let process_start_ns = Clock.now_ns ()
+
+let () =
+  let uptime =
+    Gauge.create ~help:"Seconds since this process initialised obs"
+      "process_uptime_seconds"
+  in
+  let info =
+    Gauge.create
+      ~labels:[ ("version", build_version); ("ocaml", Sys.ocaml_version) ]
+      ~help:"Build identity of this process (value is always 1)"
+      "streaming_build_info"
+  in
+  register_collector ~name:"obs.process" (fun () ->
+      Gauge.set uptime (Clock.ns_to_s (Clock.now_ns () - process_start_ns));
+      Gauge.set info 1.0)

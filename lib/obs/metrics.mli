@@ -10,9 +10,12 @@
     children cheaply. Creating an existing name with a different metric kind
     raises [Invalid_argument].
 
-    Histograms keep both fixed bucket counts (for the service JSON shape)
-    and every observed sample, giving {e exact} nearest-rank p50/p90/p99
-    summaries rather than bucket-interpolated estimates. *)
+    Histograms keep fixed bucket counts (for the service JSON shape) plus
+    retained samples: below the [retain] cap every observation is kept and
+    the p50/p90/p99 summaries are {e exact} nearest-rank; past the cap a
+    uniform reservoir (Algorithm R with a deterministic per-metric PRNG)
+    bounds memory in long-running daemons while keeping the quantiles an
+    unbiased estimate over the whole stream. *)
 
 type registry
 
@@ -58,21 +61,32 @@ module Histogram : sig
     ?registry:registry ->
     ?labels:labels ->
     ?help:string ->
+    ?retain:int ->
     buckets:float array ->
     string ->
     t
   (** [buckets] are strictly increasing finite upper bounds; an implicit
-      [+Inf] bucket is appended. Idempotent like {!Counter.create} (the
-      bucket bounds of the first creation win). *)
+      [+Inf] bucket is appended. [retain] caps the retained samples
+      (default 8192, must be [>= 1]); quantiles are exact while the
+      observation count stays under the cap and reservoir-estimated past
+      it. Idempotent like {!Counter.create} (the bucket bounds and cap of
+      the first creation win). *)
 
   val observe : t -> float -> unit
 
   val count : t -> int
+  (** Total observations ever (not capped by [retain]). *)
+
+  val retained : t -> int
+  (** Currently retained samples, [<= retain] — equals {!count} until the
+      reservoir engages. *)
+
   val sum : t -> float
 
   val quantile : t -> float -> float
-  (** Exact nearest-rank quantile over all observed samples, [q] in (0,1].
-      [nan] when the histogram is empty. *)
+  (** Nearest-rank quantile over the retained samples, [q] in (0,1] —
+      exact while under the [retain] cap. [nan] when the histogram is
+      empty. *)
 end
 
 (** Snapshot view of one histogram. *)
@@ -117,3 +131,8 @@ val to_prometheus : registry -> string
 val reset : registry -> unit
 (** Zero every metric in the registry (registrations are kept). Intended
     for tests and benchmarks. *)
+
+val build_version : string
+(** Version string carried by the [streaming_build_info] gauge that the
+    {!default} registry exposes (together with [process_uptime_seconds])
+    so federated expositions can identify worker processes. *)

@@ -1,0 +1,171 @@
+type state = {
+  ring : Log.event option array;
+  mutable head : int;  (* next write slot *)
+  mutable total : int;  (* events ever recorded *)
+  mutable dump_path : string option;
+  mutable last_dump : float;
+  mutable err_times : float list;  (* newest first, pruned to the window *)
+  burst_threshold : int;
+  burst_window : float;
+  min_dump_interval : float;
+  m : Mutex.t;
+}
+
+let state : state option Atomic.t = Atomic.make None
+let at_exit_armed = Atomic.make false
+
+let enabled () = Atomic.get state <> None
+
+let record s (ev : Log.event) =
+  Mutex.lock s.m;
+  s.ring.(s.head) <- Some ev;
+  s.head <- (s.head + 1) mod Array.length s.ring;
+  s.total <- s.total + 1;
+  Mutex.unlock s.m
+
+let enable ?(capacity = 512) ?(burst_threshold = 8) ?(burst_window = 10.0)
+    ?(min_dump_interval = 30.0) () =
+  if not (enabled ()) then begin
+    let capacity = max 1 capacity in
+    let s =
+      { ring = Array.make capacity None; head = 0; total = 0;
+        dump_path = None; last_dump = neg_infinity; err_times = [];
+        burst_threshold; burst_window; min_dump_interval;
+        m = Mutex.create () }
+    in
+    Atomic.set state (Some s);
+    Log.set_tap (Some (fun ev -> record s ev))
+  end
+
+let disable () =
+  Log.set_tap None;
+  Atomic.set state None
+
+let note ?now ?trace ?(attrs = []) ~level ~comp event_name =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+      let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+      record s
+        { Log.lg_ts = now; lg_level = level; lg_comp = comp;
+          lg_event = event_name; lg_trace = trace; lg_attrs = attrs;
+          lg_suppressed = 0 }
+
+let note_span ?now name ~dur_ns =
+  if enabled () then
+    note ?now ~level:Log.Debug ~comp:"span"
+      ~attrs:[ ("dur_ns", string_of_int dur_ns) ]
+      name
+
+let entries () =
+  match Atomic.get state with
+  | None -> []
+  | Some s ->
+      Mutex.lock s.m;
+      let cap = Array.length s.ring in
+      let n = min s.total cap in
+      let start = (s.head - n + (cap * 2)) mod cap in
+      let out = ref [] in
+      for i = n - 1 downto 0 do
+        match s.ring.((start + i) mod cap) with
+        | Some ev -> out := ev :: !out
+        | None -> ()
+      done;
+      Mutex.unlock s.m;
+      !out
+
+let clear () =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.m;
+      Array.fill s.ring 0 (Array.length s.ring) None;
+      s.head <- 0;
+      s.total <- 0;
+      s.err_times <- [];
+      s.last_dump <- neg_infinity;
+      Mutex.unlock s.m
+
+(* Dumping must never raise: it runs from at_exit and from the path
+   immediately before an injected [Unix._exit].  Dumps are serialized by
+   [dump_m] — concurrent request threads can trip a dump at the same
+   instant, and an unserialized pair can interleave truncate/rename so
+   the survivor publishes an empty file — and the tmp name carries the
+   pid so a dying worker and its freshly-spawned replacement sharing one
+   dump path never truncate each other's scratch file. *)
+let dump_m = Mutex.create ()
+
+let dump ~reason ~path =
+  match Atomic.get state with
+  | None -> ()
+  | Some _ ->
+      Mutex.lock dump_m;
+      (try
+         let evs = entries () in
+         let metrics_text = try Metrics.to_prometheus Metrics.default with _ -> "" in
+         let b = Buffer.create 4096 in
+         Buffer.add_string b
+           (Printf.sprintf
+              "{\"flight_recorder\":1,\"pid\":%d,\"reason\":\"%s\",\"dumped_at\":%.6f,\"events\":["
+              (Unix.getpid ()) (Log.json_escape reason) (Unix.gettimeofday ()));
+         List.iteri
+           (fun i ev ->
+             if i > 0 then Buffer.add_char b ',';
+             Buffer.add_string b (Log.to_json ev))
+           evs;
+         Buffer.add_string b
+           (Printf.sprintf "],\"metrics\":\"%s\"}" (Log.json_escape metrics_text));
+         let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+         let oc = open_out tmp in
+         output_string oc (Buffer.contents b);
+         output_char oc '\n';
+         close_out oc;
+         Sys.rename tmp path
+       with _ -> ());
+      Mutex.unlock dump_m
+
+let crash_dump ~reason =
+  match Atomic.get state with
+  | None -> ()
+  | Some s -> (
+      match s.dump_path with
+      | None -> ()
+      | Some path ->
+          s.last_dump <- Unix.gettimeofday ();
+          dump ~reason ~path)
+
+let install ~path =
+  enable ();
+  (match Atomic.get state with
+  | None -> ()
+  | Some s -> s.dump_path <- Some path);
+  if not (Atomic.exchange at_exit_armed true) then
+    at_exit (fun () -> crash_dump ~reason:"exit")
+
+let error_tick ?now ~kind () =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+      let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+      let burst =
+        Mutex.lock s.m;
+        s.err_times <-
+          now
+          :: List.filter (fun t -> now -. t <= s.burst_window) s.err_times;
+        let n = List.length s.err_times in
+        let fire =
+          n >= s.burst_threshold
+          && now -. s.last_dump >= s.min_dump_interval
+          && s.dump_path <> None
+        in
+        if fire then begin
+          s.last_dump <- now;
+          s.err_times <- []
+        end;
+        Mutex.unlock s.m;
+        fire
+      in
+      if burst then
+        match s.dump_path with
+        | Some path -> dump ~reason:("error-burst:" ^ kind) ~path
+        | None -> ()

@@ -1,0 +1,73 @@
+(** Crash flight recorder: a bounded ring of the most recent log events
+    and span completions, dumped atomically to a file on process death or
+    on a typed-error burst.
+
+    The recorder is process-wide and off by default ({!note} and
+    {!note_span} are cheap no-ops while disabled, so instrumentation can
+    stay unconditional). {!enable} hooks the {!Log} tap so every
+    structured log event of every logger lands in the ring regardless of
+    level or rate filtering; {!install} arms a dump file and registers an
+    [at_exit] dump for clean shutdowns. Abnormal exits that skip [at_exit]
+    (e.g. the chaos injector's [Unix._exit]) must call {!crash_dump}
+    explicitly first.
+
+    The dump is written to [path ^ ".tmp"] and renamed into place, so
+    readers never observe a torn file. It is a single JSON object carrying
+    the ring (oldest first) plus a snapshot of the default metrics
+    registry. *)
+
+val enable :
+  ?capacity:int ->
+  ?burst_threshold:int ->
+  ?burst_window:float ->
+  ?min_dump_interval:float ->
+  unit ->
+  unit
+(** Turn the recorder on (idempotent; the first call's parameters win).
+    [capacity] bounds the ring (default 512 events). A dump fires
+    automatically when [burst_threshold] errors (default 8) arrive within
+    [burst_window] seconds (default 10.0), rate-limited to one auto-dump
+    per [min_dump_interval] seconds (default 30.0). *)
+
+val disable : unit -> unit
+(** Turn the recorder off and drop its state (tests). *)
+
+val enabled : unit -> bool
+
+val note :
+  ?now:float ->
+  ?trace:string ->
+  ?attrs:(string * string) list ->
+  level:Log.level ->
+  comp:string ->
+  string ->
+  unit
+(** Append one event to the ring directly (no logger). No-op when
+    disabled. *)
+
+val note_span : ?now:float -> string -> dur_ns:int -> unit
+(** Record a completed span (name + duration) in the ring. Called by
+    {!Trace.span} when the recorder is enabled. No-op when disabled. *)
+
+val install : path:string -> unit
+(** Arm [path] as the dump target and register an [at_exit] dump with
+    reason ["exit"]. Enables the recorder if it is not enabled yet. *)
+
+val error_tick : ?now:float -> kind:string -> unit -> unit
+(** Report one typed error. When errors burst past the configured
+    threshold within the window, dumps to the installed path with reason
+    ["error-burst:<kind>"]. No-op when disabled or no path installed. *)
+
+val crash_dump : reason:string -> unit
+(** Dump immediately to the installed path (no-op when disabled or not
+    installed). Never raises — safe on the way down. *)
+
+val dump : reason:string -> path:string -> unit
+(** Dump the ring to an explicit [path] (atomic tmp+rename). Never
+    raises. *)
+
+val entries : unit -> Log.event list
+(** Ring contents, oldest first (tests). Empty when disabled. *)
+
+val clear : unit -> unit
+(** Drop ring contents and burst state, keep the recorder enabled. *)

@@ -95,24 +95,39 @@ let now_rel () = Clock.now_ns () - epoch_ns
    to [f] after one atomic load — no closure, no allocation. *)
 let span_on name f =
   let buf = my_buffer () in
+  let ts0 = now_rel () in
   record buf
-    { ev_name = name; ev_ph = 'B'; ev_ts_ns = now_rel (); ev_tid = buf.tid; ev_args = [] };
+    { ev_name = name; ev_ph = 'B'; ev_ts_ns = ts0; ev_tid = buf.tid; ev_args = [] };
   let attrs = ref [] in
   buf.open_attrs <- attrs :: buf.open_attrs;
   Fun.protect
     ~finally:(fun () ->
       (match buf.open_attrs with [] -> () | _ :: tl -> buf.open_attrs <- tl);
+      let ts1 = now_rel () in
       record buf
         {
           ev_name = name;
           ev_ph = 'E';
-          ev_ts_ns = now_rel ();
+          ev_ts_ns = ts1;
           ev_tid = buf.tid;
           ev_args = List.rev !attrs;
-        })
+        };
+      if Recorder.enabled () then Recorder.note_span name ~dur_ns:(ts1 - ts0))
     f
 
-let span name f = if Atomic.get on then span_on name f else f ()
+(* When the flight recorder is on but tracing is off, spans still leave a
+   completion note in the recorder ring (name + duration); when both are
+   off this is exactly [f ()] after two atomic loads. *)
+let span_noted name f =
+  let t0 = Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () -> Recorder.note_span name ~dur_ns:(Clock.now_ns () - t0))
+    f
+
+let span name f =
+  if Atomic.get on then span_on name f
+  else if Recorder.enabled () then span_noted name f
+  else f ()
 
 let add_attr k v =
   if Atomic.get on then
@@ -161,18 +176,32 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let to_chrome_json () =
+let to_chrome_json ?(pid = 1) ?process_name () =
   let evs = events () in
   let buf = Buffer.create 4096 in
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char buf ',' in
   Buffer.add_string buf "{\"traceEvents\":[";
-  List.iteri
-    (fun i ev ->
-      if i > 0 then Buffer.add_char buf ',';
-      (* ts is in microseconds; keep sub-µs precision as decimals *)
+  (match process_name with
+  | None -> ()
+  | Some name ->
+      sep ();
       Buffer.add_string buf
-        (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%c\",\"ts\":%d.%03d,\"pid\":1,\"tid\":%d"
-           (json_escape ev.ev_name) ev.ev_ph (ev.ev_ts_ns / 1000)
-           (ev.ev_ts_ns mod 1000) ev.ev_tid);
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           pid (json_escape name)));
+  List.iter
+    (fun ev ->
+      sep ();
+      (* ts is in microseconds; keep sub-µs precision as decimals. The
+         monotonic clock is system-wide, so exporting absolute timestamps
+         ([epoch_ns] + relative) lets traces from concurrently-running
+         processes merge onto one timeline. *)
+      let abs_ns = epoch_ns + ev.ev_ts_ns in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%c\",\"ts\":%d.%03d,\"pid\":%d,\"tid\":%d"
+           (json_escape ev.ev_name) ev.ev_ph (abs_ns / 1000)
+           (abs_ns mod 1000) pid ev.ev_tid);
       (match ev.ev_args with
       | [] -> ()
       | args ->
@@ -191,8 +220,67 @@ let to_chrome_json () =
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 
-let write_chrome path =
+let write_chrome ?pid ?process_name path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_chrome_json ()))
+    (fun () -> output_string oc (to_chrome_json ?pid ?process_name ()))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process merge                                                 *)
+
+let chrome_prefix = "{\"traceEvents\":["
+let chrome_suffix_key = "],\"displayTimeUnit\""
+
+(* Extract the event-array body of a document produced by
+   [to_chrome_json]; [None] for anything that does not match. *)
+let chrome_body doc =
+  let doc = String.trim doc in
+  let pl = String.length chrome_prefix in
+  let kl = String.length chrome_suffix_key in
+  if String.length doc >= pl + kl && String.sub doc 0 pl = chrome_prefix then begin
+    let rec find i =
+      if i < pl then None
+      else if String.sub doc i kl = chrome_suffix_key then Some i
+      else find (i - 1)
+    in
+    match find (String.length doc - kl) with
+    | Some i -> Some (String.sub doc pl (i - pl))
+    | None -> None
+  end
+  else None
+
+let merge_chrome docs =
+  let parts =
+    List.filter_map chrome_body docs
+    |> List.filter (fun s -> String.trim s <> "")
+  in
+  chrome_prefix ^ String.concat "," parts ^ "],\"displayTimeUnit\":\"ms\"}"
+
+(* ------------------------------------------------------------------ *)
+(* Trace ids                                                           *)
+
+let id_counter = Atomic.make 0
+
+let splitmix64 seed =
+  let z = Int64.add seed 0x9E3779B97F4A7C15L in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fresh_id () =
+  let seed =
+    Int64.logxor
+      (Int64.of_int (Clock.now_ns ()))
+      (Int64.mul (Int64.of_int (Unix.getpid ())) 0x100000001B3L)
+  in
+  let z =
+    splitmix64 (Int64.add seed (Int64.of_int (Atomic.fetch_and_add id_counter 1)))
+  in
+  Printf.sprintf "%016Lx" z

@@ -44,9 +44,24 @@ val events : unit -> event list
 val clear : unit -> unit
 (** Drop all recorded events. Call only when no spans are open. *)
 
-val to_chrome_json : unit -> string
+val to_chrome_json : ?pid:int -> ?process_name:string -> unit -> string
 (** Render {!events} in the Chrome [trace_event] JSON array format
-    (loadable by [chrome://tracing] and Perfetto). *)
+    (loadable by [chrome://tracing] and Perfetto). Timestamps are
+    absolute (monotonic-clock origin), so exports from concurrently
+    running processes on the same host land on one timeline. [pid]
+    (default 1) labels every event; [process_name] additionally emits a
+    [process_name] metadata record so the viewer shows a human name. *)
 
-val write_chrome : string -> unit
+val write_chrome : ?pid:int -> ?process_name:string -> string -> unit
 (** [write_chrome path] writes {!to_chrome_json} to [path]. *)
+
+val merge_chrome : string list -> string
+(** Merge documents produced by {!to_chrome_json} (typically one per
+    process, with distinct [pid]s) into a single Chrome-loadable
+    document. Inputs that do not look like our exporter's output are
+    skipped. *)
+
+val fresh_id : unit -> string
+(** A 16-hex-digit id for trace contexts, unique across processes with
+    overwhelming probability (mixes the monotonic clock, the pid and a
+    process-local counter through splitmix64). *)

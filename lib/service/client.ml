@@ -68,14 +68,23 @@ let solve_fields ?model ?law ?cap ?wall ?sweeps ?states ?simulate ~instance () =
       opt "simulate" (fun b -> Json.Bool b) simulate;
     ]
 
-let solve_request ?id ?model ?law ?cap ?wall ?sweeps ?states ?simulate ~instance () =
+let obs_member = function
+  | None -> []
+  | Some (trace, span) -> [ Protocol.obs_field ~trace ~span ]
+
+let fresh_obs () = (Obs.Trace.fresh_id (), Obs.Trace.fresh_id ())
+
+let solve_request ?id ?obs ?model ?law ?cap ?wall ?sweeps ?states ?simulate
+    ~instance () =
   Json.Obj
     ([ ("v", Json.Int Protocol.version); ("cmd", Json.String "solve") ]
     @ (match id with Some id -> [ ("id", id) ] | None -> [])
+    @ obs_member obs
     @ solve_fields ?model ?law ?cap ?wall ?sweeps ?states ?simulate ~instance ())
 
-let batch_request ?id items =
+let batch_request ?id ?obs items =
   Json.Obj
     ([ ("v", Json.Int Protocol.version); ("cmd", Json.String "batch") ]
     @ (match id with Some id -> [ ("id", id) ] | None -> [])
+    @ obs_member obs
     @ [ ("requests", Json.List items) ])

@@ -56,8 +56,14 @@ val ping : ?deadline:float -> t -> (Json.t, error) result
 val stats : ?deadline:float -> t -> (Json.t, error) result
 val shutdown : ?deadline:float -> t -> (Json.t, error) result
 
+val fresh_obs : unit -> string * string
+(** A fresh [(trace_id, span_id)] pair for the [?obs] argument below —
+    mint one per logical operation so router and worker spans correlate
+    under a single trace id. *)
+
 val solve_request :
   ?id:Json.t ->
+  ?obs:string * string ->
   ?model:Streaming.Model.t ->
   ?law:Engine.law ->
   ?cap:int ->
@@ -69,9 +75,11 @@ val solve_request :
   unit ->
   Json.t
 (** The request object for one solve; omitted fields are left to the
-    daemon's defaults.  Compose with {!rpc}, or wrap a list of them as a
-    batch with {!batch_request}. *)
+    daemon's defaults.  [?obs] is a [(trace_id, parent_span_id)] context
+    carried in the optional ["obs"] envelope (outside the cache key).
+    Compose with {!rpc}, or wrap a list of them as a batch with
+    {!batch_request}. *)
 
-val batch_request : ?id:Json.t -> Json.t list -> Json.t
+val batch_request : ?id:Json.t -> ?obs:string * string -> Json.t list -> Json.t
 (** Wraps solve request objects (their [cmd]/[v] fields are ignored by
     the daemon) into one [batch] request. *)

@@ -197,7 +197,7 @@ let query_json (q : Engine.query) =
 type request =
   | Ping
   | Stats
-  | Metrics
+  | Metrics of { fleet : bool }
   | Shutdown
   | Solve of Engine.query
   | Solve_multi of Engine.multi_query
@@ -223,7 +223,13 @@ let parse_request json =
           | None -> Error (id, Bad_request "request needs a string field 'cmd'")
           | Some "ping" -> Ok (id, Ping)
           | Some "stats" -> Ok (id, Stats)
-          | Some "metrics" -> Ok (id, Metrics)
+          | Some "metrics" ->
+              let fleet =
+                match Option.bind (Json.member "fleet" json) Json.to_bool_opt with
+                | Some b -> b
+                | None -> false
+              in
+              Ok (id, Metrics { fleet })
           | Some "shutdown" -> Ok (id, Shutdown)
           | Some "solve" -> (
               match decode_query json with
@@ -250,6 +256,57 @@ let parse_request json =
               | _ -> Error (id, Bad_request "batch needs a list field 'requests'"))
           | Some cmd -> Error (id, Unknown_command cmd)))
   | _ -> Error (None, Parse_error "request must be a JSON object")
+
+(* ---- trace-context envelope ----
+   An optional ["obs"] member of any request carries a trace context:
+   [{"trace":"<id>","span":"<parent span id>"}]. [decode_query] ignores
+   unknown members, so the envelope is invisible to the cache key and to
+   daemons that predate it — legacy and traced peers interoperate without
+   negotiation. *)
+
+let obs_context json =
+  match Json.member "obs" json with
+  | Some (Json.Obj _ as o) -> (
+      match Option.bind (Json.member "trace" o) Json.to_string_opt with
+      | Some trace ->
+          let span =
+            Option.value ~default:""
+              (Option.bind (Json.member "span" o) Json.to_string_opt)
+          in
+          Some (trace, span)
+      | None -> None)
+  | _ -> None
+
+let obs_field ~trace ~span =
+  ( "obs",
+    Json.Obj [ ("trace", Json.String trace); ("span", Json.String span) ] )
+
+(* Splice an ["obs"] envelope into an already-rendered request line. The
+   router forwards client bytes verbatim, so when tracing is on it cannot
+   re-render the request without risking byte drift — instead the envelope
+   is inserted textually before the closing brace. *)
+let with_obs line ~trace ~span =
+  let rec rstrip i =
+    if i > 0 && (match line.[i - 1] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+    then rstrip (i - 1)
+    else i
+  in
+  let stop = rstrip (String.length line) in
+  if stop = 0 || line.[stop - 1] <> '}' then line
+  else
+    let rec prev_solid i =
+      if i > 0 && (match line.[i - 1] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+      then prev_solid (i - 1)
+      else i
+    in
+    let before = prev_solid (stop - 1) in
+    let comma = if before > 0 && line.[before - 1] = '{' then "" else "," in
+    let envelope =
+      Printf.sprintf "%s\"obs\":{\"trace\":%s,\"span\":%s}" comma
+        (Json.render (Json.String trace))
+        (Json.render (Json.String span))
+    in
+    String.sub line 0 (stop - 1) ^ envelope ^ "}"
 
 (* ---- reply assembly ----
    Replies are assembled by splicing rendered fragments, so a cached

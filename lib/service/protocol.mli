@@ -59,7 +59,11 @@ val error_json : error -> Json.t
 type request =
   | Ping
   | Stats
-  | Metrics
+  | Metrics of { fleet : bool }
+      (** ["cmd":"metrics"]; the optional ["fleet":true] flag asks the
+          cluster router to additionally scrape every Up worker and merge
+          the expositions under a [worker="i"] label (a single daemon
+          ignores the flag) *)
   | Shutdown
   | Solve of Engine.query
   | Solve_multi of Engine.multi_query
@@ -82,6 +86,25 @@ val query_json : Engine.query -> Json.t
 
 val decode_query : Json.t -> (Engine.query, error) result
 val decode_multi_query : Json.t -> (Engine.multi_query, error) result
+
+(* ---- trace-context envelope ---- *)
+
+val obs_context : Json.t -> (string * string) option
+(** [obs_context request] reads the optional ["obs"] envelope —
+    [{"trace":"<id>","span":"<parent span id>"}] — from a request object:
+    [(trace_id, parent_span_id)], the span id defaulting to [""].
+    [decode_query] ignores unknown members, so the envelope never reaches
+    the cache key and legacy daemons simply skip it. *)
+
+val obs_field : trace:string -> span:string -> string * Json.t
+(** The [("obs", {...})] member for building a traced request object. *)
+
+val with_obs : string -> trace:string -> span:string -> string
+(** [with_obs line ~trace ~span] splices an ["obs"] envelope into an
+    already-rendered request line (inserted before the final closing
+    brace, leaving every other byte untouched) — how the router tags the
+    verbatim client bytes it forwards. Returns [line] unchanged when it
+    does not end in ['}']. *)
 
 val ok_reply : id:Json.t option -> ?cached:bool -> result:string -> unit -> string
 (** Assembles an [ok:true] reply line around an already-rendered

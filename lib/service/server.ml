@@ -4,6 +4,9 @@ type config = {
   max_frame : int;
   default_wall : float option;
   log : Format.formatter;
+  flight : string option;
+      (* flight-recorder dump path: arms Obs.Recorder so a dying worker
+         leaves its last spans/events behind *)
 }
 
 (* Deterministic fault injection, driven by the SUPERVISE_INJECT
@@ -60,6 +63,7 @@ let default_config () =
     max_frame = 1 lsl 20;
     default_wall = None;
     log = Format.err_formatter;
+    flight = None;
   }
 
 (* what a cache hit replays: the rendered result object verbatim, plus the
@@ -77,6 +81,7 @@ type t = {
   inject : inject;
   solve_seen : int Atomic.t;  (* solves accepted, for kill-after *)
   replies_sent : int Atomic.t;  (* replies written, for torn-reply *)
+  slog : Obs.Log.t;  (* structured event log, routed through config.log *)
 }
 
 let create config =
@@ -92,8 +97,14 @@ let create config =
       inject = inject_of_env ();
       solve_seen = Atomic.make 0;
       replies_sent = Atomic.make 0;
+      slog =
+        Obs.Log.create ~sink:(Obs.Log.formatter_sink config.log)
+          ~comp:"service" ();
     }
   in
+  (match config.flight with
+  | Some path -> Obs.Recorder.install ~path
+  | None -> ());
   (* Mirror externally-owned statistics into the server's registry on
      demand (stats/metrics requests).  Registration is idempotent by name,
      and the registry is per-server, so concurrent servers stay isolated. *)
@@ -344,20 +355,44 @@ let admit_one t q =
    zero-lost-acks invariant.  [delay-ms] stretches every solve. *)
 let inject_solve t =
   (match t.inject.kill_after with
-  | Some k -> if Atomic.fetch_and_add t.solve_seen 1 >= k then Unix._exit 9
+  | Some k ->
+      if Atomic.fetch_and_add t.solve_seen 1 >= k then begin
+        (* [Unix._exit] skips at_exit on purpose (the death must be
+           unacknowledged), so the flight recorder dumps explicitly *)
+        Obs.Recorder.crash_dump ~reason:"injected kill-after";
+        Unix._exit 9
+      end
   | None -> ());
   match t.inject.delay_ms with Some d -> Thread.delay (d /. 1000.0) | None -> ()
 
 let respond t line =
+  (* the trace context, when the request carries one, labels both the
+     error log lines and the solve spans of this request *)
+  let obs_ctx = ref None in
   let err id e =
-    Metrics.record_error t.metrics ~kind:(Protocol.error_kind e);
+    let kind = Protocol.error_kind e in
+    Metrics.record_error t.metrics ~kind;
+    Obs.Recorder.error_tick ~kind ();
+    Obs.Log.warn t.slog
+      ?trace:(Option.map fst !obs_ctx)
+      ~attrs:[ ("kind", kind) ]
+      "request_error";
     (Protocol.error_reply ~id e, `Continue)
+  in
+  (* inside an open span: tag it with the propagated context *)
+  let tag_span () =
+    match !obs_ctx with
+    | Some (trace, span) ->
+        Obs.Trace.add_attr "trace_id" trace;
+        if span <> "" then Obs.Trace.add_attr "parent_span" span
+    | None -> ()
   in
   match Json.parse line with
   | Error msg ->
       Metrics.record_request t.metrics ~cmd:"invalid";
       err None (Protocol.Parse_error msg)
   | Ok json -> (
+      obs_ctx := Protocol.obs_context json;
       match Protocol.parse_request json with
       | Error (id, e) ->
           Metrics.record_request t.metrics ~cmd:"invalid";
@@ -367,7 +402,7 @@ let respond t line =
             match request with
             | Protocol.Ping -> "ping"
             | Protocol.Stats -> "stats"
-            | Protocol.Metrics -> "metrics"
+            | Protocol.Metrics _ -> "metrics"
             | Protocol.Shutdown -> "shutdown"
             | Protocol.Solve _ -> "solve"
             | Protocol.Solve_multi _ -> "solve_multi"
@@ -383,9 +418,11 @@ let respond t line =
               (Protocol.ok_reply ~id ~result (), `Continue)
           | Protocol.Stats ->
               (Protocol.ok_reply ~id ~result:(Json.render (stats_json t)) (), `Continue)
-          | Protocol.Metrics ->
+          | Protocol.Metrics _ ->
               (* server-scoped metrics first, then the process-wide
-                 registry (pool, solver and cache counters) *)
+                 registry (pool, solver and cache counters); a single
+                 daemon has no fleet to scrape, so [fleet] is a no-op
+                 here and the router answers it upstream *)
               let text = Metrics.prometheus t.metrics ^ Obs.Metrics.to_prometheus Obs.Metrics.default in
               let result =
                 Json.render
@@ -402,7 +439,11 @@ let respond t line =
               | Error busy -> err id busy
               | Ok () -> (
                   Fun.protect ~finally:(release t) @@ fun () ->
-                  match Obs.Trace.span "service:solve" (fun () -> solve_one t q) with
+                  match
+                    Obs.Trace.span "service:solve" (fun () ->
+                        tag_span ();
+                        solve_one t q)
+                  with
                   | Ok (rendered, cached) ->
                       (Protocol.ok_reply ~id ~cached ~result:rendered (), `Continue)
                   | Error e -> err id e))
@@ -412,7 +453,11 @@ let respond t line =
               | Error busy -> err id busy
               | Ok () -> (
                   Fun.protect ~finally:(release t) @@ fun () ->
-                  match Obs.Trace.span "service:solve_multi" (fun () -> solve_multi_one t q) with
+                  match
+                    Obs.Trace.span "service:solve_multi" (fun () ->
+                        tag_span ();
+                        solve_multi_one t q)
+                  with
                   | Ok (rendered, cached) ->
                       (Protocol.ok_reply ~id ~cached ~result:rendered (), `Continue)
                   | Error e -> err id e))
@@ -421,7 +466,11 @@ let respond t line =
               | Error busy -> err id busy
               | Ok () -> (
                   Fun.protect ~finally:(release t) @@ fun () ->
-                  match Obs.Trace.span "service:admit" (fun () -> admit_one t q) with
+                  match
+                    Obs.Trace.span "service:admit" (fun () ->
+                        tag_span ();
+                        admit_one t q)
+                  with
                   | Ok rendered -> (Protocol.ok_reply ~id ~result:rendered (), `Continue)
                   | Error e -> err id e))
           | Protocol.Batch items -> (
@@ -431,6 +480,7 @@ let respond t line =
               | Ok () ->
                   Fun.protect ~finally:(release t) @@ fun () ->
                   Obs.Trace.span "service:batch" @@ fun () ->
+                  tag_span ();
                   let item_error e =
                     Metrics.record_error t.metrics ~kind:(Protocol.error_kind e);
                     Printf.sprintf "{\"ok\":false,\"error\":%s}" (Json.render (Protocol.error_json e))
@@ -531,7 +581,9 @@ let serve t addr =
      worker from the router's point of view *)
   (match t.inject.refuse_s with
   | Some s when s > 0.0 ->
-      Format.fprintf t.config.log "service: injected refuse-accept for %.3g s@." s;
+      Obs.Log.info t.slog
+        ~attrs:[ ("seconds", Printf.sprintf "%.3g" s) ]
+        "inject_refuse_accept";
       Thread.delay s
   | _ -> ());
   let stop_rd, stop_wr = Unix.pipe () in
@@ -563,8 +615,14 @@ let serve t addr =
   cleanup_path ();
   Unix.bind listen_fd (Protocol.sockaddr_of addr);
   Unix.listen listen_fd 64;
-  Format.fprintf t.config.log "service: listening on %s (cache %d, inflight limit %d)@."
-    (Protocol.addr_to_string addr) t.config.cache_capacity t.config.max_inflight;
+  Obs.Log.info t.slog
+    ~attrs:
+      [
+        ("addr", Protocol.addr_to_string addr);
+        ("cache", string_of_int t.config.cache_capacity);
+        ("max_inflight", string_of_int t.config.max_inflight);
+      ]
+    "listening";
   let conns_mutex = Mutex.create () in
   let conns = ref [] in
   let rec accept_loop () =
@@ -581,14 +639,20 @@ let serve t addr =
       end
   in
   accept_loop ();
-  Format.fprintf t.config.log "service: draining %d connection(s)@."
-    (Mutex.lock conns_mutex;
-     let n = List.length !conns in
-     Mutex.unlock conns_mutex;
-     n);
+  Obs.Log.info t.slog
+    ~attrs:
+      [
+        ( "connections",
+          string_of_int
+            (Mutex.lock conns_mutex;
+             let n = List.length !conns in
+             Mutex.unlock conns_mutex;
+             n) );
+      ]
+    "draining";
   Mutex.lock conns_mutex;
   let threads = !conns in
   Mutex.unlock conns_mutex;
   List.iter Thread.join threads;
-  Format.fprintf t.config.log "service: drained; final metrics:@.";
+  Obs.Log.info t.slog "drained";
   Metrics.dump t.metrics t.config.log

@@ -22,7 +22,13 @@ type config = {
   max_frame : int;  (** request line byte limit (default 1 MiB) *)
   default_wall : float option;
       (** server-side wall budget applied to requests that carry none *)
-  log : Format.formatter;  (** connection/drain log; use a null formatter to silence *)
+  log : Format.formatter;
+      (** structured-event (JSONL) log sink; use a null formatter to
+          silence *)
+  flight : string option;
+      (** when set, arms the {!Obs.Recorder} flight recorder with this
+          dump path: recent spans/events are dumped there atomically on
+          exit, on a typed-error burst, and on an injected crash *)
 }
 
 val default_config : unit -> config

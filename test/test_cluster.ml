@@ -410,6 +410,147 @@ let test_chaos_kill_worker_zero_lost_acks () =
   wait_back ();
   Array.iter (function Some c -> Client.close c | None -> ()) conns
 
+(* ---- fleet observability: metrics federation, trace propagation ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_fleet_metrics_federation () =
+  let specs = Array.init 2 (fun _ -> worker_spec ()) in
+  let sup = Supervisor.start ~log:null_ppf specs in
+  Fun.protect ~finally:(fun () -> Supervisor.shutdown ~grace:3.0 sup) @@ fun () ->
+  Alcotest.(check bool) "fleet up" true
+    (Supervisor.wait_up ~deadline:(Unix.gettimeofday () +. 20.0) sup);
+  let router = Router.create { (Router.default_config ()) with log = null_ppf } sup in
+  let conns = Array.make (Supervisor.size sup) None in
+  Fun.protect
+    ~finally:(fun () -> Array.iter (function Some c -> Client.close c | None -> ()) conns)
+  @@ fun () ->
+  (* some routed work first so worker registries have real series *)
+  ignore (Router.respond router conns (solve_line 1));
+  let exposition line =
+    let reply, _ = Router.respond router conns line in
+    let j = parse_reply reply in
+    Alcotest.(check bool) "metrics ok" true (Client.reply_ok j);
+    match
+      Client.reply_result j
+      |> Fun.flip Option.bind (Json.member "text")
+      |> Fun.flip Option.bind Json.to_string_opt
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "metrics reply has no text"
+  in
+  let fleet = exposition {|{"v":1,"cmd":"metrics","fleet":true}|} in
+  (* every worker's registry behind the router's own, each series tagged *)
+  Alcotest.(check bool) "router head series present" true
+    (contains fleet {|cluster_worker_up{worker="0"} 1|});
+  Alcotest.(check bool) "worker 0 scraped" true
+    (contains fleet {|process_uptime_seconds{worker="0"}|});
+  Alcotest.(check bool) "worker 1 scraped" true
+    (contains fleet {|process_uptime_seconds{worker="1"}|});
+  Alcotest.(check bool) "worker service series relabeled" true
+    (contains fleet {|service_requests_total{worker=|});
+  (* plain metrics stays router-local: no federated worker series *)
+  let local = exposition {|{"v":1,"cmd":"metrics"}|} in
+  Alcotest.(check bool) "plain metrics is router-only" false
+    (contains local {|service_requests_total{worker=|})
+
+let test_fleet_trace_propagation () =
+  (* workers export their own span timelines; the router adopts/mints
+     trace ids and splices them into forwarded requests, so the merged
+     timelines correlate across processes *)
+  let trace_files = Array.init 2 (fun _ -> Filename.temp_file "fleet_trace" ".json") in
+  let finally_files () =
+    Array.iter (fun p -> if Sys.file_exists p then Sys.remove p) trace_files
+  in
+  Fun.protect ~finally:finally_files @@ fun () ->
+  let specs =
+    Array.init 2 (fun i ->
+        let spec = worker_spec () in
+        {
+          spec with
+          Supervisor.argv = Array.append spec.Supervisor.argv [| "--trace"; trace_files.(i) |];
+        })
+  in
+  let sup = Supervisor.start ~log:null_ppf specs in
+  Fun.protect ~finally:(fun () -> Supervisor.shutdown ~grace:3.0 sup) @@ fun () ->
+  Alcotest.(check bool) "fleet up" true
+    (Supervisor.wait_up ~deadline:(Unix.gettimeofday () +. 20.0) sup);
+  let router = Router.create { (Router.default_config ()) with log = null_ppf } sup in
+  let conns = Array.make (Supervisor.size sup) None in
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  let router_doc =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_enabled false;
+        Obs.Trace.clear ())
+    @@ fun () ->
+    (* a client-minted envelope: the router must adopt it verbatim *)
+    let client_trace, client_span = Client.fresh_obs () in
+    let enveloped =
+      Json.render
+        (Client.solve_request ~obs:(client_trace, client_span) ~instance:(instance_w 1) ())
+    in
+    let r1, _ = Router.respond router conns enveloped in
+    Alcotest.(check bool) "enveloped solve ok" true (Client.reply_ok (parse_reply r1));
+    (* a legacy request: the router must mint a fresh context *)
+    let r2, _ = Router.respond router conns (solve_line 2) in
+    Alcotest.(check bool) "legacy solve ok" true (Client.reply_ok (parse_reply r2));
+    let ends =
+      List.filter
+        (fun e -> e.Obs.Trace.ev_name = "router:solve" && e.Obs.Trace.ev_ph = 'E')
+        (Obs.Trace.events ())
+    in
+    Alcotest.(check int) "both solves spanned by the router" 2 (List.length ends);
+    let ids = List.filter_map (fun e -> List.assoc_opt "trace_id" e.Obs.Trace.ev_args) ends in
+    Alcotest.(check int) "every router span carries a trace id" 2 (List.length ids);
+    Alcotest.(check bool) "client-minted id adopted" true (List.mem client_trace ids);
+    Array.iter (function Some c -> Client.close c | None -> ()) conns;
+    (* drain the fleet so the workers write their exports *)
+    Supervisor.shutdown ~grace:5.0 sup;
+    (ids, Obs.Trace.to_chrome_json ~pid:(Unix.getpid ()) ~process_name:"router" ())
+  in
+  let router_ids, router_export = router_doc in
+  let worker_docs =
+    Array.to_list trace_files
+    |> List.filter_map (fun p ->
+           match In_channel.with_open_text p In_channel.input_all with
+           | doc when String.length doc > 0 -> Some doc
+           | _ -> None
+           | exception Sys_error _ -> None)
+  in
+  Alcotest.(check bool) "worker exports written on drain" true (worker_docs <> []);
+  (* worker spans carry the router's trace ids *)
+  let all_worker_text = String.concat "\n" worker_docs in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace id %s crosses into a worker" id)
+        true (contains all_worker_text id))
+    router_ids;
+  (* and the merged document is one valid multi-process timeline *)
+  let merged = Obs.Trace.merge_chrome (router_export :: worker_docs) in
+  match Json.parse merged with
+  | Error m -> Alcotest.fail ("merged trace not JSON: " ^ m)
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          let pids =
+            List.filter_map (fun e -> Option.bind (Json.member "pid" e) Json.to_int_opt) evs
+            |> List.sort_uniq compare
+          in
+          Alcotest.(check bool) "at least router + one worker pid" true
+            (List.length pids >= 2);
+          let span_names =
+            List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_string_opt) evs
+          in
+          Alcotest.(check bool) "router and worker spans on one timeline" true
+            (List.mem "router:solve" span_names && List.mem "service:solve" span_names)
+      | _ -> Alcotest.fail "merged trace has no traceEvents")
+
 let () =
   Alcotest.run "cluster"
     [
@@ -427,5 +568,11 @@ let () =
             test_crash_loop_marked_dead_and_shed;
           Alcotest.test_case "chaos: kill-after, zero lost acks" `Quick
             test_chaos_kill_worker_zero_lost_acks;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "metrics federation" `Quick test_fleet_metrics_federation;
+          Alcotest.test_case "trace propagation across processes" `Quick
+            test_fleet_trace_propagation;
         ] );
     ]

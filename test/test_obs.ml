@@ -368,6 +368,7 @@ let service_config () =
     max_frame = 1 lsl 20;
     default_wall = None;
     log = null_ppf;
+    flight = None;
   }
 
 let instance =
@@ -472,6 +473,260 @@ let test_window_rate () =
   Alcotest.(check (float 1e-9)) "stale buckets dropped" 6.0 (Obs.Window.rate w ~now:201.0);
   Alcotest.(check (float 1e-9)) "empty window is zero" 0.0 (Obs.Window.rate w ~now:300.0)
 
+(* ---- histogram sample reservoir ---- *)
+
+let test_reservoir_bounded () =
+  let reg = Obs.Metrics.create_registry () in
+  (* below the cap: every sample retained, quantiles exact *)
+  let small =
+    Obs.Metrics.Histogram.create ~registry:reg ~retain:64 ~buckets:[| 10.0 |] "obs_res_small"
+  in
+  for i = 1 to 50 do
+    Obs.Metrics.Histogram.observe small (float_of_int i)
+  done;
+  Alcotest.(check int) "count is the stream length" 50 (Obs.Metrics.Histogram.count small);
+  Alcotest.(check int) "all retained below cap" 50 (Obs.Metrics.Histogram.retained small);
+  Alcotest.(check (float 1e-9)) "exact p50 below cap" 25.0
+    (Obs.Metrics.Histogram.quantile small 0.50);
+  (* past the cap: memory stays bounded, count keeps the true total, and
+     the reservoir quantile stays a sane estimate of the stream *)
+  let big =
+    Obs.Metrics.Histogram.create ~registry:reg ~retain:64 ~buckets:[| 1000.0 |] "obs_res_big"
+  in
+  for i = 1 to 10_000 do
+    Obs.Metrics.Histogram.observe big (float_of_int i)
+  done;
+  Alcotest.(check int) "count survives the reservoir" 10_000
+    (Obs.Metrics.Histogram.count big);
+  Alcotest.(check bool) "retained bounded by the cap" true
+    (Obs.Metrics.Histogram.retained big <= 64);
+  Alcotest.(check (float 1e-9)) "sum is exact regardless" 50_005_000.0
+    (Obs.Metrics.Histogram.sum big);
+  let p50 = Obs.Metrics.Histogram.quantile big 0.50 in
+  Alcotest.(check bool) "reservoir p50 is in the stream's bulk" true
+    (p50 >= 1_000.0 && p50 <= 9_000.0);
+  (* the per-metric PRNG is seeded from (name, labels): the same stream
+     through a same-named histogram reproduces the same reservoir *)
+  let reg2 = Obs.Metrics.create_registry () in
+  let big2 =
+    Obs.Metrics.Histogram.create ~registry:reg2 ~retain:64 ~buckets:[| 1000.0 |] "obs_res_big"
+  in
+  for i = 1 to 10_000 do
+    Obs.Metrics.Histogram.observe big2 (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "deterministic reservoir" p50
+    (Obs.Metrics.Histogram.quantile big2 0.50);
+  (* registry reset restores the per-metric seed too, so a histogram's
+     life is replayable *)
+  Obs.Metrics.reset reg;
+  Alcotest.(check int) "reset drops the count" 0 (Obs.Metrics.Histogram.count big);
+  for i = 1 to 10_000 do
+    Obs.Metrics.Histogram.observe big (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "replay after reset" p50
+    (Obs.Metrics.Histogram.quantile big 0.50)
+
+(* ---- default-registry process identity ---- *)
+
+let test_default_registry_identity () =
+  let text = Obs.Metrics.to_prometheus Obs.Metrics.default in
+  Alcotest.(check bool) "uptime gauge" true (contains text "process_uptime_seconds");
+  Alcotest.(check bool) "build info with version label" true
+    (contains text
+       (Printf.sprintf "streaming_build_info{ocaml=%S,version=%S} 1" Sys.ocaml_version
+          Obs.Metrics.build_version));
+  match
+    String.split_on_char '\n' text
+    |> List.filter_map Obs.Exposition.parse_line
+    |> List.find_opt (fun (n, _, _) -> n = "process_uptime_seconds")
+  with
+  | Some (_, _, v) -> Alcotest.(check bool) "uptime is non-negative" true (v >= 0.0)
+  | None -> Alcotest.fail "process_uptime_seconds not parseable"
+
+(* ---- structured JSONL log ---- *)
+
+let test_log_jsonl () =
+  let lines = ref [] in
+  let sink line = lines := line :: !lines in
+  let log = Obs.Log.create ~level:Obs.Log.Info ~rate:2 ~sink ~comp:"test" () in
+  Obs.Log.log log ~now:100.0 ~trace:"cafe0123cafe0123"
+    ~attrs:[ ("worker", "3"); ("msg", "a\"b\\c\nd") ]
+    Obs.Log.Warn "worker_exit";
+  (match !lines with
+  | [ line ] -> (
+      match Service.Json.parse line with
+      | Error msg -> Alcotest.fail (Printf.sprintf "log line %S not JSON: %s" line msg)
+      | Ok j ->
+          let str k = Option.bind (Service.Json.member k j) Service.Json.to_string_opt in
+          Alcotest.(check (option string)) "level" (Some "warn") (str "level");
+          Alcotest.(check (option string)) "comp" (Some "test") (str "comp");
+          Alcotest.(check (option string)) "event" (Some "worker_exit") (str "event");
+          Alcotest.(check (option string)) "trace" (Some "cafe0123cafe0123") (str "trace");
+          Alcotest.(check (option string)) "escaped attr" (Some "a\"b\\c\nd")
+            (Option.bind (Service.Json.member "attrs" j) (Service.Json.member "msg")
+            |> Fun.flip Option.bind Service.Json.to_string_opt))
+  | ls -> Alcotest.fail (Printf.sprintf "expected 1 line, got %d" (List.length ls)));
+  (* events below the level are dropped *)
+  lines := [];
+  Obs.Log.log log ~now:100.1 Obs.Log.Debug "chatty";
+  Alcotest.(check int) "debug dropped at info" 0 (List.length !lines);
+  (* rate limiting: 2/s per event name, then a suppressed count on the
+     first emission of the next window *)
+  lines := [];
+  for _ = 1 to 5 do
+    Obs.Log.log log ~now:200.0 Obs.Log.Info "flood"
+  done;
+  Alcotest.(check int) "2 of 5 emitted" 2 (List.length !lines);
+  Obs.Log.log log ~now:201.5 Obs.Log.Info "flood";
+  (match !lines with
+  | line :: _ ->
+      let j = match Service.Json.parse line with Ok j -> j | Error m -> Alcotest.fail m in
+      Alcotest.(check (option int)) "suppressed carried over" (Some 3)
+        (Option.bind (Service.Json.member "suppressed" j) Service.Json.to_int_opt)
+  | [] -> Alcotest.fail "next-window emission missing");
+  (* an unrelated event name has its own budget *)
+  lines := [];
+  Obs.Log.log log ~now:200.0 Obs.Log.Info "other";
+  Alcotest.(check int) "per-name budgets" 1 (List.length !lines)
+
+(* ---- crash flight recorder ---- *)
+
+let test_recorder_ring_and_dump () =
+  Obs.Recorder.disable ();
+  Obs.Recorder.enable ~capacity:8 ~burst_threshold:3 ~burst_window:10.0
+    ~min_dump_interval:0.0 ();
+  Fun.protect ~finally:(fun () -> Obs.Recorder.disable ())
+  @@ fun () ->
+  for i = 1 to 20 do
+    Obs.Recorder.note ~now:(float_of_int i) ~level:Obs.Log.Info ~comp:"test"
+      (Printf.sprintf "ev%d" i)
+  done;
+  let entries = Obs.Recorder.entries () in
+  Alcotest.(check int) "ring bounded" 8 (List.length entries);
+  Alcotest.(check (option string)) "oldest-first, newest retained" (Some "ev13")
+    (match entries with e :: _ -> Some e.Obs.Log.lg_event | [] -> None);
+  (* a logger's events land in the ring through the tap, below-level and
+     rate-limited ones included *)
+  let log = Obs.Log.create ~level:Obs.Log.Error ~sink:Obs.Log.null_sink ~comp:"quiet" () in
+  Obs.Log.debug log "invisible_but_recorded";
+  Alcotest.(check bool) "tap feeds the ring past the level filter" true
+    (List.exists
+       (fun e -> e.Obs.Log.lg_event = "invisible_but_recorded")
+       (Obs.Recorder.entries ()));
+  (* explicit dump: atomic, parseable, carries the ring and metrics *)
+  let path = Filename.temp_file "obs_flight" ".json" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Obs.Recorder.dump ~reason:"test" ~path;
+  Alcotest.(check bool) "no torn tmp left behind" false (Sys.file_exists (path ^ ".tmp"));
+  let doc =
+    match Service.Json.parse (In_channel.with_open_text path In_channel.input_all) with
+    | Ok j -> j
+    | Error m -> Alcotest.fail ("dump not JSON: " ^ m)
+  in
+  Alcotest.(check (option string)) "reason recorded" (Some "test")
+    (Option.bind (Service.Json.member "reason" doc) Service.Json.to_string_opt);
+  (match Service.Json.member "events" doc with
+  | Some (Service.Json.List evs) ->
+      Alcotest.(check bool) "events dumped" true (List.length evs > 0)
+  | _ -> Alcotest.fail "no events array");
+  (* error burst: enough typed errors inside the window auto-dump *)
+  Obs.Recorder.clear ();
+  Sys.remove path;
+  Obs.Recorder.install ~path;
+  Obs.Recorder.error_tick ~now:1000.0 ~kind:"budget_exhausted" ();
+  Obs.Recorder.error_tick ~now:1000.1 ~kind:"budget_exhausted" ();
+  Alcotest.(check bool) "below threshold: no dump" false (Sys.file_exists path);
+  Obs.Recorder.error_tick ~now:1000.2 ~kind:"budget_exhausted" ();
+  Alcotest.(check bool) "burst dumps" true (Sys.file_exists path);
+  match Service.Json.parse (In_channel.with_open_text path In_channel.input_all) with
+  | Ok j ->
+      Alcotest.(check (option string)) "burst reason" (Some "error-burst:budget_exhausted")
+        (Option.bind (Service.Json.member "reason" j) Service.Json.to_string_opt)
+  | Error m -> Alcotest.fail ("burst dump not JSON: " ^ m)
+
+(* ---- prometheus text manipulation ---- *)
+
+let test_exposition_parse_relabel_merge () =
+  (* parse: plain, labeled, escaped, histogram le, comments *)
+  (match Obs.Exposition.parse_line "plain_total 42" with
+  | Some ("plain_total", [], 42.0) -> ()
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "plain line: %s"
+           (match other with None -> "None" | Some (n, _, _) -> n)));
+  (match Obs.Exposition.parse_line {|lat_bucket{le="0.5",job="a b"} 7|} with
+  | Some ("lat_bucket", labels, 7.0) ->
+      Alcotest.(check (option string)) "le label" (Some "0.5") (List.assoc_opt "le" labels);
+      Alcotest.(check (option string)) "spaced value" (Some "a b") (List.assoc_opt "job" labels)
+  | _ -> Alcotest.fail "histogram bucket line");
+  (match Obs.Exposition.parse_line {|esc{k="quote \" brace } slash \\"} 1|} with
+  | Some ("esc", [ ("k", v) ], 1.0) ->
+      Alcotest.(check string) "unescaped label value" "quote \" brace } slash \\" v
+  | _ -> Alcotest.fail "escaped label line");
+  Alcotest.(check bool) "comment is not a sample" true
+    (Obs.Exposition.parse_line "# TYPE plain_total counter" = None);
+  Alcotest.(check bool) "garbage is not a sample" true
+    (Obs.Exposition.parse_line "no value here" = None);
+  (* relabel injects the key as first label on both label shapes *)
+  let relabeled =
+    Obs.Exposition.relabel ~key:"worker" ~value:"3" "a_total 1\nb_total{x=\"y\"} 2\n# c\n"
+  in
+  Alcotest.(check bool) "bare name labeled" true
+    (contains relabeled {|a_total{worker="3"} 1|});
+  Alcotest.(check bool) "existing labels kept" true
+    (contains relabeled {|b_total{worker="3",x="y"} 2|});
+  Alcotest.(check bool) "comments untouched" true (contains relabeled "# c");
+  (* merge: worker sections relabeled, HELP/TYPE deduped across sections *)
+  let section = "# HELP s_total shared\n# TYPE s_total counter\ns_total 5\n" in
+  let merged =
+    Obs.Exposition.merge ~head:"# TYPE head_gauge gauge\nhead_gauge 1\n" ~label:"worker"
+      [ ("0", section); ("1", section) ]
+  in
+  Alcotest.(check bool) "head first" true (contains merged "head_gauge 1");
+  Alcotest.(check bool) "worker 0 labeled" true (contains merged {|s_total{worker="0"} 5|});
+  Alcotest.(check bool) "worker 1 labeled" true (contains merged {|s_total{worker="1"} 5|});
+  let count_sub needle =
+    let n = String.length needle and m = String.length merged in
+    let rec go i acc =
+      if i + n > m then acc
+      else go (i + 1) (if String.sub merged i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "TYPE header deduped" 1 (count_sub "# TYPE s_total counter");
+  Alcotest.(check int) "HELP header deduped" 1 (count_sub "# HELP s_total shared")
+
+(* ---- multi-process chrome merge ---- *)
+
+let test_merge_chrome_two_processes () =
+  with_tracing (fun () -> Obs.Trace.span "merge:a" (fun () -> ()));
+  let doc_a = Obs.Trace.to_chrome_json ~pid:11 ~process_name:"router" () in
+  with_tracing (fun () -> Obs.Trace.span "merge:b" (fun () -> ()));
+  let doc_b = Obs.Trace.to_chrome_json ~pid:22 ~process_name:"worker 0" () in
+  Obs.Trace.clear ();
+  let merged = Obs.Trace.merge_chrome [ doc_a; doc_b; "not a trace doc" ] in
+  match Service.Json.parse merged with
+  | Error m -> Alcotest.fail ("merged doc not JSON: " ^ m)
+  | Ok j -> (
+      match Service.Json.member "traceEvents" j with
+      | Some (Service.Json.List evs) ->
+          let pids =
+            List.filter_map
+              (fun e -> Option.bind (Service.Json.member "pid" e) Service.Json.to_int_opt)
+              evs
+            |> List.sort_uniq compare
+          in
+          Alcotest.(check (list int)) "both processes on one timeline" [ 11; 22 ] pids;
+          let names =
+            List.filter_map
+              (fun e -> Option.bind (Service.Json.member "name" e) Service.Json.to_string_opt)
+              evs
+          in
+          Alcotest.(check bool) "span names survive the merge" true
+            (List.mem "merge:a" names && List.mem "merge:b" names)
+      | _ -> Alcotest.fail "no traceEvents array")
+
 let () =
   Alcotest.run "obs"
     [
@@ -483,11 +738,26 @@ let () =
           Alcotest.test_case "exact quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "prometheus text" `Quick test_prometheus_render;
           Alcotest.test_case "label cardinality" `Quick test_label_cardinality;
+          Alcotest.test_case "sample reservoir" `Quick test_reservoir_bounded;
+          Alcotest.test_case "process identity gauges" `Quick test_default_registry_identity;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "jsonl shape and rate limit" `Quick test_log_jsonl;
+          Alcotest.test_case "flight recorder ring and dumps" `Quick
+            test_recorder_ring_and_dump;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "parse, relabel, merge" `Quick
+            test_exposition_parse_relabel_merge;
         ] );
       ( "tracing",
         [
           Alcotest.test_case "concurrent domains" `Quick test_concurrent_domains;
           Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "merged multi-process export" `Quick
+            test_merge_chrome_two_processes;
           Alcotest.test_case "disabled fast path" `Quick test_disabled_identical;
           Alcotest.test_case "profile tree" `Quick test_profile_tree;
         ] );

@@ -15,6 +15,7 @@ let config ?(cache = 8) ?(max_inflight = 4) ?(max_frame = 1 lsl 20) ?wall () =
     max_frame;
     default_wall = wall;
     log = null_ppf;
+    flight = None;
   }
 
 (* a (1,2)-replicated two-stage system: small enough that every law and
@@ -245,6 +246,98 @@ let test_cache_canonical_sharing () =
   Alcotest.(check bool) "messy text is a cache hit" true
     (Json.member "cached" reply = Some (Json.Bool true));
   Alcotest.(check int) "one shared entry" 1 (Lru.stats (Server.cache server)).Lru.entries
+
+(* ---- trace-context propagation: the optional obs envelope ---- *)
+
+let test_obs_envelope_outside_cache_key () =
+  let server = Server.create (config ()) in
+  let plain = solve_line instance in
+  let first = respond server plain in
+  (* the same solve wearing a trace envelope: same cache entry, and the
+     replayed result bytes are identical to the uninstrumented hit *)
+  let enveloped =
+    Protocol.with_obs plain ~trace:"0123456789abcdef" ~span:"fedcba9876543210"
+  in
+  Alcotest.(check bool) "envelope spliced" true (enveloped <> plain);
+  let second = respond server enveloped in
+  let result_of r =
+    match Client.reply_result (parse_reply r) with
+    | Some j -> Json.render j
+    | None -> Alcotest.fail "no result"
+  in
+  Alcotest.(check bool) "enveloped solve is a cache hit" true
+    (Json.member "cached" (parse_reply second) = Some (Json.Bool true));
+  Alcotest.(check string) "byte-identical result across envelopes" (result_of first)
+    (result_of second);
+  Alcotest.(check int) "one shared entry" 1 (Lru.stats (Server.cache server)).Lru.entries;
+  (* and the reverse order: an enveloped miss fills the entry a plain
+     legacy client then hits *)
+  let server2 = Server.create (config ()) in
+  ignore (respond server2 enveloped);
+  let reply = parse_reply (respond server2 plain) in
+  Alcotest.(check bool) "plain solve hits the enveloped entry" true
+    (Json.member "cached" reply = Some (Json.Bool true))
+
+let test_obs_envelope_threads_trace_into_span () =
+  let server = Server.create (config ()) in
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+  @@ fun () ->
+  let trace = Obs.Trace.fresh_id () and span = Obs.Trace.fresh_id () in
+  let line = Json.render (Client.solve_request ~obs:(trace, span) ~instance ()) in
+  let reply = parse_reply (respond server line) in
+  Alcotest.(check bool) "traced solve ok" true (Client.reply_ok reply);
+  let solve_ends events =
+    List.filter
+      (fun e -> e.Obs.Trace.ev_name = "service:solve" && e.Obs.Trace.ev_ph = 'E')
+      events
+  in
+  let ends = solve_ends (Obs.Trace.events ()) in
+  Alcotest.(check bool) "solve span recorded" true (ends <> []);
+  Alcotest.(check bool) "trace id threaded onto the span" true
+    (List.exists (fun e -> List.assoc_opt "trace_id" e.Obs.Trace.ev_args = Some trace) ends);
+  Alcotest.(check bool) "parent span threaded onto the span" true
+    (List.exists (fun e -> List.assoc_opt "parent_span" e.Obs.Trace.ev_args = Some span) ends);
+  (* a legacy client with no envelope against the same traced daemon:
+     the span still closes, but carries no trace id *)
+  let legacy = parse_reply (respond server (solve_line instance)) in
+  Alcotest.(check bool) "legacy solve ok" true (Client.reply_ok legacy);
+  let ends = solve_ends (Obs.Trace.events ()) in
+  Alcotest.(check int) "both solves spanned" 2 (List.length ends);
+  Alcotest.(check int) "exactly one span carries the trace id" 1
+    (List.length
+       (List.filter
+          (fun e -> List.assoc_opt "trace_id" e.Obs.Trace.ev_args <> None)
+          ends))
+
+let test_metrics_fleet_flag_single_daemon () =
+  let server = Server.create (config ()) in
+  let reply = parse_reply (respond server {|{"v":1,"cmd":"metrics","fleet":true}|}) in
+  Alcotest.(check bool) "ok" true (Client.reply_ok reply);
+  let text =
+    match
+      Client.reply_result reply
+      |> Fun.flip Option.bind (Json.member "text")
+      |> Fun.flip Option.bind Json.to_string_opt
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "no exposition text"
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (* fleet is a no-op on a single daemon, which still answers with its
+     own registry plus the process-wide identity gauges *)
+  Alcotest.(check bool) "uptime gauge exported" true
+    (contains text "process_uptime_seconds");
+  Alcotest.(check bool) "build info exported" true
+    (contains text "streaming_build_info{")
 
 let test_budget_exhausted_structured () =
   let server = Server.create (config ()) in
@@ -559,6 +652,30 @@ let test_socket_truncated_line () =
             (Client.reply_error_kind (parse_reply reply))
       | exception End_of_file -> Alcotest.fail "no reply to a truncated line")
 
+let test_socket_torn_envelope () =
+  with_daemon (fun addr ->
+      let path = match addr with Protocol.Unix_domain p -> p | _ -> assert false in
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let full =
+        Protocol.with_obs {|{"v":1,"cmd":"ping"}|} ~trace:"00ff00ff00ff00ff"
+          ~span:"1122334455667788"
+      in
+      (* tear the frame in the middle of the spliced obs envelope: the
+         daemon must answer a typed parse_error, not hang or crash *)
+      let cut = String.length full - 12 in
+      ignore (Unix.write_substring fd full 0 cut);
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let ic = Unix.in_channel_of_descr fd in
+      match input_line ic with
+      | reply ->
+          Alcotest.(check (option string)) "torn envelope is a parse_error"
+            (Some "parse_error")
+            (Client.reply_error_kind (parse_reply reply))
+      | exception End_of_file -> Alcotest.fail "no reply to a torn envelope")
+
 (* a listener that accepts and then never replies: the per-request
    deadline, not the peer, must bound the wait *)
 let test_client_deadline () =
@@ -776,6 +893,12 @@ let () =
           Alcotest.test_case "solve ok" `Quick test_solve_ok;
           Alcotest.test_case "cache hit byte-identical" `Quick test_cache_hit_byte_identical;
           Alcotest.test_case "canonical sharing" `Quick test_cache_canonical_sharing;
+          Alcotest.test_case "obs envelope outside the cache key" `Quick
+            test_obs_envelope_outside_cache_key;
+          Alcotest.test_case "obs envelope threads into the span" `Quick
+            test_obs_envelope_threads_trace_into_span;
+          Alcotest.test_case "metrics fleet flag on a single daemon" `Quick
+            test_metrics_fleet_flag_single_daemon;
           Alcotest.test_case "budget exhausted" `Quick test_budget_exhausted_structured;
           Alcotest.test_case "busy backpressure" `Quick test_busy_backpressure;
           Alcotest.test_case "batch isolates bad items" `Quick test_batch_isolates_bad_items;
@@ -796,6 +919,7 @@ let () =
           Alcotest.test_case "smoke" `Quick test_socket_smoke;
           Alcotest.test_case "oversized frame" `Quick test_socket_oversized_frame;
           Alcotest.test_case "truncated line" `Quick test_socket_truncated_line;
+          Alcotest.test_case "torn obs envelope" `Quick test_socket_torn_envelope;
           Alcotest.test_case "client deadline on a mute peer" `Quick test_client_deadline;
           Alcotest.test_case "interleaved chaos" `Quick test_socket_interleaved_chaos;
         ] );
